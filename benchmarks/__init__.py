@@ -1,0 +1,1 @@
+"""Benchmark package: one module per experiment in DESIGN.md's index."""

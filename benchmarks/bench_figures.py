@@ -1,0 +1,130 @@
+"""Experiments FIG1, FIG2, FIG3/4/5, FIG6 — the paper's explanatory figures.
+
+The paper's six figures illustrate the machinery rather than report
+measurements; each benchmark here regenerates the corresponding quantitative
+evidence:
+
+* FIG1 (duality): the transform preserves above/below on random inputs and
+  is cheap (Lemma 2.1).
+* FIG2 (arrangements and levels): the complexity of a random level between
+  k and 2k is O(N) (Lemma 2.2 / Corollary 2.3).
+* FIG3/4/5 (clusters of a level): the greedy clustering of Lemma 3.2 has at
+  most N/k clusters of at most 3k lines and covers the level.
+* FIG6 (balanced simplicial partition): a size-r partition is balanced and
+  crossed by O(r^{1-1/d}) cells (Theorem 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import greedy_clustering, max_cluster_size
+from repro.experiments import format_table, log_fit_exponent
+from repro.geometry.arrangement2d import compute_level
+from repro.geometry.duality import dual_line_of_point, dual_point_of_line
+from repro.geometry.partitions import max_crossing_number, median_cut_partition
+from repro.geometry.primitives import Hyperplane, Line2
+from repro.workloads import uniform_points
+
+
+def random_lines(count, seed):
+    rng = np.random.default_rng(seed)
+    return [Line2(float(s), float(b))
+            for s, b in zip(rng.uniform(-2, 2, count), rng.uniform(-1, 1, count))]
+
+
+def test_fig1_duality_preserves_order(benchmark):
+    """FIG1: the duality transform preserves above/below on random pairs."""
+    rng = np.random.default_rng(1)
+    points = rng.uniform(-10, 10, size=(5000, 2))
+    lines = [Line2(float(s), float(b))
+             for s, b in rng.uniform(-10, 10, size=(5000, 2))]
+
+    def check():
+        mismatches = 0
+        for point, line in zip(points, lines):
+            primal_above = point[1] > line.y_at(point[0]) + 1e-9
+            dual_line = dual_line_of_point(point)
+            dual_point = dual_point_of_line(line)
+            dual_above = dual_line.y_at(dual_point[0]) > dual_point[1] + 1e-9
+            mismatches += primal_above != dual_above
+        return mismatches
+
+    mismatches = benchmark(check)
+    assert mismatches == 0
+
+
+def test_fig2_random_level_complexity(benchmark):
+    """FIG2 / Lemma 2.2: a random level between k and 2k has O(N) vertices."""
+    num_lines = 1500
+    lines = random_lines(num_lines, seed=2)
+    rng = np.random.default_rng(3)
+
+    def measure():
+        complexities = []
+        for base in (8, 32, 128):
+            k = int(rng.integers(base, 2 * base + 1))
+            level = compute_level(lines, k)
+            complexities.append((base, k, level.complexity))
+        return complexities
+
+    complexities = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [[str(base), str(k), str(c), "%.2f" % (c / num_lines)]
+            for base, k, c in complexities]
+    print()
+    print(format_table(["k range base", "k", "level vertices", "vertices / N"],
+                       rows, title="FIG2 — random level complexity (Lemma 2.2)"))
+    for __, __, complexity in complexities:
+        assert complexity <= 8 * num_lines
+
+
+def test_fig3_greedy_clustering_guarantees(benchmark):
+    """FIG3/4/5 / Lemma 3.2: cluster count <= N/k and width <= 3k."""
+    num_lines = 1200
+    lines = random_lines(num_lines, seed=4)
+    k = 24
+
+    def build():
+        level = compute_level(lines, k)
+        return greedy_clustering(level, width=3 * k)
+
+    clusters = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [[str(num_lines), str(k), str(len(clusters)),
+             str(num_lines // k), str(max_cluster_size(clusters)), str(3 * k)]]
+    print()
+    print(format_table(["N", "k", "#clusters", "N/k bound", "max size", "3k bound"],
+                       rows, title="FIG3 — greedy 3k-clustering (Lemma 3.2)"))
+    assert len(clusters) <= num_lines // k
+    assert max_cluster_size(clusters) <= 3 * k
+
+
+@pytest.mark.parametrize("dimension", [2, 3])
+def test_fig6_partition_crossing_number(benchmark, dimension):
+    """FIG6 / Theorem 5.1: crossing number grows like r^{1-1/d}."""
+    points = uniform_points(8192, dimension=dimension, seed=5)
+    rng = np.random.default_rng(6)
+    hyperplanes = [Hyperplane(tuple(rng.uniform(-2, 2, size=dimension - 1).tolist()),
+                              float(rng.uniform(-1, 1))) for __ in range(25)]
+    sizes = [16, 64, 256]
+
+    def measure():
+        crossings = []
+        for r in sizes:
+            cells = median_cut_partition(points, r)
+            crossings.append(max_crossing_number(cells, hyperplanes))
+        return crossings
+
+    crossings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    exponent = log_fit_exponent(sizes, crossings)
+    target = 1.0 - 1.0 / dimension
+    rows = [[str(r), str(c), "%.1f" % (r ** target)]
+            for r, c in zip(sizes, crossings)]
+    print()
+    print(format_table(["r", "max crossings", "r^{1-1/d}"], rows,
+                       title="FIG6 — crossing numbers, d=%d (measured exponent %.2f,"
+                             " target %.2f)" % (dimension, exponent, target)))
+    assert exponent < 1.0
+    assert all(c < r for r, c in zip(sizes, crossings))

@@ -1,0 +1,95 @@
+"""Experiment THM4.3-KNN — k-nearest-neighbour queries via lifting.
+
+Paper claim (Theorem 4.3): O(n log2 n) expected blocks and
+O(log_B n + k/B) expected I/Os to report the k nearest neighbours of a
+planar query point.  The benchmark sweeps k and checks that the measured
+I/Os grow roughly like k/B on top of a small additive term, and that
+answers match a brute-force nearest-neighbour computation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import KNNIndex
+from repro.experiments import ExperimentResult, QueryCostSummary, log_fit_exponent
+from repro.workloads import uniform_points
+from repro.workloads.queries import knn_query_points
+
+from .conftest import blocks, print_experiment
+
+BLOCK_SIZE = 32
+NUM_POINTS = 4096
+KS = [1, 8, 32, 128, 512]
+NUM_QUERIES = 6
+
+_cache = {}
+
+
+def build():
+    if "index" not in _cache:
+        points = uniform_points(NUM_POINTS, seed=1)
+        _cache["points"] = points
+        _cache["index"] = KNNIndex(points, block_size=BLOCK_SIZE, copies=3, seed=2)
+    return _cache["points"], _cache["index"]
+
+
+def brute(points, query, k):
+    distances = np.hypot(points[:, 0] - query[0], points[:, 1] - query[1])
+    return [tuple(points[i]) for i in np.argsort(distances)[:k]]
+
+
+@pytest.mark.parametrize("k", KS)
+def test_knn_query(benchmark, k):
+    """Wall-clock and I/O cost of k-NN queries for one value of k."""
+    points, index = build()
+    queries = knn_query_points(NUM_QUERIES, seed=3)
+    # Correctness spot-check before timing.
+    first = tuple(queries[0])
+    assert index.nearest(first, k) == brute(points, first, k)
+    total_ios = 0
+    for query in queries:
+        __, stats = index.nearest_with_stats(tuple(query), k)
+        total_ios += stats.total
+    benchmark(lambda: [index.nearest(tuple(q), k) for q in queries])
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["mean_ios"] = total_ios / NUM_QUERIES
+
+
+def test_knn_report_table(benchmark):
+    """Print mean I/Os per k and check the k/B growth shape."""
+    # Register with pytest-benchmark so this evidence test also runs
+    # under --benchmark-only (it measures I/Os, not wall-clock time).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    points, index = build()
+    queries = knn_query_points(NUM_QUERIES, seed=3)
+    result = ExperimentResult(
+        "THM4.3-KNN", "k nearest neighbours: O(log_B n + k/B) expected I/Os")
+    mean_costs = []
+    for k in KS:
+        total_ios = 0
+        max_ios = 0
+        for query in queries:
+            neighbours, stats = index.nearest_with_stats(tuple(query), k)
+            assert len(neighbours) == k
+            total_ios += stats.total
+            max_ios = max(max_ios, stats.total)
+        summary = QueryCostSummary(label="k=%d" % k, num_queries=NUM_QUERIES,
+                                   total_ios=total_ios, max_ios=max_ios,
+                                   total_reported=k * NUM_QUERIES,
+                                   block_size=BLOCK_SIZE,
+                                   space_blocks=index.space_blocks)
+        mean_costs.append(summary.mean_ios)
+        result.add(summary)
+    print_experiment(result)
+
+    # Growing k by 512x should grow the cost far less than 512x (the k/B
+    # term is blocked), yet the largest k must not be cheaper than k/B.
+    assert mean_costs[-1] < 80 * mean_costs[0]
+    assert mean_costs[-1] >= KS[-1] / BLOCK_SIZE
+    # Small-k queries stay near the additive term, far below a full scan.
+    n = blocks(NUM_POINTS, BLOCK_SIZE)
+    assert mean_costs[0] < n / 2

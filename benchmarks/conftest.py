@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints a plain-text table of *measured I/Os* (the quantity
+the paper's Table 1 bounds) in addition to the wall-clock numbers collected
+by pytest-benchmark.  EXPERIMENTS.md summarises these tables next to the
+paper's claims.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+#: Directory where every experiment table is persisted as plain text, so the
+#: measured numbers survive pytest's output capturing and can be quoted in
+#: EXPERIMENTS.md.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def print_experiment(result) -> None:
+    """Print an ExperimentResult table and persist it under benchmarks/results/."""
+    table = result.to_table()
+    print()
+    print("=" * 78)
+    print(table)
+    print("=" * 78)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    filename = result.experiment_id.replace("/", "_").replace(" ", "_") + ".txt"
+    with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
+        handle.write(table + "\n")
+
+
+def blocks(num_records: int, block_size: int) -> int:
+    """⌈N/B⌉."""
+    return max(1, math.ceil(num_records / block_size))

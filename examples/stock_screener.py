@@ -1,0 +1,68 @@
+"""Stock screener: the paper's own motivating SQL example (Section 1.1).
+
+    SELECT Name FROM Companies
+    WHERE (PricePerShare - 10 * EarningsPerShare < 0)
+
+Interpreting every (EarningsPerShare, PricePerShare) pair as a point in the
+plane, the WHERE clause is the linear constraint ``y <= 10 x``, i.e. a
+halfplane query.  This example keeps a side table of company names, indexes
+the numeric pairs with the optimal 2-D structure, and answers price/earnings
+screens for several thresholds, reporting the I/O cost of each.
+
+Run with::
+
+    python examples/stock_screener.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import HalfplaneIndex2D, LinearConstraint
+from repro.workloads.distributions import company_table
+
+
+def main() -> None:
+    num_companies = 20_000
+    block_size = 128
+
+    print("Generating the Companies(Name, PricePerShare, EarningsPerShare) "
+          "relation with %d rows ..." % num_companies)
+    table = company_table(num_companies, seed=42)
+
+    # The index stores (EarningsPerShare, PricePerShare) points; a separate
+    # dictionary maps the (rounded) pair back to company names, playing the
+    # role of the primary table.
+    points = [(earnings, price) for __, price, earnings in table]
+    names = {}
+    for name, price, earnings in table:
+        names.setdefault((round(earnings, 9), round(price, 9)), []).append(name)
+
+    print("Building the linear-constraint index ...")
+    index = HalfplaneIndex2D(points, block_size=block_size, seed=3)
+    n_blocks = math.ceil(num_companies / block_size)
+    print("  relation occupies %d blocks, index %d blocks"
+          % (n_blocks, index.space_blocks))
+
+    for ratio in (5.0, 10.0, 25.0):
+        # PricePerShare <= ratio * EarningsPerShare  <=>  y <= ratio * x.
+        constraint = LinearConstraint(coeffs=(ratio,), offset=0.0)
+        result = index.query_with_stats(constraint)
+        sample = [names[(round(e, 9), round(p, 9))][0] for e, p in result.points[:5]]
+        print("\nScreen: price/earnings <= %.0f" % ratio)
+        print("  %d companies qualify (%.1f%% of the relation)"
+              % (result.count, 100.0 * result.count / num_companies))
+        print("  answered in %d I/Os; the output alone occupies %d blocks"
+              % (result.total_ios, math.ceil(max(1, result.count) / block_size)))
+        print("  sample of matches:", ", ".join(sample) if sample else "(none)")
+
+    # Verify one screen against the straightforward relational scan.
+    constraint = LinearConstraint(coeffs=(10.0,), offset=0.0)
+    expected = {(e, p) for __, p, e in table if p - 10.0 * e <= 1e-9}
+    actual = {tuple(point) for point in index.query(constraint)}
+    assert actual == expected
+    print("\nVerified the P/E <= 10 screen against a full relational scan.")
+
+
+if __name__ == "__main__":
+    main()

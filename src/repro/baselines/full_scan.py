@@ -1,0 +1,51 @@
+"""The trivial baseline: scan every block and filter.
+
+Costs exactly ⌈N/B⌉ I/Os per query regardless of the output size.  It is
+both the sanity floor for correctness (its answers are trivially right) and
+the upper bound any clever structure must beat for small outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.interface import ExternalIndex, Point
+from repro.geometry.primitives import LinearConstraint
+from repro.io.disk_array import DiskArray
+from repro.io.store import BlockStore
+
+
+class FullScanIndex(ExternalIndex):
+    """Linear scan over a blocked point file."""
+
+    def __init__(self, points: Sequence[Sequence[float]],
+                 store: Optional[BlockStore] = None,
+                 block_size: int = 64):
+        super().__init__(store, block_size)
+        points = np.asarray(points, dtype=float)
+        if points.size == 0 and points.ndim != 2:
+            points = points.reshape(0, 2)
+        if points.ndim != 2:
+            raise ValueError("points must have shape (N, d)")
+        self._dimension = points.shape[1]
+        self._num_points = len(points)
+        self._begin_space_accounting()
+        self._data = DiskArray(self._store, [tuple(point) for point in points])
+        self._end_space_accounting()
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def size(self) -> int:
+        return self._num_points
+
+    def query(self, constraint: LinearConstraint) -> List[Point]:
+        """Report satisfying points by scanning all ⌈N/B⌉ blocks."""
+        if constraint.dimension != self._dimension:
+            raise ValueError("constraint dimension %d does not match data "
+                             "dimension %d" % (constraint.dimension, self._dimension))
+        return [record for record in self._data.scan() if constraint.below(record)]

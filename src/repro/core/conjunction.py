@@ -1,0 +1,109 @@
+"""Conjunctions of linear constraints (convex-polytope queries).
+
+Section 1.1 of the paper observes that "several complex queries can be
+viewed as reporting all points lying within a given convex query region",
+i.e. an intersection of halfspace queries.  This module provides the small
+piece of public API that turns a list of :class:`LinearConstraint` /
+``normal . x <= offset`` conditions into a convex polytope and evaluates it
+against an index:
+
+* on a :class:`~repro.core.partition_tree.PartitionTreeIndex` the query is
+  answered natively by the simplex-query traversal of Section 5 (Remark i);
+* on any other index the most selective single constraint is answered by
+  the index and the remaining conditions are filtered from its output,
+  which is correct for every index and costs one halfspace query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.interface import ExternalIndex, Point, QueryResult
+from repro.core.partition_tree import PartitionTreeIndex
+from repro.geometry.primitives import LinearConstraint
+from repro.geometry.simplex import Halfspace, Simplex
+
+
+@dataclass(frozen=True)
+class ConstraintConjunction:
+    """A conjunction (AND) of linear constraints over the same dimension."""
+
+    constraints: Tuple[LinearConstraint, ...]
+    extra_halfspaces: Tuple[Halfspace, ...] = ()
+
+    @classmethod
+    def of(cls, *constraints: LinearConstraint) -> "ConstraintConjunction":
+        """Build a conjunction from individual constraints."""
+        if not constraints:
+            raise ValueError("a conjunction needs at least one constraint")
+        dimensions = {constraint.dimension for constraint in constraints}
+        if len(dimensions) != 1:
+            raise ValueError("all constraints must share one dimension, got %r"
+                             % sorted(dimensions))
+        return cls(constraints=tuple(constraints))
+
+    def and_halfspace(self, normal: Sequence[float],
+                      offset: float) -> "ConstraintConjunction":
+        """Add a raw halfspace ``normal . x <= offset`` (any orientation)."""
+        halfspace = Halfspace(normal=tuple(float(v) for v in normal),
+                              offset=float(offset))
+        return ConstraintConjunction(constraints=self.constraints,
+                                     extra_halfspaces=self.extra_halfspaces + (halfspace,))
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension of the conjunction."""
+        return self.constraints[0].dimension
+
+    def satisfied_by(self, point: Sequence[float]) -> bool:
+        """True if ``point`` satisfies every conjunct."""
+        if not all(constraint.below(point) for constraint in self.constraints):
+            return False
+        return all(halfspace.contains(point) for halfspace in self.extra_halfspaces)
+
+    def filter(self, points: Iterable[Sequence[float]]) -> List[Sequence[float]]:
+        """In-memory reference filter (ground truth for the tests)."""
+        return [point for point in points if self.satisfied_by(point)]
+
+    def to_polytope(self) -> Simplex:
+        """The conjunction as an intersection of halfspaces.
+
+        A constraint ``x_d <= a_0 + sum a_i x_i`` becomes the halfspace
+        ``-a_1 x_1 - ... - a_{d-1} x_{d-1} + x_d <= a_0``.
+        """
+        halfspaces: List[Halfspace] = []
+        for constraint in self.constraints:
+            normal = tuple(-c for c in constraint.coeffs) + (1.0,)
+            halfspaces.append(Halfspace(normal=normal, offset=constraint.offset))
+        halfspaces.extend(self.extra_halfspaces)
+        return Simplex(halfspaces=tuple(halfspaces))
+
+
+def query_conjunction(index: ExternalIndex,
+                      conjunction: ConstraintConjunction) -> List[Point]:
+    """Report every point of ``index`` satisfying the conjunction.
+
+    Partition trees answer the polytope natively (Section 5, Remark i);
+    other indexes answer their first constraint and filter the rest.
+    """
+    if conjunction.dimension != index.dimension:
+        raise ValueError("conjunction dimension %d does not match index "
+                         "dimension %d" % (conjunction.dimension, index.dimension))
+    if isinstance(index, PartitionTreeIndex) or hasattr(index, "query_simplex"):
+        return index.query_simplex(conjunction.to_polytope())
+    candidates = index.query(conjunction.constraints[0])
+    return [point for point in candidates if conjunction.satisfied_by(point)]
+
+
+def query_conjunction_with_stats(index: ExternalIndex,
+                                 conjunction: ConstraintConjunction,
+                                 clear_cache: bool = True) -> QueryResult:
+    """As :func:`query_conjunction`, with the I/O cost of the evaluation."""
+    store = index.store
+    if clear_cache:
+        store.clear_cache()
+    before = store.stats.snapshot()
+    points = query_conjunction(index, conjunction)
+    after = store.stats.snapshot()
+    return QueryResult(points=points, ios=after.delta(before))

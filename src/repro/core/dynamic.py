@@ -1,0 +1,168 @@
+"""A dynamised partition tree (Section 5, Remark iii).
+
+The paper notes that the linear-size partition tree can be made dynamic
+with the standard partial-reconstruction technique, supporting updates in
+O((log₂ n) log_B n) amortised I/Os.  ``DynamicPartitionTreeIndex``
+implements the practical variant of that idea:
+
+* insertions go to a small blocked *buffer*; once the buffer exceeds a
+  fixed fraction of the indexed set, the whole structure is rebuilt;
+* deletions mark points in a tombstone set (stored in its own blocks);
+  once half of the indexed points are dead, the structure is rebuilt;
+* queries combine the main tree (minus tombstones) with a scan of the
+  buffer, so answers are always exact and the extra query cost is
+  O(buffer/B) = O(εn) I/Os.
+
+Rebuilds are charged to the store like any other construction, so the
+amortised update cost is measurable with the usual counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.interface import ExternalIndex, Point
+from repro.core.partition_tree import PartitionTreeIndex, Partitioner
+from repro.geometry.primitives import LinearConstraint
+from repro.io.disk_array import DiskArray
+from repro.io.store import BlockStore
+
+
+class DynamicPartitionTreeIndex(ExternalIndex):
+    """Insertions and deletions on top of the Section 5 partition tree.
+
+    Parameters
+    ----------
+    buffer_fraction:
+        The insertion buffer may hold up to this fraction of the indexed
+        points before a rebuild is triggered (default 25 %).
+    Other parameters are forwarded to :class:`PartitionTreeIndex`.
+    """
+
+    def __init__(self, points: Sequence[Sequence[float]] = (),
+                 store: Optional[BlockStore] = None,
+                 block_size: int = 64,
+                 dimension: Optional[int] = None,
+                 buffer_fraction: float = 0.25,
+                 max_fanout: Optional[int] = None,
+                 leaf_capacity: Optional[int] = None,
+                 partitioner: Optional[Partitioner] = None):
+        super().__init__(store, block_size)
+        if not 0.0 < buffer_fraction <= 1.0:
+            raise ValueError("buffer_fraction must be in (0, 1]")
+        initial = [tuple(float(c) for c in point) for point in points]
+        if dimension is None:
+            if not initial:
+                raise ValueError("dimension is required when starting empty")
+            dimension = len(initial[0])
+        self._dimension = dimension
+        self._buffer_fraction = buffer_fraction
+        self._tree_kwargs = dict(max_fanout=max_fanout,
+                                 leaf_capacity=leaf_capacity,
+                                 partitioner=partitioner)
+        self._rebuilds = 0
+        self._begin_space_accounting()
+        self._buffer = DiskArray(self._store)
+        self._buffer_points: List[Tuple[float, ...]] = []
+        self._tombstones: Set[Tuple[float, ...]] = set()
+        self._tombstone_array = DiskArray(self._store)
+        self._build_tree(initial)
+        self._end_space_accounting()
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _build_tree(self, points: List[Tuple[float, ...]]) -> None:
+        array = np.array(points, dtype=float).reshape(-1, self._dimension)
+        self._tree_points: List[Tuple[float, ...]] = list(points)
+        self._tree = PartitionTreeIndex(array, store=self._store,
+                                        block_size=self.block_size,
+                                        **self._tree_kwargs)
+
+    def _rebuild(self) -> None:
+        """Fold the buffer and tombstones back into a fresh tree."""
+        live = [point for point in self._tree_points
+                if point not in self._tombstones]
+        live.extend(point for point in self._buffer_points
+                    if point not in self._tombstones)
+        self._buffer.clear()
+        self._buffer_points = []
+        self._tombstones = set()
+        self._tombstone_array.clear()
+        self._build_tree(live)
+        self._rebuilds += 1
+
+    def _maybe_rebuild(self) -> None:
+        live_estimate = max(1, len(self._tree_points) - len(self._tombstones))
+        if len(self._buffer_points) > self._buffer_fraction * live_estimate:
+            self._rebuild()
+        elif len(self._tombstones) * 2 > max(1, len(self._tree_points)):
+            self._rebuild()
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, point: Sequence[float]) -> None:
+        """Insert one point (amortised O((log n) log_B n + rebuild/n) I/Os)."""
+        record = tuple(float(c) for c in point)
+        if len(record) != self._dimension:
+            raise ValueError("point dimension %d does not match index dimension %d"
+                             % (len(record), self._dimension))
+        self._tombstones.discard(record)
+        self._buffer.append(record)
+        self._buffer_points.append(record)
+        self._maybe_rebuild()
+
+    def delete(self, point: Sequence[float]) -> bool:
+        """Delete one point; returns False if it was not present."""
+        record = tuple(float(c) for c in point)
+        in_buffer = record in self._buffer_points
+        in_tree = record in self._tree_points and record not in self._tombstones
+        if in_buffer:
+            self._buffer_points.remove(record)
+            # Rewrite the buffer without the record (small, O(buffer/B) I/Os).
+            self._buffer.clear()
+            self._buffer.extend(self._buffer_points)
+            return True
+        if not in_tree:
+            return False
+        self._tombstones.add(record)
+        self._tombstone_array.append(record)
+        self._maybe_rebuild()
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def size(self) -> int:
+        """Number of live points."""
+        return len(self._tree_points) - len(self._tombstones) + len(self._buffer_points)
+
+    @property
+    def rebuilds(self) -> int:
+        """How many full rebuilds have happened so far."""
+        return self._rebuilds
+
+    @property
+    def buffered(self) -> int:
+        """Number of points currently waiting in the insertion buffer."""
+        return len(self._buffer_points)
+
+    def query(self, constraint: LinearConstraint) -> List[Point]:
+        """Report every live point satisfying the constraint."""
+        if constraint.dimension != self._dimension:
+            raise ValueError("constraint dimension %d does not match index "
+                             "dimension %d" % (constraint.dimension, self._dimension))
+        results = [point for point in self._tree.query(constraint)
+                   if tuple(point) not in self._tombstones]
+        for record in self._buffer.scan():
+            if constraint.below(record):
+                results.append(record)
+        return results

@@ -1,0 +1,252 @@
+"""The optimal two-dimensional structure (Section 3).
+
+``HalfplaneIndex2D`` stores N planar points in O(n) disk blocks and answers
+a linear-constraint (halfplane) query in O(log_B n + t) I/Os in the worst
+case.  It works in the dual: each point becomes a line, and the query asks
+for the lines lying below the dual point of the query constraint.
+
+Construction (Section 3.2).  The lines are peeled into layers
+``L_1, L_2, ...``: layer ``i`` picks a random level ``λ_i`` between
+``β = B log_B n`` and ``2β`` of the remaining lines ``H_i``, walks that
+level, and compresses it into the greedy ``3λ_i``-clustering of Lemma 3.2.
+The layer stores each cluster contiguously on disk (sorted by slope) plus a
+B-tree over the clusters' boundary abscissae; the lines appearing in the
+layer are removed and the process repeats.
+
+Query (Section 3.3).  Layers are probed in order.  In each layer the B-tree
+finds the *relevant* cluster of the query's x-coordinate; if fewer than
+``λ_i`` of its lines pass below the query point, Lemma 3.1 guarantees that
+every remaining line below the query is in that cluster, so the query
+reports them and stops.  Otherwise the query walks clusters left and right
+(stopping by the Lemma 3.4 rule), reports everything below the point, and
+moves on to the next layer.  The early exit bounds the number of probed
+layers by O(1 + t / log_B n), giving the O(log_B n + t) total.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.clustering import Cluster, clustering_union, greedy_clustering
+from repro.core.interface import ExternalIndex, Point
+from repro.geometry.arrangement2d import compute_level
+from repro.geometry.duality import dual_line_of_point, dual_point_of_hyperplane
+from repro.geometry.primitives import EPS, Line2, LinearConstraint
+from repro.io.btree import BTree
+from repro.io.disk_array import DiskArray
+from repro.io.store import BlockStore
+
+
+@dataclass
+class _Layer:
+    """One clustering Γ_i: its threshold λ_i, cluster storage and boundary tree."""
+
+    lam: int
+    clusters: List[DiskArray]
+    boundary_tree: BTree
+    num_lines: int
+
+
+def default_beta(num_points: int, block_size: int) -> int:
+    """The paper's layer threshold ``β = B * log_B n`` (at least B)."""
+    blocks = max(2, -(-num_points // block_size))
+    log_term = max(1.0, math.log(blocks) / math.log(max(2, block_size)))
+    return max(block_size, int(round(block_size * log_term)))
+
+
+class HalfplaneIndex2D(ExternalIndex):
+    """Linear-space, optimal-query halfplane reporting index (Theorem 3.5).
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape (N, 2): the points to index.
+    store:
+        Optional shared :class:`BlockStore`; a private one with the given
+        ``block_size`` is created when omitted.
+    block_size:
+        The block size B when a private store is created.
+    beta:
+        Override for the layer threshold β (defaults to ``B log_B n``).
+    cluster_width_factor:
+        The cluster capacity as a multiple of λ_i (the paper proves 3; the
+        ablation benchmark varies it).
+    seed:
+        Seed for the random level choices.
+    """
+
+    def __init__(self, points: Sequence[Sequence[float]],
+                 store: Optional[BlockStore] = None,
+                 block_size: int = 64,
+                 beta: Optional[int] = None,
+                 cluster_width_factor: int = 3,
+                 seed: Optional[int] = None):
+        super().__init__(store, block_size)
+        points = np.asarray(points, dtype=float)
+        if points.size and (points.ndim != 2 or points.shape[1] != 2):
+            raise ValueError("HalfplaneIndex2D expects points of shape (N, 2)")
+        self._points = points.reshape(-1, 2)
+        self._num_points = len(self._points)
+        if cluster_width_factor < 1:
+            raise ValueError("cluster_width_factor must be >= 1")
+        self._cluster_width_factor = cluster_width_factor
+        self._beta = beta if beta is not None else default_beta(
+            self._num_points, self.block_size)
+        self._rng = np.random.default_rng(seed)
+        self._layers: List[_Layer] = []
+        self._last_layers_probed = 0
+        self._begin_space_accounting()
+        self._build()
+        self._end_space_accounting()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        lines = [dual_line_of_point(point) for point in self._points]
+        remaining = list(range(self._num_points))
+        while remaining:
+            subset_lines = [lines[index] for index in remaining]
+            lam = int(self._rng.integers(self._beta, 2 * self._beta + 1))
+            if len(remaining) <= 2 * lam or lam >= len(remaining):
+                self._append_trivial_layer(remaining, subset_lines, lam)
+                remaining = []
+                break
+            level = compute_level(subset_lines, lam)
+            width = self._cluster_width_factor * lam
+            clusters = greedy_clustering(level, width)
+            layer_local_lines = clustering_union(clusters)
+            if not layer_local_lines:
+                # Defensive: should not happen (every point of the level has
+                # λ lines below it); fall back to a trivial final layer.
+                self._append_trivial_layer(remaining, subset_lines, lam)
+                remaining = []
+                break
+            self._append_layer(remaining, subset_lines, lam, clusters)
+            removed = {remaining[local] for local in layer_local_lines}
+            remaining = [index for index in remaining if index not in removed]
+
+    def _append_trivial_layer(self, remaining: List[int],
+                              subset_lines: List[Line2], lam: int) -> None:
+        """Store the last few lines as a single cluster covering all of R."""
+        cluster = Cluster(lines=list(range(len(subset_lines))),
+                          x_from=-math.inf, x_to=math.inf)
+        self._append_layer(remaining, subset_lines, lam, [cluster])
+
+    def _append_layer(self, remaining: List[int], subset_lines: List[Line2],
+                      lam: int, clusters: List[Cluster]) -> None:
+        """Write a layer's clusters and boundary B-tree to disk."""
+        cluster_arrays: List[DiskArray] = []
+        boundary_entries: List[Tuple[float, int]] = []
+        total_lines = 0
+        for cluster_index, cluster in enumerate(clusters):
+            records = []
+            for local in cluster.lines:
+                global_index = remaining[local]
+                line = subset_lines[local]
+                point = self._points[global_index]
+                records.append((global_index, line.slope, line.intercept,
+                                float(point[0]), float(point[1])))
+            records.sort(key=lambda record: record[1])
+            cluster_arrays.append(DiskArray(self._store, records))
+            boundary_entries.append((cluster.x_from, cluster_index))
+            total_lines += len(records)
+        boundary_tree = BTree(self._store)
+        boundary_tree.bulk_load(boundary_entries)
+        self._layers.append(_Layer(lam=lam, clusters=cluster_arrays,
+                                   boundary_tree=boundary_tree,
+                                   num_lines=total_lines))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return 2
+
+    @property
+    def size(self) -> int:
+        return self._num_points
+
+    @property
+    def num_layers(self) -> int:
+        """Number of clusterings Γ_i (at most N / β)."""
+        return len(self._layers)
+
+    @property
+    def beta(self) -> int:
+        """The layer threshold β used by this index."""
+        return self._beta
+
+    @property
+    def last_layers_probed(self) -> int:
+        """How many layers the most recent query visited (diagnostics)."""
+        return self._last_layers_probed
+
+    def query(self, constraint: LinearConstraint) -> List[Point]:
+        """Report every stored point satisfying the linear constraint."""
+        if constraint.dimension != 2:
+            raise ValueError("expected a 2-D constraint, got dimension %d"
+                             % constraint.dimension)
+        if self._num_points == 0:
+            return []
+        query_x, query_y = dual_point_of_hyperplane(constraint.hyperplane)
+        reported: dict = {}
+        self._last_layers_probed = 0
+        for layer in self._layers:
+            self._last_layers_probed += 1
+            finished = self._query_layer(layer, query_x, query_y, reported)
+            if finished:
+                break
+        return [(px, py) for (px, py) in reported.values()]
+
+    def _query_layer(self, layer: _Layer, query_x: float, query_y: float,
+                     reported: dict) -> bool:
+        """Probe one clustering; return True if the whole query is answered."""
+        entry = layer.boundary_tree.predecessor(query_x)
+        relevant = entry[1] if entry is not None else 0
+        below_relevant, above_relevant = self._scan_cluster(
+            layer, relevant, query_x, query_y, reported)
+        if below_relevant < layer.lam or len(layer.clusters) == 1:
+            # Lemma 3.1: every remaining line below the query point lives in
+            # the relevant cluster, which we just reported.
+            return below_relevant < layer.lam
+        # Otherwise report the rest of this layer by walking outwards
+        # (Lemma 3.4 gives the stopping rule), then move to the next layer.
+        self._walk_direction(layer, relevant + 1, +1, query_x, query_y, reported)
+        self._walk_direction(layer, relevant - 1, -1, query_x, query_y, reported)
+        return False
+
+    def _walk_direction(self, layer: _Layer, start: int, step: int,
+                        query_x: float, query_y: float, reported: dict) -> None:
+        distinct_above: Set[int] = set()
+        index = start
+        while 0 <= index < len(layer.clusters):
+            __, above = self._scan_cluster(layer, index, query_x, query_y,
+                                           reported, distinct_above)
+            if len(distinct_above) > layer.lam:
+                break
+            index += step
+
+    def _scan_cluster(self, layer: _Layer, cluster_index: int, query_x: float,
+                      query_y: float, reported: dict,
+                      above_set: Optional[Set[int]] = None) -> Tuple[int, int]:
+        """Read one cluster, report its below-lines, count above-lines."""
+        below = 0
+        above = 0
+        for record in layer.clusters[cluster_index].scan():
+            global_index, slope, intercept, px, py = record
+            height = slope * query_x + intercept
+            if height <= query_y + EPS:
+                below += 1
+                if global_index not in reported:
+                    reported[global_index] = (px, py)
+            else:
+                above += 1
+                if above_set is not None:
+                    above_set.add(global_index)
+        return below, above

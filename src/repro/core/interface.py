@@ -1,0 +1,129 @@
+"""Common interface shared by every external-memory index in the library.
+
+All indexes are built over a :class:`~repro.io.store.BlockStore` and expose:
+
+* ``query(constraint)`` — report the stored points satisfying a
+  :class:`~repro.geometry.primitives.LinearConstraint`;
+* ``query_with_stats(constraint)`` — the same, plus the I/O counters spent
+  on that query (what the benchmarks record);
+* ``space_blocks`` — the number of disk blocks the structure occupies.
+
+The helpers here keep the accounting uniform so benchmark code can treat the
+paper's structures and the baselines interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.primitives import LinearConstraint
+from repro.io.store import BlockStore, IOStats
+
+Point = Tuple[float, ...]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one query: reported points plus its I/O cost."""
+
+    points: List[Point]
+    ios: IOStats
+
+    @property
+    def count(self) -> int:
+        """Number of reported points (the paper's T)."""
+        return len(self.points)
+
+    @property
+    def total_ios(self) -> int:
+        """Total I/Os charged to the query."""
+        return self.ios.total
+
+
+class ExternalIndex(abc.ABC):
+    """Base class for the external-memory halfspace indexes.
+
+    Subclasses must populate ``self._store`` before calling
+    :meth:`_begin_space_accounting` / :meth:`_end_space_accounting` around
+    their build phase, and implement :meth:`query`.
+    """
+
+    def __init__(self, store: Optional[BlockStore], block_size: int,
+                 cache_blocks: int = 4):
+        if store is None:
+            store = BlockStore(block_size=block_size, cache_blocks=cache_blocks)
+        self._store = store
+        self._space_blocks = 0
+        self._build_ios: Optional[IOStats] = None
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers for subclasses
+    # ------------------------------------------------------------------
+    def _begin_space_accounting(self) -> None:
+        self._blocks_before_build = self._store.num_blocks
+        self._stats_before_build = self._store.stats.snapshot()
+
+    def _end_space_accounting(self) -> None:
+        self._space_blocks = self._store.num_blocks - self._blocks_before_build
+        self._build_ios = self._store.stats.delta(self._stats_before_build)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> BlockStore:
+        """The simulated disk the index lives on."""
+        return self._store
+
+    @property
+    def block_size(self) -> int:
+        """The block size B of the underlying disk."""
+        return self._store.block_size
+
+    @property
+    def space_blocks(self) -> int:
+        """Number of disk blocks allocated while building the index."""
+        return self._space_blocks
+
+    @property
+    def build_ios(self) -> Optional[IOStats]:
+        """I/O counters accumulated during the build (write-dominated)."""
+        return self._build_ios
+
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Dimension of the stored points."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of stored points (the paper's N)."""
+
+    @abc.abstractmethod
+    def query(self, constraint: LinearConstraint) -> List[Point]:
+        """Report every stored point satisfying ``constraint``."""
+
+    def query_with_stats(self, constraint: LinearConstraint,
+                         clear_cache: bool = True) -> QueryResult:
+        """Run :meth:`query` and report the I/Os it cost.
+
+        ``clear_cache`` empties the buffer pool first so that measured
+        counts do not depend on the previous query (the default for
+        benchmarks; set False to measure warm-cache behaviour).
+        """
+        if clear_cache:
+            self._store.clear_cache()
+        before = self._store.stats.snapshot()
+        points = self.query(constraint)
+        after = self._store.stats.snapshot()
+        return QueryResult(points=points, ios=after.delta(before))
+
+    def validate_against_scan(self, constraint: LinearConstraint,
+                              points: Sequence[Point]) -> bool:
+        """Check a query result against an in-memory scan (test helper)."""
+        expected = {tuple(point) for point in points if constraint.below(point)}
+        actual = {tuple(point) for point in self.query(constraint)}
+        return expected == actual

@@ -1,0 +1,229 @@
+"""k-levels of arrangements of lines in the plane (Section 2.3).
+
+The k-level ``A_k(L)`` of a set ``L`` of lines is the closure of the points
+that lie strictly above exactly ``k`` lines of ``L``; it is an x-monotone
+polygonal chain.  The optimal 2-D structure of Section 3 repeatedly computes
+a (random) level with ``k`` around ``B log_B n`` and compresses it into a
+greedy clustering.
+
+This module walks a level from left to right, reporting its vertices.  At
+each vertex the walk records whether it is *convex* (downward — the level's
+slope increases and one line drops strictly below the level, Lemma 3.2's
+"add the minimum-slope line" event) or *concave* (upward — nothing enters
+the region below the level).  The walk is vectorised with numpy so that
+levels of tens of thousands of lines can be traversed in seconds; the paper
+instead uses the Edelsbrunner–Welzl sweep [22], a substitution documented in
+DESIGN.md that affects construction time only, never query I/Os.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.geometry.primitives import Line2
+
+#: Relative tolerance used when grouping concurrent lines at a level vertex.
+_VERTEX_EPS = 1e-9
+
+
+@dataclass
+class LevelVertex:
+    """One vertex of a k-level.
+
+    ``entering_lines`` are the lines that are strictly below the level just
+    to the right of the vertex but were not strictly below it just to the
+    left — exactly the lines the greedy clustering of Lemma 3.2 may have to
+    add when it sweeps past this vertex.  They are non-empty only at convex
+    vertices.
+    """
+
+    x: float
+    y: float
+    line_before: int
+    line_after: int
+    is_convex: bool
+    entering_lines: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Level:
+    """The k-level of an arrangement of lines, as an x-monotone chain."""
+
+    k: int
+    lines: Sequence[Line2]
+    initial_line: int
+    vertices: List[LevelVertex]
+
+    @property
+    def complexity(self) -> int:
+        """Number of vertices of the level (the paper's |Λ|)."""
+        return len(self.vertices)
+
+    def line_at(self, x: float) -> int:
+        """Index of the line realising the level at abscissa ``x``."""
+        current = self.initial_line
+        for vertex in self.vertices:
+            if vertex.x > x:
+                break
+            current = vertex.line_after
+        return current
+
+    def y_at(self, x: float) -> float:
+        """Height of the level at abscissa ``x``."""
+        return self.lines[self.line_at(x)].y_at(x)
+
+    def sample_point_before_first_vertex(self) -> float:
+        """An abscissa strictly to the left of every vertex of the level."""
+        if not self.vertices:
+            return 0.0
+        return self.vertices[0].x - 1.0
+
+
+def level_of_point(lines: Sequence[Line2], x: float, y: float,
+                   eps: float = _VERTEX_EPS) -> int:
+    """Number of lines strictly below the point ``(x, y)`` (its *level*)."""
+    return sum(1 for line in lines if line.y_at(x) < y - eps)
+
+
+def compute_level(lines: Sequence[Line2], k: int) -> Level:
+    """Walk the k-level of ``lines`` from left to right.
+
+    ``k`` counts lines strictly below, so ``k = 0`` is the lower envelope.
+    Raises :class:`ValueError` unless ``0 <= k < len(lines)``.
+    """
+    count = len(lines)
+    if not 0 <= k < count:
+        raise ValueError("level index k=%d out of range for %d lines" % (k, count))
+    slopes = np.array([line.slope for line in lines], dtype=float)
+    intercepts = np.array([line.intercept for line in lines], dtype=float)
+
+    # At x = -infinity the lines are ordered bottom-to-top by decreasing
+    # slope (ties broken by intercept), so the line with exactly k lines
+    # below it is the one of rank k in that order.
+    order = sorted(range(count),
+                   key=lambda i: (-lines[i].slope, lines[i].intercept))
+    current = order[k]
+    current_x = -math.inf
+
+    vertices: List[LevelVertex] = []
+    initial_line = current
+
+    while True:
+        step = _next_vertex(lines, slopes, intercepts, k, current, current_x)
+        if step is None:
+            break
+        vertex, new_current = step
+        vertices.append(vertex)
+        current = new_current
+        current_x = vertex.x
+        if len(vertices) > 4 * count * count:
+            raise RuntimeError(
+                "level walk did not terminate; the input is too degenerate "
+                "for the floating-point tolerances in use")
+    return Level(k=k, lines=lines, initial_line=initial_line, vertices=vertices)
+
+
+def _next_vertex(lines: Sequence[Line2], slopes: np.ndarray,
+                 intercepts: np.ndarray, k: int, current: int,
+                 current_x: float):
+    """Advance the walk by one vertex; return (vertex, next line) or None."""
+    count = len(lines)
+    slope_cur = slopes[current]
+    intercept_cur = intercepts[current]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denom = slope_cur - slopes
+        cross_x = (intercepts - intercept_cur) / denom
+    cross_x[current] = np.inf
+    cross_x[np.abs(denom) < 1e-15] = np.inf
+    # Only crossings strictly to the right of the current position matter.
+    if math.isinf(current_x):
+        candidates = cross_x
+    else:
+        scale = max(1.0, abs(current_x))
+        candidates = np.where(cross_x > current_x + _VERTEX_EPS * scale,
+                              cross_x, np.inf)
+    next_x = float(np.min(candidates))
+    if math.isinf(next_x):
+        return None
+    next_y = float(lines[current].y_at(next_x))
+
+    # Gather every line passing through the vertex (handles concurrences).
+    heights = slopes * next_x + intercepts
+    tolerance = _VERTEX_EPS * max(1.0, abs(next_y), abs(next_x))
+    through = np.nonzero(np.abs(heights - next_y) <= tolerance)[0]
+    below_outside = int(np.sum(heights < next_y - tolerance))
+
+    # Just to the right of the vertex the concurrent lines are ordered
+    # bottom-to-top by increasing slope; the level continues on the one with
+    # exactly k lines below it overall.
+    through_sorted = sorted(through.tolist(), key=lambda i: (slopes[i], intercepts[i]))
+    rank = k - below_outside
+    if rank < 0:
+        rank = 0
+    if rank >= len(through_sorted):
+        rank = len(through_sorted) - 1
+    new_current = through_sorted[rank]
+
+    # Lines of the bundle that are strictly below the level just right of the
+    # vertex but were not strictly below it just left of it.  To the left the
+    # bundle is ordered bottom-to-top by *decreasing* slope, and the lines
+    # strictly below the old level line are those with a larger slope.
+    before_slope = slopes[current]
+    after_slope = slopes[new_current]
+    entering = [i for i in through_sorted
+                if slopes[i] < after_slope - 1e-15
+                and slopes[i] <= before_slope + 1e-15]
+    is_convex = after_slope > before_slope + 1e-15
+
+    vertex = LevelVertex(
+        x=next_x,
+        y=next_y,
+        line_before=current,
+        line_after=new_current,
+        is_convex=is_convex,
+        entering_lines=entering,
+    )
+    return vertex, new_current
+
+
+def lines_below_point(lines: Sequence[Line2], x: float, y: float,
+                      eps: float = _VERTEX_EPS) -> Set[int]:
+    """Set of indices of lines passing strictly below ``(x, y)``.
+
+    Used by the greedy clustering to seed each cluster with ``L_w`` (the
+    lines below a boundary point) and by the tests as ground truth.
+    """
+    result: Set[int] = set()
+    scale = max(1.0, abs(y))
+    for index, line in enumerate(lines):
+        if line.y_at(x) < y - eps * scale:
+            result.add(index)
+    return result
+
+
+def lines_below_point_fast(slopes: np.ndarray, intercepts: np.ndarray,
+                           x: float, y: float,
+                           eps: float = _VERTEX_EPS) -> Set[int]:
+    """Vectorised version of :func:`lines_below_point`."""
+    heights = slopes * x + intercepts
+    scale = max(1.0, abs(y))
+    return set(np.nonzero(heights < y - eps * scale)[0].tolist())
+
+
+def expected_level_complexity(num_lines: int, k: int) -> float:
+    """The Clarkson–Shor expectation of Lemma 2.2 specialised to the plane.
+
+    For a random level between ``k`` and ``2k`` the expected number of
+    vertices is O(N): this helper returns the un-normalised reference value
+    ``N`` used by the Figure-2 benchmark to compare measured complexities
+    against the lemma.
+    """
+    if num_lines <= 0:
+        raise ValueError("num_lines must be positive")
+    if k <= 0:
+        return float(num_lines)
+    return float(num_lines)

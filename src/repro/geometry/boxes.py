@@ -1,0 +1,130 @@
+"""Axis-aligned boxes used as partition cells by the partition trees.
+
+Matoušek's Theorem 5.1 only requires, of the cells of a simplicial
+partition, that (a) each cell contains its subset of points and (b) few
+cells are *crossed* by any query hyperplane.  The partition trees of
+Sections 5 and 6 therefore work with any cell type exposing a
+``classify(hyperplane)`` test; this module provides axis-aligned boxes (the
+cells produced by the median-cut partitioner) and the classification logic
+against hyperplanes and simplices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from itertools import product
+from typing import Sequence, Tuple
+
+from repro.geometry.primitives import EPS, Hyperplane
+
+
+class CellRelation(Enum):
+    """How a cell relates to the halfspace below a query hyperplane."""
+
+    BELOW = "below"      # every point of the cell satisfies the constraint
+    ABOVE = "above"      # no point of the cell satisfies the constraint
+    CROSSES = "crosses"  # the hyperplane intersects the cell
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned box ``[lower_i, upper_i]`` in R^d."""
+
+    lower: Tuple[float, ...]
+    upper: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.lower) != len(self.upper):
+            raise ValueError("lower and upper corners have different dimensions")
+        for low, high in zip(self.lower, self.upper):
+            if low > high:
+                raise ValueError("box has lower > upper: %r > %r" % (low, high))
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension d."""
+        return len(self.lower)
+
+    @classmethod
+    def of_points(cls, points: Sequence[Sequence[float]]) -> "Box":
+        """The bounding box of a non-empty point set."""
+        if not points:
+            raise ValueError("bounding box of an empty point set is undefined")
+        dimension = len(points[0])
+        lower = tuple(min(p[axis] for p in points) for axis in range(dimension))
+        upper = tuple(max(p[axis] for p in points) for axis in range(dimension))
+        return cls(lower, upper)
+
+    def contains(self, point: Sequence[float], eps: float = EPS) -> bool:
+        """True if ``point`` lies inside the (closed) box."""
+        return all(low - eps <= coordinate <= high + eps
+                   for low, coordinate, high in zip(self.lower, point, self.upper))
+
+    def corners(self) -> list:
+        """All 2^d corner points of the box."""
+        axes = [(low, high) for low, high in zip(self.lower, self.upper)]
+        return [tuple(choice) for choice in product(*axes)]
+
+    def extent(self, axis: int) -> float:
+        """Side length along ``axis``."""
+        return self.upper[axis] - self.lower[axis]
+
+    def widest_axis(self) -> int:
+        """The axis along which the box is widest."""
+        return max(range(self.dimension), key=self.extent)
+
+    def classify_halfspace(self, hyperplane: Hyperplane,
+                           eps: float = EPS) -> CellRelation:
+        """Relate the box to the halfspace on or below ``hyperplane``.
+
+        Because the constraint ``x_d <= h(x_1..x_{d-1})`` is linear, its
+        extrema over the box are attained at corners, so checking the 2^d
+        corners is exact.
+        """
+        below_any = False
+        above_any = False
+        for corner in self.corners():
+            if hyperplane.point_below(corner, eps):
+                below_any = True
+            else:
+                above_any = True
+            if below_any and above_any:
+                return CellRelation.CROSSES
+        return CellRelation.BELOW if below_any else CellRelation.ABOVE
+
+    def disjoint_from_halfspaces(self, halfspaces: Sequence[Hyperplane],
+                                 eps: float = EPS) -> bool:
+        """Conservative test: the box misses the intersection of halfspaces.
+
+        True is returned when some halfspace excludes the whole box, which
+        certifies emptiness; False means "maybe intersects".  Used by the
+        simplex-query traversal of Section 5 (Remark i).
+        """
+        for hyperplane in halfspaces:
+            if self.classify_halfspace(hyperplane, eps) is CellRelation.ABOVE:
+                return True
+        return False
+
+    def split(self, axis: int, value: float) -> Tuple["Box", "Box"]:
+        """Split the box at ``value`` along ``axis`` into (lower, upper) halves."""
+        if not self.lower[axis] <= value <= self.upper[axis]:
+            raise ValueError("split value %r outside box extent on axis %d"
+                             % (value, axis))
+        upper_of_low = list(self.upper)
+        upper_of_low[axis] = value
+        lower_of_high = list(self.lower)
+        lower_of_high[axis] = value
+        return (Box(self.lower, tuple(upper_of_low)),
+                Box(tuple(lower_of_high), self.upper))
+
+    def volume(self) -> float:
+        """Product of the side lengths."""
+        result = 1.0
+        for axis in range(self.dimension):
+            result *= self.extent(axis)
+        return result
+
+    def __repr__(self) -> str:
+        return "Box(%s)" % " x ".join("[%.4g, %.4g]" % (low, high)
+                                       for low, high in zip(self.lower, self.upper))

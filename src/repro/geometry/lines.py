@@ -1,0 +1,93 @@
+"""Envelopes of lines in the plane.
+
+The lower envelope of a set of lines is its 0-level (Section 2.3); it is the
+graph of the pointwise minimum, a concave piecewise-linear function.  These
+helpers are used by the test-suite to cross-check the generic k-level walk
+of :mod:`repro.geometry.arrangement2d` (the 0-level of both must agree) and
+by the ham-sandwich partitioner.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.primitives import Line2
+
+
+def lower_envelope(lines: Sequence[Line2]) -> List[Tuple[int, float, float]]:
+    """Compute the lower envelope of ``lines``.
+
+    Returns a list of ``(line_index, x_from, x_to)`` triples, ordered left to
+    right, describing which input line realises the minimum on each maximal
+    x-interval.  ``x_from`` of the first entry is ``-inf`` and ``x_to`` of
+    the last is ``+inf``.
+    """
+    return _envelope(lines, lower=True)
+
+
+def upper_envelope(lines: Sequence[Line2]) -> List[Tuple[int, float, float]]:
+    """Compute the upper envelope (pointwise maximum) of ``lines``."""
+    return _envelope(lines, lower=False)
+
+
+def envelope_value(envelope: List[Tuple[int, float, float]],
+                   lines: Sequence[Line2], x: float) -> float:
+    """Evaluate an envelope (as returned above) at abscissa ``x``."""
+    for line_index, x_from, x_to in envelope:
+        if x_from <= x <= x_to:
+            return lines[line_index].y_at(x)
+    raise ValueError("abscissa %r not covered by the envelope" % x)
+
+
+def _envelope(lines: Sequence[Line2], lower: bool) -> List[Tuple[int, float, float]]:
+    if not lines:
+        return []
+    # Sort by slope; for the lower envelope, among equal slopes only the one
+    # with the smallest intercept can ever appear (largest for the upper).
+    order = sorted(range(len(lines)),
+                   key=lambda i: (lines[i].slope,
+                                  lines[i].intercept if lower else -lines[i].intercept))
+    filtered: List[int] = []
+    for index in order:
+        if filtered and abs(lines[filtered[-1]].slope - lines[index].slope) < 1e-15:
+            continue
+        filtered.append(index)
+    if lower:
+        # For the lower envelope, process slopes in decreasing order: the line
+        # with the largest slope is lowest at x = -inf.
+        filtered.reverse()
+    # Incremental stack construction: maintain the envelope as a sequence of
+    # line indices with the breakpoints between consecutive ones increasing.
+    stack: List[int] = []
+    breakpoints: List[float] = []  # breakpoints[i] = x where stack[i] hands over to stack[i+1]
+    for index in filtered:
+        line = lines[index]
+        while stack:
+            x_cross = lines[stack[-1]].intersection_x(line)
+            if breakpoints and x_cross <= breakpoints[-1] + 1e-15:
+                # The current top never realises the envelope once ``line``
+                # arrives: drop it and try against the new top.
+                stack.pop()
+                breakpoints.pop()
+            else:
+                breakpoints.append(x_cross)
+                break
+        stack.append(index)
+    result: List[Tuple[int, float, float]] = []
+    for position, index in enumerate(stack):
+        x_from = float("-inf") if position == 0 else breakpoints[position - 1]
+        x_to = float("inf") if position == len(stack) - 1 else breakpoints[position]
+        result.append((index, x_from, x_to))
+    return result
+
+
+def lines_strictly_below(lines: Sequence[Line2], x: float, y: float,
+                         eps: float = 1e-9) -> List[int]:
+    """Indices of the lines passing strictly below the point ``(x, y)``."""
+    return [i for i, line in enumerate(lines) if line.y_at(x) < y - eps]
+
+
+def lines_strictly_above(lines: Sequence[Line2], x: float, y: float,
+                         eps: float = 1e-9) -> List[int]:
+    """Indices of the lines passing strictly above the point ``(x, y)``."""
+    return [i for i, line in enumerate(lines) if line.y_at(x) > y + eps]

@@ -1,0 +1,134 @@
+"""Convex polygon utilities (clipping, area, triangulation).
+
+Used to turn the cells of a plane-envelope minimisation diagram into
+bounded convex polygons (clipped to a query domain) and to represent the
+cells of the ham-sandwich partitioner.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+Point2 = Tuple[float, float]
+
+
+def rectangle_polygon(xmin: float, xmax: float, ymin: float,
+                      ymax: float) -> List[Point2]:
+    """Counter-clockwise rectangle polygon for the given bounds."""
+    if xmin >= xmax or ymin >= ymax:
+        raise ValueError("degenerate rectangle [%r, %r] x [%r, %r]"
+                         % (xmin, xmax, ymin, ymax))
+    return [(xmin, ymin), (xmax, ymin), (xmax, ymax), (xmin, ymax)]
+
+
+def clip_polygon_halfplane(polygon: Sequence[Point2], a: float, b: float,
+                           c: float, eps: float = 1e-12) -> List[Point2]:
+    """Clip a convex polygon to the halfplane ``a*x + b*y <= c``.
+
+    Standard Sutherland–Hodgman step; returns the (possibly empty) clipped
+    polygon with vertices in the original orientation.
+    """
+    if not polygon:
+        return []
+    result: List[Point2] = []
+    count = len(polygon)
+    for index in range(count):
+        current = polygon[index]
+        nxt = polygon[(index + 1) % count]
+        current_inside = a * current[0] + b * current[1] <= c + eps
+        next_inside = a * nxt[0] + b * nxt[1] <= c + eps
+        if current_inside:
+            result.append(current)
+            if not next_inside:
+                crossing = _halfplane_crossing(current, nxt, a, b, c)
+                if crossing is not None:
+                    result.append(crossing)
+        elif next_inside:
+            crossing = _halfplane_crossing(current, nxt, a, b, c)
+            if crossing is not None:
+                result.append(crossing)
+    return _dedupe(result)
+
+
+def _halfplane_crossing(p: Point2, q: Point2, a: float, b: float,
+                        c: float) -> Optional[Point2]:
+    fp = a * p[0] + b * p[1] - c
+    fq = a * q[0] + b * q[1] - c
+    denom = fp - fq
+    if abs(denom) < 1e-300:
+        return None
+    t = fp / denom
+    t = min(max(t, 0.0), 1.0)
+    return (p[0] + t * (q[0] - p[0]), p[1] + t * (q[1] - p[1]))
+
+
+def _dedupe(polygon: List[Point2], eps: float = 1e-12) -> List[Point2]:
+    """Remove consecutive (near-)duplicate vertices."""
+    if not polygon:
+        return []
+    cleaned: List[Point2] = []
+    for vertex in polygon:
+        if cleaned and abs(vertex[0] - cleaned[-1][0]) <= eps \
+                and abs(vertex[1] - cleaned[-1][1]) <= eps:
+            continue
+        cleaned.append(vertex)
+    while len(cleaned) > 1 and abs(cleaned[0][0] - cleaned[-1][0]) <= eps \
+            and abs(cleaned[0][1] - cleaned[-1][1]) <= eps:
+        cleaned.pop()
+    return cleaned
+
+
+def polygon_area(polygon: Sequence[Point2]) -> float:
+    """Unsigned area of a simple polygon (shoelace formula)."""
+    if len(polygon) < 3:
+        return 0.0
+    total = 0.0
+    count = len(polygon)
+    for index in range(count):
+        x1, y1 = polygon[index]
+        x2, y2 = polygon[(index + 1) % count]
+        total += x1 * y2 - x2 * y1
+    return abs(total) / 2.0
+
+
+def fan_triangulate(polygon: Sequence[Point2]) -> List[Tuple[Point2, Point2, Point2]]:
+    """Triangulate a convex polygon by fanning from its first vertex."""
+    if len(polygon) < 3:
+        return []
+    triangles = []
+    for index in range(1, len(polygon) - 1):
+        triangles.append((polygon[0], polygon[index], polygon[index + 1]))
+    return triangles
+
+
+def polygon_contains(polygon: Sequence[Point2], x: float, y: float,
+                     eps: float = 1e-9) -> bool:
+    """True if the convex polygon (CCW or CW) contains ``(x, y)``."""
+    if len(polygon) < 3:
+        return False
+    sign = 0
+    count = len(polygon)
+    for index in range(count):
+        x1, y1 = polygon[index]
+        x2, y2 = polygon[(index + 1) % count]
+        cross = (x2 - x1) * (y - y1) - (y2 - y1) * (x - x1)
+        if cross > eps:
+            current = 1
+        elif cross < -eps:
+            current = -1
+        else:
+            continue
+        if sign == 0:
+            sign = current
+        elif sign != current:
+            return False
+    return True
+
+
+def polygon_centroid(polygon: Sequence[Point2]) -> Point2:
+    """Arithmetic mean of the polygon vertices (inside a convex polygon)."""
+    if not polygon:
+        raise ValueError("centroid of an empty polygon is undefined")
+    sx = sum(p[0] for p in polygon)
+    sy = sum(p[1] for p in polygon)
+    return (sx / len(polygon), sy / len(polygon))

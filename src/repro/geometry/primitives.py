@@ -1,0 +1,215 @@
+"""Geometric primitives: lines, planes, hyperplanes and linear constraints.
+
+The paper phrases queries as *linear constraints*
+``x_d <= a_0 + sum_i a_i x_i`` over points in R^d; geometrically this asks
+for the points on or below a non-vertical hyperplane.  The primitives here
+use the same explicit ("non-vertical") representation, which is also what
+the duality transform of Section 2.1 expects:
+
+* :class:`Line2` — ``y = slope * x + intercept``.
+* :class:`Plane3` — ``z = a * x + b * y + c``.
+* :class:`Hyperplane` — ``x_d = coeffs . (x_1 .. x_{d-1}) + offset``.
+* :class:`LinearConstraint` — the query object of the public API; wraps a
+  hyperplane together with the direction of the inequality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+#: Tolerance used by strict above/below comparisons throughout the library.
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Line2:
+    """A non-vertical line ``y = slope * x + intercept`` in the plane."""
+
+    slope: float
+    intercept: float
+
+    def y_at(self, x: float) -> float:
+        """The line's y-coordinate at abscissa ``x``."""
+        return self.slope * x + self.intercept
+
+    def is_below_point(self, x: float, y: float, eps: float = EPS) -> bool:
+        """True if the line passes strictly below the point ``(x, y)``."""
+        return self.y_at(x) < y - eps
+
+    def is_above_point(self, x: float, y: float, eps: float = EPS) -> bool:
+        """True if the line passes strictly above the point ``(x, y)``."""
+        return self.y_at(x) > y + eps
+
+    def passes_through(self, x: float, y: float, eps: float = 1e-7) -> bool:
+        """True if ``(x, y)`` lies on the line (within tolerance)."""
+        return abs(self.y_at(x) - y) <= eps
+
+    def intersection_x(self, other: "Line2") -> float:
+        """The x-coordinate where this line meets ``other``.
+
+        Returns ``math.inf`` for parallel lines (no finite intersection).
+        """
+        denominator = self.slope - other.slope
+        if abs(denominator) < 1e-15:
+            return math.inf
+        return (other.intercept - self.intercept) / denominator
+
+    def intersection(self, other: "Line2") -> Tuple[float, float]:
+        """The intersection point with ``other`` (x may be ``inf``)."""
+        x = self.intersection_x(other)
+        if math.isinf(x):
+            return (x, math.inf)
+        return (x, self.y_at(x))
+
+    def __repr__(self) -> str:
+        return "Line2(y = %.6g*x + %.6g)" % (self.slope, self.intercept)
+
+
+@dataclass(frozen=True)
+class Plane3:
+    """A non-vertical plane ``z = a * x + b * y + c`` in R^3."""
+
+    a: float
+    b: float
+    c: float
+
+    def z_at(self, x: float, y: float) -> float:
+        """The plane's height above the point ``(x, y)``."""
+        return self.a * x + self.b * y + self.c
+
+    def is_below_point(self, x: float, y: float, z: float,
+                       eps: float = EPS) -> bool:
+        """True if the plane passes strictly below the point ``(x, y, z)``."""
+        return self.z_at(x, y) < z - eps
+
+    def is_above_point(self, x: float, y: float, z: float,
+                       eps: float = EPS) -> bool:
+        """True if the plane passes strictly above the point ``(x, y, z)``."""
+        return self.z_at(x, y) > z + eps
+
+    def coefficients(self) -> Tuple[float, float, float]:
+        """The ``(a, b, c)`` triple (used by the dual-hull computations)."""
+        return (self.a, self.b, self.c)
+
+    def __repr__(self) -> str:
+        return "Plane3(z = %.6g*x + %.6g*y + %.6g)" % (self.a, self.b, self.c)
+
+
+@dataclass(frozen=True)
+class Hyperplane:
+    """A non-vertical hyperplane ``x_d = coeffs . (x_1..x_{d-1}) + offset``."""
+
+    coeffs: Tuple[float, ...]
+    offset: float
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension d (one more than the number of coefficients)."""
+        return len(self.coeffs) + 1
+
+    def height_at(self, point: Sequence[float]) -> float:
+        """The hyperplane's x_d value above the first d-1 coordinates of ``point``."""
+        return sum(c * x for c, x in zip(self.coeffs, point)) + self.offset
+
+    def is_below_point(self, point: Sequence[float], eps: float = EPS) -> bool:
+        """True if the hyperplane passes strictly below ``point``."""
+        return self.height_at(point) < point[-1] - eps
+
+    def point_below(self, point: Sequence[float], eps: float = EPS) -> bool:
+        """True if ``point`` lies on or below the hyperplane.
+
+        This is the containment test of the paper's query: report all points
+        ``p`` with ``p_d <= a_0 + sum a_i p_i``.
+        """
+        return point[-1] <= self.height_at(point) + eps
+
+    def as_line2(self) -> Line2:
+        """View a 2-D hyperplane as a :class:`Line2`."""
+        if self.dimension != 2:
+            raise ValueError("hyperplane has dimension %d, expected 2"
+                             % self.dimension)
+        return Line2(self.coeffs[0], self.offset)
+
+    def as_plane3(self) -> Plane3:
+        """View a 3-D hyperplane as a :class:`Plane3`."""
+        if self.dimension != 3:
+            raise ValueError("hyperplane has dimension %d, expected 3"
+                             % self.dimension)
+        return Plane3(self.coeffs[0], self.coeffs[1], self.offset)
+
+    def __repr__(self) -> str:
+        terms = " + ".join("%.4g*x%d" % (c, i + 1)
+                           for i, c in enumerate(self.coeffs))
+        return "Hyperplane(x%d = %s + %.4g)" % (self.dimension, terms, self.offset)
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A linear-constraint query ``x_d <= a_0 + sum_{i<d} a_i x_i``.
+
+    This is the public query object of the library (the paper's Section 1.1
+    problem statement).  ``LinearConstraint.below(point)`` decides whether a
+    point satisfies the constraint; the indexes in :mod:`repro.core` report
+    all stored points that do.
+
+    The convenience constructor :meth:`from_inequality` accepts the general
+    form ``sum_i c_i x_i <= rhs`` as long as the coefficient of the last
+    coordinate is non-zero (the constraint is then normalised so that the
+    last coordinate is isolated, flipping the inequality if needed).
+    """
+
+    coeffs: Tuple[float, ...]
+    offset: float
+
+    @classmethod
+    def from_inequality(cls, coefficients: Sequence[float],
+                        rhs: float) -> "LinearConstraint":
+        """Normalise ``sum_i c_i x_i <= rhs`` into the paper's query form."""
+        coefficients = tuple(float(c) for c in coefficients)
+        if not coefficients:
+            raise ValueError("a constraint needs at least one coefficient")
+        last = coefficients[-1]
+        if abs(last) < 1e-15:
+            raise ValueError(
+                "the coefficient of the last coordinate must be non-zero; "
+                "rotate the coordinate frame or restate the constraint")
+        if last < 0:
+            # c_d < 0: dividing flips the inequality into x_d >= ..., which we
+            # turn back into <= by negating the point set's last axis.  To keep
+            # the library simple we instead reject and ask the caller to flip.
+            raise ValueError(
+                "constraints of the form x_d >= ... are 'upper' halfspaces; "
+                "negate all coefficients and the right-hand side to query the "
+                "complementary halfspace, or negate the data's last axis")
+        scaled = tuple(-c / last for c in coefficients[:-1])
+        return cls(coeffs=scaled, offset=rhs / last)
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension of the constraint."""
+        return len(self.coeffs) + 1
+
+    @property
+    def hyperplane(self) -> Hyperplane:
+        """The boundary hyperplane ``x_d = a_0 + sum a_i x_i``."""
+        return Hyperplane(self.coeffs, self.offset)
+
+    def below(self, point: Sequence[float], eps: float = EPS) -> bool:
+        """True if ``point`` satisfies the constraint (lies on/below the plane)."""
+        return self.hyperplane.point_below(point, eps)
+
+    def filter(self, points) -> list:
+        """Return the subset of ``points`` satisfying the constraint.
+
+        This in-memory helper is the ground truth the test-suite compares
+        every index against.
+        """
+        return [p for p in points if self.below(p)]
+
+    def __repr__(self) -> str:
+        terms = " + ".join("%.4g*x%d" % (c, i + 1)
+                           for i, c in enumerate(self.coeffs))
+        return "LinearConstraint(x%d <= %s + %.4g)" % (
+            self.dimension, terms, self.offset)

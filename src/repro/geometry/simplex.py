@@ -1,0 +1,100 @@
+"""Simplices and simplex queries (Section 5, Remark i).
+
+The paper defines a d-dimensional simplex as the intersection of ``d + 1``
+halfspaces; the linear-size partition tree can report the points inside such
+a simplex within the same I/O bound as a halfspace query.  This module
+provides the simplex object used by that query path, including the
+conservative cell-vs-simplex tests the traversal needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.boxes import Box
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """A closed halfspace ``normal . x <= offset`` in R^d."""
+
+    normal: Tuple[float, ...]
+    offset: float
+
+    def contains(self, point: Sequence[float], eps: float = 1e-9) -> bool:
+        """True if ``point`` satisfies ``normal . x <= offset``."""
+        value = sum(n * x for n, x in zip(self.normal, point))
+        return value <= self.offset + eps
+
+    def excludes_box(self, box: Box, eps: float = 1e-9) -> bool:
+        """True if no point of ``box`` satisfies the halfspace (exact test).
+
+        The minimum of ``normal . x`` over an axis-aligned box is attained
+        corner-wise, so the test picks the minimising corner directly.
+        """
+        minimum = 0.0
+        for coefficient, low, high in zip(self.normal, box.lower, box.upper):
+            minimum += coefficient * (low if coefficient >= 0 else high)
+        return minimum > self.offset + eps
+
+
+@dataclass(frozen=True)
+class Simplex:
+    """A convex polytope given as an intersection of halfspaces.
+
+    Despite the name the class accepts any number of halfspaces, so convex
+    polytopes with more facets (the paper's Remark i triangulates them into
+    simplices; we simply query with the polytope directly) work too.
+    """
+
+    halfspaces: Tuple[Halfspace, ...]
+
+    @classmethod
+    def from_vertices_2d(cls, vertices: Sequence[Tuple[float, float]]) -> "Simplex":
+        """Build the simplex (convex polygon) spanned by 2-D ``vertices``.
+
+        Vertices must be in counter-clockwise order; each edge contributes
+        one halfspace.
+        """
+        if len(vertices) < 3:
+            raise ValueError("a 2-D simplex needs at least 3 vertices")
+        halfspaces: List[Halfspace] = []
+        count = len(vertices)
+        for index in range(count):
+            ax, ay = vertices[index]
+            bx, by = vertices[(index + 1) % count]
+            # Inward side of the directed edge a->b for a CCW polygon is the
+            # left side: (b-a) x (p-a) >= 0, i.e. -(by-ay)*px + (bx-ax)*py <= c.
+            normal = (by - ay, -(bx - ax))
+            offset = normal[0] * ax + normal[1] * ay
+            halfspaces.append(Halfspace(normal=normal, offset=offset))
+        return cls(tuple(halfspaces))
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension (taken from the first halfspace)."""
+        return len(self.halfspaces[0].normal)
+
+    def contains(self, point: Sequence[float], eps: float = 1e-9) -> bool:
+        """True if ``point`` satisfies every halfspace."""
+        return all(halfspace.contains(point, eps) for halfspace in self.halfspaces)
+
+    def contains_box(self, box: Box, eps: float = 1e-9) -> bool:
+        """Exact test: every point of ``box`` lies inside the simplex."""
+        return all(self.contains(corner, eps) for corner in box.corners())
+
+    def certainly_disjoint_from_box(self, box: Box, eps: float = 1e-9) -> bool:
+        """Conservative test: some facet halfspace excludes the whole box.
+
+        True certifies disjointness; False means "maybe intersects" and the
+        traversal recurses (correct, possibly slightly slower).
+        """
+        return any(halfspace.excludes_box(box, eps)
+                   for halfspace in self.halfspaces)
+
+    def filter(self, points: Sequence[Sequence[float]]) -> List[Sequence[float]]:
+        """In-memory reference filter used by the tests."""
+        return [point for point in points if self.contains(point)]

@@ -1,0 +1,36 @@
+"""External-memory (I/O model) substrate.
+
+The paper analyses every data structure in the standard external memory
+model: the disk is an array of *blocks*, each block holds ``B`` records, and
+the unit of cost is one block transfer (an *I/O*).  This subpackage provides
+a faithful software simulation of that model:
+
+* :class:`~repro.io.store.BlockStore` — a simulated disk with I/O counters
+  and an optional LRU buffer pool of ``M/B`` blocks.
+* :class:`~repro.io.disk_array.DiskArray` — a blocked sequence of records.
+* :class:`~repro.io.btree.BTree` — an external B+-tree (the 1-D baseline of
+  Section 1.2 and an internal component of the 2-D structure of Section 3).
+* :func:`~repro.io.external_sort.external_merge_sort` — multiway merge sort.
+
+All higher-level structures in :mod:`repro.core` and :mod:`repro.baselines`
+perform their disk accesses exclusively through this layer, so their
+reported query costs are measured in I/Os exactly as in the paper.
+"""
+
+from repro.io.block import Block, BlockId
+from repro.io.cache import LRUCache
+from repro.io.store import BlockStore, IOStats
+from repro.io.disk_array import DiskArray
+from repro.io.btree import BTree
+from repro.io.external_sort import external_merge_sort
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "LRUCache",
+    "BlockStore",
+    "IOStats",
+    "DiskArray",
+    "BTree",
+    "external_merge_sort",
+]

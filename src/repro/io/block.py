@@ -1,0 +1,76 @@
+"""Disk blocks for the simulated external memory.
+
+A :class:`Block` is the unit of transfer in the I/O model: it holds at most
+``capacity`` records (the paper's parameter ``B``).  Records are arbitrary
+Python objects; the simulation counts *records per block*, not bytes, which
+matches the way the paper states all of its bounds (``n = N/B`` blocks,
+``t = T/B`` output I/Os, and so on).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List
+
+BlockId = int
+"""Identifier of a block on the simulated disk (a simple integer address)."""
+
+
+class Block:
+    """A single disk block holding at most ``capacity`` records.
+
+    Blocks are created and owned by a :class:`~repro.io.store.BlockStore`;
+    user code normally obtains block *contents* (a list of records) from the
+    store rather than manipulating :class:`Block` objects directly.
+    """
+
+    __slots__ = ("block_id", "capacity", "records")
+
+    def __init__(self, block_id: BlockId, capacity: int,
+                 records: Iterable[Any] = ()):
+        if capacity <= 0:
+            raise ValueError("block capacity must be positive, got %r" % capacity)
+        self.block_id = block_id
+        self.capacity = capacity
+        self.records: List[Any] = list(records)
+        if len(self.records) > capacity:
+            raise ValueError(
+                "block %d overflow: %d records > capacity %d"
+                % (block_id, len(self.records), capacity)
+            )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records)
+
+    @property
+    def is_full(self) -> bool:
+        """True if no more records fit in this block."""
+        return len(self.records) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        """Number of additional records this block can hold."""
+        return self.capacity - len(self.records)
+
+    def append(self, record: Any) -> None:
+        """Add one record, raising :class:`OverflowError` if the block is full."""
+        if self.is_full:
+            raise OverflowError(
+                "block %d is full (capacity %d)" % (self.block_id, self.capacity)
+            )
+        self.records.append(record)
+
+    def extend(self, records: Iterable[Any]) -> None:
+        """Add several records, raising :class:`OverflowError` on overflow."""
+        for record in records:
+            self.append(record)
+
+    def copy_records(self) -> List[Any]:
+        """Return a shallow copy of the records (what a disk read returns)."""
+        return list(self.records)
+
+    def __repr__(self) -> str:
+        return "Block(id=%d, %d/%d records)" % (
+            self.block_id, len(self.records), self.capacity)

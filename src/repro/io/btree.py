@@ -1,0 +1,336 @@
+"""An external-memory B+-tree over the simulated disk.
+
+Each tree node occupies exactly one disk block, so a root-to-leaf search
+costs O(log_B n) I/Os and a range query costs O(log_B n + t) I/Os — the 1-D
+optimum the paper uses as its yardstick (Section 1.2).  The same tree is
+reused as an internal component of the higher-dimensional structures:
+
+* the boundary-point trees ``T_i`` and the slope-ordered tree ``T*`` of the
+  2-D structure (Section 3);
+* the slab index of the external point-location structure used by the 3-D
+  structure (Section 4).
+
+Keys may be any totally ordered Python values; values are arbitrary.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.io.block import BlockId
+from repro.io.store import BlockStore
+
+_LEAF = "L"
+_INTERNAL = "I"
+
+
+class BTree:
+    """An external B+-tree with one node per disk block.
+
+    Parameters
+    ----------
+    store:
+        The simulated disk to allocate nodes on.
+    fanout:
+        Maximum number of entries per node.  Defaults to ``B - 1`` (one
+        record slot per block is used for the node header).
+    """
+
+    def __init__(self, store: BlockStore, fanout: Optional[int] = None):
+        self._store = store
+        max_fanout = store.block_size - 1
+        if fanout is None:
+            fanout = max_fanout
+        if not 2 <= fanout <= max_fanout:
+            raise ValueError(
+                "fanout must be between 2 and block_size-1 (%d), got %r"
+                % (max_fanout, fanout))
+        self._fanout = fanout
+        self._root: Optional[BlockId] = None
+        self._height = 0
+        self._length = 0
+        self._node_count = 0
+
+    # ------------------------------------------------------------------
+    # node encoding helpers
+    # ------------------------------------------------------------------
+    def _write_node(self, kind: str, entries: Sequence[Tuple[Any, Any]],
+                    next_leaf: Optional[BlockId] = None,
+                    block_id: Optional[BlockId] = None) -> BlockId:
+        records = [(kind, next_leaf)] + list(entries)
+        if block_id is None:
+            block_id = self._store.allocate(records)
+            self._node_count += 1
+        else:
+            self._store.write(block_id, records)
+        return block_id
+
+    def _read_node(self, block_id: BlockId):
+        records = self._store.read(block_id)
+        kind, next_leaf = records[0]
+        entries = records[1:]
+        return kind, next_leaf, entries
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def height(self) -> int:
+        """Number of levels (0 for an empty tree, 1 for a single leaf)."""
+        return self._height
+
+    @property
+    def fanout(self) -> int:
+        """Maximum entries per node."""
+        return self._fanout
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of allocated tree nodes (= blocks of space used)."""
+        return self._node_count
+
+    @property
+    def space_blocks(self) -> int:
+        """Disk blocks occupied by the tree."""
+        return self._node_count
+
+    # ------------------------------------------------------------------
+    # bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Sequence[Tuple[Any, Any]]) -> None:
+        """Build the tree bottom-up from ``items`` sorted by key.
+
+        Raises :class:`ValueError` if the tree already holds data or the
+        input is not sorted.
+        """
+        if self._root is not None:
+            raise ValueError("bulk_load requires an empty tree")
+        items = list(items)
+        for i in range(1, len(items)):
+            if items[i - 1][0] > items[i][0]:
+                raise ValueError("bulk_load input must be sorted by key")
+        if not items:
+            return
+        fanout = self._fanout
+        # Build the leaf level.
+        leaf_specs: List[Tuple[Any, List[Tuple[Any, Any]]]] = []
+        for start in range(0, len(items), fanout):
+            chunk = items[start:start + fanout]
+            leaf_specs.append((chunk[0][0], chunk))
+        leaf_ids: List[BlockId] = [None] * len(leaf_specs)  # type: ignore
+        # Allocate leaves back to front so next-leaf pointers are known.
+        next_id: Optional[BlockId] = None
+        for index in range(len(leaf_specs) - 1, -1, -1):
+            __, chunk = leaf_specs[index]
+            next_id = self._write_node(_LEAF, chunk, next_leaf=next_id)
+            leaf_ids[index] = next_id
+        level: List[Tuple[Any, BlockId]] = [
+            (leaf_specs[i][0], leaf_ids[i]) for i in range(len(leaf_specs))]
+        self._height = 1
+        # Build internal levels until a single root remains.
+        while len(level) > 1:
+            parent_level: List[Tuple[Any, BlockId]] = []
+            for start in range(0, len(level), fanout):
+                chunk = level[start:start + fanout]
+                node_id = self._write_node(_INTERNAL, chunk)
+                parent_level.append((chunk[0][0], node_id))
+            level = parent_level
+            self._height += 1
+        self._root = level[0][1]
+        self._length = len(items)
+
+    # ------------------------------------------------------------------
+    # searching
+    # ------------------------------------------------------------------
+    def _descend_to_leaf(self, key: Any) -> Optional[BlockId]:
+        """Return the leaf block that would contain ``key`` (or None)."""
+        if self._root is None:
+            return None
+        node_id = self._root
+        while True:
+            kind, __, entries = self._read_node(node_id)
+            if kind == _LEAF:
+                return node_id
+            keys = [entry[0] for entry in entries]
+            index = bisect.bisect_right(keys, key) - 1
+            if index < 0:
+                index = 0
+            node_id = entries[index][1]
+
+    def _descend_to_leaf_left(self, key: Any) -> Optional[BlockId]:
+        """Return the leftmost leaf that can contain ``key``.
+
+        With duplicate keys spanning several leaves, the rightmost-child
+        descent of :meth:`_descend_to_leaf` may skip earlier duplicates;
+        range queries and successor searches therefore descend to the
+        leftmost candidate leaf instead and rely on the leaf chain to walk
+        forward.
+        """
+        if self._root is None:
+            return None
+        node_id = self._root
+        while True:
+            kind, __, entries = self._read_node(node_id)
+            if kind == _LEAF:
+                return node_id
+            keys = [entry[0] for entry in entries]
+            index = bisect.bisect_left(keys, key) - 1
+            if index < 0:
+                index = 0
+            node_id = entries[index][1]
+
+    def search(self, key: Any) -> Optional[Any]:
+        """Return the value stored under ``key`` or None."""
+        leaf_id = self._descend_to_leaf(key)
+        if leaf_id is None:
+            return None
+        __, __, entries = self._read_node(leaf_id)
+        for entry_key, value in entries:
+            if entry_key == key:
+                return value
+        return None
+
+    def contains(self, key: Any) -> bool:
+        """True if ``key`` is stored in the tree."""
+        return self.search(key) is not None
+
+    def predecessor(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Return the (key, value) with the largest key <= ``key``.
+
+        This is the primitive the 2-D structure uses to locate the cluster
+        relevant for a query point, and the point-location structure uses to
+        find the slab containing a query x-coordinate.
+        """
+        leaf_id = self._descend_to_leaf(key)
+        if leaf_id is None:
+            return None
+        __, __, entries = self._read_node(leaf_id)
+        best: Optional[Tuple[Any, Any]] = None
+        for entry_key, value in entries:
+            if entry_key <= key:
+                best = (entry_key, value)
+            else:
+                break
+        return best
+
+    def successor(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Return the (key, value) with the smallest key >= ``key``."""
+        leaf_id = self._descend_to_leaf_left(key)
+        if leaf_id is None:
+            return None
+        kind, next_leaf, entries = self._read_node(leaf_id)
+        for entry_key, value in entries:
+            if entry_key >= key:
+                return (entry_key, value)
+        # The first key of the next leaf is the successor (if any).
+        while next_leaf is not None:
+            kind, next_leaf_2, entries = self._read_node(next_leaf)
+            if entries:
+                return entries[0]
+            next_leaf = next_leaf_2
+        return None
+
+    def range_query(self, low: Any, high: Any) -> List[Tuple[Any, Any]]:
+        """Return all (key, value) pairs with ``low <= key <= high``.
+
+        Costs O(log_B n + t) I/Os: one root-to-leaf descent plus a walk
+        along the leaf level.
+        """
+        if self._root is None or low > high:
+            return []
+        leaf_id = self._descend_to_leaf_left(low)
+        results: List[Tuple[Any, Any]] = []
+        while leaf_id is not None:
+            __, next_leaf, entries = self._read_node(leaf_id)
+            for entry_key, value in entries:
+                if entry_key > high:
+                    return results
+                if entry_key >= low:
+                    results.append((entry_key, value))
+            leaf_id = next_leaf
+        return results
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield every (key, value) pair in key order (a full leaf scan)."""
+        if self._root is None:
+            return
+        node_id = self._root
+        while True:
+            kind, __, entries = self._read_node(node_id)
+            if kind == _LEAF:
+                break
+            node_id = entries[0][1]
+        leaf_id: Optional[BlockId] = node_id
+        while leaf_id is not None:
+            __, next_leaf, entries = self._read_node(leaf_id)
+            for entry in entries:
+                yield entry
+            leaf_id = next_leaf
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a (key, value) pair, splitting nodes on overflow."""
+        if self._root is None:
+            self._root = self._write_node(_LEAF, [(key, value)])
+            self._height = 1
+            self._length = 1
+            return
+        split = self._insert_recursive(self._root, key, value)
+        self._length += 1
+        if split is not None:
+            # The old root split: grow the tree by one level.
+            sep_key, new_node_id, old_min_key = split
+            new_root = self._write_node(
+                _INTERNAL, [(old_min_key, self._root), (sep_key, new_node_id)])
+            self._root = new_root
+            self._height += 1
+
+    def _insert_recursive(self, node_id: BlockId, key: Any, value: Any):
+        """Insert under ``node_id``; return (sep_key, new_sibling, my_min) on split."""
+        kind, next_leaf, entries = self._read_node(node_id)
+        if kind == _LEAF:
+            keys = [entry[0] for entry in entries]
+            index = bisect.bisect_right(keys, key)
+            entries.insert(index, (key, value))
+            if len(entries) <= self._fanout:
+                self._write_node(_LEAF, entries, next_leaf=next_leaf,
+                                 block_id=node_id)
+                return None
+            mid = len(entries) // 2
+            left, right = entries[:mid], entries[mid:]
+            new_leaf = self._write_node(_LEAF, right, next_leaf=next_leaf)
+            self._write_node(_LEAF, left, next_leaf=new_leaf, block_id=node_id)
+            return (right[0][0], new_leaf, left[0][0])
+        # Internal node.
+        keys = [entry[0] for entry in entries]
+        child_index = bisect.bisect_right(keys, key) - 1
+        if child_index < 0:
+            child_index = 0
+            # Keep separator keys consistent with subtree minima.
+            entries[0] = (key, entries[0][1])
+        child_id = entries[child_index][1]
+        split = self._insert_recursive(child_id, key, value)
+        if split is None:
+            self._write_node(_INTERNAL, entries, block_id=node_id)
+            return None
+        sep_key, new_child, old_min = split
+        entries[child_index] = (old_min, child_id)
+        entries.insert(child_index + 1, (sep_key, new_child))
+        if len(entries) <= self._fanout:
+            self._write_node(_INTERNAL, entries, block_id=node_id)
+            return None
+        mid = len(entries) // 2
+        left, right = entries[:mid], entries[mid:]
+        new_node = self._write_node(_INTERNAL, right)
+        self._write_node(_INTERNAL, left, block_id=node_id)
+        return (right[0][0], new_node, left[0][0])
+
+    def __repr__(self) -> str:
+        return "BTree(len=%d, height=%d, nodes=%d, fanout=%d)" % (
+            self._length, self._height, self._node_count, self._fanout)

@@ -1,0 +1,147 @@
+"""Blocked sequences of records on the simulated disk.
+
+A :class:`DiskArray` is the external-memory analogue of a Python list: a
+sequence of records packed ``B`` to a block.  Scanning it costs ⌈N/B⌉ I/Os,
+appending fills the last block before allocating a new one, and random
+access costs one I/O per touched block.  It is the building material for
+conflict lists (Section 4), cluster storage (Section 3) and leaf buckets of
+the partition trees (Sections 5–6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
+
+from repro.io.block import BlockId
+from repro.io.store import BlockStore
+
+
+class DiskArray:
+    """A growable sequence of records stored contiguously in disk blocks."""
+
+    def __init__(self, store: BlockStore, records: Optional[Sequence[Any]] = None):
+        self._store = store
+        self._block_ids: List[BlockId] = []
+        self._length = 0
+        self._last_block_fill = 0
+        if records:
+            self.extend(records)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.scan()
+
+    @property
+    def store(self) -> BlockStore:
+        """The block store this array lives on."""
+        return self._store
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks occupied (the array's space usage)."""
+        return len(self._block_ids)
+
+    @property
+    def block_ids(self) -> List[BlockId]:
+        """The block addresses, in order (useful for debugging/tests)."""
+        return list(self._block_ids)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def append(self, record: Any) -> None:
+        """Append one record, allocating a new block when the last is full."""
+        B = self._store.block_size
+        if not self._block_ids or self._last_block_fill == B:
+            self._block_ids.append(self._store.allocate([record]))
+            self._last_block_fill = 1
+        else:
+            last_id = self._block_ids[-1]
+            records = self._store.read(last_id)
+            records.append(record)
+            self._store.write(last_id, records)
+            self._last_block_fill += 1
+        self._length += 1
+
+    def extend(self, records: Iterable[Any]) -> None:
+        """Append many records with blocked writes (1 write I/O per block)."""
+        B = self._store.block_size
+        pending = list(records)
+        if not pending:
+            return
+        index = 0
+        # Fill the trailing partially-full block first.
+        if self._block_ids and self._last_block_fill < B:
+            last_id = self._block_ids[-1]
+            existing = self._store.read(last_id)
+            take = min(B - len(existing), len(pending))
+            existing.extend(pending[:take])
+            self._store.write(last_id, existing)
+            self._last_block_fill = len(existing)
+            self._length += take
+            index = take
+        # Then write whole blocks.
+        while index < len(pending):
+            chunk = pending[index:index + B]
+            self._block_ids.append(self._store.allocate(chunk))
+            self._last_block_fill = len(chunk)
+            self._length += len(chunk)
+            index += B
+
+    def clear(self) -> None:
+        """Free every block and reset the array to empty."""
+        for block_id in self._block_ids:
+            self._store.free(block_id)
+        self._block_ids = []
+        self._length = 0
+        self._last_block_fill = 0
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[Any]:
+        """Yield all records front to back, one block read at a time."""
+        return self._store.scan(self._block_ids)
+
+    def read_all(self) -> List[Any]:
+        """Read the whole array into memory (⌈N/B⌉ read I/Os)."""
+        return self._store.read_many(self._block_ids)
+
+    def read_block(self, index: int) -> List[Any]:
+        """Read the records of the ``index``-th block (one I/O)."""
+        return self._store.read(self._block_ids[index])
+
+    def __getitem__(self, position: int) -> Any:
+        """Random access to one record (one block read)."""
+        if position < 0:
+            position += self._length
+        if not 0 <= position < self._length:
+            raise IndexError("DiskArray index %d out of range" % position)
+        B = self._store.block_size
+        block_index, offset = divmod(position, B)
+        return self._store.read(self._block_ids[block_index])[offset]
+
+    def read_range(self, start: int, stop: int) -> List[Any]:
+        """Read records in ``[start, stop)`` touching only the needed blocks."""
+        if start < 0 or stop > self._length or start > stop:
+            raise IndexError("invalid range [%d, %d) for length %d"
+                             % (start, stop, self._length))
+        if start == stop:
+            return []
+        B = self._store.block_size
+        first_block = start // B
+        last_block = (stop - 1) // B
+        records: List[Any] = []
+        for block_index in range(first_block, last_block + 1):
+            records.extend(self._store.read(self._block_ids[block_index]))
+        lo = start - first_block * B
+        hi = stop - first_block * B
+        return records[lo:hi]
+
+    def __repr__(self) -> str:
+        return "DiskArray(len=%d, blocks=%d)" % (self._length, self.num_blocks)

@@ -1,0 +1,208 @@
+"""The simulated disk: block allocation, transfers and I/O accounting.
+
+:class:`BlockStore` is the single point through which every data structure
+in this repository touches "disk".  It exposes exactly the operations the
+external memory model charges for — reading a block and writing a block —
+and counts them.  A small LRU buffer pool (``cache_blocks`` blocks, i.e. the
+model's ``M/B``) can absorb repeated reads of hot blocks; by default it is
+sized to a handful of blocks so that reported counts reflect the structure
+of the algorithm rather than incidental caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.io.block import Block, BlockId
+from repro.io.cache import LRUCache
+
+
+@dataclass
+class IOStats:
+    """Counters of block transfers performed through a :class:`BlockStore`.
+
+    ``reads`` and ``writes`` are the two directions of block transfer; the
+    paper's bounds are stated on their sum (``total``).  ``allocations`` and
+    ``frees`` track space usage events and are not charged as I/Os.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of I/Os (block reads plus block writes)."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOStats":
+        """Return a copy of the current counters."""
+        return IOStats(self.reads, self.writes, self.allocations,
+                       self.frees, self.cache_hits)
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Return counters accumulated since ``earlier`` (a snapshot)."""
+        return IOStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            allocations=self.allocations - earlier.allocations,
+            frees=self.frees - earlier.frees,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.frees = 0
+        self.cache_hits = 0
+
+    def __repr__(self) -> str:
+        return ("IOStats(reads=%d, writes=%d, total=%d, cache_hits=%d)"
+                % (self.reads, self.writes, self.total, self.cache_hits))
+
+
+@dataclass
+class _StoreConfig:
+    block_size: int
+    cache_blocks: int = 4
+    count_writes: bool = True
+
+
+class BlockStore:
+    """A simulated disk made of fixed-capacity blocks.
+
+    Parameters
+    ----------
+    block_size:
+        The paper's ``B`` — number of records per block.
+    cache_blocks:
+        Size of the LRU buffer pool in blocks (the model's ``M/B``).  A value
+        of 0 disables caching.
+    count_writes:
+        If False, block writes are not counted as I/Os.  Query-only
+        experiments sometimes use this to isolate read traffic; it defaults
+        to True, matching the model.
+    """
+
+    def __init__(self, block_size: int, cache_blocks: int = 4,
+                 count_writes: bool = True):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive, got %r" % block_size)
+        self._config = _StoreConfig(block_size, cache_blocks, count_writes)
+        self._blocks: Dict[BlockId, Block] = {}
+        self._next_id: BlockId = 0
+        self._cache: LRUCache[BlockId, List[Any]] = LRUCache(cache_blocks)
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """The number of records per block (``B``)."""
+        return self._config.block_size
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of currently allocated blocks (the space usage in blocks)."""
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, records: Iterable[Any] = ()) -> BlockId:
+        """Allocate a fresh block, optionally pre-filled, and write it.
+
+        The initial write is charged as one write I/O (building a structure
+        has to pay for writing it out, as in the paper's preprocessing
+        bounds).
+        """
+        block_id = self._next_id
+        self._next_id += 1
+        block = Block(block_id, self.block_size, records)
+        self._blocks[block_id] = block
+        self.stats.allocations += 1
+        if self._config.count_writes:
+            self.stats.writes += 1
+        self._cache.put(block_id, block.copy_records())
+        return block_id
+
+    def allocate_many(self, records: Sequence[Any]) -> List[BlockId]:
+        """Write ``records`` contiguously into ⌈len/B⌉ fresh blocks."""
+        block_ids: List[BlockId] = []
+        for start in range(0, len(records), self.block_size):
+            chunk = records[start:start + self.block_size]
+            block_ids.append(self.allocate(chunk))
+        return block_ids
+
+    def free(self, block_id: BlockId) -> None:
+        """Release a block.  Freeing is bookkeeping only, not an I/O."""
+        if block_id not in self._blocks:
+            raise KeyError("block %r is not allocated" % block_id)
+        del self._blocks[block_id]
+        self._cache.invalidate(block_id)
+        self.stats.frees += 1
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+    def read(self, block_id: BlockId) -> List[Any]:
+        """Read a block, charging one I/O unless the buffer pool holds it."""
+        cached = self._cache.get(block_id)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return list(cached)
+        if block_id not in self._blocks:
+            raise KeyError("block %r is not allocated" % block_id)
+        self.stats.reads += 1
+        records = self._blocks[block_id].copy_records()
+        self._cache.put(block_id, list(records))
+        return records
+
+    def write(self, block_id: BlockId, records: Iterable[Any]) -> None:
+        """Overwrite a block's contents, charging one write I/O."""
+        if block_id not in self._blocks:
+            raise KeyError("block %r is not allocated" % block_id)
+        block = Block(block_id, self.block_size, records)
+        self._blocks[block_id] = block
+        if self._config.count_writes:
+            self.stats.writes += 1
+        self._cache.put(block_id, block.copy_records())
+
+    def read_many(self, block_ids: Iterable[BlockId]) -> List[Any]:
+        """Read several blocks and concatenate their records in order."""
+        out: List[Any] = []
+        for block_id in block_ids:
+            out.extend(self.read(block_id))
+        return out
+
+    def scan(self, block_ids: Iterable[BlockId]) -> Iterator[Any]:
+        """Yield records from the given blocks one block-read at a time."""
+        for block_id in block_ids:
+            for record in self.read(block_id):
+                yield record
+
+    # ------------------------------------------------------------------
+    # accounting helpers
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the I/O counters (space bookkeeping is unaffected)."""
+        self.stats.reset()
+        self._cache.reset_stats()
+
+    def clear_cache(self) -> None:
+        """Empty the buffer pool (e.g. between query batches)."""
+        self._cache.clear()
+
+    def blocks_for(self, num_records: int) -> int:
+        """⌈num_records / B⌉ — blocks needed to store that many records."""
+        return -(-num_records // self.block_size)
+
+    def __repr__(self) -> str:
+        return "BlockStore(B=%d, blocks=%d, %r)" % (
+            self.block_size, self.num_blocks, self.stats)

@@ -1,0 +1,38 @@
+"""Workload generators: point distributions and query generators.
+
+The paper has no experimental section of its own (its results are the
+asymptotic bounds of Table 1), so the benchmark harness generates synthetic
+workloads that exercise the regimes the paper reasons about:
+
+* uniform and clustered point sets (the "average" inputs practical
+  structures are tuned for);
+* the *diagonal* adversarial input of Section 1.2, on which quad-trees,
+  R-trees and k-d-B-trees degrade to Ω(n) I/Os while the paper's structures
+  keep their guarantees;
+* halfspace queries with controlled selectivity, so that the output term
+  ``t = T/B`` can be separated from the search term in measured I/O counts.
+"""
+
+from repro.workloads.distributions import (
+    clustered_points,
+    diagonal_points,
+    gaussian_points,
+    uniform_points,
+    uniform_points_ball,
+)
+from repro.workloads.queries import (
+    halfspace_queries_with_selectivity,
+    random_halfspace_queries,
+    rotated_diagonal_query,
+)
+
+__all__ = [
+    "uniform_points",
+    "uniform_points_ball",
+    "gaussian_points",
+    "clustered_points",
+    "diagonal_points",
+    "random_halfspace_queries",
+    "halfspace_queries_with_selectivity",
+    "rotated_diagonal_query",
+]

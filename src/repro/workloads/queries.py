@@ -1,0 +1,86 @@
+"""Query generators with controlled output size.
+
+The paper's bounds separate the search cost (``log_B n`` or ``n^{1-1/d}``)
+from the output cost ``t = T/B``; to measure both regimes the benchmarks
+need halfspace queries whose selectivity (fraction of points reported) is
+controlled.  The generators here pick a random direction and then choose the
+offset so that the desired fraction of points satisfies the constraint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.primitives import LinearConstraint
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_halfspace_queries(num_queries: int, dimension: int = 2,
+                             slope_scale: float = 1.0,
+                             offset_scale: float = 1.0,
+                             seed: Optional[int] = None) -> List[LinearConstraint]:
+    """Linear constraints with random coefficients (no selectivity control)."""
+    generator = _rng(seed)
+    queries: List[LinearConstraint] = []
+    for __ in range(num_queries):
+        coeffs = tuple(generator.uniform(-slope_scale, slope_scale,
+                                         size=dimension - 1).tolist())
+        offset = float(generator.uniform(-offset_scale, offset_scale))
+        queries.append(LinearConstraint(coeffs=coeffs, offset=offset))
+    return queries
+
+
+def halfspace_queries_with_selectivity(points: np.ndarray, num_queries: int,
+                                       selectivity: float,
+                                       slope_scale: float = 1.0,
+                                       seed: Optional[int] = None
+                                       ) -> List[LinearConstraint]:
+    """Constraints calibrated so ~``selectivity * N`` points satisfy each.
+
+    For a random coefficient vector ``a``, the constraint
+    ``x_d <= a . x_{1..d-1} + a_0`` is satisfied by exactly the points whose
+    residual ``x_d - a . x_{1..d-1}`` is at most ``a_0``; choosing ``a_0`` as
+    the ``selectivity``-quantile of the residuals hits the target output
+    size exactly (up to ties).
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must lie in [0, 1], got %r" % selectivity)
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError("points must have shape (N, d)")
+    dimension = points.shape[1]
+    generator = _rng(seed)
+    queries: List[LinearConstraint] = []
+    for __ in range(num_queries):
+        coeffs = generator.uniform(-slope_scale, slope_scale, size=dimension - 1)
+        residuals = points[:, -1] - points[:, :-1] @ coeffs
+        offset = float(np.quantile(residuals, selectivity))
+        queries.append(LinearConstraint(coeffs=tuple(coeffs.tolist()),
+                                        offset=offset))
+    return queries
+
+
+def rotated_diagonal_query(points: np.ndarray, angle: float = 1e-3,
+                           selectivity: float = 0.5) -> LinearConstraint:
+    """The adversarial query of Section 1.2 for the diagonal input.
+
+    The constraint's boundary line is the diagonal rotated by ``angle``
+    radians, with the offset chosen to report about ``selectivity * N``
+    points.  On quad-tree-like structures this query visits Ω(n) nodes.
+    """
+    points = np.asarray(points, dtype=float)
+    slope = float(np.tan(np.arctan(1.0) + angle))
+    residuals = points[:, 1] - slope * points[:, 0]
+    offset = float(np.quantile(residuals, selectivity))
+    return LinearConstraint(coeffs=(slope,), offset=offset)
+
+
+def knn_query_points(num_queries: int, low: float = -1.0, high: float = 1.0,
+                     seed: Optional[int] = None) -> np.ndarray:
+    """Uniform planar query points for the k-nearest-neighbour benchmarks."""
+    return _rng(seed).uniform(low, high, size=(num_queries, 2))

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io.store import BlockStore
+
+
+@pytest.fixture
+def store():
+    """A small simulated disk with block size 8 and a tiny cache."""
+    return BlockStore(block_size=8, cache_blocks=2)
+
+
+@pytest.fixture
+def store_nocache():
+    """A simulated disk with caching disabled (raw I/O counts)."""
+    return BlockStore(block_size=8, cache_blocks=0)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(20260614)
+
+
+def brute_force_halfspace(points, constraint):
+    """Ground truth for halfspace queries (set of tuples)."""
+    return {tuple(p) for p in points if constraint.below(p)}

@@ -1,0 +1,165 @@
+"""Tests for constraint conjunctions (polytope queries) and the dynamic tree."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConstraintConjunction,
+    DynamicPartitionTreeIndex,
+    HalfplaneIndex2D,
+    LinearConstraint,
+    PartitionTreeIndex,
+    query_conjunction,
+    query_conjunction_with_stats,
+)
+from repro.baselines import FullScanIndex
+from repro.workloads import halfspace_queries_with_selectivity, uniform_points
+
+from .conftest import brute_force_halfspace
+
+
+class TestConstraintConjunction:
+    def build_conjunction(self):
+        # A wedge: y <= 0.8 x + 0.5  AND  y <= -0.6 x + 0.4  AND  x >= -0.5.
+        return ConstraintConjunction.of(
+            LinearConstraint((0.8,), 0.5),
+            LinearConstraint((-0.6,), 0.4),
+        ).and_halfspace((-1.0, 0.0), 0.5)
+
+    def test_requires_at_least_one_constraint(self):
+        with pytest.raises(ValueError):
+            ConstraintConjunction.of()
+
+    def test_requires_matching_dimensions(self):
+        with pytest.raises(ValueError):
+            ConstraintConjunction.of(LinearConstraint((1.0,), 0.0),
+                                     LinearConstraint((1.0, 2.0), 0.0))
+
+    def test_satisfied_by_matches_manual_evaluation(self):
+        conjunction = self.build_conjunction()
+        assert conjunction.satisfied_by((0.0, 0.0))
+        assert not conjunction.satisfied_by((0.0, 0.45))    # violates 2nd constraint
+        assert not conjunction.satisfied_by((-0.8, -0.5))   # violates x >= -0.5
+
+    def test_polytope_agrees_with_satisfied_by(self):
+        conjunction = self.build_conjunction()
+        polytope = conjunction.to_polytope()
+        rng = np.random.default_rng(1)
+        for point in rng.uniform(-1, 1, size=(200, 2)):
+            assert polytope.contains(point) == conjunction.satisfied_by(point)
+
+    def test_query_on_partition_tree_matches_filter(self):
+        points = uniform_points(1500, seed=2)
+        tree = PartitionTreeIndex(points, block_size=32)
+        conjunction = self.build_conjunction()
+        expected = {tuple(p) for p in points if conjunction.satisfied_by(p)}
+        assert {tuple(p) for p in query_conjunction(tree, conjunction)} == expected
+
+    def test_query_on_non_tree_index_matches_filter(self):
+        points = uniform_points(1200, seed=3)
+        index = HalfplaneIndex2D(points, block_size=32, seed=4)
+        conjunction = self.build_conjunction()
+        expected = {tuple(p) for p in points if conjunction.satisfied_by(p)}
+        assert {tuple(p) for p in query_conjunction(index, conjunction)} == expected
+
+    def test_query_with_stats_counts_ios(self):
+        points = uniform_points(1000, seed=5)
+        tree = PartitionTreeIndex(points, block_size=32)
+        result = query_conjunction_with_stats(tree, self.build_conjunction())
+        assert result.total_ios > 0
+        assert result.count == len([p for p in points
+                                    if self.build_conjunction().satisfied_by(p)])
+
+    def test_dimension_mismatch_rejected(self):
+        points = uniform_points(200, dimension=3, seed=6)
+        tree = PartitionTreeIndex(points, block_size=32)
+        with pytest.raises(ValueError):
+            query_conjunction(tree, self.build_conjunction())
+
+    def test_filter_reference_helper(self):
+        conjunction = self.build_conjunction()
+        points = [(0.0, 0.0), (0.0, 0.45)]
+        assert conjunction.filter(points) == [(0.0, 0.0)]
+
+
+class TestDynamicPartitionTree:
+    def test_requires_dimension_when_empty(self):
+        with pytest.raises(ValueError):
+            DynamicPartitionTreeIndex([], block_size=32)
+
+    def test_insert_then_query(self):
+        index = DynamicPartitionTreeIndex([], dimension=2, block_size=32)
+        rng = np.random.default_rng(7)
+        points = rng.uniform(-1, 1, size=(300, 2))
+        for point in points:
+            index.insert(point)
+        assert index.size == 300
+        constraint = LinearConstraint((0.3,), 0.1)
+        expected = brute_force_halfspace(points, constraint)
+        assert {tuple(p) for p in index.query(constraint)} == expected
+
+    def test_bulk_build_then_incremental_updates(self):
+        rng = np.random.default_rng(8)
+        initial = rng.uniform(-1, 1, size=(800, 2))
+        index = DynamicPartitionTreeIndex(initial, block_size=32)
+        extra = rng.uniform(-1, 1, size=(200, 2))
+        for point in extra:
+            index.insert(point)
+        removed = [tuple(p) for p in initial[:100]]
+        for point in removed:
+            assert index.delete(point)
+        live = [tuple(p) for p in initial[100:]] + [tuple(p) for p in extra]
+        constraint = LinearConstraint((-0.4,), 0.2)
+        expected = {p for p in live if constraint.below(p)}
+        assert {tuple(p) for p in index.query(constraint)} == expected
+        assert index.size == len(live)
+
+    def test_delete_missing_point_returns_false(self):
+        index = DynamicPartitionTreeIndex(uniform_points(50, seed=9), block_size=32)
+        assert not index.delete((123.0, 456.0))
+
+    def test_rebuild_happens_after_many_inserts(self):
+        index = DynamicPartitionTreeIndex(uniform_points(200, seed=10),
+                                          block_size=32, buffer_fraction=0.1)
+        rng = np.random.default_rng(11)
+        for point in rng.uniform(-1, 1, size=(100, 2)):
+            index.insert(point)
+        assert index.rebuilds >= 1
+        assert index.buffered <= 0.1 * index.size + 1
+
+    def test_rebuild_happens_after_many_deletes(self):
+        points = uniform_points(300, seed=12)
+        index = DynamicPartitionTreeIndex(points, block_size=32)
+        for point in points[:200]:
+            index.delete(tuple(point))
+        assert index.rebuilds >= 1
+        assert index.size == 100
+
+    def test_insert_dimension_checked(self):
+        index = DynamicPartitionTreeIndex(uniform_points(20, seed=13), block_size=32)
+        with pytest.raises(ValueError):
+            index.insert((1.0, 2.0, 3.0))
+
+    def test_reinserting_deleted_point_resurrects_it(self):
+        points = uniform_points(100, seed=14)
+        index = DynamicPartitionTreeIndex(points, block_size=32)
+        victim = tuple(points[0])
+        index.delete(victim)
+        index.insert(victim)
+        constraint = LinearConstraint((0.0,), 2.0)   # everything
+        assert victim in {tuple(p) for p in index.query(constraint)}
+
+    def test_agrees_with_static_tree_after_updates(self):
+        rng = np.random.default_rng(15)
+        base = rng.uniform(-1, 1, size=(500, 2))
+        index = DynamicPartitionTreeIndex(base, block_size=32)
+        additions = rng.uniform(-1, 1, size=(120, 2))
+        for point in additions:
+            index.insert(point)
+        for point in base[:60]:
+            index.delete(tuple(point))
+        live = np.vstack([base[60:], additions])
+        static = PartitionTreeIndex(live, block_size=32)
+        for constraint in halfspace_queries_with_selectivity(live, 4, 0.2, seed=16):
+            assert {tuple(p) for p in index.query(constraint)} == \
+                {tuple(p) for p in static.query(constraint)}

@@ -1,0 +1,121 @@
+"""Unit tests for DiskArray and the external merge sort."""
+
+import pytest
+
+from repro.io.disk_array import DiskArray
+from repro.io.external_sort import external_merge_sort
+from repro.io.store import BlockStore
+
+
+class TestDiskArray:
+    def test_empty_array(self, store):
+        array = DiskArray(store)
+        assert len(array) == 0
+        assert array.num_blocks == 0
+        assert list(array.scan()) == []
+
+    def test_construction_from_records(self, store):
+        array = DiskArray(store, list(range(20)))
+        assert len(array) == 20
+        assert array.num_blocks == 3          # block size 8 -> ceil(20/8)
+        assert array.read_all() == list(range(20))
+
+    def test_append_fills_last_block_before_allocating(self, store):
+        array = DiskArray(store, list(range(7)))
+        assert array.num_blocks == 1
+        array.append(7)
+        assert array.num_blocks == 1
+        array.append(8)
+        assert array.num_blocks == 2
+
+    def test_extend_after_partial_block(self, store):
+        array = DiskArray(store, [0, 1, 2])
+        array.extend(range(3, 12))
+        assert array.read_all() == list(range(12))
+        assert array.num_blocks == 2
+
+    def test_getitem_random_access(self, store):
+        array = DiskArray(store, list(range(25)))
+        assert array[0] == 0
+        assert array[13] == 13
+        assert array[-1] == 24
+
+    def test_getitem_out_of_range(self, store):
+        array = DiskArray(store, [1, 2, 3])
+        with pytest.raises(IndexError):
+            array[3]
+
+    def test_read_range_spans_blocks(self, store):
+        array = DiskArray(store, list(range(30)))
+        assert array.read_range(5, 20) == list(range(5, 20))
+        assert array.read_range(0, 0) == []
+
+    def test_read_range_invalid_bounds(self, store):
+        array = DiskArray(store, list(range(10)))
+        with pytest.raises(IndexError):
+            array.read_range(5, 20)
+
+    def test_scan_costs_one_read_per_block(self, store_nocache):
+        array = DiskArray(store_nocache, list(range(24)))
+        store_nocache.reset_stats()
+        list(array.scan())
+        assert store_nocache.stats.reads == 3
+
+    def test_clear_frees_all_blocks(self, store):
+        array = DiskArray(store, list(range(20)))
+        blocks_before = store.num_blocks
+        array.clear()
+        assert store.num_blocks == blocks_before - 3
+        assert len(array) == 0
+
+    def test_iteration_matches_scan(self, store):
+        array = DiskArray(store, list(range(10)))
+        assert list(array) == list(array.scan())
+
+    def test_read_block_returns_single_block(self, store):
+        array = DiskArray(store, list(range(10)))
+        assert array.read_block(1) == [8, 9]
+
+
+class TestExternalSort:
+    def test_sort_small_input(self, store):
+        data = DiskArray(store, [5, 3, 8, 1, 9, 2])
+        result = external_merge_sort(store, data)
+        assert result.read_all() == [1, 2, 3, 5, 8, 9]
+
+    def test_sort_empty_input(self, store):
+        data = DiskArray(store)
+        result = external_merge_sort(store, data)
+        assert len(result) == 0
+
+    def test_sort_with_key(self, store):
+        data = DiskArray(store, [(1, "b"), (2, "a"), (0, "c")])
+        result = external_merge_sort(store, data, key=lambda r: r[1])
+        assert [r[1] for r in result.read_all()] == ["a", "b", "c"]
+
+    def test_sort_large_input_needs_multiple_merge_rounds(self):
+        store = BlockStore(block_size=4, cache_blocks=0)
+        values = list(range(200))[::-1]
+        data = DiskArray(store, values)
+        result = external_merge_sort(store, data, memory_blocks=2)
+        assert result.read_all() == sorted(values)
+
+    def test_sort_preserves_duplicates(self, store):
+        data = DiskArray(store, [3, 1, 3, 1, 3])
+        result = external_merge_sort(store, data)
+        assert result.read_all() == [1, 1, 3, 3, 3]
+
+    def test_sort_rejects_tiny_memory(self, store):
+        data = DiskArray(store, [1, 2])
+        with pytest.raises(ValueError):
+            external_merge_sort(store, data, memory_blocks=1)
+
+    def test_sort_input_left_intact(self, store):
+        data = DiskArray(store, [3, 1, 2])
+        external_merge_sort(store, data)
+        assert data.read_all() == [3, 1, 2]
+
+    def test_sorted_input_stays_sorted(self, store):
+        data = DiskArray(store, list(range(50)))
+        result = external_merge_sort(store, data, memory_blocks=3)
+        assert result.read_all() == list(range(50))

@@ -1,0 +1,161 @@
+"""Tests for the optimal 2-D structure of Section 3 (Theorem 3.5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.halfplane2d import HalfplaneIndex2D, default_beta
+from repro.geometry.primitives import LinearConstraint
+from repro.workloads import (
+    clustered_points,
+    diagonal_points,
+    halfspace_queries_with_selectivity,
+    random_halfspace_queries,
+    uniform_points,
+)
+
+from .conftest import brute_force_halfspace
+
+
+@pytest.fixture(scope="module")
+def uniform_index():
+    points = uniform_points(3000, seed=1)
+    return points, HalfplaneIndex2D(points, block_size=32, seed=2)
+
+
+class TestConstruction:
+    def test_default_beta_at_least_block_size(self):
+        assert default_beta(10, 64) >= 64
+        assert default_beta(100_000, 64) >= 64
+
+    def test_empty_index(self):
+        index = HalfplaneIndex2D([], block_size=16)
+        assert index.size == 0
+        assert index.query(LinearConstraint((1.0,), 0.0)) == []
+
+    def test_single_point(self):
+        index = HalfplaneIndex2D([(0.5, 0.5)], block_size=16)
+        hit = LinearConstraint((0.0,), 1.0)
+        miss = LinearConstraint((0.0,), 0.0)
+        assert index.query(hit) == [(0.5, 0.5)]
+        assert index.query(miss) == []
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            HalfplaneIndex2D(np.zeros((5, 3)), block_size=16)
+
+    def test_rejects_bad_cluster_width_factor(self):
+        with pytest.raises(ValueError):
+            HalfplaneIndex2D(uniform_points(10, seed=0), cluster_width_factor=0)
+
+    def test_space_is_linear(self, uniform_index):
+        points, index = uniform_index
+        blocks = math.ceil(len(points) / index.block_size)
+        assert index.space_blocks <= 6 * blocks
+
+    def test_number_of_layers_bounded(self, uniform_index):
+        points, index = uniform_index
+        assert 1 <= index.num_layers <= max(1, len(points) // index.beta) + 1
+
+
+class TestCorrectness:
+    def test_matches_ground_truth_on_uniform_points(self, uniform_index):
+        points, index = uniform_index
+        queries = halfspace_queries_with_selectivity(points, 10, 0.05, seed=3)
+        queries += halfspace_queries_with_selectivity(points, 5, 0.4, seed=4)
+        for constraint in queries:
+            expected = brute_force_halfspace(points, constraint)
+            actual = {tuple(p) for p in index.query(constraint)}
+            assert actual == expected
+
+    def test_no_duplicates_reported(self, uniform_index):
+        points, index = uniform_index
+        constraint = halfspace_queries_with_selectivity(points, 1, 0.3, seed=5)[0]
+        reported = index.query(constraint)
+        assert len(reported) == len(set(map(tuple, reported)))
+
+    def test_empty_result_query(self, uniform_index):
+        points, index = uniform_index
+        constraint = LinearConstraint((0.0,), -10.0)
+        assert index.query(constraint) == []
+
+    def test_all_points_query(self, uniform_index):
+        points, index = uniform_index
+        constraint = LinearConstraint((0.0,), 10.0)
+        assert len(index.query(constraint)) == len(points)
+
+    def test_matches_ground_truth_on_clustered_points(self):
+        points = clustered_points(1500, seed=6)
+        index = HalfplaneIndex2D(points, block_size=32, seed=7)
+        for constraint in random_halfspace_queries(8, seed=8):
+            assert brute_force_halfspace(points, constraint) == \
+                {tuple(p) for p in index.query(constraint)}
+
+    def test_matches_ground_truth_on_adversarial_diagonal(self):
+        points = diagonal_points(1200, seed=9)
+        index = HalfplaneIndex2D(points, block_size=32, seed=10)
+        queries = halfspace_queries_with_selectivity(points, 6, 0.1, seed=11)
+        for constraint in queries:
+            assert brute_force_halfspace(points, constraint) == \
+                {tuple(p) for p in index.query(constraint)}
+
+    def test_rejects_wrong_dimension_query(self, uniform_index):
+        __, index = uniform_index
+        with pytest.raises(ValueError):
+            index.query(LinearConstraint((1.0, 1.0), 0.0))
+
+    def test_cluster_width_factor_two_still_correct(self):
+        points = uniform_points(800, seed=12)
+        index = HalfplaneIndex2D(points, block_size=32, seed=13,
+                                 cluster_width_factor=2)
+        for constraint in random_halfspace_queries(6, seed=14):
+            assert brute_force_halfspace(points, constraint) == \
+                {tuple(p) for p in index.query(constraint)}
+
+
+class TestQueryCost:
+    def test_small_output_query_uses_few_ios(self, uniform_index):
+        points, index = uniform_index
+        constraint = halfspace_queries_with_selectivity(points, 1, 0.01, seed=15)[0]
+        result = index.query_with_stats(constraint)
+        t = max(1, math.ceil(result.count / index.block_size))
+        n = math.ceil(len(points) / index.block_size)
+        # Far below a full scan, and within a modest factor of log_B n + t.
+        assert result.total_ios < n / 2
+        assert result.total_ios <= 30 * (math.log(n, index.block_size) + t)
+
+    def test_large_output_query_is_output_dominated(self, uniform_index):
+        points, index = uniform_index
+        constraint = halfspace_queries_with_selectivity(points, 1, 0.5, seed=16)[0]
+        result = index.query_with_stats(constraint)
+        t = math.ceil(result.count / index.block_size)
+        assert result.total_ios <= 8 * t
+
+    def test_queries_do_not_write(self, uniform_index):
+        points, index = uniform_index
+        constraint = halfspace_queries_with_selectivity(points, 1, 0.1, seed=17)[0]
+        result = index.query_with_stats(constraint)
+        assert result.ios.writes == 0
+
+    def test_layers_probed_grows_with_output(self, uniform_index):
+        points, index = uniform_index
+        small = halfspace_queries_with_selectivity(points, 1, 0.01, seed=18)[0]
+        large = halfspace_queries_with_selectivity(points, 1, 0.6, seed=19)[0]
+        index.query(small)
+        probed_small = index.last_layers_probed
+        index.query(large)
+        probed_large = index.last_layers_probed
+        assert probed_small <= probed_large
+
+    def test_adversarial_query_stays_output_sensitive(self):
+        """The Section 1.2 scenario: the paper's structure does not degrade."""
+        points = diagonal_points(2000, seed=20)
+        index = HalfplaneIndex2D(points, block_size=32, seed=21)
+        from repro.workloads import rotated_diagonal_query
+        constraint = rotated_diagonal_query(points, angle=1e-3, selectivity=0.05)
+        result = index.query_with_stats(constraint)
+        n = math.ceil(len(points) / index.block_size)
+        assert {tuple(p) for p in result.points} == \
+            brute_force_halfspace(points, constraint)
+        assert result.total_ios < n

@@ -1,0 +1,233 @@
+"""Tests for boxes, simplices, simplicial partitions, ham-sandwich cuts and lifting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.boxes import Box, CellRelation
+from repro.geometry.hamsandwich import (
+    OrientedLine,
+    ham_sandwich_cut,
+    ham_sandwich_partition,
+)
+from repro.geometry.lifting import (
+    distance_from_height,
+    lift_point,
+    lifted_height_is_shifted_squared_distance,
+)
+from repro.geometry.partitions import (
+    crossing_number,
+    is_balanced,
+    max_crossing_number,
+    median_cut_partition,
+)
+from repro.geometry.primitives import Hyperplane
+from repro.geometry.simplex import Halfspace, Simplex
+from repro.workloads import uniform_points
+
+coord = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False)
+
+
+class TestBox:
+    def test_dimension_and_extent(self):
+        box = Box((0.0, 0.0), (2.0, 1.0))
+        assert box.dimension == 2
+        assert box.extent(0) == 2.0
+        assert box.widest_axis() == 0
+        assert box.volume() == 2.0
+
+    def test_invalid_corners_rejected(self):
+        with pytest.raises(ValueError):
+            Box((1.0,), (0.0,))
+        with pytest.raises(ValueError):
+            Box((0.0, 0.0), (1.0,))
+
+    def test_of_points(self):
+        box = Box.of_points([(0, 1), (2, -1)])
+        assert box.lower == (0, -1)
+        assert box.upper == (2, 1)
+        with pytest.raises(ValueError):
+            Box.of_points([])
+
+    def test_contains(self):
+        box = Box((0.0, 0.0), (1.0, 1.0))
+        assert box.contains((0.5, 0.5))
+        assert box.contains((0.0, 1.0))
+        assert not box.contains((1.5, 0.5))
+
+    def test_corners_count(self):
+        assert len(Box((0, 0, 0), (1, 1, 1)).corners()) == 8
+
+    def test_classify_halfspace_three_cases(self):
+        box = Box((0.0, 0.0), (1.0, 1.0))
+        below = Hyperplane((0.0,), 5.0)      # y <= 5 contains the box
+        above = Hyperplane((0.0,), -5.0)     # y <= -5 excludes it
+        crossing = Hyperplane((0.0,), 0.5)
+        assert box.classify_halfspace(below) is CellRelation.BELOW
+        assert box.classify_halfspace(above) is CellRelation.ABOVE
+        assert box.classify_halfspace(crossing) is CellRelation.CROSSES
+
+    def test_split(self):
+        box = Box((0.0, 0.0), (2.0, 2.0))
+        low, high = box.split(0, 1.0)
+        assert low.upper[0] == 1.0 and high.lower[0] == 1.0
+        with pytest.raises(ValueError):
+            box.split(0, 5.0)
+
+
+class TestSimplex:
+    def test_halfspace_contains_and_excludes_box(self):
+        halfspace = Halfspace(normal=(1.0, 0.0), offset=1.0)   # x <= 1
+        assert halfspace.contains((0.5, 3.0))
+        assert not halfspace.contains((2.0, 0.0))
+        assert halfspace.excludes_box(Box((2.0, 0.0), (3.0, 1.0)))
+        assert not halfspace.excludes_box(Box((0.0, 0.0), (3.0, 1.0)))
+
+    def test_triangle_from_vertices(self):
+        triangle = Simplex.from_vertices_2d([(0, 0), (2, 0), (0, 2)])
+        assert triangle.contains((0.5, 0.5))
+        assert triangle.contains((0.0, 0.0))
+        assert not triangle.contains((2.0, 2.0))
+
+    def test_from_vertices_requires_three(self):
+        with pytest.raises(ValueError):
+            Simplex.from_vertices_2d([(0, 0), (1, 1)])
+
+    def test_contains_box_exact(self):
+        triangle = Simplex.from_vertices_2d([(0, 0), (4, 0), (0, 4)])
+        assert triangle.contains_box(Box((0.5, 0.5), (1.0, 1.0)))
+        assert not triangle.contains_box(Box((3.0, 3.0), (3.5, 3.5)))
+
+    def test_certainly_disjoint_is_conservative(self):
+        triangle = Simplex.from_vertices_2d([(0, 0), (1, 0), (0, 1)])
+        assert triangle.certainly_disjoint_from_box(Box((5.0, 5.0), (6.0, 6.0)))
+        # A box overlapping the triangle must never be declared disjoint.
+        assert not triangle.certainly_disjoint_from_box(Box((0.1, 0.1), (0.3, 0.3)))
+
+    def test_filter_matches_contains(self):
+        triangle = Simplex.from_vertices_2d([(0, 0), (1, 0), (0, 1)])
+        points = [(0.2, 0.2), (0.9, 0.9), (0.1, 0.05)]
+        assert triangle.filter(points) == [(0.2, 0.2), (0.1, 0.05)]
+
+
+class TestMedianCutPartition:
+    def test_partition_sizes_are_balanced(self):
+        points = uniform_points(1000, seed=1)
+        cells = median_cut_partition(points, 16)
+        assert len(cells) == 16
+        assert is_balanced(cells, 1000)
+        assert sum(cell.size for cell in cells) == 1000
+
+    def test_partition_subsets_are_disjoint(self):
+        points = uniform_points(300, seed=2)
+        cells = median_cut_partition(points, 8)
+        seen = set()
+        for cell in cells:
+            indices = set(cell.indices.tolist())
+            assert not indices & seen
+            seen |= indices
+        assert len(seen) == 300
+
+    def test_each_cell_contains_its_points(self):
+        points = uniform_points(400, seed=3)
+        cells = median_cut_partition(points, 10)
+        for cell in cells:
+            for index in cell.indices:
+                assert cell.cell.contains(points[index])
+
+    def test_crossing_number_is_sublinear(self):
+        """The Theorem 5.1 property the partition trees rely on."""
+        points = uniform_points(4096, seed=4)
+        r = 64
+        cells = median_cut_partition(points, r)
+        rng = np.random.default_rng(5)
+        hyperplanes = [Hyperplane((float(rng.uniform(-2, 2)),),
+                                  float(rng.uniform(-1, 1))) for __ in range(30)]
+        worst = max_crossing_number(cells, hyperplanes)
+        assert worst <= 4 * int(np.ceil(r ** 0.5))
+
+    def test_r_one_returns_single_cell(self):
+        points = uniform_points(50, seed=6)
+        cells = median_cut_partition(points, 1)
+        assert len(cells) == 1
+        assert cells[0].size == 50
+
+    def test_invalid_r_rejected(self):
+        with pytest.raises(ValueError):
+            median_cut_partition(uniform_points(10, seed=7), 0)
+
+    def test_empty_input(self):
+        assert median_cut_partition(np.zeros((0, 2)), 4) == []
+
+    def test_3d_partition_crossing(self):
+        points = uniform_points(2000, dimension=3, seed=8)
+        cells = median_cut_partition(points, 27)
+        hyperplane = Hyperplane((0.3, -0.4), 0.1)
+        assert crossing_number(cells, hyperplane) < len(cells)
+
+
+class TestHamSandwich:
+    def test_cut_bisects_both_sets(self):
+        rng = np.random.default_rng(9)
+        red = rng.uniform(-1, 1, size=(201, 2))
+        blue = rng.uniform(-1, 1, size=(201, 2)) + 0.3
+        line = ham_sandwich_cut(red, blue)
+        assert line is not None
+        for cloud in (red, blue):
+            values = cloud[:, 0] * line.normal[0] + cloud[:, 1] * line.normal[1] - line.offset
+            positive = int(np.sum(values > 1e-12))
+            negative = int(np.sum(values < -1e-12))
+            assert abs(positive - negative) <= max(3, len(cloud) // 20)
+
+    def test_cut_with_empty_set_returns_none(self):
+        assert ham_sandwich_cut(np.zeros((0, 2)), np.ones((3, 2))) is None
+
+    def test_partition_covers_all_points(self):
+        points = uniform_points(500, seed=10)
+        cells = ham_sandwich_partition(points, 16)
+        total = sum(cell.size for cell in cells)
+        assert total == 500
+
+    def test_partition_rejects_non_planar_input(self):
+        with pytest.raises(ValueError):
+            ham_sandwich_partition(uniform_points(20, dimension=3, seed=11), 4)
+
+    def test_partition_crossing_number_sublinear(self):
+        points = uniform_points(2048, seed=12)
+        cells = ham_sandwich_partition(points, 64)
+        rng = np.random.default_rng(13)
+        hyperplanes = [Hyperplane((float(rng.uniform(-2, 2)),),
+                                  float(rng.uniform(-1, 1))) for __ in range(20)]
+        assert max_crossing_number(cells, hyperplanes) < len(cells)
+
+    def test_oriented_line_side(self):
+        line = OrientedLine(normal=(1.0, 0.0), offset=0.5)
+        assert line.side((1.0, 0.0)) > 0
+        assert line.side((0.0, 0.0)) < 0
+
+
+class TestLifting:
+    @given(ax=coord, ay=coord, qx=coord, qy=coord)
+    @settings(max_examples=100, deadline=None)
+    def test_height_equals_shifted_squared_distance(self, ax, ay, qx, qy):
+        height, shifted = lifted_height_is_shifted_squared_distance((ax, ay), (qx, qy))
+        assert height == pytest.approx(shifted, abs=1e-6)
+
+    def test_lift_point_coefficients(self):
+        plane = lift_point((1.0, 2.0))
+        assert plane.a == -2.0 and plane.b == -4.0 and plane.c == 5.0
+
+    def test_distance_from_height_roundtrip(self):
+        point, query = (0.3, -0.7), (1.0, 1.0)
+        plane = lift_point(point)
+        height = plane.z_at(*query)
+        expected = np.hypot(point[0] - query[0], point[1] - query[1])
+        assert distance_from_height(height, query) == pytest.approx(expected)
+
+    def test_ordering_by_height_matches_ordering_by_distance(self):
+        rng = np.random.default_rng(14)
+        points = rng.uniform(-1, 1, size=(50, 2))
+        query = (0.2, 0.1)
+        heights = [lift_point(p).z_at(*query) for p in points]
+        distances = [np.hypot(p[0] - query[0], p[1] - query[1]) for p in points]
+        assert np.argsort(heights).tolist() == np.argsort(distances).tolist()
