@@ -1,0 +1,207 @@
+"""Experiment ENGINE — planner-routed serving vs fixed-index serving.
+
+The engine's claim: given several structures with different trade-offs,
+cost-based routing plus batch execution should serve a mixed workload with
+no more I/Os than the *worst* single-index deployment (it should in fact
+track the best), and its warm-cache batch path should beat issuing the
+same queries as independent cold ``query_with_stats`` calls.
+
+Scenario: two tenants (a 2-D table and a 3-D table) behind one engine,
+serving a mixed trace with hot repeats.  Strategies compared:
+
+* ``planner_routed`` — the engine's batch path (dedup + result cache +
+  warm buffer pool + per-query routing);
+* ``independent_cold`` — the same planner routing, but every query issued
+  alone with a cleared cache (what callers did before the engine);
+* ``fixed:<kind>`` — every query forced through one index family
+  (``optimal`` = halfplane2d / halfspace3d per dimension), cold.
+
+Run standalone to (re)record the repo-root ``BENCH_engine.json``::
+
+    python benchmarks/bench_engine.py
+
+or under pytest, which additionally asserts the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401  (installed or on PYTHONPATH)
+except ImportError:  # standalone invocation from a source checkout
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro import QueryEngine
+from repro.experiments import format_table
+from repro.workloads import (
+    halfspace_queries_with_selectivity,
+    mixed_tenant_workload,
+    uniform_points,
+)
+
+BLOCK_SIZE = 32
+NUM_CALIBRATION_PROBES = 3
+NUM_REQUESTS = 80
+HOT_FRACTION = 0.35
+SEED = 1998
+TENANT_SIZES = {"flat2d": 4096, "solid3d": 2048}
+
+#: Index kinds built per tenant; "optimal" resolves per dimension.
+SUITES = {
+    "flat2d": ["halfplane2d", "partition_tree", "full_scan"],
+    "solid3d": ["halfspace3d", "partition_tree", "full_scan"],
+}
+OPTIMAL = {"flat2d": "halfplane2d", "solid3d": "halfspace3d"}
+FIXED_STRATEGIES = ["optimal", "partition_tree", "full_scan"]
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                          "BENCH_engine.json")
+
+
+def build_scenario():
+    """The two tenants, their engine, and the request trace."""
+    tenants = {
+        "flat2d": uniform_points(TENANT_SIZES["flat2d"], seed=SEED),
+        "solid3d": uniform_points(TENANT_SIZES["solid3d"], dimension=3,
+                                  seed=SEED + 1),
+    }
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=SEED)
+    builds = []
+    for name, points in tenants.items():
+        builds.extend(engine.register_dataset(name, points,
+                                              kinds=SUITES[name]))
+    requests = mixed_tenant_workload(tenants, num_requests=NUM_REQUESTS,
+                                     hot_fraction=HOT_FRACTION, seed=SEED)
+    return tenants, engine, requests, builds
+
+
+def run_fixed(engine, requests, strategy):
+    """Serve every request through one fixed index family, cold."""
+    total_ios = 0
+    started = time.perf_counter()
+    for tenant, constraint in requests:
+        kind = OPTIMAL[tenant] if strategy == "optimal" else strategy
+        index = engine.catalog.indexes(tenant)[kind]
+        total_ios += index.query_with_stats(constraint,
+                                            clear_cache=True).total_ios
+    return {"total_ios": total_ios,
+            "wall_seconds": time.perf_counter() - started}
+
+
+def run_independent_cold(engine, requests):
+    """Planner routing, but one cold query_with_stats call per request."""
+    total_ios = 0
+    started = time.perf_counter()
+    for tenant, constraint in requests:
+        plan = engine.explain(tenant, constraint)
+        index = engine.catalog.indexes(tenant)[plan.index_name]
+        total_ios += index.query_with_stats(constraint,
+                                            clear_cache=True).total_ios
+    return {"total_ios": total_ios,
+            "wall_seconds": time.perf_counter() - started}
+
+
+def run_experiment():
+    """Run every strategy once and return the result payload."""
+    tenants, engine, requests, builds = build_scenario()
+
+    fixed = {name: run_fixed(engine, requests, name)
+             for name in FIXED_STRATEGIES}
+
+    # Startup calibration: probe every index once so routing starts from
+    # measured constants (paid once; reported separately below).
+    calibration_ios = 0
+    for name, points in tenants.items():
+        probes = halfspace_queries_with_selectivity(
+            points, NUM_CALIBRATION_PROBES, 0.05, seed=SEED + 7)
+        calibration_ios += engine.calibrate(name, probes)
+
+    independent = run_independent_cold(engine, requests)
+
+    engine.stats.reset()
+    routed_result = engine.serve_workload(requests, warm_cache=True)
+    routed = {"total_ios": routed_result.total_ios,
+              "wall_seconds": routed_result.wall_seconds,
+              "result_cache_hits": routed_result.result_cache_hits}
+
+    # Correctness: routed answers equal the in-memory filter.
+    for (tenant, constraint), answer in zip(requests, routed_result.queries):
+        expected = {tuple(p) for p in tenants[tenant] if constraint.below(p)}
+        assert {tuple(p) for p in answer.points} == expected
+
+    return {
+        "experiment": "ENGINE — planner-routed vs fixed-index serving",
+        "workload": {
+            "block_size": BLOCK_SIZE,
+            "num_requests": NUM_REQUESTS,
+            "hot_fraction": HOT_FRACTION,
+            "seed": SEED,
+            "tenants": TENANT_SIZES,
+        },
+        "builds": [record.summary() for record in builds],
+        "calibration_ios": calibration_ios,
+        "planner_routed": routed,
+        "independent_cold": independent,
+        "fixed": fixed,
+        "engine_summary": engine.summary(),
+        "calibration": engine.planner.export_calibration(),
+    }
+
+
+def to_table(results):
+    """The strategies side by side, as the repo's plain-text tables."""
+    rows = [["planner_routed (warm batch)",
+             str(results["planner_routed"]["total_ios"]),
+             "%.1f" % (results["planner_routed"]["wall_seconds"] * 1e3)],
+            ["independent_cold (routed)",
+             str(results["independent_cold"]["total_ios"]),
+             "%.1f" % (results["independent_cold"]["wall_seconds"] * 1e3)]]
+    for name, payload in results["fixed"].items():
+        rows.append(["fixed:%s (cold)" % name, str(payload["total_ios"]),
+                     "%.1f" % (payload["wall_seconds"] * 1e3)])
+    return format_table(
+        ["strategy", "total I/Os", "wall ms"], rows,
+        title="ENGINE — %d mixed requests over %s (one-off calibration: "
+        "%d I/Os)" % (results["workload"]["num_requests"],
+                      ", ".join(sorted(results["workload"]["tenants"])),
+                      results["calibration_ios"]))
+
+
+def check_acceptance(results):
+    """The ISSUE's two acceptance criteria."""
+    routed_ios = results["planner_routed"]["total_ios"]
+    worst_fixed = max(payload["total_ios"]
+                      for payload in results["fixed"].values())
+    assert routed_ios <= worst_fixed, (
+        "planner-routed serving (%d I/Os) must not lose to the worst fixed "
+        "index (%d I/Os)" % (routed_ios, worst_fixed))
+    assert routed_ios < results["independent_cold"]["total_ios"], (
+        "the warm-cache batch path (%d I/Os) must beat independent cold "
+        "queries (%d I/Os)"
+        % (routed_ios, results["independent_cold"]["total_ios"]))
+
+
+def test_engine_serving_beats_fixed_and_cold():
+    results = run_experiment()
+    print()
+    print(to_table(results))
+    check_acceptance(results)
+
+
+def main():
+    results = run_experiment()
+    print(to_table(results))
+    check_acceptance(results)
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\nwrote %s" % os.path.abspath(BENCH_PATH))
+
+
+if __name__ == "__main__":
+    main()

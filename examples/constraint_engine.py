@@ -1,83 +1,101 @@
-"""A miniature constraint-query engine over a 3-D fact table.
+"""The query engine serving constraint queries over mixed tenants.
 
 Constraint query languages (one of the paper's motivations, Section 1) ask
-for all tuples satisfying a conjunction of linear constraints.  A single
-constraint is a halfspace query; a conjunction is a convex polytope, which
-the linear-size partition tree of Section 5 answers directly (Remark i).
+for all tuples satisfying linear constraints.  The paper supplies several
+structures with different space/query trade-offs; ``repro.engine`` fronts
+them with a serving layer: a catalog builds a suite of indexes per
+dataset, a cost-based planner routes each query to the cheapest structure
+using the paper's bounds (calibrated by observed I/Os), and a batch
+executor adds dedup, a result cache and warm buffer pools.
 
-The scenario: a table of servers with three numeric attributes
-(cpu_load, memory_load, latency_ms, all normalised).  The "engine" accepts
-conjunctions such as::
+The scenario: two tenants share the engine —
 
-    cpu_load + memory_load <= 1.2   AND   latency_ms <= 0.3
+* ``servers``: a 3-D fact table (cpu_load, memory_load, latency_ms);
+* ``stocks``: a 2-D table (volatility, expected_return).
 
-builds the corresponding polytope, and reports the qualifying servers with
-their I/O cost — for both a single-constraint query (via the 3-D structure
-of Section 4) and a multi-constraint query (via the partition tree).
-
-Run with::
+The engine serves a mixed trace of hot and fresh constraints against both
+and prints its serving dashboard.  Run with::
 
     python examples/constraint_engine.py
 """
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
-from repro import HalfspaceIndex3D, LinearConstraint, PartitionTreeIndex
-from repro.geometry.simplex import Halfspace, Simplex
-from repro.workloads import uniform_points
+from repro import ConstraintConjunction, LinearConstraint, QueryEngine
+from repro.workloads import mixed_tenant_workload
 
 
 def main() -> None:
-    num_servers = 6_000
     block_size = 64
-
-    print("Generating %d servers with (cpu_load, memory_load, latency) ..."
-          % num_servers)
     rng = np.random.default_rng(2)
     servers = np.column_stack([
-        rng.beta(2, 3, num_servers),          # cpu_load in [0, 1]
-        rng.beta(2, 4, num_servers),          # memory_load in [0, 1]
-        rng.gamma(2.0, 0.1, num_servers),     # latency (normalised)
+        rng.beta(2, 3, 6_000),          # cpu_load in [0, 1]
+        rng.beta(2, 4, 6_000),          # memory_load in [0, 1]
+        rng.gamma(2.0, 0.1, 6_000),     # latency (normalised)
+    ])
+    stocks = np.column_stack([
+        rng.beta(2, 5, 4_000),          # volatility
+        rng.normal(0.05, 0.3, 4_000),   # expected return
     ])
 
-    print("Building the Section 5 partition tree and the Section 4 structure ...")
-    tree = PartitionTreeIndex(servers, block_size=block_size)
-    sampling = HalfspaceIndex3D(servers, block_size=block_size, copies=3, seed=9)
-    n_blocks = math.ceil(num_servers / block_size)
-    print("  table: %d blocks; partition tree: %d blocks; sampling index: %d blocks"
-          % (n_blocks, tree.space_blocks, sampling.space_blocks))
+    print("Registering tenants and bulk-building their index suites ...")
+    engine = QueryEngine(block_size=block_size, seed=9)
+    for record in engine.register_dataset("servers", servers):
+        print("  servers/%-16s %5d blocks  built in %.2fs"
+              % (record.kind, record.space_blocks, record.build_seconds))
+    for record in engine.register_dataset("stocks", stocks):
+        print("  stocks/%-16s  %5d blocks  built in %.2fs"
+              % (record.kind, record.space_blocks, record.build_seconds))
 
-    # --- single linear constraint: latency <= 0.4 - 0.2 cpu - 0.1 mem ------
+    # --- one query, explained ----------------------------------------------
     constraint = LinearConstraint(coeffs=(-0.2, -0.1), offset=0.4)
-    via_tree = tree.query_with_stats(constraint)
-    via_sampling = sampling.query_with_stats(constraint)
-    assert {tuple(p) for p in via_tree.points} == {tuple(p) for p in via_sampling.points}
     print("\nSingle constraint: latency <= 0.4 - 0.2*cpu - 0.1*mem")
-    print("  %d servers qualify" % via_tree.count)
-    print("  partition tree : %4d I/Os (linear space)" % via_tree.total_ios)
-    print("  sampling index : %4d I/Os (n log n space)" % via_sampling.total_ios)
+    print(engine.explain("servers", constraint).explain())
+    answer = engine.query("servers", constraint)
+    expected = {tuple(p) for p in servers if constraint.below(p)}
+    assert {tuple(p) for p in answer.points} == expected
+    print("  -> served by %s: %d servers in %d I/Os"
+          % (answer.index_name, answer.count, answer.total_ios))
 
-    # --- conjunction of constraints = a convex polytope ---------------------
-    polytope = Simplex(halfspaces=(
-        Halfspace(normal=(1.0, 1.0, 0.0), offset=0.55),   # cpu + mem <= 0.55
-        Halfspace(normal=(0.0, 0.0, 1.0), offset=0.12),   # latency <= 0.12
-        Halfspace(normal=(-1.0, 0.0, 0.0), offset=-0.05),  # cpu >= 0.05
-    ))
-    store = tree.store
-    store.clear_cache()
-    before = store.stats.snapshot()
-    matches = tree.query_simplex(polytope)
-    ios = store.stats.delta(before).total
-    expected = [tuple(row) for row in servers if polytope.contains(row)]
-    assert sorted(matches) == sorted(expected)
-    print("\nConjunction: cpu+mem <= 0.55  AND  latency <= 0.12  AND  cpu >= 0.05")
-    print("  %d servers qualify, reported in %d I/Os (table scan: %d I/Os)"
-          % (len(matches), ios, n_blocks))
+    # --- a conjunction (convex polytope) -----------------------------------
+    conjunction = ConstraintConjunction.of(
+        LinearConstraint(coeffs=(0.0, 0.0), offset=0.12),     # latency <= 0.12
+    ).and_halfspace((1.0, 1.0, 0.0), 0.55)                    # cpu + mem <= 0.55
+    polytope_answer = engine.query_conjunction("servers", conjunction)
+    assert sorted(tuple(p) for p in polytope_answer.points) == sorted(
+        tuple(p) for p in servers if conjunction.satisfied_by(p))
+    print("\nConjunction: latency <= 0.12 AND cpu+mem <= 0.55")
+    print("  -> served by %s: %d servers in %d I/Os"
+          % (polytope_answer.index_name, polytope_answer.count,
+             polytope_answer.total_ios))
 
+    # --- a mixed-tenant serving trace --------------------------------------
+    requests = mixed_tenant_workload(
+        {"servers": servers, "stocks": stocks}, num_requests=60,
+        hot_fraction=0.4, seed=17)
+    print("\nServing %d mixed requests (40%% hot repeats, threaded) ..."
+          % len(requests))
+    result = engine.serve_workload(requests, warm_cache=True,
+                                   use_threads=True)
+    for (tenant, constraint), answer in zip(requests, result.queries):
+        assert {tuple(p) for p in answer.points} == {
+            tuple(p) for p in
+            {"servers": servers, "stocks": stocks}[tenant]
+            if constraint.below(p)}
+    print("  %d I/Os total, %d result-cache hits, %.1f ms wall clock"
+          % (result.total_ios, result.result_cache_hits,
+             result.wall_seconds * 1e3))
+
+    print()
+    print(engine.stats.to_table(title="engine serving dashboard"))
+    summary = engine.summary()
+    print("\nplan distribution : %s" % summary["plan_distribution"])
+    print("result cache      : %.0f%% of requests"
+          % (100 * summary["result_cache_hit_rate"]))
+    print("buffer-pool reuse : %.0f%% of block reads served from memory"
+          % (100 * summary["store_cache_hit_rate"]))
     print("\nAll answers verified against in-memory filters.  Done.")
 
 

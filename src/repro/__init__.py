@@ -38,6 +38,7 @@ from repro.core import (
     query_conjunction,
     query_conjunction_with_stats,
 )
+from repro.engine import QueryEngine
 from repro.geometry.primitives import Hyperplane, Line2, LinearConstraint, Plane3
 from repro.io import BlockStore, BTree, DiskArray, IOStats
 
@@ -57,6 +58,7 @@ __all__ = [
     "ConstraintConjunction",
     "query_conjunction",
     "query_conjunction_with_stats",
+    "QueryEngine",
     "LinearConstraint",
     "Hyperplane",
     "Line2",

@@ -43,6 +43,12 @@ class FullScanIndex(ExternalIndex):
     def size(self) -> int:
         return self._num_points
 
+    def estimated_query_ios(self, constraint: LinearConstraint,
+                            expected_output: Optional[int] = None) -> float:
+        """Exact: a scan reads every data block regardless of the query."""
+        del constraint, expected_output
+        return float(max(1, self._store.blocks_for(max(1, self.size))))
+
     def query(self, constraint: LinearConstraint) -> List[Point]:
         """Report satisfying points by scanning all ⌈N/B⌉ blocks."""
         if constraint.dimension != self._dimension:

@@ -89,6 +89,14 @@ class PagedDualIndex2D(ExternalIndex):
         """Number of convex layers."""
         return len(self._layers)
 
+    def estimated_query_ios(self, constraint: LinearConstraint,
+                            expected_output: Optional[int] = None) -> float:
+        """O(log2 N + T) block reads — the output term is NOT divided by B."""
+        del constraint
+        if expected_output is None:
+            expected_output = min(self.size, self.block_size)
+        return 1.0 + float(np.log2(max(2, self.size))) + float(expected_output)
+
     def query(self, constraint: LinearConstraint) -> List[Point]:
         """Report satisfying points layer by layer, stopping when one is empty."""
         if constraint.dimension != 2:

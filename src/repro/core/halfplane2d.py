@@ -187,6 +187,12 @@ class HalfplaneIndex2D(ExternalIndex):
         """How many layers the most recent query visited (diagnostics)."""
         return self._last_layers_probed
 
+    def estimated_query_ios(self, constraint: LinearConstraint,
+                            expected_output: Optional[int] = None) -> float:
+        """Theorem 3.5 bound: O(log_B n + t) worst-case I/Os."""
+        del constraint
+        return 1.0 + self._log_b_n() + self._output_blocks(expected_output)
+
     def query(self, constraint: LinearConstraint) -> List[Point]:
         """Report every stored point satisfying the linear constraint."""
         if constraint.dimension != 2:

@@ -69,6 +69,12 @@ class HalfspaceIndex3D(ExternalIndex):
         """The underlying Theorem 4.2 structure (exposed for diagnostics)."""
         return self._planes_index
 
+    def estimated_query_ios(self, constraint: LinearConstraint,
+                            expected_output: Optional[int] = None) -> float:
+        """Theorem 4.1 bound: O(log_B n + t) expected I/Os."""
+        del constraint
+        return 1.0 + self._log_b_n() + self._output_blocks(expected_output)
+
     def query(self, constraint: LinearConstraint) -> List[Point]:
         """Report every stored point satisfying the 3-D linear constraint."""
         if constraint.dimension != 3:

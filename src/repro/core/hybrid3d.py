@@ -135,6 +135,15 @@ class HybridIndex3D(ExternalIndex):
         """Number of leaf structures probed by the most recent query."""
         return self._last_leaves_queried
 
+    def estimated_query_ios(self, constraint: LinearConstraint,
+                            expected_output: Optional[int] = None) -> float:
+        """Theorem 6.1 bound: O((n / B^{a-1})^{2/3} + t) expected I/Os."""
+        del constraint
+        blocks = max(1, self._store.blocks_for(max(1, self.size)))
+        effective = max(1.0, blocks * self.block_size / float(self._leaf_threshold))
+        search = effective ** (2.0 / 3.0) + self._log_b_n()
+        return 1.0 + search + self._output_blocks(expected_output)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

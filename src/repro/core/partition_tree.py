@@ -143,6 +143,14 @@ class PartitionTreeIndex(ExternalIndex):
         """Nodes whose cell was crossed during the most recent query."""
         return self._last_nodes_visited
 
+    def estimated_query_ios(self, constraint: LinearConstraint,
+                            expected_output: Optional[int] = None) -> float:
+        """Theorem 5.2 bound: O(n^{1-1/d} + t) I/Os (ε dropped)."""
+        del constraint
+        blocks = max(1, self._store.blocks_for(max(1, self.size)))
+        search = float(blocks) ** (1.0 - 1.0 / self.dimension)
+        return 1.0 + search + self._output_blocks(expected_output)
+
     # ------------------------------------------------------------------
     # halfspace queries
     # ------------------------------------------------------------------

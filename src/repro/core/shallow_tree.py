@@ -136,6 +136,13 @@ class ShallowPartitionTreeIndex(ExternalIndex):
         """How often the last query fell back to a secondary tree."""
         return self._last_secondary_queries
 
+    def estimated_query_ios(self, constraint: LinearConstraint,
+                            expected_output: Optional[int] = None) -> float:
+        """Theorem 6.3 bound: O(n^ε + t) I/Os (ε taken as 1/4)."""
+        del constraint
+        blocks = max(1, self._store.blocks_for(max(1, self.size)))
+        return 1.0 + float(blocks) ** 0.25 + self._output_blocks(expected_output)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -1,0 +1,58 @@
+"""The query-serving subsystem: catalog, planner, executor and metrics.
+
+The paper gives several structures with different space/query trade-offs
+for the *same* problem; a serving system needs to pick among them per
+query.  This package is that layer:
+
+* :class:`~repro.engine.catalog.Catalog` — registers datasets, bulk-builds
+  any combination of :class:`~repro.core.interface.ExternalIndex`
+  implementations over a shared store, and tracks build cost;
+* :class:`~repro.engine.planner.Planner` — estimates each candidate's
+  query I/Os from the paper's bounds (via ``estimated_query_ios``),
+  calibrated against observed history, and routes to the cheapest;
+* :class:`~repro.engine.executor.BatchExecutor` — batch serving with
+  constraint dedup, an LRU result cache, warm buffer pools, and a
+  thread-pool path for concurrent read-only tenants;
+* :class:`~repro.engine.metrics.EngineStats` — latency percentiles, I/O
+  totals, cache hit rates and the plan distribution;
+* :class:`~repro.engine.engine.QueryEngine` — the facade wiring them up.
+"""
+
+from repro.engine.catalog import (
+    BuildRecord,
+    Catalog,
+    Dataset,
+    INDEX_KINDS,
+    IndexKind,
+    default_suite,
+)
+from repro.engine.engine import QueryEngine
+from repro.engine.executor import (
+    BatchExecutor,
+    BatchResult,
+    ExecutedQuery,
+    WorkloadResult,
+    constraint_key,
+)
+from repro.engine.metrics import EngineStats, ServedQueryRecord
+from repro.engine.planner import CandidateEstimate, Plan, Planner
+
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "BuildRecord",
+    "CandidateEstimate",
+    "Catalog",
+    "Dataset",
+    "EngineStats",
+    "ExecutedQuery",
+    "INDEX_KINDS",
+    "IndexKind",
+    "Plan",
+    "Planner",
+    "QueryEngine",
+    "ServedQueryRecord",
+    "WorkloadResult",
+    "constraint_key",
+    "default_suite",
+]

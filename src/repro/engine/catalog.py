@@ -1,0 +1,276 @@
+"""The engine's catalog: datasets, registered indexes and build statistics.
+
+The :class:`Catalog` is the system-of-record the rest of the engine works
+from.  It owns one shared :class:`~repro.io.store.BlockStore` per dataset
+(so every index over the same data competes for the same buffer pool, as
+it would on a real disk), knows how to bulk-build any combination of
+:class:`~repro.core.interface.ExternalIndex` implementations over a
+dataset, and records what each build cost (wall-clock, write I/Os, space).
+
+It also keeps a small in-memory *sample* of every dataset.  Sampling is
+the engine's only data statistic: the planner estimates a constraint's
+selectivity by evaluating it on the sample (O(sample) arithmetic, zero
+I/Os), which turns the paper's output-sensitive bounds into concrete
+per-query cost predictions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import (
+    FullScanIndex,
+    KDBTreeIndex,
+    PagedDualIndex2D,
+    QuadTreeIndex,
+    RTreeIndex,
+)
+from repro.core import (
+    ExternalIndex,
+    HalfplaneIndex2D,
+    HalfspaceIndex3D,
+    HybridIndex3D,
+    PartitionTreeIndex,
+    ShallowPartitionTreeIndex,
+)
+from repro.geometry.primitives import LinearConstraint
+from repro.io.store import BlockStore, IOStats
+
+
+@dataclass(frozen=True)
+class IndexKind:
+    """One buildable index family: constructor plus its dimension domain."""
+
+    name: str
+    factory: type
+    dimensions: Optional[Tuple[int, ...]] = None  # None = any dimension >= 2
+
+    def supports(self, dimension: int) -> bool:
+        """True if this kind can index points of the given dimension."""
+        return self.dimensions is None or dimension in self.dimensions
+
+
+#: Every index family the catalog can build, keyed by its short kind name.
+INDEX_KINDS: Dict[str, IndexKind] = {
+    kind.name: kind
+    for kind in (
+        IndexKind("halfplane2d", HalfplaneIndex2D, (2,)),
+        IndexKind("halfspace3d", HalfspaceIndex3D, (3,)),
+        IndexKind("hybrid3d", HybridIndex3D, (3,)),
+        IndexKind("partition_tree", PartitionTreeIndex, None),
+        IndexKind("shallow_tree", ShallowPartitionTreeIndex, None),
+        IndexKind("full_scan", FullScanIndex, None),
+        IndexKind("rtree", RTreeIndex, None),
+        IndexKind("kdb_tree", KDBTreeIndex, None),
+        IndexKind("quadtree", QuadTreeIndex, (2,)),
+        IndexKind("paged_cgl", PagedDualIndex2D, (2,)),
+    )
+}
+
+
+def default_suite(dimension: int) -> List[str]:
+    """The kinds the engine builds when the caller does not choose.
+
+    One optimal structure for the dimension (when the paper provides one),
+    the linear-size partition tree (handles conjunctions natively), and
+    the full scan as the always-correct floor.
+    """
+    if dimension == 2:
+        return ["halfplane2d", "partition_tree", "full_scan"]
+    if dimension == 3:
+        return ["halfspace3d", "partition_tree", "full_scan"]
+    return ["partition_tree", "shallow_tree", "full_scan"]
+
+
+@dataclass
+class BuildRecord:
+    """What one index build cost (what the catalog's stats report)."""
+
+    dataset: str
+    index_name: str
+    kind: str
+    num_points: int
+    space_blocks: int
+    build_seconds: float
+    build_ios: Optional[IOStats]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly view (benchmarks persist these)."""
+        return {
+            "dataset": self.dataset,
+            "index": self.index_name,
+            "kind": self.kind,
+            "num_points": self.num_points,
+            "space_blocks": self.space_blocks,
+            "build_seconds": self.build_seconds,
+            "build_ios": self.build_ios.total if self.build_ios else None,
+        }
+
+
+@dataclass
+class Dataset:
+    """One registered point set: its shared store, its indexes, its sample."""
+
+    name: str
+    points: np.ndarray
+    store: BlockStore
+    sample: np.ndarray
+    indexes: Dict[str, ExternalIndex] = field(default_factory=dict)
+    build_records: Dict[str, BuildRecord] = field(default_factory=dict)
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension of the stored points."""
+        return int(self.points.shape[1])
+
+    @property
+    def size(self) -> int:
+        """Number of stored points (the paper's N)."""
+        return int(self.points.shape[0])
+
+    def estimate_selectivity(self, constraint: LinearConstraint) -> float:
+        """Fraction of points expected to satisfy ``constraint``.
+
+        Evaluated on the in-memory sample with one vectorised residual
+        computation; never touches the simulated disk.
+        """
+        if constraint.dimension != self.dimension:
+            raise ValueError(
+                "constraint dimension %d does not match dataset dimension %d"
+                % (constraint.dimension, self.dimension))
+        residuals = (self.sample[:, -1]
+                     - self.sample[:, :-1] @ np.asarray(constraint.coeffs))
+        return float(np.mean(residuals <= constraint.offset))
+
+    def estimate_output(self, constraint: LinearConstraint) -> int:
+        """Expected number of reported points (the paper's T)."""
+        return int(round(self.estimate_selectivity(constraint) * self.size))
+
+
+class Catalog:
+    """Registry of datasets and the indexes built over them.
+
+    Parameters
+    ----------
+    block_size:
+        Default block size B for datasets registered without one.
+    cache_blocks:
+        Default buffer-pool size for each dataset's shared store.
+    sample_size:
+        Number of points kept in memory per dataset for selectivity
+        estimation (the whole dataset if smaller).
+    seed:
+        Seed for sampling and for the randomised index builds.
+    """
+
+    def __init__(self, block_size: int = 64, cache_blocks: int = 4,
+                 sample_size: int = 512, seed: Optional[int] = None):
+        self._block_size = block_size
+        self._cache_blocks = cache_blocks
+        self._sample_size = sample_size
+        self._seed = seed
+        self._datasets: Dict[str, Dataset] = {}
+
+    # ------------------------------------------------------------------
+    # datasets
+    # ------------------------------------------------------------------
+    def register_dataset(self, name: str, points: Sequence[Sequence[float]],
+                         block_size: Optional[int] = None,
+                         cache_blocks: Optional[int] = None) -> Dataset:
+        """Register a point set under ``name`` with its own shared store."""
+        if name in self._datasets:
+            raise ValueError("dataset %r is already registered" % name)
+        array = np.asarray(points, dtype=float)
+        if array.ndim != 2 or array.shape[0] == 0 or array.shape[1] < 2:
+            raise ValueError("points must have shape (N >= 1, d >= 2), got %r"
+                             % (array.shape,))
+        store = BlockStore(
+            block_size=block_size or self._block_size,
+            cache_blocks=(self._cache_blocks if cache_blocks is None
+                          else cache_blocks))
+        rng = np.random.default_rng(self._seed)
+        if len(array) <= self._sample_size:
+            sample = array.copy()
+        else:
+            chosen = rng.choice(len(array), size=self._sample_size,
+                                replace=False)
+            sample = array[chosen]
+        dataset = Dataset(name=name, points=array, store=store, sample=sample)
+        self._datasets[name] = dataset
+        return dataset
+
+    def dataset(self, name: str) -> Dataset:
+        """Look up a registered dataset (KeyError with the known names)."""
+        if name not in self._datasets:
+            raise KeyError("unknown dataset %r (registered: %s)"
+                           % (name, sorted(self._datasets) or "none"))
+        return self._datasets[name]
+
+    def datasets(self) -> List[str]:
+        """Names of every registered dataset."""
+        return sorted(self._datasets)
+
+    # ------------------------------------------------------------------
+    # index builds
+    # ------------------------------------------------------------------
+    def build_index(self, dataset_name: str, kind: str,
+                    index_name: Optional[str] = None,
+                    **params) -> BuildRecord:
+        """Bulk-build one index of the given kind over a dataset.
+
+        The index shares the dataset's store; the returned record captures
+        the build's wall-clock time, write I/Os and space.
+        """
+        dataset = self.dataset(dataset_name)
+        if kind not in INDEX_KINDS:
+            raise KeyError("unknown index kind %r (known: %s)"
+                           % (kind, sorted(INDEX_KINDS)))
+        index_kind = INDEX_KINDS[kind]
+        if not index_kind.supports(dataset.dimension):
+            raise ValueError("index kind %r does not support dimension %d"
+                             % (kind, dataset.dimension))
+        index_name = index_name or kind
+        if index_name in dataset.indexes:
+            raise ValueError("index %r already exists on dataset %r"
+                             % (index_name, dataset_name))
+        if self._seed is not None and kind in ("halfplane2d", "halfspace3d",
+                                               "hybrid3d"):
+            params.setdefault("seed", self._seed)
+        started = time.perf_counter()
+        index = index_kind.factory(dataset.points, store=dataset.store,
+                                   **params)
+        elapsed = time.perf_counter() - started
+        record = BuildRecord(
+            dataset=dataset_name,
+            index_name=index_name,
+            kind=kind,
+            num_points=dataset.size,
+            space_blocks=index.space_blocks,
+            build_seconds=elapsed,
+            build_ios=index.build_ios,
+            params=dict(params),
+        )
+        dataset.indexes[index_name] = index
+        dataset.build_records[index_name] = record
+        return record
+
+    def build_suite(self, dataset_name: str,
+                    kinds: Optional[Sequence[str]] = None) -> List[BuildRecord]:
+        """Build a set of kinds (default: :func:`default_suite`) over a dataset."""
+        dataset = self.dataset(dataset_name)
+        chosen = list(kinds) if kinds is not None else default_suite(
+            dataset.dimension)
+        return [self.build_index(dataset_name, kind) for kind in chosen]
+
+    def indexes(self, dataset_name: str) -> Dict[str, ExternalIndex]:
+        """Every index registered on a dataset, keyed by index name."""
+        return dict(self.dataset(dataset_name).indexes)
+
+    def build_records(self, dataset_name: str) -> Dict[str, BuildRecord]:
+        """Build statistics for every index on a dataset."""
+        return dict(self.dataset(dataset_name).build_records)

@@ -1,0 +1,147 @@
+"""The query engine facade: one object gluing catalog, planner, executor.
+
+:class:`QueryEngine` is the serving entry point the examples and
+benchmarks drive::
+
+    engine = QueryEngine(block_size=64, seed=7)
+    engine.register_dataset("screener", points)          # builds a suite
+    result = engine.query("screener", constraint)        # planner-routed
+    batch = engine.serve_batch("screener", constraints)  # warm, deduped
+    print(engine.stats.to_table())
+
+Everything the facade does is available piecemeal through its
+:attr:`catalog`, :attr:`planner` and :attr:`executor` attributes; later
+scaling work (sharded catalogs, async executors) is expected to swap those
+components rather than grow this class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.conjunction import ConstraintConjunction
+from repro.engine.catalog import BuildRecord, Catalog
+from repro.engine.executor import (
+    BatchExecutor,
+    BatchResult,
+    ExecutedQuery,
+    WorkloadResult,
+)
+from repro.engine.metrics import EngineStats
+from repro.engine.planner import Plan, Planner
+from repro.geometry.primitives import LinearConstraint
+
+
+class QueryEngine:
+    """Cost-based routing of linear-constraint queries over many datasets.
+
+    Parameters
+    ----------
+    block_size / cache_blocks:
+        Defaults for each dataset's shared simulated disk.
+    sample_size:
+        Per-dataset sample kept for selectivity estimation.
+    result_cache_entries / warm_cache_blocks:
+        Executor knobs: answer-LRU capacity and the buffer-pool size used
+        while serving a batch.
+    ewma_alpha:
+        Planner calibration learning rate.
+    seed:
+        Seed for sampling and randomised index builds.
+    """
+
+    def __init__(self, block_size: int = 64, cache_blocks: int = 4,
+                 sample_size: int = 512, result_cache_entries: int = 256,
+                 warm_cache_blocks: int = 64, ewma_alpha: float = 0.25,
+                 seed: Optional[int] = None):
+        self.catalog = Catalog(block_size=block_size,
+                               cache_blocks=cache_blocks,
+                               sample_size=sample_size, seed=seed)
+        self.planner = Planner(self.catalog, ewma_alpha=ewma_alpha)
+        self.stats = EngineStats()
+        self.executor = BatchExecutor(
+            self.catalog, self.planner, stats=self.stats,
+            result_cache_entries=result_cache_entries,
+            warm_cache_blocks=warm_cache_blocks)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_dataset(self, name: str,
+                         points: Sequence[Sequence[float]],
+                         kinds: Optional[Sequence[str]] = None,
+                         block_size: Optional[int] = None,
+                         **catalog_kwargs) -> List[BuildRecord]:
+        """Register a dataset and bulk-build its index suite.
+
+        ``kinds`` picks the index families (default: the dimension's
+        :func:`~repro.engine.catalog.default_suite`).  Returns the build
+        records (space, build I/Os, wall-clock) for the benchmarks.
+        """
+        self.catalog.register_dataset(name, points, block_size=block_size,
+                                      **catalog_kwargs)
+        return self.catalog.build_suite(name, kinds=kinds)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def query(self, dataset: str, constraint: LinearConstraint,
+              clear_cache: bool = False) -> ExecutedQuery:
+        """Serve one constraint through the planner-chosen index."""
+        return self.executor.execute(dataset, constraint,
+                                     clear_cache=clear_cache)
+
+    def query_conjunction(self, dataset: str,
+                          conjunction: ConstraintConjunction,
+                          clear_cache: bool = False) -> ExecutedQuery:
+        """Serve an AND of constraints (convex-polytope query)."""
+        return self.executor.execute_conjunction(dataset, conjunction,
+                                                 clear_cache=clear_cache)
+
+    def serve_batch(self, dataset: str,
+                    constraints: Sequence[LinearConstraint],
+                    warm_cache: bool = True) -> BatchResult:
+        """Serve a batch against one dataset (dedup + warm buffer pool)."""
+        return self.executor.run_batch(dataset, constraints,
+                                       warm_cache=warm_cache)
+
+    def serve_workload(self,
+                       requests: Sequence[Tuple[str, LinearConstraint]],
+                       warm_cache: bool = True, use_threads: bool = False,
+                       max_workers: Optional[int] = None) -> WorkloadResult:
+        """Serve a mixed-tenant workload of (dataset, constraint) pairs."""
+        return self.executor.run_workload(requests, warm_cache=warm_cache,
+                                          use_threads=use_threads,
+                                          max_workers=max_workers)
+
+    def calibrate(self, dataset: str,
+                  constraints: Sequence[LinearConstraint]) -> int:
+        """Probe every index with a few constraints to seed calibration.
+
+        Runs each probe constraint through *every* candidate index with
+        ``query_with_stats`` (cold cache) and feeds the observed I/Os into
+        the planner, so routing starts from measured constants instead of
+        the bounds' implicit constant 1.  Returns the total I/Os spent
+        probing (a serving deployment pays this once at startup).
+        """
+        dataset_obj = self.catalog.dataset(dataset)
+        total = 0
+        for constraint in constraints:
+            expected = dataset_obj.estimate_output(constraint)
+            for name, index in sorted(dataset_obj.indexes.items()):
+                model = index.estimated_query_ios(constraint, expected)
+                result = index.query_with_stats(constraint, clear_cache=True)
+                self.planner.observe(dataset, name, model, result.total_ios)
+                total += result.total_ios
+        return total
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def explain(self, dataset: str, constraint: LinearConstraint) -> Plan:
+        """The plan the engine would choose, without executing it."""
+        return self.planner.plan(dataset, constraint)
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregated serving metrics (see :meth:`EngineStats.summary`)."""
+        return self.stats.summary()

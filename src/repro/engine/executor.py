@@ -1,0 +1,373 @@
+"""Batch execution: dedup, result caching, warm buffer pools, concurrency.
+
+The :class:`BatchExecutor` is the engine's data path.  Given a batch of
+constraints (or a whole multi-tenant workload), it:
+
+* asks the :class:`~repro.engine.planner.Planner` for a plan per unique
+  constraint and *groups* execution by chosen index, so consecutive
+  queries touch the same structure and reuse its hot blocks;
+* serves exact-duplicate constraints from an LRU **result cache** (a batch
+  with repeated hot queries pays I/Os only for the first occurrence);
+* optionally enlarges the dataset store's buffer pool for the duration of
+  the batch (**warm-cache serving**) and restores it afterwards, so the
+  per-query benchmarks elsewhere keep measuring the cold-cache model;
+* feeds every observed (predicted, actual) I/O pair back into the
+  planner's calibration and every latency/IO sample into
+  :class:`~repro.engine.metrics.EngineStats`;
+* can run the per-dataset batches of a workload on a thread pool —
+  queries are read-only and each dataset owns its store, so tenants are
+  served concurrently without sharing mutable block state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.conjunction import ConstraintConjunction, query_conjunction
+from repro.core.interface import Point
+from repro.engine.catalog import Catalog
+from repro.engine.metrics import EngineStats, ServedQueryRecord
+from repro.engine.planner import Plan, Planner
+from repro.geometry.primitives import LinearConstraint
+from repro.io.cache import LRUCache
+from repro.io.store import IOStats
+
+ConstraintKey = Tuple
+
+
+def constraint_key(constraint: LinearConstraint) -> ConstraintKey:
+    """Hashable identity of a constraint (dedup and result-cache key)."""
+    return (constraint.coeffs, constraint.offset)
+
+
+def conjunction_key(conjunction: ConstraintConjunction) -> ConstraintKey:
+    """Hashable identity of a conjunction."""
+    return ("conj",
+            tuple(constraint_key(c) for c in conjunction.constraints),
+            tuple((h.normal, h.offset) for h in conjunction.extra_halfspaces))
+
+
+@dataclass
+class ExecutedQuery:
+    """One served query: its answer, its plan, and what it cost."""
+
+    dataset: str
+    index_name: str
+    points: List[Point]
+    ios: IOStats
+    latency_s: float
+    estimated_ios: float
+    from_result_cache: bool = False
+
+    @property
+    def count(self) -> int:
+        """Number of reported points."""
+        return len(self.points)
+
+    @property
+    def total_ios(self) -> int:
+        """Block transfers charged to this query (0 on a result-cache hit)."""
+        return self.ios.total
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch against one dataset, in request order."""
+
+    dataset: str
+    queries: List[ExecutedQuery]
+    wall_seconds: float
+    executed: int
+    result_cache_hits: int
+
+    @property
+    def total_ios(self) -> int:
+        """Block transfers charged to the whole batch."""
+        return sum(query.total_ios for query in self.queries)
+
+    @property
+    def total_reported(self) -> int:
+        """Points reported across the batch."""
+        return sum(query.count for query in self.queries)
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of a multi-tenant workload, in request order."""
+
+    queries: List[ExecutedQuery]
+    batches: Dict[str, BatchResult]
+    wall_seconds: float
+
+    @property
+    def total_ios(self) -> int:
+        """Block transfers charged to the whole workload."""
+        return sum(batch.total_ios for batch in self.batches.values())
+
+    @property
+    def result_cache_hits(self) -> int:
+        """Requests answered from the result cache."""
+        return sum(batch.result_cache_hits for batch in self.batches.values())
+
+
+class BatchExecutor:
+    """Runs query batches against the catalog under the planner's routing.
+
+    Parameters
+    ----------
+    catalog / planner:
+        The engine's catalog and planner.
+    stats:
+        Optional :class:`EngineStats` sink; a private one is created when
+        omitted (exposed as :attr:`stats`).
+    result_cache_entries:
+        Capacity of the answer LRU (0 disables result caching).
+    warm_cache_blocks:
+        Buffer-pool size used while serving a warm batch; the store's
+        original (small) pool is restored when the batch finishes.
+    """
+
+    def __init__(self, catalog: Catalog, planner: Planner,
+                 stats: Optional[EngineStats] = None,
+                 result_cache_entries: int = 256,
+                 warm_cache_blocks: int = 64):
+        self._catalog = catalog
+        self._planner = planner
+        self.stats = stats if stats is not None else EngineStats()
+        self._results: LRUCache[Tuple[str, ConstraintKey], Tuple[str, List[Point]]]
+        self._results = LRUCache(result_cache_entries)
+        self._results_lock = threading.Lock()
+        self._warm_cache_blocks = warm_cache_blocks
+
+    # ------------------------------------------------------------------
+    # single queries
+    # ------------------------------------------------------------------
+    def execute(self, dataset_name: str, constraint: LinearConstraint,
+                clear_cache: bool = False) -> ExecutedQuery:
+        """Plan and run one constraint, recording metrics and calibration.
+
+        ``clear_cache`` requests a cold-cache measurement: it empties the
+        buffer pool first *and* bypasses the result cache, so the reported
+        I/Os are what the query costs from scratch.
+        """
+        key = (dataset_name, constraint_key(constraint))
+        if not clear_cache:
+            cached = self._result_cache_get(key)
+            if cached is not None:
+                return cached
+        plan = self._planner.plan(dataset_name, constraint)
+        return self._run_planned(dataset_name, constraint, plan, key,
+                                 clear_cache=clear_cache)
+
+    def execute_conjunction(self, dataset_name: str,
+                            conjunction: ConstraintConjunction,
+                            clear_cache: bool = False) -> ExecutedQuery:
+        """Plan and run a conjunction (convex-polytope query).
+
+        As in :meth:`execute`, ``clear_cache`` requests a cold-cache
+        measurement and bypasses the result cache.
+        """
+        key = (dataset_name, conjunction_key(conjunction))
+        if not clear_cache:
+            cached = self._result_cache_get(key)
+            if cached is not None:
+                return cached
+        plan = self._planner.plan_conjunction(dataset_name, conjunction)
+        dataset = self._catalog.dataset(dataset_name)
+        index = dataset.indexes[plan.index_name]
+        if clear_cache:
+            dataset.store.clear_cache()
+        started = time.perf_counter()
+        before = dataset.store.stats.snapshot()
+        points = query_conjunction(index, conjunction)
+        ios = dataset.store.stats.delta(before)
+        latency = time.perf_counter() - started
+        return self._finish(dataset_name, plan, points, ios, latency, key)
+
+    # ------------------------------------------------------------------
+    # batches and workloads
+    # ------------------------------------------------------------------
+    def run_batch(self, dataset_name: str,
+                  constraints: Sequence[LinearConstraint],
+                  warm_cache: bool = True) -> BatchResult:
+        """Serve a batch against one dataset.
+
+        Unique constraints are planned once, grouped by chosen index, and
+        executed with a shared (optionally enlarged) buffer pool; repeats
+        are answered from the result cache.
+        """
+        dataset = self._catalog.dataset(dataset_name)
+        store = dataset.store
+        started = time.perf_counter()
+        answers: Dict[ConstraintKey, ExecutedQuery] = {}
+        ordered_keys = [constraint_key(c) for c in constraints]
+
+        # Plan each unique constraint and group execution by chosen index.
+        unique: Dict[ConstraintKey, LinearConstraint] = {}
+        for constraint, key in zip(constraints, ordered_keys):
+            unique.setdefault(key, constraint)
+        groups: Dict[str, List[Tuple[ConstraintKey, LinearConstraint, Plan]]] = {}
+        for key, constraint in unique.items():
+            cached = self._result_cache_get((dataset_name, key))
+            if cached is not None:
+                answers[key] = cached
+                continue
+            plan = self._planner.plan(dataset_name, constraint)
+            groups.setdefault(plan.index_name, []).append(
+                (key, constraint, plan))
+
+        previous_pool = None
+        if warm_cache:
+            previous_pool = store.resize_cache(
+                max(store.cache_blocks, self._warm_cache_blocks))
+        try:
+            for index_name in sorted(groups):
+                for key, constraint, plan in groups[index_name]:
+                    # Re-plan just before running: calibration learned from
+                    # earlier queries in this batch may have rerouted the
+                    # constraint (the pre-pass grouping is only a locality
+                    # heuristic).
+                    plan = self._planner.plan(dataset_name, constraint)
+                    answers[key] = self._run_planned(
+                        dataset_name, constraint, plan,
+                        (dataset_name, key), clear_cache=False)
+        finally:
+            if previous_pool is not None:
+                store.resize_cache(previous_pool)
+
+        executed = sum(len(group) for group in groups.values())
+        first_position: Dict[ConstraintKey, int] = {}
+        for position, key in enumerate(ordered_keys):
+            first_position.setdefault(key, position)
+        in_order: List[ExecutedQuery] = []
+        hits = 0
+        for position, key in enumerate(ordered_keys):
+            answer = answers[key]
+            if position != first_position[key]:
+                # A repeat inside the batch: serve the points resolved for
+                # the first occurrence and charge nothing.
+                answer = self._as_cache_hit(answer)
+                self._record(answer)
+            if answer.from_result_cache:
+                hits += 1
+            in_order.append(answer)
+        return BatchResult(dataset=dataset_name, queries=in_order,
+                           wall_seconds=time.perf_counter() - started,
+                           executed=executed, result_cache_hits=hits)
+
+    def run_workload(self, requests: Sequence[Tuple[str, LinearConstraint]],
+                     warm_cache: bool = True, use_threads: bool = False,
+                     max_workers: Optional[int] = None) -> WorkloadResult:
+        """Serve a mixed-tenant workload of (dataset, constraint) requests.
+
+        Requests are partitioned per dataset and each dataset's batch runs
+        as in :meth:`run_batch` — concurrently on a thread pool when
+        ``use_threads`` is set (safe: queries are read-only and each
+        dataset owns its store).
+        """
+        started = time.perf_counter()
+        per_dataset: Dict[str, List[LinearConstraint]] = {}
+        positions: Dict[str, List[int]] = {}
+        for position, (dataset_name, constraint) in enumerate(requests):
+            per_dataset.setdefault(dataset_name, []).append(constraint)
+            positions.setdefault(dataset_name, []).append(position)
+
+        batches: Dict[str, BatchResult] = {}
+        if use_threads and len(per_dataset) > 1:
+            with ThreadPoolExecutor(
+                    max_workers=max_workers or len(per_dataset)) as pool:
+                futures = {
+                    dataset_name: pool.submit(self.run_batch, dataset_name,
+                                              constraints, warm_cache)
+                    for dataset_name, constraints in per_dataset.items()}
+                batches = {name: future.result()
+                           for name, future in futures.items()}
+        else:
+            for dataset_name, constraints in per_dataset.items():
+                batches[dataset_name] = self.run_batch(
+                    dataset_name, constraints, warm_cache=warm_cache)
+
+        ordered: List[Optional[ExecutedQuery]] = [None] * len(requests)
+        for dataset_name, batch in batches.items():
+            for position, answer in zip(positions[dataset_name],
+                                        batch.queries):
+                ordered[position] = answer
+        return WorkloadResult(queries=[q for q in ordered if q is not None],
+                              batches=batches,
+                              wall_seconds=time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_planned(self, dataset_name: str, constraint: LinearConstraint,
+                     plan: Plan, cache_key: Tuple[str, ConstraintKey],
+                     clear_cache: bool) -> ExecutedQuery:
+        dataset = self._catalog.dataset(dataset_name)
+        index = dataset.indexes[plan.index_name]
+        store = dataset.store
+        if clear_cache:
+            store.clear_cache()
+        started = time.perf_counter()
+        before = store.stats.snapshot()
+        points = index.query(constraint)
+        ios = store.stats.delta(before)
+        latency = time.perf_counter() - started
+        return self._finish(dataset_name, plan, points, ios, latency,
+                            cache_key)
+
+    def _finish(self, dataset_name: str, plan: Plan, points: List[Point],
+                ios: IOStats, latency: float,
+                cache_key: Tuple[str, ConstraintKey]) -> ExecutedQuery:
+        # Calibration models the *cold* cost of a structure (what the plan
+        # estimates predict), so count buffer-pool hits as the reads they
+        # would have been on a cold pool — otherwise whichever index runs
+        # later in a warm batch absorbs free reads and its factor collapses
+        # toward MIN_FACTOR, misrouting subsequent queries.
+        self._planner.observe(dataset_name, plan.index_name,
+                              plan.chosen.model_ios,
+                              ios.total + ios.cache_hits)
+        answer = ExecutedQuery(dataset=dataset_name,
+                               index_name=plan.index_name,
+                               points=points, ios=ios, latency_s=latency,
+                               estimated_ios=plan.estimated_ios)
+        self._record(answer)
+        with self._results_lock:
+            self._results.put(cache_key, (plan.index_name, list(points)))
+        return answer
+
+    def _result_cache_get(
+            self, key: Tuple[str, ConstraintKey]) -> Optional[ExecutedQuery]:
+        with self._results_lock:
+            hit = self._results.get(key)
+        if hit is None:
+            return None
+        index_name, points = hit
+        answer = ExecutedQuery(dataset=key[0], index_name=index_name,
+                               points=list(points), ios=IOStats(),
+                               latency_s=0.0, estimated_ios=0.0,
+                               from_result_cache=True)
+        self._record(answer)
+        return answer
+
+    @staticmethod
+    def _as_cache_hit(answer: ExecutedQuery) -> ExecutedQuery:
+        return ExecutedQuery(dataset=answer.dataset,
+                             index_name=answer.index_name,
+                             points=list(answer.points), ios=IOStats(),
+                             latency_s=0.0, estimated_ios=0.0,
+                             from_result_cache=True)
+
+    def _record(self, answer: ExecutedQuery) -> None:
+        self.stats.record(ServedQueryRecord(
+            dataset=answer.dataset,
+            index_name=answer.index_name,
+            latency_s=answer.latency_s,
+            ios=answer.total_ios,
+            reported=answer.count,
+            result_cache_hit=answer.from_result_cache,
+            store_cache_hits=answer.ios.cache_hits,
+        ))

@@ -1,0 +1,157 @@
+"""Serving metrics for the query engine.
+
+:class:`EngineStats` accumulates one record per served query — which index
+the planner chose, the measured I/Os, the wall-clock latency, and whether
+the answer came from the result cache — and summarises them the way a
+serving dashboard would: latency percentiles, I/O totals, cache hit rates
+and the plan distribution.  The benchmarks read these summaries instead of
+re-deriving them from raw query results.
+
+The recorder is thread-safe: the batch executor's concurrent path records
+from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.harness import format_table
+
+
+@dataclass(frozen=True)
+class ServedQueryRecord:
+    """One served query, as the metrics module sees it."""
+
+    dataset: str
+    index_name: str
+    latency_s: float
+    ios: int
+    reported: int
+    result_cache_hit: bool = False
+    store_cache_hits: int = 0
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 for empty input)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1], got %r" % fraction)
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+@dataclass
+class EngineStats:
+    """Aggregated serving statistics across every query the engine ran."""
+
+    records: List[ServedQueryRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, record: ServedQueryRecord) -> None:
+        """Append one served-query record (thread-safe)."""
+        with self._lock:
+            self.records.append(record)
+
+    def reset(self) -> None:
+        """Drop every record (e.g. between benchmark phases)."""
+        with self._lock:
+            self.records.clear()
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def num_queries(self) -> int:
+        """Number of served queries (result-cache hits included)."""
+        return len(self.records)
+
+    @property
+    def total_ios(self) -> int:
+        """Total block transfers across every served query."""
+        return sum(record.ios for record in self.records)
+
+    @property
+    def total_reported(self) -> int:
+        """Total records reported across every served query."""
+        return sum(record.reported for record in self.records)
+
+    @property
+    def result_cache_hits(self) -> int:
+        """Queries answered from the engine's result cache (zero I/Os)."""
+        return sum(1 for record in self.records if record.result_cache_hit)
+
+    @property
+    def result_cache_hit_rate(self) -> float:
+        """Fraction of served queries answered from the result cache."""
+        return (self.result_cache_hits / self.num_queries
+                if self.num_queries else 0.0)
+
+    @property
+    def store_cache_hits(self) -> int:
+        """Buffer-pool hits attributed to served queries (free block reads)."""
+        return sum(record.store_cache_hits for record in self.records)
+
+    @property
+    def store_cache_hit_rate(self) -> float:
+        """Buffer-pool hits over buffer-pool lookups (hits + charged reads)."""
+        lookups = self.store_cache_hits + self.total_ios
+        return self.store_cache_hits / lookups if lookups else 0.0
+
+    def plan_distribution(self) -> Dict[str, int]:
+        """How many queries each index served (the planner's routing mix)."""
+        return dict(Counter(record.index_name for record in self.records))
+
+    def latency_percentiles(self, fractions=(0.5, 0.9, 0.99)) -> Dict[str, float]:
+        """Latency percentiles in seconds, keyed "p50", "p90", ..."""
+        ordered = sorted(record.latency_s for record in self.records)
+        return {"p%g" % (fraction * 100): percentile(ordered, fraction)
+                for fraction in fractions}
+
+    def mean_ios(self) -> float:
+        """Average I/Os per served query."""
+        return self.total_ios / self.num_queries if self.num_queries else 0.0
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Everything a dashboard (or BENCH json) wants, as one dict."""
+        return {
+            "num_queries": self.num_queries,
+            "total_ios": self.total_ios,
+            "mean_ios": self.mean_ios(),
+            "total_reported": self.total_reported,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_hit_rate": self.result_cache_hit_rate,
+            "store_cache_hits": self.store_cache_hits,
+            "store_cache_hit_rate": self.store_cache_hit_rate,
+            "latency_s": self.latency_percentiles(),
+            "plan_distribution": self.plan_distribution(),
+        }
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        """Per-index serving table (queries, I/Os, latency percentiles)."""
+        by_index: Dict[str, List[ServedQueryRecord]] = {}
+        for record in self.records:
+            by_index.setdefault(record.index_name, []).append(record)
+        header = ["index", "#q", "mean I/Os", "total I/Os", "p50 ms",
+                  "p99 ms", "res-cache hits"]
+        rows = []
+        for name in sorted(by_index):
+            group = by_index[name]
+            latencies = sorted(record.latency_s for record in group)
+            rows.append([
+                name,
+                str(len(group)),
+                "%.1f" % (sum(r.ios for r in group) / len(group)),
+                str(sum(r.ios for r in group)),
+                "%.2f" % (percentile(latencies, 0.5) * 1e3),
+                "%.2f" % (percentile(latencies, 0.99) * 1e3),
+                str(sum(1 for r in group if r.result_cache_hit)),
+            ])
+        return format_table(header, rows, title=title or "engine serving stats")

@@ -1,0 +1,206 @@
+"""The cost-based planner: route each query to the cheapest index.
+
+For a dataset with several registered indexes, the planner predicts what
+each index would charge for a given constraint and picks the minimum.  The
+prediction has two factors:
+
+* the *model* term — each index's
+  :meth:`~repro.core.interface.ExternalIndex.estimated_query_ios`, i.e. the
+  paper's asymptotic bound (``log_B n + t`` for the optimal structures,
+  ``n^{1-1/d} + t`` for the partition tree, ``n`` for a scan) evaluated
+  with the expected output size from the catalog's sample;
+* a *calibration* factor — an exponentially-weighted running ratio of
+  observed I/Os (from ``query_with_stats`` history fed back by the
+  executor) to predicted I/Os, per (dataset, index).  Asymptotic bounds
+  drop constants; calibration learns them from traffic, so a structure
+  whose real constant is large gradually loses ties it should lose.
+
+Calibration state is exportable/restorable as a plain dict so a serving
+deployment can persist what it learned across restarts.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.conjunction import ConstraintConjunction
+from repro.engine.catalog import Catalog
+from repro.geometry.primitives import LinearConstraint
+
+#: Calibration factors are clamped to this range so one outlier
+#: observation can never permanently blacklist (or anoint) an index.
+MIN_FACTOR = 0.05
+MAX_FACTOR = 20.0
+
+
+@dataclass(frozen=True)
+class CandidateEstimate:
+    """The planner's prediction for one candidate index."""
+
+    index_name: str
+    model_ios: float
+    calibration: float
+
+    @property
+    def cost(self) -> float:
+        """Calibrated predicted I/Os (what the planner minimises)."""
+        return self.model_ios * self.calibration
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The planner's decision for one query."""
+
+    dataset: str
+    index_name: str
+    expected_output: int
+    estimates: Tuple[CandidateEstimate, ...]
+
+    @property
+    def estimated_ios(self) -> float:
+        """Predicted cost of the chosen index."""
+        return self.chosen.cost
+
+    @property
+    def chosen(self) -> CandidateEstimate:
+        """The winning candidate's estimate."""
+        for estimate in self.estimates:
+            if estimate.index_name == self.index_name:
+                return estimate
+        raise AssertionError("plan lost its own chosen index %r"
+                             % self.index_name)
+
+    def explain(self) -> str:
+        """One line per candidate, winner first (for logs and examples)."""
+        ordered = sorted(self.estimates, key=lambda est: est.cost)
+        lines = ["plan for dataset %r (expected T=%d):"
+                 % (self.dataset, self.expected_output)]
+        for rank, estimate in enumerate(ordered):
+            marker = "->" if rank == 0 else "  "
+            lines.append("  %s %-16s %8.1f predicted I/Os"
+                         " (model %.1f x calibration %.2f)"
+                         % (marker, estimate.index_name, estimate.cost,
+                            estimate.model_ios, estimate.calibration))
+        return "\n".join(lines)
+
+
+@dataclass
+class _Calibration:
+    """Running observed/predicted ratio for one (dataset, index)."""
+
+    factor: float = 1.0
+    observations: int = 0
+
+
+class Planner:
+    """Pick the cheapest index for each constraint, learning from history.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog holding datasets and their candidate indexes.
+    ewma_alpha:
+        Weight of the newest observed/predicted ratio in the calibration
+        factor (0 disables learning, 1 trusts only the last query).
+    """
+
+    def __init__(self, catalog: Catalog, ewma_alpha: float = 0.25):
+        if not 0.0 <= ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must lie in [0, 1], got %r"
+                             % ewma_alpha)
+        self._catalog = catalog
+        self._alpha = ewma_alpha
+        self._calibrations: Dict[Tuple[str, str], _Calibration] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, dataset_name: str,
+             constraint: LinearConstraint) -> Plan:
+        """Choose the cheapest index for a single linear constraint."""
+        dataset = self._catalog.dataset(dataset_name)
+        if not dataset.indexes:
+            raise ValueError("dataset %r has no indexes to plan over"
+                             % dataset_name)
+        expected_output = dataset.estimate_output(constraint)
+        estimates = tuple(
+            CandidateEstimate(
+                index_name=name,
+                model_ios=index.estimated_query_ios(constraint,
+                                                    expected_output),
+                calibration=self.calibration_factor(dataset_name, name),
+            )
+            for name, index in sorted(dataset.indexes.items()))
+        winner = min(estimates, key=lambda est: (est.cost, est.index_name))
+        return Plan(dataset=dataset_name, index_name=winner.index_name,
+                    expected_output=expected_output, estimates=estimates)
+
+    def plan_conjunction(self, dataset_name: str,
+                         conjunction: ConstraintConjunction) -> Plan:
+        """Choose an index for a conjunction of constraints.
+
+        Non-simplex indexes answer a conjunction by running its most
+        selective conjunct and filtering (see :mod:`repro.core.conjunction`),
+        so each candidate is costed with that conjunct's expected output;
+        the executor then evaluates the conjunction through
+        :func:`~repro.core.conjunction.query_conjunction`.
+        """
+        dataset = self._catalog.dataset(dataset_name)
+        best = min(conjunction.constraints,
+                   key=lambda constraint: dataset.estimate_output(constraint))
+        return self.plan(dataset_name, best)
+
+    # ------------------------------------------------------------------
+    # calibration
+    # ------------------------------------------------------------------
+    def calibration_factor(self, dataset_name: str, index_name: str) -> float:
+        """Current observed/predicted ratio for one (dataset, index)."""
+        with self._lock:
+            entry = self._calibrations.get((dataset_name, index_name))
+            return entry.factor if entry else 1.0
+
+    def observe(self, dataset_name: str, index_name: str,
+                model_ios: float, observed_ios: int) -> None:
+        """Feed back one executed query's (model estimate, observed) pair.
+
+        ``model_ios`` must be the *uncalibrated* estimate (the
+        ``estimated_query_ios`` value): the EWMA of ``observed / model``
+        then converges to the structure's true constant factor.  The very
+        first observation snaps the factor directly so a cold planner
+        learns a grossly mispredicted constant after one query.
+        """
+        if model_ios <= 0:
+            return
+        ratio = max(observed_ios, 1) / model_ios
+        with self._lock:
+            key = (dataset_name, index_name)
+            entry = self._calibrations.setdefault(key, _Calibration())
+            if entry.observations == 0:
+                blended = ratio
+            else:
+                blended = (1.0 - self._alpha) * entry.factor \
+                    + self._alpha * ratio
+            entry.factor = min(MAX_FACTOR, max(MIN_FACTOR, blended))
+            entry.observations += 1
+
+    def export_calibration(self) -> Dict[str, Dict[str, object]]:
+        """Calibration state as a JSON-friendly dict (persist across runs)."""
+        with self._lock:
+            return {
+                "%s/%s" % key: {"factor": entry.factor,
+                                "observations": entry.observations}
+                for key, entry in self._calibrations.items()
+            }
+
+    def load_calibration(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Restore calibration exported by :meth:`export_calibration`."""
+        with self._lock:
+            for joined, payload in state.items():
+                dataset_name, _, index_name = joined.partition("/")
+                self._calibrations[(dataset_name, index_name)] = _Calibration(
+                    factor=float(payload["factor"]),
+                    observations=int(payload["observations"]),
+                )

@@ -57,6 +57,20 @@ class LRUCache(Generic[K, V]):
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def resize(self, capacity: int) -> None:
+        """Change the capacity, evicting LRU entries if it shrank.
+
+        The engine's batch executor enlarges the buffer pool while serving
+        a query batch (cache reuse across queries) and restores the
+        original size afterwards, so single-query measurements keep the
+        model's small ``M/B``.
+        """
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0, got %r" % capacity)
+        self.capacity = capacity
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
+
     def invalidate(self, key: K) -> None:
         """Drop an entry (used when a block is rewritten or freed)."""
         self._entries.pop(key, None)

@@ -199,6 +199,33 @@ class BlockStore:
         """Empty the buffer pool (e.g. between query batches)."""
         self._cache.clear()
 
+    @property
+    def cache_blocks(self) -> int:
+        """Current buffer-pool capacity in blocks (the model's ``M/B``)."""
+        return self._cache.capacity
+
+    def resize_cache(self, cache_blocks: int) -> int:
+        """Change the buffer-pool capacity; return the previous capacity.
+
+        Batch serving enlarges the pool so blocks read for one query stay
+        resident for the next, then restores the old size so per-query
+        benchmarks keep measuring the model's small-memory regime.
+        """
+        previous = self._cache.capacity
+        self._cache.resize(cache_blocks)
+        self._config.cache_blocks = cache_blocks
+        return previous
+
+    def cache_info(self) -> Dict[str, float]:
+        """Buffer-pool capacity, occupancy and hit rate (for metrics)."""
+        return {
+            "capacity": self._cache.capacity,
+            "resident": len(self._cache),
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "hit_rate": self._cache.hit_rate,
+        }
+
     def blocks_for(self, num_records: int) -> int:
         """⌈num_records / B⌉ — blocks needed to store that many records."""
         return -(-num_records // self.block_size)

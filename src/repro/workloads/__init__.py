@@ -22,6 +22,7 @@ from repro.workloads.distributions import (
 )
 from repro.workloads.queries import (
     halfspace_queries_with_selectivity,
+    mixed_tenant_workload,
     random_halfspace_queries,
     rotated_diagonal_query,
 )
@@ -34,5 +35,6 @@ __all__ = [
     "diagonal_points",
     "random_halfspace_queries",
     "halfspace_queries_with_selectivity",
+    "mixed_tenant_workload",
     "rotated_diagonal_query",
 ]

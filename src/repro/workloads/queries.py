@@ -9,7 +9,7 @@ offset so that the desired fraction of points satisfies the constraint.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +78,72 @@ def rotated_diagonal_query(points: np.ndarray, angle: float = 1e-3,
     residuals = points[:, 1] - slope * points[:, 0]
     offset = float(np.quantile(residuals, selectivity))
     return LinearConstraint(coeffs=(slope,), offset=offset)
+
+
+def _constraint_with_selectivity(points: np.ndarray, selectivity: float,
+                                 slope_scale: float,
+                                 generator: np.random.Generator
+                                 ) -> LinearConstraint:
+    """One constraint whose offset is the selectivity-quantile of residuals."""
+    dimension = points.shape[1]
+    coeffs = generator.uniform(-slope_scale, slope_scale, size=dimension - 1)
+    residuals = points[:, -1] - points[:, :-1] @ coeffs
+    offset = float(np.quantile(residuals, selectivity))
+    return LinearConstraint(coeffs=tuple(coeffs.tolist()), offset=offset)
+
+
+def mixed_tenant_workload(tenants: Dict[str, np.ndarray], num_requests: int,
+                          hot_fraction: float = 0.3, hot_pool: int = 4,
+                          selectivity_range: Tuple[float, float] = (0.005, 0.25),
+                          slope_scale: float = 1.0,
+                          seed: Optional[int] = None
+                          ) -> List[Tuple[str, LinearConstraint]]:
+    """A serving trace for the engine: interleaved (tenant, constraint) pairs.
+
+    Models the traffic a multi-tenant deployment sees:
+
+    * each request picks a tenant (dataset) uniformly at random;
+    * a ``hot_fraction`` of requests re-issue one of the tenant's
+      ``hot_pool`` *hot* constraints — repeats a result cache can absorb;
+    * the rest are fresh constraints whose selectivity is drawn
+      log-uniformly from ``selectivity_range``, mixing reporting-heavy
+      queries (large ``t``) with needle queries (search-term bound).
+
+    Tenants may have different dimensions; every constraint matches its
+    tenant's points.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must lie in [0, 1], got %r"
+                         % hot_fraction)
+    low, high = selectivity_range
+    if not 0.0 < low <= high <= 1.0:
+        raise ValueError("selectivity_range must satisfy 0 < low <= high <= 1")
+    generator = _rng(seed)
+    names = sorted(tenants)
+    points_by_name = {name: np.asarray(tenants[name], dtype=float)
+                      for name in names}
+
+    def fresh(points: np.ndarray) -> LinearConstraint:
+        selectivity = float(np.exp(generator.uniform(np.log(low),
+                                                     np.log(high))))
+        return _constraint_with_selectivity(points, selectivity, slope_scale,
+                                            generator)
+
+    hot: Dict[str, List[LinearConstraint]] = {
+        name: [fresh(points_by_name[name]) for __ in range(max(1, hot_pool))]
+        for name in names}
+    requests: List[Tuple[str, LinearConstraint]] = []
+    for __ in range(num_requests):
+        name = names[int(generator.integers(len(names)))]
+        if generator.random() < hot_fraction:
+            pool = hot[name]
+            constraint = pool[int(generator.integers(len(pool)))]
+        else:
+            constraint = fresh(points_by_name[name])
+        requests.append((name, constraint))
+    return requests
 
 
 def knn_query_points(num_queries: int, low: float = -1.0, high: float = 1.0,

@@ -23,7 +23,7 @@ from repro.workloads import (
     uniform_points,
 )
 
-from .conftest import brute_force_halfspace
+from conftest import brute_force_halfspace
 
 ALL_2D_BASELINES = [FullScanIndex, QuadTreeIndex, RTreeIndex, KDBTreeIndex,
                     PagedDualIndex2D]

@@ -15,7 +15,7 @@ from repro import (
 from repro.baselines import FullScanIndex
 from repro.workloads import halfspace_queries_with_selectivity, uniform_points
 
-from .conftest import brute_force_halfspace
+from conftest import brute_force_halfspace
 
 
 class TestConstraintConjunction:

@@ -1,0 +1,298 @@
+"""Tests for the query-serving subsystem (catalog, planner, executor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import brute_force_halfspace
+
+from repro import ConstraintConjunction, LinearConstraint, QueryEngine
+from repro.engine import Catalog, EngineStats, Planner, ServedQueryRecord
+from repro.engine.metrics import percentile
+from repro.workloads import (
+    halfspace_queries_with_selectivity,
+    mixed_tenant_workload,
+    uniform_points,
+)
+
+BLOCK_SIZE = 32
+
+
+@pytest.fixture(scope="module")
+def points2d():
+    return uniform_points(4096, seed=11)
+
+
+@pytest.fixture(scope="module")
+def engine2d(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("uniform2d", points2d)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# catalog
+# ----------------------------------------------------------------------
+def test_catalog_builds_suite_and_records_stats(points2d):
+    catalog = Catalog(block_size=BLOCK_SIZE, seed=3)
+    catalog.register_dataset("d", points2d)
+    records = catalog.build_suite("d")
+    kinds = {record.kind for record in records}
+    assert kinds == {"halfplane2d", "partition_tree", "full_scan"}
+    for record in records:
+        assert record.space_blocks > 0
+        assert record.build_ios is not None and record.build_ios.writes > 0
+        assert record.build_seconds >= 0.0
+    assert set(catalog.indexes("d")) == kinds
+
+
+def test_catalog_rejects_bad_registrations(points2d):
+    catalog = Catalog(block_size=BLOCK_SIZE)
+    catalog.register_dataset("d", points2d)
+    with pytest.raises(ValueError):
+        catalog.register_dataset("d", points2d)          # duplicate name
+    with pytest.raises(KeyError):
+        catalog.build_index("d", "no_such_kind")
+    with pytest.raises(KeyError):
+        catalog.dataset("missing")
+    catalog.register_dataset("d3", uniform_points(64, dimension=3, seed=1))
+    with pytest.raises(ValueError):
+        catalog.build_index("d3", "halfplane2d")          # wrong dimension
+
+
+def test_catalog_selectivity_estimate_tracks_truth(points2d):
+    catalog = Catalog(block_size=BLOCK_SIZE, sample_size=1024, seed=2)
+    dataset = catalog.register_dataset("d", points2d)
+    for target in (0.05, 0.5, 0.95):
+        constraint = halfspace_queries_with_selectivity(
+            points2d, 1, target, seed=int(target * 100))[0]
+        estimate = dataset.estimate_selectivity(constraint)
+        assert abs(estimate - target) < 0.1
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+def test_planner_picks_optimal_structure_for_selective_query(engine2d,
+                                                             points2d):
+    selective = halfspace_queries_with_selectivity(points2d, 1, 0.01,
+                                                   seed=7)[0]
+    plan = engine2d.explain("uniform2d", selective)
+    assert plan.index_name == "halfplane2d"
+    by_name = {est.index_name: est for est in plan.estimates}
+    assert by_name["halfplane2d"].cost < by_name["full_scan"].cost
+    assert by_name["halfplane2d"].cost < by_name["partition_tree"].cost
+
+
+def test_planner_picks_scan_for_reporting_heavy_query(engine2d, points2d):
+    # Everything satisfies the constraint: t = n, so the scan's n I/Os beat
+    # any structure paying a search term on top of the output term.
+    everything = LinearConstraint(coeffs=(0.0,), offset=1e9)
+    plan = engine2d.explain("uniform2d", everything)
+    assert plan.expected_output == len(points2d)
+    assert plan.index_name == "full_scan"
+
+
+def test_planner_picks_scan_for_tiny_dataset():
+    engine = QueryEngine(block_size=64, seed=1)
+    engine.register_dataset("tiny", uniform_points(32, seed=4))
+    plan = engine.explain("tiny", LinearConstraint(coeffs=(0.3,), offset=0.0))
+    assert plan.index_name == "full_scan"
+    assert plan.estimated_ios == pytest.approx(1.0)
+
+
+def test_planner_calibration_reroutes_after_observations(points2d):
+    catalog = Catalog(block_size=BLOCK_SIZE, seed=3)
+    catalog.register_dataset("d", points2d)
+    catalog.build_suite("d")
+    planner = Planner(catalog, ewma_alpha=0.5)
+    selective = halfspace_queries_with_selectivity(points2d, 1, 0.01,
+                                                   seed=9)[0]
+    plan = planner.plan("d", selective)
+    assert plan.index_name == "halfplane2d"
+    # Pretend the optimal structure is consistently 100x its model cost.
+    model = plan.chosen.model_ios
+    for __ in range(3):
+        planner.observe("d", "halfplane2d", model, int(model * 100))
+    assert planner.calibration_factor("d", "halfplane2d") > 1.0
+    assert planner.plan("d", selective).index_name != "halfplane2d"
+
+
+def test_engine_calibrate_probes_measure_real_constants(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    probes = halfspace_queries_with_selectivity(points2d, 2, 0.05, seed=43)
+    spent = engine.calibrate("d", probes)
+    assert spent > 0
+    state = engine.planner.export_calibration()
+    assert set(state) == {"d/halfplane2d", "d/partition_tree", "d/full_scan"}
+    # The scan's model is exact, so its learned constant stays at ~1.
+    assert state["d/full_scan"]["factor"] == pytest.approx(1.0, abs=0.05)
+    for payload in state.values():
+        assert payload["observations"] == len(probes)
+
+
+def test_planner_calibration_roundtrips(points2d):
+    catalog = Catalog(block_size=BLOCK_SIZE, seed=3)
+    catalog.register_dataset("d", points2d)
+    catalog.build_suite("d")
+    planner = Planner(catalog)
+    planner.observe("d", "halfplane2d", 10.0, 25)
+    state = planner.export_calibration()
+    fresh = Planner(catalog)
+    fresh.load_calibration(state)
+    assert fresh.calibration_factor("d", "halfplane2d") == pytest.approx(
+        planner.calibration_factor("d", "halfplane2d"))
+
+
+# ----------------------------------------------------------------------
+# executor
+# ----------------------------------------------------------------------
+def test_batch_answers_match_brute_force_for_every_index(points2d):
+    # Every 2-D-capable kind participates; whatever the planner routes to,
+    # the answers must match the in-memory filter, and each index must
+    # individually pass its own validation on the same constraints.
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    kinds = ["halfplane2d", "partition_tree", "shallow_tree", "full_scan",
+             "rtree", "kdb_tree", "quadtree", "paged_cgl"]
+    engine.register_dataset("d", points2d, kinds=kinds)
+    constraints = halfspace_queries_with_selectivity(points2d, 4, 0.05,
+                                                     seed=13)
+    batch = engine.serve_batch("d", constraints)
+    for constraint, answer in zip(constraints, batch.queries):
+        assert {tuple(p) for p in answer.points} == brute_force_halfspace(
+            points2d, constraint)
+    for index in engine.catalog.indexes("d").values():
+        for constraint in constraints:
+            assert index.validate_against_scan(constraint, points2d)
+
+
+def test_result_cache_serves_repeats_for_free(engine2d, points2d):
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.02,
+                                                    seed=21)[0]
+    first = engine2d.query("uniform2d", constraint)
+    second = engine2d.query("uniform2d", constraint)
+    assert not first.from_result_cache
+    assert second.from_result_cache
+    assert second.total_ios == 0
+    assert second.points == first.points
+
+
+def test_batch_dedups_repeated_constraints(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraints = halfspace_queries_with_selectivity(points2d, 3, 0.03,
+                                                     seed=23)
+    batch = engine.serve_batch("d", constraints + constraints)
+    assert batch.executed == 3
+    assert batch.result_cache_hits == 3
+    for constraint, answer in zip(constraints + constraints, batch.queries):
+        assert {tuple(p) for p in answer.points} == brute_force_halfspace(
+            points2d, constraint)
+
+
+def test_warm_batch_beats_independent_cold_queries(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraints = halfspace_queries_with_selectivity(points2d, 8, 0.1,
+                                                     seed=29)
+    requests = constraints + constraints[:4]
+
+    cold_total = 0
+    indexes = engine.catalog.indexes("d")
+    for constraint in requests:
+        plan = engine.explain("d", constraint)
+        result = indexes[plan.index_name].query_with_stats(constraint,
+                                                           clear_cache=True)
+        cold_total += result.total_ios
+
+    batch = engine.serve_batch("d", requests, warm_cache=True)
+    assert batch.total_ios < cold_total
+
+
+def test_warm_batch_restores_buffer_pool(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, cache_blocks=4,
+                         warm_cache_blocks=128, seed=5)
+    engine.register_dataset("d", points2d)
+    store = engine.catalog.dataset("d").store
+    assert store.cache_blocks == 4
+    engine.serve_batch("d", halfspace_queries_with_selectivity(
+        points2d, 3, 0.05, seed=31))
+    assert store.cache_blocks == 4
+
+
+def test_threaded_workload_matches_brute_force(points2d):
+    points3d = uniform_points(1024, dimension=3, seed=6)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("flat", points2d,
+                            kinds=["halfplane2d", "full_scan"])
+    engine.register_dataset("deep", points3d,
+                            kinds=["partition_tree", "full_scan"])
+    tenants = {"flat": points2d, "deep": points3d}
+    requests = mixed_tenant_workload(tenants, num_requests=24,
+                                     hot_fraction=0.5, seed=37)
+    result = engine.serve_workload(requests, use_threads=True)
+    assert len(result.queries) == len(requests)
+    for (tenant, constraint), answer in zip(requests, result.queries):
+        assert answer.dataset == tenant
+        assert {tuple(p) for p in answer.points} == brute_force_halfspace(
+            tenants[tenant], constraint)
+    assert result.result_cache_hits > 0
+
+
+def test_conjunction_query_matches_filter(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    conjunction = ConstraintConjunction.of(
+        LinearConstraint(coeffs=(0.4,), offset=0.2),
+        LinearConstraint(coeffs=(-0.3,), offset=0.5),
+    )
+    answer = engine.query_conjunction("d", conjunction)
+    assert sorted(tuple(p) for p in answer.points) == sorted(
+        tuple(p) for p in conjunction.filter(points2d))
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def test_percentile_nearest_rank():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([3.0], 0.99) == 3.0
+    values = sorted(float(v) for v in range(1, 101))
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 1.0) == 100.0
+    assert percentile(values, 0.5) == pytest.approx(50.0, abs=1.0)
+
+
+def test_engine_stats_summary_and_distribution():
+    stats = EngineStats()
+    for ios, cached in ((10, False), (0, True), (6, False)):
+        stats.record(ServedQueryRecord(
+            dataset="d", index_name="halfplane2d", latency_s=0.001 * (ios + 1),
+            ios=ios, reported=5, result_cache_hit=cached))
+    stats.record(ServedQueryRecord(dataset="d", index_name="full_scan",
+                                   latency_s=0.5, ios=128, reported=4096))
+    summary = stats.summary()
+    assert summary["num_queries"] == 4
+    assert summary["total_ios"] == 144
+    assert summary["result_cache_hits"] == 1
+    assert summary["plan_distribution"] == {"halfplane2d": 3, "full_scan": 1}
+    assert summary["latency_s"]["p50"] <= summary["latency_s"]["p99"]
+    assert "full_scan" in stats.to_table()
+
+
+def test_workload_generator_shapes_and_hot_repeats(points2d):
+    tenants = {"a": points2d, "b": uniform_points(512, dimension=3, seed=8)}
+    requests = mixed_tenant_workload(tenants, num_requests=100,
+                                     hot_fraction=0.5, hot_pool=2, seed=41)
+    assert len(requests) == 100
+    seen = set()
+    repeats = 0
+    for tenant, constraint in requests:
+        assert tenant in tenants
+        assert constraint.dimension == tenants[tenant].shape[1]
+        key = (tenant, constraint.coeffs, constraint.offset)
+        repeats += key in seen
+        seen.add(key)
+    assert repeats > 10   # the hot pool produces real repeats

@@ -15,7 +15,7 @@ from repro.workloads import (
     uniform_points,
 )
 
-from .conftest import brute_force_halfspace
+from conftest import brute_force_halfspace
 
 
 @pytest.fixture(scope="module")

@@ -15,7 +15,7 @@ from repro.workloads import (
     uniform_points_ball,
 )
 
-from .conftest import brute_force_halfspace
+from conftest import brute_force_halfspace
 
 
 def random_planes(count, seed):

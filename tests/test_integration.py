@@ -29,7 +29,7 @@ from repro.workloads import (
     uniform_points_ball,
 )
 
-from .conftest import brute_force_halfspace
+from conftest import brute_force_halfspace
 
 
 class TestCrossStructureAgreement2D:
