@@ -16,11 +16,25 @@ serving a mixed trace with hot repeats.  Strategies compared:
 * ``fixed:<kind>`` — every query forced through one index family
   (``optimal`` = halfplane2d / halfspace3d per dimension), cold.
 
+Two storage-layer experiments ride along:
+
+* **backends** — the identical workload served by a memory-backed and a
+  file-backed engine must charge *identical* I/O counts (the backend
+  changes the medium, never the model's accounting); the file backend's
+  real byte traffic is recorded alongside.
+* **sharding** — a K=4 range-sharded tenant serving steep
+  leading-attribute constraints must prune shards (fewer total I/Os than
+  fanning out to every shard) while staying exact, and the same queries
+  are compared against an unsharded deployment.
+
 Run standalone to (re)record the repo-root ``BENCH_engine.json``::
 
-    python benchmarks/bench_engine.py
+    python benchmarks/bench_engine.py            # full configuration
+    python benchmarks/bench_engine.py --smoke    # tiny CI configuration
 
-or under pytest, which additionally asserts the acceptance criteria.
+(``--smoke`` runs every phase at reduced size and skips the JSON write —
+the CI ``bench-smoke`` job uses it to catch perf-path regressions fast.)
+Under pytest the acceptance criteria are asserted as tests.
 """
 
 from __future__ import annotations
@@ -28,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import tempfile
 import time
 
 try:
@@ -41,6 +56,7 @@ from repro.experiments import format_table
 from repro.workloads import (
     halfspace_queries_with_selectivity,
     mixed_tenant_workload,
+    steep_leading_attribute_queries,
     uniform_points,
 )
 
@@ -50,6 +66,18 @@ NUM_REQUESTS = 80
 HOT_FRACTION = 0.35
 SEED = 1998
 TENANT_SIZES = {"flat2d": 4096, "solid3d": 2048}
+
+#: Shard count of the sharded experiment (the ISSUE's K=4 run).
+NUM_SHARDS = 4
+NUM_SHARD_QUERIES = 10
+SHARD_SELECTIVITY = 0.02
+SHARD_POINTS = 4096
+
+#: --smoke: tiny sizes so CI smoke-tests every phase in seconds.
+SMOKE_TENANT_SIZES = {"flat2d": 512, "solid3d": 384}
+SMOKE_NUM_REQUESTS = 16
+SMOKE_SHARD_POINTS = 512
+SMOKE_NUM_SHARD_QUERIES = 4
 
 #: Index kinds built per tenant; "optimal" resolves per dimension.
 SUITES = {
@@ -63,19 +91,22 @@ BENCH_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
                           "BENCH_engine.json")
 
 
-def build_scenario():
+def build_scenario(smoke=False, backend="memory", data_dir=None):
     """The two tenants, their engine, and the request trace."""
+    sizes = SMOKE_TENANT_SIZES if smoke else TENANT_SIZES
+    num_requests = SMOKE_NUM_REQUESTS if smoke else NUM_REQUESTS
     tenants = {
-        "flat2d": uniform_points(TENANT_SIZES["flat2d"], seed=SEED),
-        "solid3d": uniform_points(TENANT_SIZES["solid3d"], dimension=3,
+        "flat2d": uniform_points(sizes["flat2d"], seed=SEED),
+        "solid3d": uniform_points(sizes["solid3d"], dimension=3,
                                   seed=SEED + 1),
     }
-    engine = QueryEngine(block_size=BLOCK_SIZE, seed=SEED)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=SEED, backend=backend,
+                         data_dir=data_dir)
     builds = []
     for name, points in tenants.items():
         builds.extend(engine.register_dataset(name, points,
                                               kinds=SUITES[name]))
-    requests = mixed_tenant_workload(tenants, num_requests=NUM_REQUESTS,
+    requests = mixed_tenant_workload(tenants, num_requests=num_requests,
                                      hot_fraction=HOT_FRACTION, seed=SEED)
     return tenants, engine, requests, builds
 
@@ -106,9 +137,105 @@ def run_independent_cold(engine, requests):
             "wall_seconds": time.perf_counter() - started}
 
 
-def run_experiment():
+def run_backend_parity(smoke=False):
+    """Memory- vs file-backed engines on one workload: counts must match.
+
+    The file-backed engine serves the exact same trace from real files
+    (seek/read per block miss); the model's I/O accounting sits above the
+    backend, so the totals must be *identical* — that equality is the
+    accounting-parity acceptance criterion.  The file backend's physical
+    byte counters are recorded for scale.
+    """
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as data_dir:
+        for backend in ("memory", "file"):
+            tenants, engine, requests, __ = build_scenario(
+                smoke=smoke, backend=backend,
+                data_dir=data_dir if backend == "file" else None)
+            started = time.perf_counter()
+            workload = engine.serve_workload(requests, warm_cache=True)
+            payload = {
+                "total_ios": workload.total_ios,
+                "wall_seconds": time.perf_counter() - started,
+            }
+            if backend == "file":
+                backend_infos = [
+                    store.backend.info()
+                    for name in engine.catalog.datasets()
+                    for store in engine.catalog.stores(name)]
+                payload["file_bytes_read"] = sum(
+                    info["bytes_read"] for info in backend_infos)
+                payload["file_bytes_written"] = sum(
+                    info["bytes_written"] for info in backend_infos)
+            results[backend] = payload
+            engine.close()
+    results["io_parity"] = (results["memory"]["total_ios"]
+                            == results["file"]["total_ios"])
+    return results
+
+
+def run_sharding(smoke=False):
+    """K=4 range-sharded serving vs all-shard fan-out vs unsharded.
+
+    The workload is steep leading-attribute constraints — selective in the
+    range router's split attribute, so pruning should skip most shards.
+    Every query is issued cold (cleared caches, result cache bypassed) so
+    the three strategies compare pure structure costs.
+    """
+    num_points = SMOKE_SHARD_POINTS if smoke else SHARD_POINTS
+    num_queries = SMOKE_NUM_SHARD_QUERIES if smoke else NUM_SHARD_QUERIES
+    points = uniform_points(num_points, seed=SEED + 2)
+    queries = steep_leading_attribute_queries(
+        points, num_queries, SHARD_SELECTIVITY, seed=SEED + 3)
+
+    unsharded = QueryEngine(block_size=BLOCK_SIZE, seed=SEED)
+    unsharded.register_dataset("points", points, kinds=SUITES["flat2d"])
+    sharded = QueryEngine(block_size=BLOCK_SIZE, seed=SEED)
+    sharded.register_sharded_dataset("points", points, num_shards=NUM_SHARDS,
+                                     sharding="range",
+                                     kinds=SUITES["flat2d"])
+    dataset = sharded.catalog.sharded("points")
+
+    def serve_cold(engine):
+        total_ios = 0
+        answers = []
+        started = time.perf_counter()
+        for constraint in queries:
+            answer = engine.query("points", constraint, clear_cache=True)
+            total_ios += answer.total_ios
+            answers.append(answer)
+        wall_seconds = time.perf_counter() - started
+        # Verify outside the timed window (the brute-force filter would
+        # otherwise dominate the recorded wall clock).
+        for constraint, answer in zip(queries, answers):
+            expected = {tuple(p) for p in points if constraint.below(p)}
+            assert {tuple(p) for p in answer.points} == expected
+        return {"total_ios": total_ios, "wall_seconds": wall_seconds}
+
+    pruned = serve_cold(sharded)
+    pruned["shards_pruned"] = sharded.stats.shards_pruned
+    pruned["shards_queried"] = sharded.stats.shards_queried
+    dataset.prune = False
+    all_shards = serve_cold(sharded)
+    dataset.prune = True
+    unsharded_run = serve_cold(unsharded)
+
+    return {
+        "workload": {
+            "num_points": num_points,
+            "num_queries": num_queries,
+            "selectivity": SHARD_SELECTIVITY,
+            "sharding": dataset.describe(),
+        },
+        "sharded_pruned": pruned,
+        "sharded_all_shards": all_shards,
+        "unsharded": unsharded_run,
+    }
+
+
+def run_experiment(smoke=False):
     """Run every strategy once and return the result payload."""
-    tenants, engine, requests, builds = build_scenario()
+    tenants, engine, requests, builds = build_scenario(smoke=smoke)
 
     fixed = {name: run_fixed(engine, requests, name)
              for name in FIXED_STRATEGIES}
@@ -138,10 +265,11 @@ def run_experiment():
         "experiment": "ENGINE — planner-routed vs fixed-index serving",
         "workload": {
             "block_size": BLOCK_SIZE,
-            "num_requests": NUM_REQUESTS,
+            "num_requests": len(requests),
             "hot_fraction": HOT_FRACTION,
             "seed": SEED,
-            "tenants": TENANT_SIZES,
+            "tenants": {name: len(points)
+                        for name, points in tenants.items()},
         },
         "builds": [record.summary() for record in builds],
         "calibration_ios": calibration_ios,
@@ -150,6 +278,8 @@ def run_experiment():
         "fixed": fixed,
         "engine_summary": engine.summary(),
         "calibration": engine.planner.export_calibration(),
+        "backends": run_backend_parity(smoke=smoke),
+        "sharding": run_sharding(smoke=smoke),
     }
 
 
@@ -172,8 +302,41 @@ def to_table(results):
                       results["calibration_ios"]))
 
 
+def storage_tables(results):
+    """The backend-parity and sharding experiments as plain-text tables."""
+    backends = results["backends"]
+    backend_rows = [
+        ["memory", str(backends["memory"]["total_ios"]), "-", "-"],
+        ["file", str(backends["file"]["total_ios"]),
+         str(backends["file"]["file_bytes_read"]),
+         str(backends["file"]["file_bytes_written"])],
+    ]
+    backend_table = format_table(
+        ["backend", "total I/Os", "bytes read", "bytes written"],
+        backend_rows,
+        title="BACKENDS — same workload, memory vs file (parity: %s)"
+        % backends["io_parity"])
+
+    sharding = results["sharding"]
+    shard_rows = [
+        ["sharded K=%d (pruned)" % NUM_SHARDS,
+         str(sharding["sharded_pruned"]["total_ios"]),
+         "%d queried / %d pruned" % (
+             sharding["sharded_pruned"]["shards_queried"],
+             sharding["sharded_pruned"]["shards_pruned"])],
+        ["sharded K=%d (all shards)" % NUM_SHARDS,
+         str(sharding["sharded_all_shards"]["total_ios"]), "-"],
+        ["unsharded", str(sharding["unsharded"]["total_ios"]), "-"],
+    ]
+    shard_table = format_table(
+        ["strategy", "total I/Os", "fan-out"], shard_rows,
+        title="SHARDING — %d steep leading-attribute queries, cold"
+        % sharding["workload"]["num_queries"])
+    return backend_table + "\n\n" + shard_table
+
+
 def check_acceptance(results):
-    """The ISSUE's two acceptance criteria."""
+    """The routed-serving and storage-layer acceptance criteria."""
     routed_ios = results["planner_routed"]["total_ios"]
     worst_fixed = max(payload["total_ios"]
                       for payload in results["fixed"].values())
@@ -185,18 +348,45 @@ def check_acceptance(results):
         "queries (%d I/Os)"
         % (routed_ios, results["independent_cold"]["total_ios"]))
 
+    backends = results["backends"]
+    assert backends["io_parity"], (
+        "file backend charged %d I/Os where the memory backend charged %d "
+        "on the identical workload — accounting must not depend on the "
+        "backend" % (backends["file"]["total_ios"],
+                     backends["memory"]["total_ios"]))
+
+    sharding = results["sharding"]
+    assert (sharding["sharded_pruned"]["total_ios"]
+            < sharding["sharded_all_shards"]["total_ios"]), (
+        "range-shard pruning (%d I/Os) must beat querying all shards "
+        "(%d I/Os) on leading-attribute-selective constraints"
+        % (sharding["sharded_pruned"]["total_ios"],
+           sharding["sharded_all_shards"]["total_ios"]))
+    assert sharding["sharded_pruned"]["shards_pruned"] > 0, (
+        "the steep workload should prune at least one shard")
+
 
 def test_engine_serving_beats_fixed_and_cold():
     results = run_experiment()
     print()
     print(to_table(results))
+    print()
+    print(storage_tables(results))
     check_acceptance(results)
 
 
-def main():
-    results = run_experiment()
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv or os.environ.get("BENCH_ENGINE_SMOKE") == "1"
+    results = run_experiment(smoke=smoke)
     print(to_table(results))
+    print()
+    print(storage_tables(results))
     check_acceptance(results)
+    if smoke:
+        print("\nsmoke configuration: acceptance checks passed, JSON not "
+              "rewritten")
+        return
     with open(BENCH_PATH, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -10,8 +10,11 @@ executor adds dedup, a result cache and warm buffer pools.
 
 The scenario: two tenants share the engine —
 
-* ``servers``: a 3-D fact table (cpu_load, memory_load, latency_ms);
-* ``stocks``: a 2-D table (volatility, expected_return).
+* ``servers``: a 3-D fact table (cpu_load, memory_load, latency_ms),
+  **range-sharded on cpu_load across 3 file-backed stores** — queries fan
+  out to the relevant shards only, and the blocks live in real files;
+* ``stocks``: a 2-D table (volatility, expected_return) on the default
+  in-memory store.
 
 The engine serves a mixed trace of hot and fresh constraints against both
 and prints its serving dashboard.  Run with::
@@ -42,12 +45,18 @@ def main() -> None:
 
     print("Registering tenants and bulk-building their index suites ...")
     engine = QueryEngine(block_size=block_size, seed=9)
-    for record in engine.register_dataset("servers", servers):
-        print("  servers/%-16s %5d blocks  built in %.2fs"
-              % (record.kind, record.space_blocks, record.build_seconds))
+    # servers: 3 range shards on cpu_load, each shard in its own real file
+    # (temp files; engine.close() removes them).
+    for record in engine.register_sharded_dataset(
+            "servers", servers, num_shards=3, sharding="range",
+            backend="file"):
+        print("  %-22s %5d blocks  built in %.2fs"
+              % ("%s/%s" % (record.dataset, record.kind),
+                 record.space_blocks, record.build_seconds))
     for record in engine.register_dataset("stocks", stocks):
-        print("  stocks/%-16s  %5d blocks  built in %.2fs"
-              % (record.kind, record.space_blocks, record.build_seconds))
+        print("  %-22s %5d blocks  built in %.2fs"
+              % ("stocks/%s" % record.kind, record.space_blocks,
+                 record.build_seconds))
 
     # --- one query, explained ----------------------------------------------
     constraint = LinearConstraint(coeffs=(-0.2, -0.1), offset=0.4)
@@ -56,8 +65,23 @@ def main() -> None:
     answer = engine.query("servers", constraint)
     expected = {tuple(p) for p in servers if constraint.below(p)}
     assert {tuple(p) for p in answer.points} == expected
-    print("  -> served by %s: %d servers in %d I/Os"
-          % (answer.index_name, answer.count, answer.total_ios))
+    print("  -> served by %s across %d shard(s) (%d pruned): "
+          "%d servers in %d I/Os"
+          % (answer.index_name, answer.shards_queried, answer.shards_pruned,
+             answer.count, answer.total_ios))
+
+    # --- a shard-pruned query ----------------------------------------------
+    # Selective in the leading attribute (cpu_load): only low-cpu shards
+    # can contain answers, so the planner skips the rest outright.
+    pruned_constraint = LinearConstraint(coeffs=(-8.0, 0.0), offset=0.6)
+    pruned_answer = engine.query("servers", pruned_constraint)
+    assert {tuple(p) for p in pruned_answer.points} == {
+        tuple(p) for p in servers if pruned_constraint.below(p)}
+    print("\nSteep constraint: latency <= 0.6 - 8*cpu (low-cpu servers only)")
+    print("  -> %d/%d shards pruned: %d servers in %d I/Os"
+          % (pruned_answer.shards_pruned,
+             pruned_answer.shards_pruned + pruned_answer.shards_queried,
+             pruned_answer.count, pruned_answer.total_ios))
 
     # --- a conjunction (convex polytope) -----------------------------------
     conjunction = ConstraintConjunction.of(
@@ -96,6 +120,10 @@ def main() -> None:
           % (100 * summary["result_cache_hit_rate"]))
     print("buffer-pool reuse : %.0f%% of block reads served from memory"
           % (100 * summary["store_cache_hit_rate"]))
+    print("shard fan-out     : %d shard visits, %d pruned (%.0f%%)"
+          % (summary["shards_queried"], summary["shards_pruned"],
+             100 * summary["shard_prune_rate"]))
+    engine.close()   # removes the file backends' temp block files
     print("\nAll answers verified against in-memory filters.  Done.")
 
 

@@ -19,7 +19,7 @@ amortised update cost is measurable with the usual counters.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -63,6 +63,7 @@ class DynamicPartitionTreeIndex(ExternalIndex):
                                  leaf_capacity=leaf_capacity,
                                  partitioner=partitioner)
         self._rebuilds = 0
+        self._mutation_listeners: List[Callable[[], None]] = []
         self._begin_space_accounting()
         self._buffer = DiskArray(self._store)
         self._buffer_points: List[Tuple[float, ...]] = []
@@ -104,6 +105,19 @@ class DynamicPartitionTreeIndex(ExternalIndex):
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
+    def add_mutation_listener(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after every successful insert/delete.
+
+        The engine's executor subscribes here so cached query results over
+        this index's dataset are flushed the moment the data changes
+        (result-cache invalidation), instead of serving stale answers.
+        """
+        self._mutation_listeners.append(listener)
+
+    def _notify_mutation(self) -> None:
+        for listener in self._mutation_listeners:
+            listener()
+
     def insert(self, point: Sequence[float]) -> None:
         """Insert one point (amortised O((log n) log_B n + rebuild/n) I/Os)."""
         record = tuple(float(c) for c in point)
@@ -114,6 +128,7 @@ class DynamicPartitionTreeIndex(ExternalIndex):
         self._buffer.append(record)
         self._buffer_points.append(record)
         self._maybe_rebuild()
+        self._notify_mutation()
 
     def delete(self, point: Sequence[float]) -> bool:
         """Delete one point; returns False if it was not present."""
@@ -125,12 +140,14 @@ class DynamicPartitionTreeIndex(ExternalIndex):
             # Rewrite the buffer without the record (small, O(buffer/B) I/Os).
             self._buffer.clear()
             self._buffer.extend(self._buffer_points)
+            self._notify_mutation()
             return True
         if not in_tree:
             return False
         self._tombstones.add(record)
         self._tombstone_array.append(record)
         self._maybe_rebuild()
+        self._notify_mutation()
         return True
 
     # ------------------------------------------------------------------

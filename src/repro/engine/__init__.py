@@ -11,13 +11,20 @@ query.  This package is that layer:
   query I/Os from the paper's bounds (via ``estimated_query_ios``),
   calibrated against observed history, and routes to the cheapest;
 * :class:`~repro.engine.executor.BatchExecutor` — batch serving with
-  constraint dedup, an LRU result cache, warm buffer pools, and a
-  thread-pool path for concurrent read-only tenants;
+  constraint dedup, an LRU result cache (with invalidation hooks for
+  dynamic indexes), warm buffer pools, a thread-pool path for concurrent
+  read-only tenants, and per-shard query fan-out;
+* :mod:`~repro.engine.sharding` — hash/range shard routers and
+  :class:`~repro.engine.sharding.ShardedDataset` (per-shard stores and
+  index suites with bounding-box pruning);
+* :class:`~repro.engine.calibration.CalibrationStore` — JSON persistence
+  of the planner's learned constants, with staleness age-out;
 * :class:`~repro.engine.metrics.EngineStats` — latency percentiles, I/O
   totals, cache hit rates and the plan distribution;
 * :class:`~repro.engine.engine.QueryEngine` — the facade wiring them up.
 """
 
+from repro.engine.calibration import CalibrationStore
 from repro.engine.catalog import (
     BuildRecord,
     Catalog,
@@ -35,24 +42,47 @@ from repro.engine.executor import (
     constraint_key,
 )
 from repro.engine.metrics import EngineStats, ServedQueryRecord
-from repro.engine.planner import CandidateEstimate, Plan, Planner
+from repro.engine.planner import (
+    AnyPlan,
+    CandidateEstimate,
+    Plan,
+    Planner,
+    ShardedPlan,
+)
+from repro.engine.sharding import (
+    HashShardRouter,
+    RangeShardRouter,
+    Shard,
+    ShardedDataset,
+    ShardRouter,
+    make_router,
+)
 
 __all__ = [
+    "AnyPlan",
     "BatchExecutor",
     "BatchResult",
     "BuildRecord",
+    "CalibrationStore",
     "CandidateEstimate",
     "Catalog",
     "Dataset",
     "EngineStats",
     "ExecutedQuery",
+    "HashShardRouter",
     "INDEX_KINDS",
     "IndexKind",
     "Plan",
     "Planner",
     "QueryEngine",
+    "RangeShardRouter",
     "ServedQueryRecord",
+    "Shard",
+    "ShardRouter",
+    "ShardedDataset",
+    "ShardedPlan",
     "WorkloadResult",
     "constraint_key",
     "default_suite",
+    "make_router",
 ]

@@ -1,0 +1,109 @@
+"""Persisting the planner's learned constants across restarts.
+
+The planner's calibration factors are learned from served traffic; a
+restarted engine that starts from the bounds' implicit constant 1 pays a
+warm-up period of misrouted queries.  :class:`CalibrationStore` wires
+:meth:`~repro.engine.planner.Planner.export_calibration` /
+:meth:`~repro.engine.planner.Planner.load_calibration` to a JSON file:
+
+* :meth:`save` writes the exported state atomically (temp file + rename);
+* :meth:`load` reads it back, dropping entries whose last observation is
+  older than ``max_age_s`` — constants learned from last month's traffic
+  (or a since-rebuilt index) age out instead of steering routing forever.
+
+The engine facade loads the file on startup when constructed with a
+``calibration_path`` and exposes :meth:`~repro.engine.engine.QueryEngine.
+save_calibration` for shutdown hooks / periodic checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, Optional
+
+#: Default staleness horizon: a week of wall-clock time.
+DEFAULT_MAX_AGE_S = 7 * 24 * 3600.0
+
+#: Schema marker written into every calibration file.
+_FORMAT_VERSION = 1
+
+
+class CalibrationStore:
+    """A JSON file holding planner calibration, with staleness age-out.
+
+    Parameters
+    ----------
+    path:
+        Where the JSON file lives.  The parent directory is created on
+        first :meth:`save`.
+    max_age_s:
+        Entries whose ``updated_at`` is older than this many seconds at
+        :meth:`load` time are discarded (0 or negative keeps everything).
+    """
+
+    def __init__(self, path: str, max_age_s: float = DEFAULT_MAX_AGE_S):
+        self.path = path
+        self.max_age_s = max_age_s
+
+    def load(self, now: Optional[float] = None) -> Dict[str, Dict[str, object]]:
+        """Read the persisted state, dropping stale entries.
+
+        Returns an empty dict (never raises) for a missing, unreadable or
+        malformed file — a cold start is always acceptable.
+        """
+        try:
+            with open(self.path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            return {}
+        now = time.time() if now is None else now
+        fresh: Dict[str, Dict[str, object]] = {}
+        for key, entry in entries.items():
+            try:
+                factor = float(entry["factor"])
+                observations = int(entry["observations"])
+                updated_at = float(entry.get("updated_at", 0.0))
+            except (KeyError, TypeError, ValueError):
+                continue
+            if self.max_age_s > 0 and now - updated_at > self.max_age_s:
+                continue
+            fresh[key] = {"factor": factor, "observations": observations,
+                          "updated_at": updated_at}
+        return fresh
+
+    def save(self, state: Dict[str, Dict[str, object]],
+             now: Optional[float] = None) -> None:
+        """Atomically persist an exported calibration state."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "saved_at": time.time() if now is None else now,
+            "entries": state,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory,
+                                         prefix=".calibration-",
+                                         suffix=".json")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def __repr__(self) -> str:
+        return "CalibrationStore(path=%r, max_age_s=%g)" % (
+            self.path, self.max_age_s)

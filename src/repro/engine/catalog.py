@@ -7,18 +7,25 @@ it would on a real disk), knows how to bulk-build any combination of
 :class:`~repro.core.interface.ExternalIndex` implementations over a
 dataset, and records what each build cost (wall-clock, write I/Os, space).
 
-It also keeps a small in-memory *sample* of every dataset.  Sampling is
-the engine's only data statistic: the planner estimates a constraint's
-selectivity by evaluating it on the sample (O(sample) arithmetic, zero
-I/Os), which turns the paper's output-sensitive bounds into concrete
-per-query cost predictions.
+Datasets come in two shapes: a plain :class:`Dataset` (one store, one index
+suite) and a :class:`~repro.engine.sharding.ShardedDataset` (K per-shard
+stores, a router, one index suite per shard).  Each store's *backend* —
+in-memory dict or a real file — is chosen per catalog or per dataset; see
+:mod:`repro.io.backend`.
+
+The catalog also keeps a small in-memory *sample* of every dataset.
+Sampling is the engine's only data statistic: the planner estimates a
+constraint's selectivity by evaluating it on the sample (O(sample)
+arithmetic, zero I/Os), which turns the paper's output-sensitive bounds
+into concrete per-query cost predictions.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +37,7 @@ from repro.baselines import (
     RTreeIndex,
 )
 from repro.core import (
+    DynamicPartitionTreeIndex,
     ExternalIndex,
     HalfplaneIndex2D,
     HalfspaceIndex3D,
@@ -37,7 +45,14 @@ from repro.core import (
     PartitionTreeIndex,
     ShallowPartitionTreeIndex,
 )
+from repro.engine.sharding import (
+    Shard,
+    ShardedDataset,
+    make_router,
+    selectivity_on_sample,
+)
 from repro.geometry.primitives import LinearConstraint
+from repro.io.backend import make_backend
 from repro.io.store import BlockStore, IOStats
 
 
@@ -68,6 +83,7 @@ INDEX_KINDS: Dict[str, IndexKind] = {
         IndexKind("kdb_tree", KDBTreeIndex, None),
         IndexKind("quadtree", QuadTreeIndex, (2,)),
         IndexKind("paged_cgl", PagedDualIndex2D, (2,)),
+        IndexKind("dynamic", DynamicPartitionTreeIndex, None),
     )
 }
 
@@ -122,6 +138,10 @@ class Dataset:
     sample: np.ndarray
     indexes: Dict[str, ExternalIndex] = field(default_factory=dict)
     build_records: Dict[str, BuildRecord] = field(default_factory=dict)
+    #: Set by the engine's mutation hooks when a dynamic index on this
+    #: dataset accepts an insert/delete.  Statically-built sibling indexes
+    #: are stale from that point on, so the planner stops routing to them.
+    mutated: bool = False
 
     @property
     def dimension(self) -> int:
@@ -139,13 +159,7 @@ class Dataset:
         Evaluated on the in-memory sample with one vectorised residual
         computation; never touches the simulated disk.
         """
-        if constraint.dimension != self.dimension:
-            raise ValueError(
-                "constraint dimension %d does not match dataset dimension %d"
-                % (constraint.dimension, self.dimension))
-        residuals = (self.sample[:, -1]
-                     - self.sample[:, :-1] @ np.asarray(constraint.coeffs))
-        return float(np.mean(residuals <= constraint.offset))
+        return selectivity_on_sample(self.sample, self.dimension, constraint)
 
     def estimate_output(self, constraint: LinearConstraint) -> int:
         """Expected number of reported points (the paper's T)."""
@@ -166,67 +180,187 @@ class Catalog:
         estimation (the whole dataset if smaller).
     seed:
         Seed for sampling and for the randomised index builds.
+    backend:
+        Default storage backend for every dataset's store(s): ``"memory"``
+        (default), ``"file"``, or a factory (see
+        :func:`repro.io.backend.make_backend`).
+    data_dir:
+        Directory for file-backed stores registered without an explicit
+        path (one ``<dataset>.blocks`` file each); a temporary file per
+        store when omitted.
     """
 
     def __init__(self, block_size: int = 64, cache_blocks: int = 4,
-                 sample_size: int = 512, seed: Optional[int] = None):
+                 sample_size: int = 512, seed: Optional[int] = None,
+                 backend: object = "memory",
+                 data_dir: Optional[str] = None):
         self._block_size = block_size
         self._cache_blocks = cache_blocks
         self._sample_size = sample_size
         self._seed = seed
+        self._backend = backend
+        self._data_dir = data_dir
         self._datasets: Dict[str, Dataset] = {}
+        self._sharded: Dict[str, ShardedDataset] = {}
 
     # ------------------------------------------------------------------
     # datasets
     # ------------------------------------------------------------------
-    def register_dataset(self, name: str, points: Sequence[Sequence[float]],
-                         block_size: Optional[int] = None,
-                         cache_blocks: Optional[int] = None) -> Dataset:
-        """Register a point set under ``name`` with its own shared store."""
-        if name in self._datasets:
+    def _check_name_free(self, name: str) -> None:
+        if name in self._datasets or name in self._sharded:
             raise ValueError("dataset %r is already registered" % name)
+
+    def _as_points(self, points: Sequence[Sequence[float]]) -> np.ndarray:
         array = np.asarray(points, dtype=float)
         if array.ndim != 2 or array.shape[0] == 0 or array.shape[1] < 2:
             raise ValueError("points must have shape (N >= 1, d >= 2), got %r"
                              % (array.shape,))
-        store = BlockStore(
-            block_size=block_size or self._block_size,
-            cache_blocks=(self._cache_blocks if cache_blocks is None
-                          else cache_blocks))
+        return array
+
+    def _sample_of(self, array: np.ndarray) -> np.ndarray:
         rng = np.random.default_rng(self._seed)
         if len(array) <= self._sample_size:
-            sample = array.copy()
-        else:
-            chosen = rng.choice(len(array), size=self._sample_size,
-                                replace=False)
-            sample = array[chosen]
-        dataset = Dataset(name=name, points=array, store=store, sample=sample)
+            return array.copy()
+        chosen = rng.choice(len(array), size=self._sample_size, replace=False)
+        return array[chosen]
+
+    @staticmethod
+    def _block_file_name(name: str) -> str:
+        """Injective dataset-name -> file-name mapping.
+
+        Every character outside [A-Za-z0-9.-] becomes ``_XXXXXX`` (its
+        codepoint as exactly six hex digits; ``_`` itself included), so two
+        distinct dataset names (e.g. the shard child ``sh#0`` and a plain
+        dataset ``sh_0``, or ``€`` vs ``ac``-with-junk) can never
+        collide on one block file: the escape is fixed-width, hence
+        prefix-free.
+        """
+        safe = "".join(
+            ch if (ch.isascii() and ch.isalnum()) or ch in ".-"
+            else "_%06x" % ord(ch)
+            for ch in name)
+        return "%s.blocks" % safe
+
+    def _make_store(self, name: str, block_size: Optional[int],
+                    cache_blocks: Optional[int],
+                    backend: object) -> BlockStore:
+        spec = self._backend if backend is None else backend
+        path = None
+        if spec == "file" and self._data_dir is not None:
+            path = os.path.join(self._data_dir, self._block_file_name(name))
+        return BlockStore(
+            block_size=block_size or self._block_size,
+            cache_blocks=(self._cache_blocks if cache_blocks is None
+                          else cache_blocks),
+            backend=make_backend(spec, path=path))
+
+    def _make_dataset(self, name: str, array: np.ndarray,
+                      block_size: Optional[int], cache_blocks: Optional[int],
+                      backend: object) -> Dataset:
+        store = self._make_store(name, block_size, cache_blocks, backend)
+        return Dataset(name=name, points=array, store=store,
+                       sample=self._sample_of(array))
+
+    def register_dataset(self, name: str, points: Sequence[Sequence[float]],
+                         block_size: Optional[int] = None,
+                         cache_blocks: Optional[int] = None,
+                         backend: object = None) -> Dataset:
+        """Register a point set under ``name`` with its own shared store."""
+        self._check_name_free(name)
+        array = self._as_points(points)
+        dataset = self._make_dataset(name, array, block_size, cache_blocks,
+                                     backend)
         self._datasets[name] = dataset
         return dataset
 
+    def register_sharded_dataset(self, name: str,
+                                 points: Sequence[Sequence[float]],
+                                 num_shards: int,
+                                 sharding: str = "range",
+                                 shard_attribute: int = 0,
+                                 block_size: Optional[int] = None,
+                                 cache_blocks: Optional[int] = None,
+                                 backend: object = None) -> ShardedDataset:
+        """Partition ``points`` across ``num_shards`` per-shard stores.
+
+        ``sharding`` picks the router (``"range"`` on ``shard_attribute``,
+        or ``"hash"``); each non-empty shard gets a child dataset named
+        ``<name>#<shard>`` with its own store (and backend) plus its own
+        sample, and records the bounding box of its points for pruning.
+        """
+        self._check_name_free(name)
+        array = self._as_points(points)
+        router = make_router(sharding, array, num_shards,
+                             attribute=shard_attribute)
+        shards: List[Shard] = []
+        for shard_id, rows in enumerate(router.assign(array)):
+            if len(rows) == 0:
+                shards.append(Shard(shard_id=shard_id, dataset=None))
+                continue
+            chunk = array[rows]
+            child = self._make_dataset("%s#%d" % (name, shard_id), chunk,
+                                       block_size, cache_blocks, backend)
+            shards.append(Shard(
+                shard_id=shard_id, dataset=child,
+                lows=tuple(chunk.min(axis=0).tolist()),
+                highs=tuple(chunk.max(axis=0).tolist())))
+        sharded = ShardedDataset(name=name, points=array,
+                                 sample=self._sample_of(array),
+                                 router=router, shards=shards)
+        self._sharded[name] = sharded
+        return sharded
+
     def dataset(self, name: str) -> Dataset:
-        """Look up a registered dataset (KeyError with the known names)."""
+        """Look up a plain registered dataset (KeyError with known names)."""
         if name not in self._datasets:
+            if name in self._sharded:
+                raise KeyError("dataset %r is sharded; use sharded(%r)"
+                               % (name, name))
             raise KeyError("unknown dataset %r (registered: %s)"
-                           % (name, sorted(self._datasets) or "none"))
+                           % (name, self.datasets() or "none"))
         return self._datasets[name]
 
+    def sharded(self, name: str) -> ShardedDataset:
+        """Look up a sharded dataset (KeyError if unknown or unsharded)."""
+        if name not in self._sharded:
+            raise KeyError("unknown sharded dataset %r (sharded: %s)"
+                           % (name, sorted(self._sharded) or "none"))
+        return self._sharded[name]
+
+    def is_sharded(self, name: str) -> bool:
+        """True if ``name`` is registered as a sharded dataset."""
+        return name in self._sharded
+
+    def entry(self, name: str) -> Union[Dataset, ShardedDataset]:
+        """Either shape of registered dataset, by name."""
+        if name in self._sharded:
+            return self._sharded[name]
+        return self.dataset(name)
+
     def datasets(self) -> List[str]:
-        """Names of every registered dataset."""
-        return sorted(self._datasets)
+        """Names of every registered dataset (plain and sharded)."""
+        return sorted(set(self._datasets) | set(self._sharded))
+
+    def stores(self, name: str) -> List[BlockStore]:
+        """Every store backing a dataset: one, or one per non-empty shard."""
+        if name in self._sharded:
+            return [shard.dataset.store
+                    for shard in self._sharded[name].nonempty_shards()]
+        return [self.dataset(name).store]
+
+    def close(self) -> None:
+        """Close every store's backend (file handles, temp files)."""
+        for name in self.datasets():
+            for store in self.stores(name):
+                store.close()
 
     # ------------------------------------------------------------------
     # index builds
     # ------------------------------------------------------------------
-    def build_index(self, dataset_name: str, kind: str,
-                    index_name: Optional[str] = None,
-                    **params) -> BuildRecord:
-        """Bulk-build one index of the given kind over a dataset.
-
-        The index shares the dataset's store; the returned record captures
-        the build's wall-clock time, write I/Os and space.
-        """
-        dataset = self.dataset(dataset_name)
+    def _build_index_on(self, dataset: Dataset, kind: str,
+                        index_name: Optional[str] = None,
+                        **params) -> BuildRecord:
+        """Bulk-build one index of the given kind over a (child) dataset."""
         if kind not in INDEX_KINDS:
             raise KeyError("unknown index kind %r (known: %s)"
                            % (kind, sorted(INDEX_KINDS)))
@@ -237,7 +371,7 @@ class Catalog:
         index_name = index_name or kind
         if index_name in dataset.indexes:
             raise ValueError("index %r already exists on dataset %r"
-                             % (index_name, dataset_name))
+                             % (index_name, dataset.name))
         if self._seed is not None and kind in ("halfplane2d", "halfspace3d",
                                                "hybrid3d"):
             params.setdefault("seed", self._seed)
@@ -246,7 +380,7 @@ class Catalog:
                                    **params)
         elapsed = time.perf_counter() - started
         record = BuildRecord(
-            dataset=dataset_name,
+            dataset=dataset.name,
             index_name=index_name,
             kind=kind,
             num_points=dataset.size,
@@ -259,18 +393,66 @@ class Catalog:
         dataset.build_records[index_name] = record
         return record
 
+    def build_index(self, dataset_name: str, kind: str,
+                    index_name: Optional[str] = None,
+                    **params) -> BuildRecord:
+        """Bulk-build one index of the given kind over a plain dataset.
+
+        The index shares the dataset's store; the returned record captures
+        the build's wall-clock time, write I/Os and space.  For sharded
+        datasets use :meth:`build_sharded_index` (one build per shard).
+        """
+        if self.is_sharded(dataset_name):
+            raise ValueError("dataset %r is sharded; use "
+                             "build_sharded_index()" % dataset_name)
+        return self._build_index_on(self.dataset(dataset_name), kind,
+                                    index_name, **params)
+
+    def build_sharded_index(self, dataset_name: str, kind: str,
+                            index_name: Optional[str] = None,
+                            **params) -> List[BuildRecord]:
+        """Build one kind on every non-empty shard of a sharded dataset."""
+        sharded = self.sharded(dataset_name)
+        return [self._build_index_on(shard.dataset, kind, index_name,
+                                     **dict(params))
+                for shard in sharded.nonempty_shards()]
+
     def build_suite(self, dataset_name: str,
                     kinds: Optional[Sequence[str]] = None) -> List[BuildRecord]:
-        """Build a set of kinds (default: :func:`default_suite`) over a dataset."""
-        dataset = self.dataset(dataset_name)
+        """Build a set of kinds (default: :func:`default_suite`) over a dataset.
+
+        For a sharded dataset every kind is built on every non-empty shard
+        (the per-shard records are returned in shard order per kind).
+        """
+        entry = self.entry(dataset_name)
         chosen = list(kinds) if kinds is not None else default_suite(
-            dataset.dimension)
+            entry.dimension)
+        if self.is_sharded(dataset_name):
+            records: List[BuildRecord] = []
+            for kind in chosen:
+                records.extend(self.build_sharded_index(dataset_name, kind))
+            return records
         return [self.build_index(dataset_name, kind) for kind in chosen]
 
     def indexes(self, dataset_name: str) -> Dict[str, ExternalIndex]:
-        """Every index registered on a dataset, keyed by index name."""
+        """Every index registered on a plain dataset, keyed by index name.
+
+        For a sharded dataset the keys are ``<shard_id>/<index_name>``.
+        """
+        if self.is_sharded(dataset_name):
+            return {
+                "%d/%s" % (shard.shard_id, index_name): index
+                for shard in self.sharded(dataset_name).nonempty_shards()
+                for index_name, index in shard.dataset.indexes.items()
+            }
         return dict(self.dataset(dataset_name).indexes)
 
     def build_records(self, dataset_name: str) -> Dict[str, BuildRecord]:
-        """Build statistics for every index on a dataset."""
+        """Build statistics for every index on a dataset (sharded: per shard)."""
+        if self.is_sharded(dataset_name):
+            return {
+                "%d/%s" % (shard.shard_id, index_name): record
+                for shard in self.sharded(dataset_name).nonempty_shards()
+                for index_name, record in shard.dataset.build_records.items()
+            }
         return dict(self.dataset(dataset_name).build_records)

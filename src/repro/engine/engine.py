@@ -5,14 +5,19 @@ benchmarks drive::
 
     engine = QueryEngine(block_size=64, seed=7)
     engine.register_dataset("screener", points)          # builds a suite
+    engine.register_sharded_dataset("logs", big_points,  # K stores + fan-out
+                                    num_shards=4)
     result = engine.query("screener", constraint)        # planner-routed
     batch = engine.serve_batch("screener", constraints)  # warm, deduped
     print(engine.stats.to_table())
 
-Everything the facade does is available piecemeal through its
-:attr:`catalog`, :attr:`planner` and :attr:`executor` attributes; later
-scaling work (sharded catalogs, async executors) is expected to swap those
-components rather than grow this class.
+Storage is pluggable end to end: ``backend="file"`` puts every dataset's
+blocks in real files (``data_dir``), and a ``calibration_path`` persists
+the planner's learned constants across restarts (loaded on startup, aged
+out after ``calibration_max_age_s``).  Everything the facade does is
+available piecemeal through its :attr:`catalog`, :attr:`planner` and
+:attr:`executor` attributes; later scaling work (async executors) is
+expected to swap those components rather than grow this class.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.conjunction import ConstraintConjunction
+from repro.engine.calibration import DEFAULT_MAX_AGE_S, CalibrationStore
 from repro.engine.catalog import BuildRecord, Catalog
 from repro.engine.executor import (
     BatchExecutor,
@@ -28,7 +34,7 @@ from repro.engine.executor import (
     WorkloadResult,
 )
 from repro.engine.metrics import EngineStats
-from repro.engine.planner import Plan, Planner
+from repro.engine.planner import AnyPlan, Planner
 from repro.geometry.primitives import LinearConstraint
 
 
@@ -48,21 +54,45 @@ class QueryEngine:
         Planner calibration learning rate.
     seed:
         Seed for sampling and randomised index builds.
+    backend / data_dir:
+        Default storage backend for every store (``"memory"`` or
+        ``"file"``) and, for file backends, the directory the block files
+        live in (temp files when omitted).
+    fanout_workers:
+        Thread-pool size for per-shard query fan-out (0 = sequential).
+    calibration_path / calibration_max_age_s:
+        When a path is given, planner calibration is loaded from that JSON
+        file on startup (entries older than the max age are dropped) and
+        :meth:`save_calibration` persists it back.
     """
 
     def __init__(self, block_size: int = 64, cache_blocks: int = 4,
                  sample_size: int = 512, result_cache_entries: int = 256,
                  warm_cache_blocks: int = 64, ewma_alpha: float = 0.25,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 backend: object = "memory",
+                 data_dir: Optional[str] = None,
+                 fanout_workers: int = 8,
+                 calibration_path: Optional[str] = None,
+                 calibration_max_age_s: float = DEFAULT_MAX_AGE_S):
         self.catalog = Catalog(block_size=block_size,
                                cache_blocks=cache_blocks,
-                               sample_size=sample_size, seed=seed)
+                               sample_size=sample_size, seed=seed,
+                               backend=backend, data_dir=data_dir)
         self.planner = Planner(self.catalog, ewma_alpha=ewma_alpha)
         self.stats = EngineStats()
         self.executor = BatchExecutor(
             self.catalog, self.planner, stats=self.stats,
             result_cache_entries=result_cache_entries,
-            warm_cache_blocks=warm_cache_blocks)
+            warm_cache_blocks=warm_cache_blocks,
+            fanout_workers=fanout_workers)
+        self.calibration_store: Optional[CalibrationStore] = None
+        if calibration_path is not None:
+            self.calibration_store = CalibrationStore(
+                calibration_path, max_age_s=calibration_max_age_s)
+            persisted = self.calibration_store.load()
+            if persisted:
+                self.planner.load_calibration(persisted)
 
     # ------------------------------------------------------------------
     # registration
@@ -80,14 +110,64 @@ class QueryEngine:
         """
         self.catalog.register_dataset(name, points, block_size=block_size,
                                       **catalog_kwargs)
-        return self.catalog.build_suite(name, kinds=kinds)
+        records = self.catalog.build_suite(name, kinds=kinds)
+        self._watch_indexes(name)
+        return records
+
+    def register_sharded_dataset(self, name: str,
+                                 points: Sequence[Sequence[float]],
+                                 num_shards: int,
+                                 sharding: str = "range",
+                                 shard_attribute: int = 0,
+                                 kinds: Optional[Sequence[str]] = None,
+                                 block_size: Optional[int] = None,
+                                 **catalog_kwargs) -> List[BuildRecord]:
+        """Register a dataset partitioned across ``num_shards`` stores.
+
+        ``sharding`` picks hash or range partitioning (range splits on
+        ``shard_attribute`` and enables shard pruning for constraints that
+        are selective in it).  An index suite is bulk-built per shard;
+        queries against ``name`` then fan out to the relevant shards.
+        """
+        self.catalog.register_sharded_dataset(
+            name, points, num_shards=num_shards, sharding=sharding,
+            shard_attribute=shard_attribute, block_size=block_size,
+            **catalog_kwargs)
+        records = self.catalog.build_suite(name, kinds=kinds)
+        self._watch_indexes(name)
+        return records
+
+    def _watch_indexes(self, name: str) -> None:
+        """Hook dynamic indexes up to the engine's staleness machinery.
+
+        A mutation through a dynamic index (1) flushes the dataset's
+        result-cache entries, (2) marks the (shard child) dataset mutated
+        so the planner stops routing to its statically-built siblings, and
+        (3) on sharded datasets marks the shard's bounding box stale so
+        pruning no longer trusts it.
+        """
+        if self.catalog.is_sharded(name):
+            targets = [(shard.dataset, shard.mark_mutated) for shard in
+                       self.catalog.sharded(name).nonempty_shards()]
+        else:
+            targets = [(self.catalog.dataset(name), None)]
+        for dataset, extra in targets:
+            for index in dataset.indexes.values():
+                self.executor.watch_index(name, index)
+                subscribe = getattr(index, "add_mutation_listener", None)
+                if not callable(subscribe):
+                    continue
+                subscribe(lambda dataset=dataset: setattr(
+                    dataset, "mutated", True))
+                if extra is not None:
+                    subscribe(extra)
 
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
     def query(self, dataset: str, constraint: LinearConstraint,
               clear_cache: bool = False) -> ExecutedQuery:
-        """Serve one constraint through the planner-chosen index."""
+        """Serve one constraint through the planner-chosen index(es)."""
         return self.executor.execute(dataset, constraint,
                                      clear_cache=clear_cache)
 
@@ -121,24 +201,51 @@ class QueryEngine:
         Runs each probe constraint through *every* candidate index with
         ``query_with_stats`` (cold cache) and feeds the observed I/Os into
         the planner, so routing starts from measured constants instead of
-        the bounds' implicit constant 1.  Returns the total I/Os spent
-        probing (a serving deployment pays this once at startup).
+        the bounds' implicit constant 1.  On a sharded dataset every
+        shard's indexes are probed (feeding the shared per-kind constant).
+        Returns the total I/Os spent probing (a serving deployment pays
+        this once at startup).
         """
-        dataset_obj = self.catalog.dataset(dataset)
+        if self.catalog.is_sharded(dataset):
+            children = [shard.dataset for shard in
+                        self.catalog.sharded(dataset).nonempty_shards()]
+        else:
+            children = [self.catalog.dataset(dataset)]
         total = 0
         for constraint in constraints:
-            expected = dataset_obj.estimate_output(constraint)
-            for name, index in sorted(dataset_obj.indexes.items()):
-                model = index.estimated_query_ios(constraint, expected)
-                result = index.query_with_stats(constraint, clear_cache=True)
-                self.planner.observe(dataset, name, model, result.total_ios)
-                total += result.total_ios
+            for child in children:
+                expected = child.estimate_output(constraint)
+                for name, index in sorted(child.indexes.items()):
+                    model = index.estimated_query_ios(constraint, expected)
+                    result = index.query_with_stats(constraint,
+                                                    clear_cache=True)
+                    self.planner.observe(dataset, name, model,
+                                         result.total_ios)
+                    total += result.total_ios
         return total
+
+    # ------------------------------------------------------------------
+    # persistence / lifecycle
+    # ------------------------------------------------------------------
+    def save_calibration(self) -> None:
+        """Persist the planner's calibration to ``calibration_path``.
+
+        Raises :class:`RuntimeError` when the engine was constructed
+        without one.
+        """
+        if self.calibration_store is None:
+            raise RuntimeError("engine has no calibration_path configured")
+        self.calibration_store.save(self.planner.export_calibration())
+
+    def close(self) -> None:
+        """Shut down the fan-out pool and close every store's backend."""
+        self.executor.shutdown()
+        self.catalog.close()
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
-    def explain(self, dataset: str, constraint: LinearConstraint) -> Plan:
+    def explain(self, dataset: str, constraint: LinearConstraint) -> AnyPlan:
         """The plan the engine would choose, without executing it."""
         return self.planner.plan(dataset, constraint)
 

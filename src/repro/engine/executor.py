@@ -15,8 +15,17 @@ constraints (or a whole multi-tenant workload), it:
   planner's calibration and every latency/IO sample into
   :class:`~repro.engine.metrics.EngineStats`;
 * can run the per-dataset batches of a workload on a thread pool —
-  queries are read-only and each dataset owns its store, so tenants are
-  served concurrently without sharing mutable block state.
+  queries are read-only and each dataset owns its store(s), so tenants are
+  served concurrently without sharing mutable block state;
+* **fans out** queries against sharded datasets: each relevant shard runs
+  its own per-shard plan (on the same shared thread pool — every shard
+  owns its store), the per-shard I/Os are attributed individually to the
+  planner's calibration and summed into the query's cost, and the fan-out
+  width (shards queried / pruned) lands in the metrics;
+* exposes an **invalidation hook**: dynamic indexes register a mutation
+  listener through :meth:`BatchExecutor.watch_index`, so an insert into a
+  :class:`~repro.core.dynamic.DynamicPartitionTreeIndex` flushes the
+  dataset's result-cache entries instead of serving stale answers.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ from repro.core.conjunction import ConstraintConjunction, query_conjunction
 from repro.core.interface import Point
 from repro.engine.catalog import Catalog
 from repro.engine.metrics import EngineStats, ServedQueryRecord
-from repro.engine.planner import Plan, Planner
+from repro.engine.planner import AnyPlan, Plan, Planner, ShardedPlan
 from repro.geometry.primitives import LinearConstraint
 from repro.io.cache import LRUCache
 from repro.io.store import IOStats
@@ -62,6 +71,10 @@ class ExecutedQuery:
     latency_s: float
     estimated_ios: float
     from_result_cache: bool = False
+    #: Fan-out width for sharded datasets (0 = unsharded dataset).
+    shards_queried: int = 0
+    #: Shards skipped by bounding-box pruning (sharded datasets only).
+    shards_pruned: int = 0
 
     @property
     def count(self) -> int:
@@ -129,12 +142,17 @@ class BatchExecutor:
     warm_cache_blocks:
         Buffer-pool size used while serving a warm batch; the store's
         original (small) pool is restored when the batch finishes.
+    fanout_workers:
+        Size of the shared thread pool used for per-shard fan-out (and as
+        the default for :meth:`run_workload`'s threaded path); 0 runs
+        shards sequentially on the calling thread.
     """
 
     def __init__(self, catalog: Catalog, planner: Planner,
                  stats: Optional[EngineStats] = None,
                  result_cache_entries: int = 256,
-                 warm_cache_blocks: int = 64):
+                 warm_cache_blocks: int = 64,
+                 fanout_workers: int = 8):
         self._catalog = catalog
         self._planner = planner
         self.stats = stats if stats is not None else EngineStats()
@@ -142,6 +160,50 @@ class BatchExecutor:
         self._results = LRUCache(result_cache_entries)
         self._results_lock = threading.Lock()
         self._warm_cache_blocks = warm_cache_blocks
+        self._fanout_workers = fanout_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def _shared_pool(self) -> Optional[ThreadPoolExecutor]:
+        """The lazily-created thread pool shard fan-out runs on."""
+        if self._fanout_workers <= 0:
+            return None
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._fanout_workers,
+                    thread_name_prefix="repro-engine")
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Stop the shared thread pool (idempotent)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # ------------------------------------------------------------------
+    # result-cache invalidation
+    # ------------------------------------------------------------------
+    def watch_index(self, dataset_name: str, index: object) -> bool:
+        """Subscribe to an index's mutations, if it publishes any.
+
+        Indexes exposing ``add_mutation_listener`` (the dynamic partition
+        tree) get a callback that flushes the dataset's result-cache
+        entries, so updates never serve stale cached answers.  Returns
+        True when a listener was registered.
+        """
+        subscribe = getattr(index, "add_mutation_listener", None)
+        if not callable(subscribe):
+            return False
+        subscribe(lambda: self.invalidate_dataset(dataset_name))
+        return True
+
+    def invalidate_dataset(self, dataset_name: str) -> int:
+        """Drop every cached result for one dataset; returns entries dropped."""
+        with self._results_lock:
+            return self._results.evict_where(
+                lambda key: key[0] == dataset_name)
 
     # ------------------------------------------------------------------
     # single queries
@@ -160,8 +222,8 @@ class BatchExecutor:
             if cached is not None:
                 return cached
         plan = self._planner.plan(dataset_name, constraint)
-        return self._run_planned(dataset_name, constraint, plan, key,
-                                 clear_cache=clear_cache)
+        return self._dispatch(dataset_name, constraint, plan, key,
+                              clear_cache=clear_cache)
 
     def execute_conjunction(self, dataset_name: str,
                             conjunction: ConstraintConjunction,
@@ -177,6 +239,10 @@ class BatchExecutor:
             if cached is not None:
                 return cached
         plan = self._planner.plan_conjunction(dataset_name, conjunction)
+        if isinstance(plan, ShardedPlan):
+            return self._run_sharded(dataset_name, None, plan, key,
+                                     clear_cache=clear_cache,
+                                     conjunction=conjunction)
         dataset = self._catalog.dataset(dataset_name)
         index = dataset.indexes[plan.index_name]
         if clear_cache:
@@ -198,46 +264,47 @@ class BatchExecutor:
 
         Unique constraints are planned once, grouped by chosen index, and
         executed with a shared (optionally enlarged) buffer pool; repeats
-        are answered from the result cache.
+        are answered from the result cache.  Sharded datasets warm every
+        shard's pool and fan each constraint out to its relevant shards.
         """
-        dataset = self._catalog.dataset(dataset_name)
-        store = dataset.store
+        stores = self._catalog.stores(dataset_name)
         started = time.perf_counter()
         answers: Dict[ConstraintKey, ExecutedQuery] = {}
         ordered_keys = [constraint_key(c) for c in constraints]
 
-        # Plan each unique constraint and group execution by chosen index.
+        # Plan each unique constraint and group execution by chosen index
+        # (for sharded datasets: by the plan's fan-out label).
         unique: Dict[ConstraintKey, LinearConstraint] = {}
         for constraint, key in zip(constraints, ordered_keys):
             unique.setdefault(key, constraint)
-        groups: Dict[str, List[Tuple[ConstraintKey, LinearConstraint, Plan]]] = {}
+        groups: Dict[str, List[Tuple[ConstraintKey, LinearConstraint]]] = {}
         for key, constraint in unique.items():
             cached = self._result_cache_get((dataset_name, key))
             if cached is not None:
                 answers[key] = cached
                 continue
             plan = self._planner.plan(dataset_name, constraint)
-            groups.setdefault(plan.index_name, []).append(
-                (key, constraint, plan))
+            groups.setdefault(plan.index_name, []).append((key, constraint))
 
-        previous_pool = None
+        previous_pools: List[Tuple[object, int]] = []
         if warm_cache:
-            previous_pool = store.resize_cache(
-                max(store.cache_blocks, self._warm_cache_blocks))
+            for store in stores:
+                previous_pools.append((store, store.resize_cache(
+                    max(store.cache_blocks, self._warm_cache_blocks))))
         try:
             for index_name in sorted(groups):
-                for key, constraint, plan in groups[index_name]:
+                for key, constraint in groups[index_name]:
                     # Re-plan just before running: calibration learned from
                     # earlier queries in this batch may have rerouted the
                     # constraint (the pre-pass grouping is only a locality
                     # heuristic).
                     plan = self._planner.plan(dataset_name, constraint)
-                    answers[key] = self._run_planned(
+                    answers[key] = self._dispatch(
                         dataset_name, constraint, plan,
                         (dataset_name, key), clear_cache=False)
         finally:
-            if previous_pool is not None:
-                store.resize_cache(previous_pool)
+            for store, previous in previous_pools:
+                store.resize_cache(previous)
 
         executed = sum(len(group) for group in groups.values())
         first_position: Dict[ConstraintKey, int] = {}
@@ -303,6 +370,79 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _dispatch(self, dataset_name: str, constraint: LinearConstraint,
+                  plan: AnyPlan, cache_key: Tuple[str, ConstraintKey],
+                  clear_cache: bool) -> ExecutedQuery:
+        """Route a planned query down the plain or fan-out execution path."""
+        if isinstance(plan, ShardedPlan):
+            return self._run_sharded(dataset_name, constraint, plan,
+                                     cache_key, clear_cache=clear_cache)
+        return self._run_planned(dataset_name, constraint, plan, cache_key,
+                                 clear_cache=clear_cache)
+
+    def _run_sharded(self, dataset_name: str,
+                     constraint: Optional[LinearConstraint],
+                     plan: ShardedPlan,
+                     cache_key: Tuple[str, ConstraintKey],
+                     clear_cache: bool,
+                     conjunction: Optional[ConstraintConjunction] = None
+                     ) -> ExecutedQuery:
+        """Fan a query out to the plan's relevant shards and merge.
+
+        Each shard runs its own per-shard plan against its own store; the
+        per-shard I/Os are attributed to calibration individually and
+        summed into the merged answer.  Shards run concurrently on the
+        shared pool when it exists (each shard owns its store, so the
+        only shared state — planner calibration and metrics — is locked).
+        """
+        sharded = self._catalog.sharded(dataset_name)
+        shards_by_id = {shard.shard_id: shard for shard in sharded.shards}
+        started = time.perf_counter()
+
+        def run_shard(item: Tuple[int, Plan]) -> Tuple[Plan, List[Point], IOStats]:
+            shard_id, shard_plan = item
+            dataset = shards_by_id[shard_id].dataset
+            index = dataset.indexes[shard_plan.index_name]
+            store = dataset.store
+            if clear_cache:
+                store.clear_cache()
+            before = store.stats.snapshot()
+            if conjunction is not None:
+                points = query_conjunction(index, conjunction)
+            else:
+                points = index.query(constraint)
+            return shard_plan, points, store.stats.delta(before)
+
+        pool = self._shared_pool()
+        if pool is not None and len(plan.shard_plans) > 1:
+            outcomes = list(pool.map(run_shard, plan.shard_plans))
+        else:
+            outcomes = [run_shard(item) for item in plan.shard_plans]
+
+        points: List[Point] = []
+        ios = IOStats()
+        for shard_plan, shard_points, shard_ios in outcomes:
+            points.extend(shard_points)
+            ios.merge(shard_ios)
+            # Per-shard calibration feedback, keyed by the parent dataset
+            # (shards share one learned constant per index kind).  As in
+            # _finish, buffer-pool hits count as the cold reads they would
+            # have been.
+            self._planner.observe(dataset_name, shard_plan.index_name,
+                                  shard_plan.chosen.model_ios,
+                                  shard_ios.total + shard_ios.cache_hits)
+        latency = time.perf_counter() - started
+        answer = ExecutedQuery(dataset=dataset_name,
+                               index_name=plan.index_name,
+                               points=points, ios=ios, latency_s=latency,
+                               estimated_ios=plan.estimated_ios,
+                               shards_queried=plan.shards_queried,
+                               shards_pruned=plan.shards_pruned)
+        self._record(answer)
+        with self._results_lock:
+            self._results.put(cache_key, (plan.index_name, list(points)))
+        return answer
+
     def _run_planned(self, dataset_name: str, constraint: LinearConstraint,
                      plan: Plan, cache_key: Tuple[str, ConstraintKey],
                      clear_cache: bool) -> ExecutedQuery:
@@ -370,4 +510,6 @@ class BatchExecutor:
             reported=answer.count,
             result_cache_hit=answer.from_result_cache,
             store_cache_hits=answer.ios.cache_hits,
+            shards_queried=answer.shards_queried,
+            shards_pruned=answer.shards_pruned,
         ))

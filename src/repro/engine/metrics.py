@@ -32,6 +32,10 @@ class ServedQueryRecord:
     reported: int
     result_cache_hit: bool = False
     store_cache_hits: int = 0
+    #: Shards the query fanned out to (0 for unsharded datasets).
+    shards_queried: int = 0
+    #: Shards skipped by the planner's bounding-box pruning.
+    shards_pruned: int = 0
 
 
 def percentile(sorted_values: List[float], fraction: float) -> float:
@@ -102,6 +106,22 @@ class EngineStats:
         lookups = self.store_cache_hits + self.total_ios
         return self.store_cache_hits / lookups if lookups else 0.0
 
+    @property
+    def shards_queried(self) -> int:
+        """Total shard visits across every fanned-out query."""
+        return sum(record.shards_queried for record in self.records)
+
+    @property
+    def shards_pruned(self) -> int:
+        """Total shard visits the planner's pruning avoided."""
+        return sum(record.shards_pruned for record in self.records)
+
+    @property
+    def shard_prune_rate(self) -> float:
+        """Pruned over candidate shard visits (0.0 with no sharded traffic)."""
+        candidates = self.shards_queried + self.shards_pruned
+        return self.shards_pruned / candidates if candidates else 0.0
+
     def plan_distribution(self) -> Dict[str, int]:
         """How many queries each index served (the planner's routing mix)."""
         return dict(Counter(record.index_name for record in self.records))
@@ -130,6 +150,9 @@ class EngineStats:
             "result_cache_hit_rate": self.result_cache_hit_rate,
             "store_cache_hits": self.store_cache_hits,
             "store_cache_hit_rate": self.store_cache_hit_rate,
+            "shards_queried": self.shards_queried,
+            "shards_pruned": self.shards_pruned,
+            "shard_prune_rate": self.shard_prune_rate,
             "latency_s": self.latency_percentiles(),
             "plan_distribution": self.plan_distribution(),
         }

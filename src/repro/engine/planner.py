@@ -15,18 +15,30 @@ prediction has two factors:
   drop constants; calibration learns them from traffic, so a structure
   whose real constant is large gradually loses ties it should lose.
 
+For a sharded dataset the planner prices a query as the *sum over relevant
+shards* of the per-shard paper bound: it asks the dataset which shards the
+constraint can touch (range shards outside the constraint's reach are
+pruned via their bounding boxes), plans each relevant shard independently
+over its own index suite, and returns a :class:`ShardedPlan` whose cost is
+the fan-out total.  Calibration is keyed by (dataset, index) *across*
+shards — shards of one dataset are statistically alike, so they share and
+jointly sharpen one learned constant per structure.
+
 Calibration state is exportable/restorable as a plain dict so a serving
-deployment can persist what it learned across restarts.
+deployment can persist what it learned across restarts (see
+:mod:`repro.engine.calibration` for the on-disk store with age-out).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.conjunction import ConstraintConjunction
-from repro.engine.catalog import Catalog
+from repro.engine.catalog import Catalog, Dataset
+from repro.engine.sharding import Shard, ShardedDataset
 from repro.geometry.primitives import LinearConstraint
 
 #: Calibration factors are clamped to this range so one outlier
@@ -86,12 +98,68 @@ class Plan:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class ShardedPlan:
+    """The planner's decision for one query against a sharded dataset.
+
+    ``shard_plans`` holds one (shard_id, :class:`Plan`) pair per relevant
+    shard — shards whose bounding box cannot contain a satisfying point
+    are pruned and appear only in the ``shards_pruned`` count.
+    """
+
+    dataset: str
+    expected_output: int
+    shard_plans: Tuple[Tuple[int, Plan], ...]
+    num_shards: int
+
+    @property
+    def estimated_ios(self) -> float:
+        """Predicted fan-out cost: sum of the per-shard chosen costs."""
+        return sum(plan.estimated_ios for __, plan in self.shard_plans)
+
+    @property
+    def shards_queried(self) -> int:
+        """How many shards the query fans out to."""
+        return len(self.shard_plans)
+
+    @property
+    def shards_pruned(self) -> int:
+        """How many shards the leading-attribute/box pruning skipped."""
+        return self.num_shards - len(self.shard_plans)
+
+    @property
+    def index_name(self) -> str:
+        """Summary label of the chosen per-shard indexes (for metrics)."""
+        names = sorted({plan.index_name for __, plan in self.shard_plans})
+        if not names:
+            return "pruned"
+        if len(names) == 1:
+            return names[0]
+        return "mixed(%s)" % "+".join(names)
+
+    def explain(self) -> str:
+        """Fan-out summary plus each relevant shard's plan."""
+        lines = ["sharded plan for dataset %r (expected T=%d): "
+                 "%d/%d shards relevant, %d pruned, %.1f predicted I/Os"
+                 % (self.dataset, self.expected_output, self.shards_queried,
+                    self.num_shards, self.shards_pruned, self.estimated_ios)]
+        for shard_id, plan in self.shard_plans:
+            lines.append("  shard %d -> %s (%.1f predicted I/Os)"
+                         % (shard_id, plan.index_name, plan.estimated_ios))
+        return "\n".join(lines)
+
+
+#: What :meth:`Planner.plan` returns: a single-store plan or a fan-out plan.
+AnyPlan = Union[Plan, ShardedPlan]
+
+
 @dataclass
 class _Calibration:
     """Running observed/predicted ratio for one (dataset, index)."""
 
     factor: float = 1.0
     observations: int = 0
+    updated_at: float = 0.0
 
 
 class Planner:
@@ -118,36 +186,89 @@ class Planner:
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def plan(self, dataset_name: str,
-             constraint: LinearConstraint) -> Plan:
-        """Choose the cheapest index for a single linear constraint."""
-        dataset = self._catalog.dataset(dataset_name)
+    @staticmethod
+    def _routable_indexes(dataset: Dataset) -> Dict[str, object]:
+        """The candidate indexes the planner may route to.
+
+        Once a dataset has mutated (an insert/delete through a dynamic
+        index), its statically-built indexes no longer reflect the data —
+        routing to them would silently drop the update.  Only
+        mutation-aware indexes (those publishing ``add_mutation_listener``)
+        stay routable from that point on.
+        """
+        if not dataset.mutated:
+            return dataset.indexes
+        fresh = {
+            name: index for name, index in dataset.indexes.items()
+            if callable(getattr(index, "add_mutation_listener", None))}
+        return fresh or dataset.indexes
+
+    def _plan_dataset(self, dataset: Dataset, calibration_name: str,
+                      constraint: LinearConstraint) -> Plan:
+        """Plan over one concrete dataset (a plain one or a shard child)."""
         if not dataset.indexes:
             raise ValueError("dataset %r has no indexes to plan over"
-                             % dataset_name)
+                             % dataset.name)
         expected_output = dataset.estimate_output(constraint)
         estimates = tuple(
             CandidateEstimate(
                 index_name=name,
                 model_ios=index.estimated_query_ios(constraint,
                                                     expected_output),
-                calibration=self.calibration_factor(dataset_name, name),
+                calibration=self.calibration_factor(calibration_name, name),
             )
-            for name, index in sorted(dataset.indexes.items()))
+            for name, index in sorted(
+                self._routable_indexes(dataset).items()))
         winner = min(estimates, key=lambda est: (est.cost, est.index_name))
-        return Plan(dataset=dataset_name, index_name=winner.index_name,
+        return Plan(dataset=dataset.name,
+                    index_name=winner.index_name,
                     expected_output=expected_output, estimates=estimates)
 
+    def plan(self, dataset_name: str,
+             constraint: LinearConstraint) -> AnyPlan:
+        """Choose the cheapest index (or per-shard indexes) for a constraint.
+
+        Plain datasets yield a :class:`Plan`; sharded datasets yield a
+        :class:`ShardedPlan` covering exactly the relevant shards.
+        """
+        if self._catalog.is_sharded(dataset_name):
+            sharded = self._catalog.sharded(dataset_name)
+            return self._plan_sharded(
+                sharded, constraint, sharded.relevant_shards(constraint))
+        return self._plan_dataset(self._catalog.dataset(dataset_name),
+                                  dataset_name, constraint)
+
+    def _plan_sharded(self, sharded: ShardedDataset,
+                      constraint: LinearConstraint,
+                      relevant: "list[Shard]") -> ShardedPlan:
+        shard_plans = tuple(
+            (shard.shard_id,
+             self._plan_dataset(shard.dataset, sharded.name, constraint))
+            for shard in relevant)
+        return ShardedPlan(dataset=sharded.name,
+                           expected_output=sharded.estimate_output(constraint),
+                           shard_plans=shard_plans,
+                           num_shards=sharded.num_shards)
+
     def plan_conjunction(self, dataset_name: str,
-                         conjunction: ConstraintConjunction) -> Plan:
+                         conjunction: ConstraintConjunction) -> AnyPlan:
         """Choose an index for a conjunction of constraints.
 
         Non-simplex indexes answer a conjunction by running its most
         selective conjunct and filtering (see :mod:`repro.core.conjunction`),
         so each candidate is costed with that conjunct's expected output;
         the executor then evaluates the conjunction through
-        :func:`~repro.core.conjunction.query_conjunction`.
+        :func:`~repro.core.conjunction.query_conjunction`.  On a sharded
+        dataset every conjunct participates in pruning (any one conjunct
+        missing a shard's box excludes the shard).
         """
+        if self._catalog.is_sharded(dataset_name):
+            sharded = self._catalog.sharded(dataset_name)
+            best = min(conjunction.constraints,
+                       key=lambda c: sharded.estimate_output(c))
+            return self._plan_sharded(
+                sharded, best,
+                sharded.relevant_shards_conjunction(conjunction))
         dataset = self._catalog.dataset(dataset_name)
         best = min(conjunction.constraints,
                    key=lambda constraint: dataset.estimate_output(constraint))
@@ -185,13 +306,20 @@ class Planner:
                     + self._alpha * ratio
             entry.factor = min(MAX_FACTOR, max(MIN_FACTOR, blended))
             entry.observations += 1
+            entry.updated_at = time.time()
 
     def export_calibration(self) -> Dict[str, Dict[str, object]]:
-        """Calibration state as a JSON-friendly dict (persist across runs)."""
+        """Calibration state as a JSON-friendly dict (persist across runs).
+
+        Each entry carries the wall-clock time of its last observation so
+        the on-disk store (:mod:`repro.engine.calibration`) can age out
+        constants learned from traffic that is no longer representative.
+        """
         with self._lock:
             return {
                 "%s/%s" % key: {"factor": entry.factor,
-                                "observations": entry.observations}
+                                "observations": entry.observations,
+                                "updated_at": entry.updated_at}
                 for key, entry in self._calibrations.items()
             }
 
@@ -203,4 +331,5 @@ class Planner:
                 self._calibrations[(dataset_name, index_name)] = _Calibration(
                     factor=float(payload["factor"]),
                     observations=int(payload["observations"]),
+                    updated_at=float(payload.get("updated_at", 0.0)),
                 )

@@ -1,0 +1,318 @@
+"""Sharded datasets: partition a point set across several block stores.
+
+One :class:`~repro.io.store.BlockStore` is one disk; past a point a single
+disk (and the single buffer pool in front of it) is the bottleneck.  A
+:class:`ShardedDataset` partitions a dataset's points across ``K`` shards —
+each with its own store, its own backend and its own index suite — so the
+executor can fan a query out and the planner can price a plan as
+(relevant shards × the per-shard paper bound).
+
+Two routers ship:
+
+* :class:`HashShardRouter` — points are spread by a deterministic hash,
+  balancing load but touching every shard on every query;
+* :class:`RangeShardRouter` — points are split at quantiles of a *leading
+  attribute*, so a constraint that is selective in that attribute misses
+  most shards entirely.
+
+Pruning is exact, not heuristic: every shard records the bounding box of
+its points, and a shard participates only if the query halfspace intersects
+that box (the minimum of the constraint residual over a box is a closed
+form).  For range shards and steep leading-attribute constraints this
+reproduces classic partition pruning; for hash shards the boxes all span
+the data and nothing is pruned — which is exactly the trade-off the two
+routers represent.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.core.conjunction import ConstraintConjunction
+from repro.geometry.primitives import LinearConstraint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (catalog imports us)
+    from repro.engine.catalog import Dataset
+
+
+def selectivity_on_sample(sample: np.ndarray, dimension: int,
+                          constraint: LinearConstraint) -> float:
+    """Fraction of the sample satisfying ``constraint`` (zero I/Os).
+
+    One vectorised residual computation; shared by plain and sharded
+    datasets so their selectivity estimates can never diverge.
+    """
+    if constraint.dimension != dimension:
+        raise ValueError(
+            "constraint dimension %d does not match dataset dimension %d"
+            % (constraint.dimension, dimension))
+    residuals = (sample[:, -1]
+                 - sample[:, :-1] @ np.asarray(constraint.coeffs))
+    return float(np.mean(residuals <= constraint.offset))
+
+
+def constraint_feasible_over_box(constraint: LinearConstraint,
+                                 lows: Sequence[float],
+                                 highs: Sequence[float]) -> bool:
+    """True if some point of the axis-aligned box can satisfy the constraint.
+
+    The constraint is ``x_d - sum_i a_i x_i <= a_0``; the left side is
+    linear, so its minimum over the box is attained at a corner picked
+    per-coordinate: the low corner of ``x_d``, and for each ``x_i`` the
+    high corner when ``a_i > 0`` (it is subtracted) else the low corner.
+    If even that minimum exceeds ``a_0`` no point of the box qualifies.
+    """
+    if len(lows) != constraint.dimension:
+        raise ValueError("box dimension %d does not match constraint "
+                         "dimension %d" % (len(lows), constraint.dimension))
+    minimum = lows[-1]
+    for coeff, lo, hi in zip(constraint.coeffs, lows, highs):
+        minimum -= coeff * (hi if coeff > 0 else lo)
+    # Relative slack: with large coordinates/coefficients the corner
+    # products carry rounding error far above any absolute epsilon, and a
+    # boundary point (offsets come from residual quantiles) must never be
+    # pruned away.
+    slack = 1e-9 * max(1.0, abs(minimum), abs(constraint.offset))
+    return minimum <= constraint.offset + slack
+
+
+class ShardRouter(abc.ABC):
+    """Maps points to shard ids; built once per sharded dataset."""
+
+    #: Short scheme name ("hash" / "range") used in configs and reprs.
+    scheme: str = "abstract"
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1, got %r" % num_shards)
+        self.num_shards = num_shards
+
+    @abc.abstractmethod
+    def shard_of(self, point: Sequence[float]) -> int:
+        """The shard id a point belongs to."""
+
+    def assign(self, points: np.ndarray) -> List[np.ndarray]:
+        """Row indices of ``points`` per shard (length ``num_shards``)."""
+        buckets: List[List[int]] = [[] for __ in range(self.num_shards)]
+        for row, point in enumerate(points):
+            buckets[self.shard_of(point)].append(row)
+        return [np.asarray(bucket, dtype=int) for bucket in buckets]
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly router description (persisted by benchmarks)."""
+        return {"scheme": self.scheme, "num_shards": self.num_shards}
+
+    def __repr__(self) -> str:
+        return "%s(num_shards=%d)" % (type(self).__name__, self.num_shards)
+
+
+class HashShardRouter(ShardRouter):
+    """Deterministic hash partitioning over the whole point tuple.
+
+    Python's numeric hash is stable across runs (only str/bytes hashing is
+    randomised), so the assignment is reproducible.
+    """
+
+    scheme = "hash"
+
+    def shard_of(self, point: Sequence[float]) -> int:
+        return hash(tuple(float(c) for c in point)) % self.num_shards
+
+
+class RangeShardRouter(ShardRouter):
+    """Quantile range partitioning on one *leading* attribute.
+
+    Boundaries are the ``k/K`` quantiles of ``points[:, attribute]``, so
+    shards are balanced on the build distribution; ``shard_of`` bisects the
+    boundary list.
+    """
+
+    scheme = "range"
+
+    def __init__(self, num_shards: int, boundaries: Sequence[float],
+                 attribute: int = 0):
+        super().__init__(num_shards)
+        if len(boundaries) != num_shards - 1:
+            raise ValueError("need %d boundaries for %d shards, got %d"
+                             % (num_shards - 1, num_shards, len(boundaries)))
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError("boundaries must be sorted, got %r"
+                             % (list(boundaries),))
+        self.attribute = attribute
+        self.boundaries = [float(b) for b in boundaries]
+
+    @classmethod
+    def from_points(cls, points: np.ndarray, num_shards: int,
+                    attribute: int = 0) -> "RangeShardRouter":
+        """Choose boundaries as quantiles of the attribute's distribution."""
+        points = np.asarray(points, dtype=float)
+        if not 0 <= attribute < points.shape[1]:
+            raise ValueError("attribute %d out of range for dimension %d"
+                             % (attribute, points.shape[1]))
+        fractions = np.arange(1, num_shards) / num_shards
+        boundaries = np.quantile(points[:, attribute], fractions)
+        return cls(num_shards, boundaries.tolist(), attribute=attribute)
+
+    def shard_of(self, point: Sequence[float]) -> int:
+        return bisect.bisect_right(self.boundaries,
+                                   float(point[self.attribute]))
+
+    def assign(self, points: np.ndarray) -> List[np.ndarray]:
+        """Vectorised range routing: one searchsorted over the attribute."""
+        points = np.asarray(points, dtype=float)
+        shard_ids = np.searchsorted(np.asarray(self.boundaries),
+                                    points[:, self.attribute], side="right")
+        return [np.flatnonzero(shard_ids == shard)
+                for shard in range(self.num_shards)]
+
+    def describe(self) -> Dict[str, object]:
+        payload = super().describe()
+        payload["attribute"] = self.attribute
+        payload["boundaries"] = list(self.boundaries)
+        return payload
+
+
+def make_router(scheme: str, points: np.ndarray, num_shards: int,
+                attribute: int = 0) -> ShardRouter:
+    """Build a router of the given scheme over the dataset's points."""
+    if scheme == "hash":
+        return HashShardRouter(num_shards)
+    if scheme == "range":
+        return RangeShardRouter.from_points(points, num_shards,
+                                            attribute=attribute)
+    raise ValueError("unknown sharding scheme %r (expected 'hash' or "
+                     "'range')" % (scheme,))
+
+
+@dataclass
+class Shard:
+    """One shard: a child dataset plus the bounding box used for pruning.
+
+    ``dataset`` is None for an *empty* shard (possible under hash routing
+    of tiny datasets); empty shards hold no store, build no indexes and are
+    always pruned.
+
+    The bounding box is computed from the build-time points.  Mutations
+    through a shard's dynamic index can land *outside* it, so the engine
+    marks the shard ``box_stale`` on the first mutation — a stale box is
+    no longer trusted for pruning (the shard always participates), keeping
+    pruning exact rather than heuristic.
+    """
+
+    shard_id: int
+    dataset: Optional["Dataset"]
+    lows: Optional[Tuple[float, ...]] = None
+    highs: Optional[Tuple[float, ...]] = None
+    box_stale: bool = False
+
+    @property
+    def is_empty(self) -> bool:
+        return self.dataset is None
+
+    @property
+    def size(self) -> int:
+        return 0 if self.dataset is None else self.dataset.size
+
+    def mark_mutated(self) -> None:
+        """Record that the shard's data changed after the build.
+
+        Called by the engine's mutation hooks; disables box pruning for
+        this shard from now on.
+        """
+        self.box_stale = True
+
+    def may_contain(self, constraint: LinearConstraint) -> bool:
+        """True unless the bounding box proves the shard reports nothing."""
+        if self.is_empty:
+            return False
+        if self.box_stale:
+            return True
+        return constraint_feasible_over_box(constraint, self.lows, self.highs)
+
+    def may_contain_conjunction(self,
+                                conjunction: ConstraintConjunction) -> bool:
+        """True unless some conjunct alone already excludes the box."""
+        if self.is_empty:
+            return False
+        if self.box_stale:
+            return True
+        return all(constraint_feasible_over_box(c, self.lows, self.highs)
+                   for c in conjunction.constraints)
+
+
+@dataclass
+class ShardedDataset:
+    """A dataset partitioned across per-shard stores and index suites.
+
+    The global ``sample`` estimates whole-dataset selectivity exactly as
+    :class:`~repro.engine.catalog.Dataset` does; each shard's child dataset
+    additionally keeps its own sample so the planner can price per-shard
+    output sizes.  ``prune`` can be flipped off to force fan-out to every
+    shard (benchmarks use this to measure what pruning saves).
+    """
+
+    name: str
+    points: np.ndarray
+    sample: np.ndarray
+    router: ShardRouter
+    shards: List[Shard] = field(default_factory=list)
+    prune: bool = True
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension of the stored points."""
+        return int(self.points.shape[1])
+
+    @property
+    def size(self) -> int:
+        """Number of stored points across every shard (the paper's N)."""
+        return int(self.points.shape[0])
+
+    @property
+    def num_shards(self) -> int:
+        """The configured shard count K (empty shards included)."""
+        return self.router.num_shards
+
+    def nonempty_shards(self) -> List[Shard]:
+        """Shards that actually hold points (and therefore indexes)."""
+        return [shard for shard in self.shards if not shard.is_empty]
+
+    def estimate_selectivity(self, constraint: LinearConstraint) -> float:
+        """Fraction of all points expected to satisfy ``constraint``."""
+        return selectivity_on_sample(self.sample, self.dimension, constraint)
+
+    def estimate_output(self, constraint: LinearConstraint) -> int:
+        """Expected number of reported points across shards (the paper's T)."""
+        return int(round(self.estimate_selectivity(constraint) * self.size))
+
+    def relevant_shards(self, constraint: LinearConstraint) -> List[Shard]:
+        """The shards a query must visit (box pruning unless disabled)."""
+        if not self.prune:
+            return self.nonempty_shards()
+        return [shard for shard in self.shards
+                if shard.may_contain(constraint)]
+
+    def relevant_shards_conjunction(
+            self, conjunction: ConstraintConjunction) -> List[Shard]:
+        """Shards a conjunction must visit (each conjunct can prune)."""
+        if not self.prune:
+            return self.nonempty_shards()
+        return [shard for shard in self.shards
+                if shard.may_contain_conjunction(conjunction)]
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly sharding summary (persisted by benchmarks)."""
+        return {
+            "name": self.name,
+            "router": self.router.describe(),
+            "shard_sizes": [shard.size for shard in self.shards],
+        }
+
+    def __repr__(self) -> str:
+        return "ShardedDataset(name=%r, N=%d, %r)" % (
+            self.name, self.size, self.router)

@@ -7,6 +7,10 @@ a faithful software simulation of that model:
 
 * :class:`~repro.io.store.BlockStore` — a simulated disk with I/O counters
   and an optional LRU buffer pool of ``M/B`` blocks.
+* :class:`~repro.io.backend.StorageBackend` — where blocks physically live:
+  :class:`~repro.io.backend.MemoryBackend` (a dict, the default) or
+  :class:`~repro.io.backend.FileBackend` (a real file, seek/read), both
+  behind identical I/O accounting.
 * :class:`~repro.io.disk_array.DiskArray` — a blocked sequence of records.
 * :class:`~repro.io.btree.BTree` — an external B+-tree (the 1-D baseline of
   Section 1.2 and an internal component of the 2-D structure of Section 3).
@@ -17,6 +21,12 @@ perform their disk accesses exclusively through this layer, so their
 reported query costs are measured in I/Os exactly as in the paper.
 """
 
+from repro.io.backend import (
+    FileBackend,
+    MemoryBackend,
+    StorageBackend,
+    make_backend,
+)
 from repro.io.block import Block, BlockId
 from repro.io.cache import LRUCache
 from repro.io.store import BlockStore, IOStats
@@ -29,7 +39,11 @@ __all__ = [
     "BlockId",
     "LRUCache",
     "BlockStore",
+    "FileBackend",
     "IOStats",
+    "MemoryBackend",
+    "StorageBackend",
+    "make_backend",
     "DiskArray",
     "BTree",
     "external_merge_sort",

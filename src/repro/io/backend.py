@@ -1,0 +1,366 @@
+"""Pluggable storage backends for the simulated disk.
+
+:class:`~repro.io.store.BlockStore` charges I/Os; a :class:`StorageBackend`
+is where the blocks actually live.  The store performs every block
+materialisation through this interface, so the I/O *accounting* is
+identical across backends by construction — swapping the backend changes
+where bytes go (a Python dict, a file on a real disk), never how many
+block transfers the model charges.  Two implementations ship:
+
+* :class:`MemoryBackend` — blocks in a dict; the original behaviour and
+  the default.
+* :class:`FileBackend` — blocks serialised to a single append-only file
+  read back with ``seek``/``read``.  Writes append a fresh copy of the
+  block and update an in-memory offset table (a log-structured layout:
+  crash-simple, sequential writes); ``compact()`` rewrites live blocks to
+  reclaim the space of superseded versions.  Byte counters expose what a
+  real disk actually moved, alongside the model's block counts.
+
+Records are arbitrary Python objects, so the file backend serialises each
+block with :mod:`pickle`.  Backends are *not* shared between stores.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import pickle
+import struct
+import tempfile
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.io.block import BlockId
+
+#: Per-block header in the file layout: (block_id, payload_length).
+_HEADER = struct.Struct("<qq")
+
+
+class StorageBackend(abc.ABC):
+    """Where a :class:`~repro.io.store.BlockStore`'s blocks physically live.
+
+    The contract mirrors a dict keyed by :data:`~repro.io.block.BlockId`:
+    ``put`` creates or overwrites, ``get``/``delete`` raise :class:`KeyError`
+    for unknown ids, and ``get`` returns a *fresh* list the caller may
+    mutate.  Implementations never count I/Os — that is the store's job.
+    """
+
+    #: Short name used in reprs and benchmark labels.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def put(self, block_id: BlockId, records: List[Any]) -> None:
+        """Store (create or overwrite) the records of one block."""
+
+    @abc.abstractmethod
+    def get(self, block_id: BlockId) -> List[Any]:
+        """Return a fresh copy of a block's records (KeyError if missing)."""
+
+    @abc.abstractmethod
+    def delete(self, block_id: BlockId) -> None:
+        """Forget a block (KeyError if missing)."""
+
+    @abc.abstractmethod
+    def contains(self, block_id: BlockId) -> bool:
+        """True if the block is currently stored."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored blocks."""
+
+    @abc.abstractmethod
+    def block_ids(self) -> Iterator[BlockId]:
+        """Iterate over the stored block ids (unspecified order)."""
+
+    def close(self) -> None:
+        """Release any resources (file handles, temp files).  Idempotent."""
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return self.contains(block_id)
+
+    def info(self) -> Dict[str, object]:
+        """Backend-specific metrics (for benchmarks and dashboards)."""
+        return {"backend": self.name, "blocks": len(self)}
+
+    def __repr__(self) -> str:
+        return "%s(blocks=%d)" % (type(self).__name__, len(self))
+
+
+class MemoryBackend(StorageBackend):
+    """Blocks held in a Python dict — the simulator's original behaviour."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._blocks: Dict[BlockId, List[Any]] = {}
+
+    def put(self, block_id: BlockId, records: List[Any]) -> None:
+        self._blocks[block_id] = list(records)
+
+    def get(self, block_id: BlockId) -> List[Any]:
+        return list(self._blocks[block_id])
+
+    def delete(self, block_id: BlockId) -> None:
+        del self._blocks[block_id]
+
+    def contains(self, block_id: BlockId) -> bool:
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block_ids(self) -> Iterator[BlockId]:
+        return iter(list(self._blocks))
+
+
+class FileBackend(StorageBackend):
+    """Blocks serialised to one append-only file on the real filesystem.
+
+    Parameters
+    ----------
+    path:
+        File to store blocks in.  When omitted a temporary file is created
+        and removed again on :meth:`close`.  An existing file written by a
+        previous :class:`FileBackend` is recovered by replaying its log,
+        so a store can be reopened across processes.
+    auto_compact_ratio:
+        When the file holds more than this multiple of the live payload
+        (garbage from superseded block versions), :meth:`put` triggers a
+        :meth:`compact`.  ``0`` disables automatic compaction.
+    """
+
+    name = "file"
+
+    def __init__(self, path: Optional[str] = None,
+                 auto_compact_ratio: float = 4.0) -> None:
+        if auto_compact_ratio and auto_compact_ratio < 1.0:
+            raise ValueError("auto_compact_ratio must be >= 1 (or 0 to "
+                             "disable), got %r" % auto_compact_ratio)
+        self._owns_path = path is None
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro-blocks-",
+                                        suffix=".log")
+            os.close(fd)
+        self.path = path
+        self._auto_compact_ratio = auto_compact_ratio
+        self._lock = threading.Lock()
+        # block_id -> (payload offset, payload length) of the live version.
+        self._index: Dict[BlockId, Tuple[int, int]] = {}
+        self._live_bytes = 0
+        self._closed = False
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.compactions = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a+b")
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # log plumbing
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild the offset table from an existing log file.
+
+        A record whose payload was only partially written (crash between
+        the header and the payload bytes) is detected by bounds-checking
+        its length against the file size; the torn tail is truncated away
+        so later appends start at a clean record boundary.
+        """
+        self._handle.seek(0, os.SEEK_END)
+        file_size = self._handle.tell()
+        self._handle.seek(0)
+        position = 0
+        while True:
+            header = self._handle.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                break
+            block_id, length = _HEADER.unpack(header)
+            offset = position + _HEADER.size
+            if length < 0 or offset + length > file_size:
+                break  # torn tail record: everything before it is intact
+            if block_id >= 0:
+                if block_id in self._index:
+                    self._live_bytes -= self._index[block_id][1]
+                self._index[block_id] = (offset, length)
+                self._live_bytes += length
+            else:
+                # A tombstone: negative id encodes deletion of ~block_id.
+                dead = ~block_id
+                entry = self._index.pop(dead, None)
+                if entry is not None:
+                    self._live_bytes -= entry[1]
+            position = offset + length
+            self._handle.seek(position)
+        if position < file_size:
+            self._handle.truncate(position)
+        self._handle.seek(0, os.SEEK_END)
+
+    def _append(self, block_id: BlockId, payload: bytes) -> Tuple[int, int]:
+        self._handle.seek(0, os.SEEK_END)
+        self._handle.write(_HEADER.pack(block_id, len(payload)))
+        offset = self._handle.tell()
+        self._handle.write(payload)
+        self.bytes_written += _HEADER.size + len(payload)
+        return offset, len(payload)
+
+    def _file_bytes(self) -> int:
+        self._handle.seek(0, os.SEEK_END)
+        return self._handle.tell()
+
+    def _live_file_bytes(self) -> int:
+        """Bytes a freshly-compacted file would occupy (headers included)."""
+        return self._live_bytes + len(self._index) * _HEADER.size
+
+    def _maybe_compact_locked(self) -> None:
+        if not self._auto_compact_ratio or not self._index:
+            return
+        # Compare against what compaction can actually achieve (live
+        # payloads *plus* their headers) — comparing to payload bytes
+        # alone makes the threshold unsatisfiable for tiny blocks and
+        # degenerates into a full rewrite on every put.
+        if self._file_bytes() > self._auto_compact_ratio * max(
+                1, self._live_file_bytes()):
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        """Rewrite only the live block versions into a fresh log."""
+        live: Dict[BlockId, bytes] = {}
+        for block_id, (offset, length) in self._index.items():
+            self._handle.seek(offset)
+            live[block_id] = self._handle.read(length)
+        self._handle.seek(0)
+        self._handle.truncate()
+        self._index.clear()
+        self._live_bytes = 0
+        for block_id, payload in sorted(live.items()):
+            self._index[block_id] = self._append(block_id, payload)
+            self._live_bytes += len(payload)
+        self._handle.flush()
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # StorageBackend interface
+    # ------------------------------------------------------------------
+    def put(self, block_id: BlockId, records: List[Any]) -> None:
+        payload = pickle.dumps(list(records), protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._check_open()
+            previous = self._index.get(block_id)
+            self._index[block_id] = self._append(block_id, payload)
+            self._live_bytes += len(payload)
+            if previous is not None:
+                self._live_bytes -= previous[1]
+            self._maybe_compact_locked()
+
+    def get(self, block_id: BlockId) -> List[Any]:
+        with self._lock:
+            self._check_open()
+            offset, length = self._index[block_id]
+            self._handle.seek(offset)
+            payload = self._handle.read(length)
+            self.bytes_read += length
+        return pickle.loads(payload)
+
+    def delete(self, block_id: BlockId) -> None:
+        with self._lock:
+            self._check_open()
+            __, length = self._index.pop(block_id)
+            self._live_bytes -= length
+            # Tombstone so recovery after reopen also forgets the block.
+            self._append(~block_id, b"")
+
+    def contains(self, block_id: BlockId) -> bool:
+        with self._lock:
+            return block_id in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def block_ids(self) -> Iterator[BlockId]:
+        with self._lock:
+            return iter(list(self._index))
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Drop superseded block versions from the file."""
+        with self._lock:
+            self._check_open()
+            self._compact_locked()
+
+    def sync(self) -> None:
+        """Flush buffered writes to the OS (fsync the log file)."""
+        with self._lock:
+            self._check_open()
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._handle.close()
+            if self._owns_path:
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+
+    def __del__(self) -> None:  # best effort for unclosed temp files
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("backend for %r is closed" % self.path)
+
+    def info(self) -> Dict[str, object]:
+        with self._lock:
+            file_bytes = 0 if self._closed else self._file_bytes()
+        return {
+            "backend": self.name,
+            "blocks": len(self),
+            "path": self.path,
+            "file_bytes": file_bytes,
+            "live_bytes": self._live_bytes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "compactions": self.compactions,
+        }
+
+    def __repr__(self) -> str:
+        return "FileBackend(path=%r, blocks=%d)" % (self.path, len(self))
+
+
+#: Backend spec strings accepted by :func:`make_backend`.
+BACKEND_NAMES = ("memory", "file")
+
+
+def make_backend(spec: object = None, path: Optional[str] = None
+                 ) -> StorageBackend:
+    """Resolve a backend spec into a fresh :class:`StorageBackend`.
+
+    ``spec`` may be None / ``"memory"`` (dict-backed), ``"file"``
+    (file-backed, optionally at ``path``), an already-constructed backend
+    (returned as is), or a zero-argument callable producing one.
+    """
+    if spec is None or spec == "memory":
+        return MemoryBackend()
+    if spec == "file":
+        return FileBackend(path=path)
+    if isinstance(spec, StorageBackend):
+        return spec
+    if callable(spec):
+        backend = spec()
+        if not isinstance(backend, StorageBackend):
+            raise TypeError("backend factory returned %r, not a "
+                            "StorageBackend" % (backend,))
+        return backend
+    raise ValueError("unknown storage backend %r (expected one of %s, a "
+                     "StorageBackend, or a factory)"
+                     % (spec, ", ".join(BACKEND_NAMES)))

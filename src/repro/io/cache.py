@@ -11,7 +11,7 @@ effect of internal memory.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, Hashable, Optional, TypeVar
+from typing import Callable, Generic, Hashable, Optional, TypeVar
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -74,6 +74,17 @@ class LRUCache(Generic[K, V]):
     def invalidate(self, key: K) -> None:
         """Drop an entry (used when a block is rewritten or freed)."""
         self._entries.pop(key, None)
+
+    def evict_where(self, predicate: Callable[[K], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return count.
+
+        The executor's result cache uses this to flush a dataset's answers
+        when one of its dynamic indexes mutates.
+        """
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
 
     def clear(self) -> None:
         """Drop every entry but keep hit/miss statistics."""

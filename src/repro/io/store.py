@@ -7,6 +7,12 @@ and counts them.  A small LRU buffer pool (``cache_blocks`` blocks, i.e. the
 model's ``M/B``) can absorb repeated reads of hot blocks; by default it is
 sized to a handful of blocks so that reported counts reflect the structure
 of the algorithm rather than incidental caching.
+
+Where the blocks physically live is delegated to a pluggable
+:class:`~repro.io.backend.StorageBackend` (an in-memory dict by default, a
+real file with :class:`~repro.io.backend.FileBackend`).  Every backend sits
+behind the same charging points, so swapping backends changes the medium
+without changing any measured I/O count.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.io.backend import StorageBackend, make_backend
 from repro.io.block import Block, BlockId
 from repro.io.cache import LRUCache
 
@@ -53,6 +60,14 @@ class IOStats:
             cache_hits=self.cache_hits - earlier.cache_hits,
         )
 
+    def merge(self, other: "IOStats") -> None:
+        """Accumulate another counter set into this one (shard fan-out)."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.allocations += other.allocations
+        self.frees += other.frees
+        self.cache_hits += other.cache_hits
+
     def reset(self) -> None:
         """Zero every counter."""
         self.reads = 0
@@ -87,15 +102,23 @@ class BlockStore:
         If False, block writes are not counted as I/Os.  Query-only
         experiments sometimes use this to isolate read traffic; it defaults
         to True, matching the model.
+    backend:
+        Where blocks physically live: None / ``"memory"`` (a dict, the
+        default), ``"file"`` (a real file), a
+        :class:`~repro.io.backend.StorageBackend` instance, or a factory.
+        The I/O accounting is identical for every backend.
     """
 
     def __init__(self, block_size: int, cache_blocks: int = 4,
-                 count_writes: bool = True):
+                 count_writes: bool = True,
+                 backend: object = None):
         if block_size <= 0:
             raise ValueError("block_size must be positive, got %r" % block_size)
         self._config = _StoreConfig(block_size, cache_blocks, count_writes)
-        self._blocks: Dict[BlockId, Block] = {}
+        self._backend: StorageBackend = make_backend(backend)
         self._next_id: BlockId = 0
+        for existing in self._backend.block_ids():
+            self._next_id = max(self._next_id, existing + 1)
         self._cache: LRUCache[BlockId, List[Any]] = LRUCache(cache_blocks)
         self.stats = IOStats()
 
@@ -108,9 +131,14 @@ class BlockStore:
         return self._config.block_size
 
     @property
+    def backend(self) -> StorageBackend:
+        """The storage backend holding this store's blocks."""
+        return self._backend
+
+    @property
     def num_blocks(self) -> int:
         """Number of currently allocated blocks (the space usage in blocks)."""
-        return len(self._blocks)
+        return len(self._backend)
 
     # ------------------------------------------------------------------
     # allocation
@@ -125,7 +153,7 @@ class BlockStore:
         block_id = self._next_id
         self._next_id += 1
         block = Block(block_id, self.block_size, records)
-        self._blocks[block_id] = block
+        self._backend.put(block_id, block.records)
         self.stats.allocations += 1
         if self._config.count_writes:
             self.stats.writes += 1
@@ -142,9 +170,9 @@ class BlockStore:
 
     def free(self, block_id: BlockId) -> None:
         """Release a block.  Freeing is bookkeeping only, not an I/O."""
-        if block_id not in self._blocks:
+        if not self._backend.contains(block_id):
             raise KeyError("block %r is not allocated" % block_id)
-        del self._blocks[block_id]
+        self._backend.delete(block_id)
         self._cache.invalidate(block_id)
         self.stats.frees += 1
 
@@ -157,19 +185,19 @@ class BlockStore:
         if cached is not None:
             self.stats.cache_hits += 1
             return list(cached)
-        if block_id not in self._blocks:
+        if not self._backend.contains(block_id):
             raise KeyError("block %r is not allocated" % block_id)
         self.stats.reads += 1
-        records = self._blocks[block_id].copy_records()
+        records = self._backend.get(block_id)
         self._cache.put(block_id, list(records))
         return records
 
     def write(self, block_id: BlockId, records: Iterable[Any]) -> None:
         """Overwrite a block's contents, charging one write I/O."""
-        if block_id not in self._blocks:
+        if not self._backend.contains(block_id):
             raise KeyError("block %r is not allocated" % block_id)
         block = Block(block_id, self.block_size, records)
-        self._blocks[block_id] = block
+        self._backend.put(block_id, block.records)
         if self._config.count_writes:
             self.stats.writes += 1
         self._cache.put(block_id, block.copy_records())
@@ -230,6 +258,10 @@ class BlockStore:
         """⌈num_records / B⌉ — blocks needed to store that many records."""
         return -(-num_records // self.block_size)
 
+    def close(self) -> None:
+        """Release the backend's resources (file handles, temp files)."""
+        self._backend.close()
+
     def __repr__(self) -> str:
-        return "BlockStore(B=%d, blocks=%d, %r)" % (
-            self.block_size, self.num_blocks, self.stats)
+        return "BlockStore(B=%d, backend=%s, blocks=%d, %r)" % (
+            self.block_size, self._backend.name, self.num_blocks, self.stats)

@@ -25,6 +25,7 @@ from repro.workloads.queries import (
     mixed_tenant_workload,
     random_halfspace_queries,
     rotated_diagonal_query,
+    steep_leading_attribute_queries,
 )
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "halfspace_queries_with_selectivity",
     "mixed_tenant_workload",
     "rotated_diagonal_query",
+    "steep_leading_attribute_queries",
 ]

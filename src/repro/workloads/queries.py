@@ -146,6 +146,42 @@ def mixed_tenant_workload(tenants: Dict[str, np.ndarray], num_requests: int,
     return requests
 
 
+def steep_leading_attribute_queries(points: np.ndarray, num_queries: int,
+                                    selectivity: float,
+                                    steepness: float = 32.0,
+                                    seed: Optional[int] = None
+                                    ) -> List[LinearConstraint]:
+    """Constraints whose satisfying region is narrow in the *leading* attribute.
+
+    Each constraint is ``x_d <= -S * x_1 + a_0`` with a large steepness
+    ``S``: the residual ``x_d + S x_1`` is dominated by the first
+    coordinate, so the satisfied points form a thin slab of small ``x_1``
+    values.  On a range-sharded dataset (split on attribute 0) such
+    queries touch only the low shards — the workload that exercises the
+    planner's shard pruning.  Offsets are chosen per query as the
+    ``selectivity``-quantile of the residuals, with the steepness jittered
+    per query so the constraints are distinct.
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must lie in [0, 1], got %r" % selectivity)
+    if steepness <= 0:
+        raise ValueError("steepness must be positive, got %r" % steepness)
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] < 2:
+        raise ValueError("points must have shape (N, d >= 2)")
+    dimension = points.shape[1]
+    generator = _rng(seed)
+    queries: List[LinearConstraint] = []
+    for __ in range(num_queries):
+        coeffs = np.zeros(dimension - 1)
+        coeffs[0] = -float(steepness * generator.uniform(0.75, 1.25))
+        residuals = points[:, -1] - points[:, :-1] @ coeffs
+        offset = float(np.quantile(residuals, selectivity))
+        queries.append(LinearConstraint(coeffs=tuple(coeffs.tolist()),
+                                        offset=offset))
+    return queries
+
+
 def knn_query_points(num_queries: int, low: float = -1.0, high: float = 1.0,
                      seed: Optional[int] = None) -> np.ndarray:
     """Uniform planar query points for the k-nearest-neighbour benchmarks."""

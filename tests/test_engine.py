@@ -9,6 +9,7 @@ from conftest import brute_force_halfspace
 
 from repro import ConstraintConjunction, LinearConstraint, QueryEngine
 from repro.engine import Catalog, EngineStats, Planner, ServedQueryRecord
+from repro.engine.calibration import CalibrationStore
 from repro.engine.metrics import percentile
 from repro.workloads import (
     halfspace_queries_with_selectivity,
@@ -144,6 +145,115 @@ def test_planner_calibration_roundtrips(points2d):
     fresh.load_calibration(state)
     assert fresh.calibration_factor("d", "halfplane2d") == pytest.approx(
         planner.calibration_factor("d", "halfplane2d"))
+
+
+# ----------------------------------------------------------------------
+# calibration persistence
+# ----------------------------------------------------------------------
+def test_calibration_store_roundtrips_through_engine(points2d, tmp_path):
+    path = str(tmp_path / "calibration.json")
+    first = QueryEngine(block_size=BLOCK_SIZE, seed=5, calibration_path=path)
+    first.register_dataset("d", points2d)
+    probes = halfspace_queries_with_selectivity(points2d, 2, 0.05, seed=91)
+    first.calibrate("d", probes)
+    learned = first.planner.export_calibration()
+    first.save_calibration()
+
+    restarted = QueryEngine(block_size=BLOCK_SIZE, seed=5,
+                            calibration_path=path)
+    restarted.register_dataset("d", points2d)
+    restored = restarted.planner.export_calibration()
+    assert set(restored) == set(learned)
+    for key in learned:
+        assert restored[key]["factor"] == pytest.approx(
+            learned[key]["factor"])
+
+
+def test_calibration_store_ages_out_stale_entries(tmp_path):
+    path = str(tmp_path / "calibration.json")
+    store = CalibrationStore(path, max_age_s=3600.0)
+    store.save({
+        "d/fresh": {"factor": 2.0, "observations": 3, "updated_at": 10_000.0},
+        "d/stale": {"factor": 9.0, "observations": 7, "updated_at": 1_000.0},
+    })
+    state = store.load(now=10_100.0)
+    assert set(state) == {"d/fresh"}
+    # max_age_s <= 0 keeps everything
+    keep_all = CalibrationStore(path, max_age_s=0).load(now=10_100.0)
+    assert set(keep_all) == {"d/fresh", "d/stale"}
+
+
+def test_calibration_store_tolerates_missing_and_corrupt_files(tmp_path):
+    missing = CalibrationStore(str(tmp_path / "nope.json"))
+    assert missing.load() == {}
+    corrupt_path = tmp_path / "bad.json"
+    corrupt_path.write_text("{not json")
+    assert CalibrationStore(str(corrupt_path)).load() == {}
+    wrong_shape = tmp_path / "list.json"
+    wrong_shape.write_text("[1, 2, 3]")
+    assert CalibrationStore(str(wrong_shape)).load() == {}
+
+
+def test_save_calibration_without_path_raises(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    with pytest.raises(RuntimeError):
+        engine.save_calibration()
+
+
+# ----------------------------------------------------------------------
+# result-cache invalidation
+# ----------------------------------------------------------------------
+def test_dynamic_insert_flushes_result_cache(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d, kinds=["dynamic", "full_scan"])
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.95,
+                                                    seed=97)[0]
+    first = engine.query("d", constraint)
+    assert engine.query("d", constraint).from_result_cache
+
+    # Insert a point that satisfies the constraint; the cached answer is
+    # now stale and must be flushed by the mutation hook.
+    dynamic = engine.catalog.indexes("d")["dynamic"]
+    inside = min(points2d, key=lambda p: p[-1] - constraint.coeffs[0] * p[0])
+    new_point = (float(inside[0]), float(inside[1]) - 0.5)
+    assert constraint.below(new_point)
+    dynamic.insert(new_point)
+
+    after = engine.query("d", constraint)
+    assert not after.from_result_cache
+    # The mutation marks every statically-built sibling stale, so the
+    # planner must route to the dynamic index and report the new point.
+    assert after.index_name == "dynamic"
+    assert tuple(new_point) in {tuple(p) for p in after.points}
+    assert after.count == first.count + 1
+
+
+def test_mutated_dataset_stops_routing_to_static_indexes(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d,
+                            kinds=["dynamic", "partition_tree", "full_scan"])
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.3,
+                                                    seed=103)[0]
+    assert len(engine.explain("d", constraint).estimates) == 3
+    engine.catalog.indexes("d")["dynamic"].insert((0.0, -2.0))
+    plan = engine.explain("d", constraint)
+    assert [est.index_name for est in plan.estimates] == ["dynamic"]
+    answer = engine.query("d", constraint)
+    assert (0.0, -2.0) in {tuple(p) for p in answer.points}
+
+
+def test_invalidate_dataset_is_scoped(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("a", points2d)
+    engine.register_dataset("b", points2d)
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.05,
+                                                    seed=101)[0]
+    engine.query("a", constraint)
+    engine.query("b", constraint)
+    dropped = engine.executor.invalidate_dataset("a")
+    assert dropped == 1
+    assert not engine.query("a", constraint).from_result_cache
+    assert engine.query("b", constraint).from_result_cache
 
 
 # ----------------------------------------------------------------------

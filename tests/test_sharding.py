@@ -1,0 +1,312 @@
+"""Tests for sharded catalogs: routers, pruning, planning and fan-out."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import brute_force_halfspace
+
+from repro import ConstraintConjunction, LinearConstraint, QueryEngine
+from repro.engine import Catalog, ShardedPlan
+from repro.engine.sharding import (
+    HashShardRouter,
+    RangeShardRouter,
+    constraint_feasible_over_box,
+    make_router,
+)
+from repro.workloads import (
+    halfspace_queries_with_selectivity,
+    steep_leading_attribute_queries,
+    uniform_points,
+)
+
+BLOCK_SIZE = 32
+
+
+@pytest.fixture(scope="module")
+def points2d():
+    return uniform_points(2048, seed=31)
+
+
+@pytest.fixture(scope="module")
+def sharded_engine(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=4,
+                                    sharding="range")
+    return engine
+
+
+# ----------------------------------------------------------------------
+# routers
+# ----------------------------------------------------------------------
+def test_range_router_balances_shards(points2d):
+    router = RangeShardRouter.from_points(points2d, 4)
+    assignment = router.assign(points2d)
+    sizes = [len(rows) for rows in assignment]
+    assert sum(sizes) == len(points2d)
+    assert min(sizes) > 0.8 * len(points2d) / 4   # quantile split ≈ balanced
+
+def test_range_router_orders_by_attribute(points2d):
+    router = RangeShardRouter.from_points(points2d, 3, attribute=0)
+    assignment = router.assign(points2d)
+    maxima = [points2d[rows, 0].max() for rows in assignment]
+    assert maxima == sorted(maxima)
+
+
+def test_range_router_validates_boundaries():
+    with pytest.raises(ValueError):
+        RangeShardRouter(3, [0.5])                 # wrong boundary count
+    with pytest.raises(ValueError):
+        RangeShardRouter(3, [0.7, 0.2])            # unsorted
+    with pytest.raises(ValueError):
+        RangeShardRouter.from_points(np.zeros((4, 2)), 2, attribute=5)
+
+
+def test_hash_router_is_deterministic_and_total(points2d):
+    router = HashShardRouter(5)
+    first = [router.shard_of(point) for point in points2d[:100]]
+    second = [router.shard_of(point) for point in points2d[:100]]
+    assert first == second
+    assert all(0 <= shard < 5 for shard in first)
+
+
+def test_make_router_rejects_unknown_scheme(points2d):
+    with pytest.raises(ValueError):
+        make_router("ring", points2d, 4)
+    with pytest.raises(ValueError):
+        make_router("range", points2d, 0)
+
+
+# ----------------------------------------------------------------------
+# box pruning
+# ----------------------------------------------------------------------
+def test_constraint_feasible_over_box_exact_corners():
+    # y <= 2x - 1 against the unit square: feasible only where x is large.
+    constraint = LinearConstraint(coeffs=(2.0,), offset=-1.0)
+    assert constraint_feasible_over_box(constraint, (0.6, 0.0), (1.0, 1.0))
+    assert not constraint_feasible_over_box(constraint, (0.0, 0.6),
+                                            (0.4, 1.0))
+    with pytest.raises(ValueError):
+        constraint_feasible_over_box(constraint, (0.0,), (1.0,))
+
+
+def test_pruning_never_loses_answers(sharded_engine, points2d):
+    sharded = sharded_engine.catalog.sharded("sh")
+    for constraint in steep_leading_attribute_queries(points2d, 6, 0.03,
+                                                      seed=43):
+        relevant = {shard.shard_id
+                    for shard in sharded.relevant_shards(constraint)}
+        for shard in sharded.shards:
+            hits = [p for p in shard.dataset.points if constraint.below(p)]
+            if hits:
+                assert shard.shard_id in relevant
+        assert len(relevant) < sharded.num_shards   # steep queries do prune
+
+
+def test_prune_flag_disables_pruning(sharded_engine, points2d):
+    sharded = sharded_engine.catalog.sharded("sh")
+    constraint = steep_leading_attribute_queries(points2d, 1, 0.02,
+                                                 seed=47)[0]
+    assert len(sharded.relevant_shards(constraint)) < 4
+    sharded.prune = False
+    try:
+        assert len(sharded.relevant_shards(constraint)) == 4
+    finally:
+        sharded.prune = True
+
+
+# ----------------------------------------------------------------------
+# catalog
+# ----------------------------------------------------------------------
+def test_catalog_registers_and_builds_sharded_dataset(points2d):
+    catalog = Catalog(block_size=BLOCK_SIZE, seed=3)
+    sharded = catalog.register_sharded_dataset("sh", points2d, num_shards=4)
+    assert catalog.is_sharded("sh")
+    assert "sh" in catalog.datasets()
+    assert sum(shard.size for shard in sharded.shards) == len(points2d)
+    records = catalog.build_suite("sh")
+    # default 2-D suite has 3 kinds, built once per shard
+    assert len(records) == 3 * 4
+    assert len(catalog.stores("sh")) == 4
+    assert set(catalog.indexes("sh")) == {
+        "%d/%s" % (shard_id, kind)
+        for shard_id in range(4)
+        for kind in ("halfplane2d", "partition_tree", "full_scan")}
+    with pytest.raises(KeyError):
+        catalog.dataset("sh")                      # sharded, not plain
+    with pytest.raises(ValueError):
+        catalog.build_index("sh", "full_scan")     # use build_sharded_index
+    with pytest.raises(ValueError):
+        catalog.register_dataset("sh", points2d)   # name taken
+
+
+def test_hash_sharding_tolerates_empty_shards():
+    # 3 points over 8 shards: most shards are empty and must be skipped.
+    points = uniform_points(3, seed=1)
+    catalog = Catalog(block_size=8, seed=3)
+    sharded = catalog.register_sharded_dataset("tiny", points, num_shards=8,
+                                               sharding="hash")
+    catalog.build_suite("tiny", kinds=["full_scan"])
+    assert sum(shard.size for shard in sharded.shards) == 3
+    assert all(shard.dataset is None
+               for shard in sharded.shards if shard.is_empty)
+    constraint = LinearConstraint(coeffs=(0.0,), offset=1e9)
+    relevant = sharded.relevant_shards(constraint)
+    assert {s.shard_id for s in relevant} == {
+        s.shard_id for s in sharded.nonempty_shards()}
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+def test_sharded_plan_costs_sum_of_relevant_shards(sharded_engine, points2d):
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.1,
+                                                    seed=53)[0]
+    plan = sharded_engine.explain("sh", constraint)
+    assert isinstance(plan, ShardedPlan)
+    assert plan.num_shards == 4
+    assert plan.shards_queried + plan.shards_pruned == 4
+    assert plan.estimated_ios == pytest.approx(
+        sum(shard_plan.estimated_ios for __, shard_plan in plan.shard_plans))
+    assert "shards relevant" in plan.explain()
+
+
+def test_sharded_plan_prunes_on_steep_constraints(sharded_engine, points2d):
+    constraint = steep_leading_attribute_queries(points2d, 1, 0.02,
+                                                 seed=59)[0]
+    plan = sharded_engine.explain("sh", constraint)
+    assert plan.shards_pruned >= 2
+    # pruning shrinks the predicted cost versus planning with prune off
+    sharded = sharded_engine.catalog.sharded("sh")
+    sharded.prune = False
+    try:
+        full = sharded_engine.explain("sh", constraint)
+    finally:
+        sharded.prune = True
+    assert plan.estimated_ios < full.estimated_ios
+
+
+# ----------------------------------------------------------------------
+# executor fan-out
+# ----------------------------------------------------------------------
+def test_fanout_answers_match_brute_force(sharded_engine, points2d):
+    constraints = halfspace_queries_with_selectivity(points2d, 5, 0.08,
+                                                     seed=61)
+    batch = sharded_engine.serve_batch("sh", constraints)
+    for constraint, answer in zip(constraints, batch.queries):
+        assert {tuple(p) for p in answer.points} == brute_force_halfspace(
+            points2d, constraint)
+        assert answer.shards_queried >= 1
+        assert answer.shards_queried + answer.shards_pruned == 4
+
+
+def test_fanout_runs_without_thread_pool(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5, fanout_workers=0)
+    engine.register_sharded_dataset("sh", points2d, num_shards=3)
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.1,
+                                                    seed=67)[0]
+    answer = engine.query("sh", constraint)
+    assert {tuple(p) for p in answer.points} == brute_force_halfspace(
+        points2d, constraint)
+
+
+def test_pruned_run_costs_fewer_ios_than_all_shards(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=4,
+                                    sharding="range")
+    constraints = steep_leading_attribute_queries(points2d, 6, 0.02, seed=71)
+    sharded = engine.catalog.sharded("sh")
+
+    pruned_total = sum(engine.query("sh", c, clear_cache=True).total_ios
+                       for c in constraints)
+    sharded.prune = False
+    try:
+        full_total = sum(engine.query("sh", c, clear_cache=True).total_ios
+                         for c in constraints)
+    finally:
+        sharded.prune = True
+    assert pruned_total < full_total
+
+
+def test_dynamic_insert_disables_stale_box_pruning(points2d):
+    # A point inserted outside a shard's build-time bounding box must not
+    # be lost to pruning: the mutation hook marks the shard's box stale.
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=4,
+                                    sharding="range", kinds=["dynamic"])
+    outlier = (10.0, 0.0)                       # far outside [-1, 1]^2
+    last_shard = engine.catalog.sharded("sh").shards[-1]
+    engine.catalog.indexes("sh")["3/dynamic"].insert(outlier)
+    assert last_shard.box_stale
+    # Satisfied by the outlier alone: y <= 5x - 40.
+    constraint = LinearConstraint(coeffs=(5.0,), offset=-40.0)
+    assert constraint.below(outlier)
+    answer = engine.query("sh", constraint)
+    assert tuple(outlier) in {tuple(p) for p in answer.points}
+
+
+def test_sharded_conjunction_matches_filter(sharded_engine, points2d):
+    conjunction = ConstraintConjunction.of(
+        LinearConstraint(coeffs=(0.4,), offset=0.2),
+        LinearConstraint(coeffs=(-0.3,), offset=0.5),
+    )
+    answer = sharded_engine.query_conjunction("sh", conjunction)
+    assert sorted(tuple(p) for p in answer.points) == sorted(
+        tuple(p) for p in conjunction.filter(points2d))
+
+
+def test_sharded_result_cache_and_stats(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=4)
+    constraints = steep_leading_attribute_queries(points2d, 3, 0.05, seed=73)
+    batch = engine.serve_batch("sh", constraints + constraints)
+    assert batch.result_cache_hits == len(constraints)
+    summary = engine.summary()
+    assert summary["shards_queried"] > 0
+    assert summary["shards_pruned"] > 0
+    assert 0.0 < summary["shard_prune_rate"] < 1.0
+
+
+def test_sharded_calibration_shares_keys_across_shards(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=4)
+    probes = halfspace_queries_with_selectivity(points2d, 2, 0.05, seed=79)
+    spent = engine.calibrate("sh", probes)
+    assert spent > 0
+    state = engine.planner.export_calibration()
+    assert set(state) == {"sh/halfplane2d", "sh/partition_tree",
+                          "sh/full_scan"}
+    # every shard fed the shared key: 4 shards x 2 probes
+    assert all(entry["observations"] == 8 for entry in state.values())
+
+
+def test_file_backed_sharded_engine_matches_memory(points2d, tmp_path):
+    memory_engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    file_engine = QueryEngine(block_size=BLOCK_SIZE, seed=5, backend="file",
+                              data_dir=str(tmp_path))
+    for engine in (memory_engine, file_engine):
+        engine.register_sharded_dataset("sh", points2d, num_shards=4)
+    constraints = halfspace_queries_with_selectivity(points2d, 4, 0.05,
+                                                     seed=83)
+    memory_batch = memory_engine.serve_batch("sh", constraints)
+    file_batch = file_engine.serve_batch("sh", constraints)
+    assert memory_batch.total_ios == file_batch.total_ios
+    for first, second in zip(memory_batch.queries, file_batch.queries):
+        assert {tuple(p) for p in first.points} == {
+            tuple(p) for p in second.points}
+    # "#" is hex-escaped in block file names ("sh#0" -> "sh_0000230.blocks")
+    assert (tmp_path / "sh_0000230.blocks").exists()
+    file_engine.close()
+
+
+def test_block_file_names_cannot_collide():
+    # The shard child "sh#0" and a plain dataset "sh_0" must get distinct
+    # block files (naive sanitization mapped both to "sh_0.blocks"), and
+    # the fixed-width escape keeps high codepoints prefix-free too
+    # ("€" must not collide with names whose escape + tail spell the
+    # same hex string).
+    names = ["sh#0", "sh_0", "sh 0", "sh/0", "sh-0", "sh.0",
+             "€", " ac", "_20ac"]
+    files = {Catalog._block_file_name(name) for name in names}
+    assert len(files) == len(names)

@@ -1,0 +1,369 @@
+"""Storage-backend conformance suite plus cache/store edge cases.
+
+Every :class:`~repro.io.backend.StorageBackend` must behave like a dict of
+blocks; the shared ``TestBackendConformance`` class runs the same contract
+against each implementation.  The remaining classes cover the I/O-model
+edge cases the engine depends on: buffer-pool resizing semantics,
+free-then-read errors, and cache-hit accounting parity across backends.
+"""
+
+import os
+
+import pytest
+
+from repro.io.backend import (
+    FileBackend,
+    MemoryBackend,
+    StorageBackend,
+    make_backend,
+)
+from repro.io.cache import LRUCache
+from repro.io.store import BlockStore
+
+
+@pytest.fixture(params=["memory", "file"])
+def backend(request, tmp_path):
+    """One instance of every backend implementation."""
+    if request.param == "memory":
+        instance = MemoryBackend()
+    else:
+        instance = FileBackend(str(tmp_path / "blocks.log"))
+    yield instance
+    instance.close()
+
+
+class TestBackendConformance:
+    """The contract every backend must satisfy (shared across params)."""
+
+    def test_put_get_roundtrip_returns_fresh_copy(self, backend):
+        backend.put(0, [1, 2, 3])
+        first = backend.get(0)
+        assert first == [1, 2, 3]
+        first.append(99)
+        assert backend.get(0) == [1, 2, 3]
+
+    def test_put_overwrites_existing_block(self, backend):
+        backend.put(0, [1])
+        backend.put(0, [2, 3])
+        assert backend.get(0) == [2, 3]
+        assert len(backend) == 1
+
+    def test_get_missing_block_raises_keyerror(self, backend):
+        with pytest.raises(KeyError):
+            backend.get(42)
+
+    def test_delete_forgets_block(self, backend):
+        backend.put(7, ["x"])
+        backend.delete(7)
+        assert not backend.contains(7)
+        assert len(backend) == 0
+        with pytest.raises(KeyError):
+            backend.get(7)
+        with pytest.raises(KeyError):
+            backend.delete(7)
+
+    def test_contains_and_in_operator(self, backend):
+        backend.put(3, [0.5])
+        assert backend.contains(3) and 3 in backend
+        assert not backend.contains(4) and 4 not in backend
+
+    def test_block_ids_enumerates_live_blocks(self, backend):
+        for block_id in (2, 5, 9):
+            backend.put(block_id, [block_id])
+        backend.delete(5)
+        assert sorted(backend.block_ids()) == [2, 9]
+
+    def test_handles_tuple_records(self, backend):
+        records = [(1.0, 2.0), (3.0, 4.0)]
+        backend.put(0, records)
+        assert backend.get(0) == records
+
+    def test_info_reports_backend_name_and_blocks(self, backend):
+        backend.put(0, [1])
+        info = backend.info()
+        assert info["backend"] in ("memory", "file")
+        assert info["blocks"] == 1
+
+
+class TestFileBackend:
+    """File-specific behaviour: persistence, compaction, temp cleanup."""
+
+    def test_reopen_recovers_blocks_and_tombstones(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        first = FileBackend(path)
+        first.put(0, [1, 2])
+        first.put(1, ["a"])
+        first.put(0, [3, 4])      # supersedes the first version
+        first.delete(1)
+        first.close()
+        reopened = FileBackend(path)
+        assert sorted(reopened.block_ids()) == [0]
+        assert reopened.get(0) == [3, 4]
+        reopened.close()
+
+    def test_store_over_reopened_backend_allocates_fresh_ids(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        backend = FileBackend(path)
+        store = BlockStore(block_size=4, backend=backend)
+        block_id = store.allocate([1, 2, 3])
+        store.close()
+        resumed = BlockStore(block_size=4, backend=FileBackend(path))
+        fresh = resumed.allocate(["new"])
+        assert fresh != block_id
+        assert resumed.read(block_id) == [1, 2, 3]
+        resumed.close()
+
+    def test_compact_drops_superseded_versions(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "store.log"),
+                              auto_compact_ratio=0)
+        for __ in range(10):
+            backend.put(0, list(range(8)))
+        before = backend.info()["file_bytes"]
+        backend.compact()
+        after = backend.info()["file_bytes"]
+        assert after < before
+        assert backend.get(0) == list(range(8))
+        assert backend.compactions == 1
+        backend.close()
+
+    def test_auto_compaction_bounds_file_size(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "store.log"),
+                              auto_compact_ratio=2.0)
+        for __ in range(50):
+            backend.put(0, list(range(32)))
+        assert backend.compactions > 0
+        info = backend.info()
+        assert info["file_bytes"] <= 2.0 * info["live_bytes"] + 256
+        backend.close()
+
+    def test_tiny_payloads_do_not_thrash_compaction(self, tmp_path):
+        # Header bytes must count as live: with payloads smaller than the
+        # record header, a payload-only threshold is unsatisfiable and
+        # compaction would run on every single put (O(n^2) writes).
+        backend = FileBackend(str(tmp_path / "tiny.log"),
+                              auto_compact_ratio=4.0)
+        for block_id in range(64):
+            backend.put(block_id, [])
+        assert backend.compactions == 0
+        assert all(backend.get(block_id) == [] for block_id in range(64))
+        backend.close()
+
+    def test_temp_file_removed_on_close(self):
+        backend = FileBackend()
+        path = backend.path
+        backend.put(0, [1])
+        assert os.path.exists(path)
+        backend.close()
+        assert not os.path.exists(path)
+        backend.close()          # idempotent
+
+    def test_named_file_kept_on_close(self, tmp_path):
+        path = str(tmp_path / "kept.log")
+        backend = FileBackend(path)
+        backend.put(0, [1])
+        backend.close()
+        assert os.path.exists(path)
+
+    def test_operations_after_close_raise(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "store.log"))
+        backend.close()
+        with pytest.raises(ValueError):
+            backend.put(0, [1])
+
+    def test_byte_counters_track_traffic(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "store.log"))
+        backend.put(0, list(range(16)))
+        assert backend.bytes_written > 0
+        assert backend.bytes_read == 0
+        backend.get(0)
+        assert backend.bytes_read > 0
+        backend.close()
+
+    def test_rejects_bad_compact_ratio(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileBackend(str(tmp_path / "x.log"), auto_compact_ratio=0.5)
+
+    def test_recovery_drops_torn_tail_record(self, tmp_path):
+        # Simulate a crash between writing a record header and its payload:
+        # recovery must keep every complete record, drop the torn tail, and
+        # leave the file appendable.
+        import struct
+        path = str(tmp_path / "torn.log")
+        backend = FileBackend(path)
+        backend.put(0, [1, 2])
+        backend.put(1, ["ok"])
+        backend.close()
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<qq", 2, 10_000))  # header only
+            handle.write(b"partial")                     # truncated payload
+        recovered = FileBackend(path)
+        assert sorted(recovered.block_ids()) == [0, 1]
+        assert recovered.get(0) == [1, 2]
+        assert recovered.get(1) == ["ok"]
+        recovered.put(3, ["after crash"])                # clean boundary
+        recovered.close()
+        reopened = FileBackend(path)
+        assert reopened.get(3) == ["after crash"]
+        reopened.close()
+
+
+class TestMakeBackend:
+    def test_none_and_memory_specs(self):
+        assert isinstance(make_backend(None), MemoryBackend)
+        assert isinstance(make_backend("memory"), MemoryBackend)
+
+    def test_file_spec_with_path(self, tmp_path):
+        backend = make_backend("file", path=str(tmp_path / "b.log"))
+        assert isinstance(backend, FileBackend)
+        backend.close()
+
+    def test_instance_passthrough_and_factory(self):
+        instance = MemoryBackend()
+        assert make_backend(instance) is instance
+        assert isinstance(make_backend(MemoryBackend), MemoryBackend)
+
+    def test_rejects_unknown_spec_and_bad_factory(self):
+        with pytest.raises(ValueError):
+            make_backend("tape")
+        with pytest.raises(TypeError):
+            make_backend(lambda: object())
+
+
+def _exercise(store: BlockStore):
+    """A fixed op sequence whose accounting must not depend on the backend."""
+    ids = store.allocate_many(list(range(23)))
+    for block_id in ids:
+        store.read(block_id)
+    store.write(ids[0], [99] * 4)
+    store.read(ids[0])
+    store.free(ids[-1])
+    store.clear_cache()
+    store.read(ids[1])
+    return ids
+
+
+class TestAccountingParityAcrossBackends:
+    """Same operations, same counters — the backend never changes the model."""
+
+    def test_identical_io_counts(self, tmp_path):
+        memory_store = BlockStore(block_size=4, cache_blocks=2)
+        file_store = BlockStore(block_size=4, cache_blocks=2,
+                                backend=FileBackend(str(tmp_path / "p.log")))
+        _exercise(memory_store)
+        _exercise(file_store)
+        for attribute in ("reads", "writes", "allocations", "frees",
+                          "cache_hits"):
+            assert getattr(memory_store.stats, attribute) == \
+                getattr(file_store.stats, attribute), attribute
+        file_store.close()
+
+    def test_identical_contents(self, tmp_path):
+        memory_store = BlockStore(block_size=4, cache_blocks=2)
+        file_store = BlockStore(block_size=4, cache_blocks=2,
+                                backend=FileBackend(str(tmp_path / "c.log")))
+        memory_ids = _exercise(memory_store)
+        file_ids = _exercise(file_store)
+        for memory_id, file_id in zip(memory_ids[:-1], file_ids[:-1]):
+            assert memory_store.read(memory_id) == file_store.read(file_id)
+        file_store.close()
+
+
+class TestLRUCacheResize:
+    def test_shrink_evicts_least_recently_used_first(self):
+        cache = LRUCache(4)
+        for key in "abcd":
+            cache.put(key, key.upper())
+        cache.get("a")            # refresh: LRU order is now b, c, d, a
+        cache.resize(2)
+        assert cache.get("b") is None
+        assert cache.get("c") is None
+        assert cache.get("d") == "D"
+        assert cache.get("a") == "A"
+
+    def test_grow_keeps_entries_and_allows_more(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.resize(3)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") == 1 and cache.get("b") == 2
+
+    def test_eviction_order_intact_after_resize(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.resize(2)           # evicts "a" (oldest)
+        cache.put("d", "d")       # evicts "b"
+        assert cache.get("a") is None and cache.get("b") is None
+        assert cache.get("c") == "c" and cache.get("d") == "d"
+
+    def test_resize_to_zero_disables_caching(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.resize(0)
+        assert len(cache) == 0
+        cache.put("a", 1)
+        assert cache.get("a") is None
+
+    def test_resize_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LRUCache(2).resize(-1)
+
+    def test_evict_where_drops_matching_keys_only(self):
+        cache = LRUCache(8)
+        for key in (("a", 1), ("a", 2), ("b", 1)):
+            cache.put(key, key)
+        dropped = cache.evict_where(lambda key: key[0] == "a")
+        assert dropped == 2
+        assert cache.get(("b", 1)) == ("b", 1)
+        assert cache.get(("a", 1)) is None
+
+
+class TestBlockStoreEdgeCases:
+    def test_eviction_order_after_cache_resize(self):
+        store = BlockStore(block_size=2, cache_blocks=4)
+        ids = store.allocate_many(list(range(8)))    # 4 blocks, all cached
+        store.read(ids[0])                            # refresh block 0
+        store.resize_cache(2)                         # keeps ids[3], ids[0]
+        reads_before = store.stats.reads
+        store.read(ids[0])
+        store.read(ids[3])
+        assert store.stats.reads == reads_before      # both still resident
+        store.read(ids[1])                            # evicted -> charged
+        assert store.stats.reads == reads_before + 1
+
+    def test_free_then_read_and_free_then_write_raise(self):
+        store = BlockStore(block_size=4, cache_blocks=2)
+        block_id = store.allocate([1, 2])
+        store.free(block_id)
+        with pytest.raises(KeyError):
+            store.read(block_id)
+        with pytest.raises(KeyError):
+            store.write(block_id, [3])
+
+    def test_freed_block_not_served_from_cache(self):
+        # The allocate/read path caches contents; free must invalidate them.
+        store = BlockStore(block_size=4, cache_blocks=4)
+        block_id = store.allocate([1, 2])
+        store.read(block_id)
+        store.free(block_id)
+        with pytest.raises(KeyError):
+            store.read(block_id)
+
+    def test_cache_hit_accounting_across_resize(self):
+        store = BlockStore(block_size=2, cache_blocks=0)
+        ids = store.allocate_many([1, 2, 3, 4])
+        store.read(ids[0])
+        assert store.stats.cache_hits == 0
+        store.resize_cache(2)
+        store.read(ids[0])                            # miss (pool was empty)
+        store.read(ids[0])                            # hit
+        assert store.stats.cache_hits == 1
+        info = store.cache_info()
+        assert info["hits"] >= 1 and info["capacity"] == 2
+
+    def test_resize_cache_returns_previous_capacity(self):
+        store = BlockStore(block_size=4, cache_blocks=3)
+        assert store.resize_cache(8) == 3
+        assert store.resize_cache(3) == 8
+        assert store.cache_blocks == 3
