@@ -16,7 +16,7 @@ serving a mixed trace with hot repeats.  Strategies compared:
 * ``fixed:<kind>`` — every query forced through one index family
   (``optimal`` = halfplane2d / halfspace3d per dimension), cold.
 
-Two storage-layer experiments ride along:
+Three serving/storage-layer experiments ride along:
 
 * **backends** — the identical workload served by a memory-backed and a
   file-backed engine must charge *identical* I/O counts (the backend
@@ -26,6 +26,15 @@ Two storage-layer experiments ride along:
   leading-attribute constraints must prune shards (fewer total I/Os than
   fanning out to every shard) while staying exact, and the same queries
   are compared against an unsharded deployment.
+* **async serving** — two tenants share one replicated (K=2 x 2) sharded
+  dataset: a *slow* tenant issuing reporting-heavy queries and a *fast*
+  tenant issuing selective ones.  The threaded batch path serializes the
+  dataset's requests in arrival order, so the fast tenant's p95
+  turnaround absorbs the slow tenant's work; the async path
+  (budget-capped slow tenant, per-request scheduling) must bring the fast
+  tenant's p95 below the threaded figure while still serving everyone,
+  and the replica picker must spread same-shard load over both replicas
+  (visible in the EngineStats per-replica attribution).
 
 Run standalone to (re)record the repo-root ``BENCH_engine.json``::
 
@@ -52,6 +61,8 @@ except ImportError:  # standalone invocation from a source checkout
         os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
 from repro import QueryEngine
+from repro.engine import ServingRequest, TenantBudget
+from repro.engine.metrics import percentile
 from repro.experiments import format_table
 from repro.workloads import (
     halfspace_queries_with_selectivity,
@@ -73,11 +84,23 @@ NUM_SHARD_QUERIES = 10
 SHARD_SELECTIVITY = 0.02
 SHARD_POINTS = 4096
 
+#: Async-serving experiment: two tenants on one replicated shard set.
+ASYNC_POINTS = 4096
+ASYNC_NUM_SHARDS = 2
+ASYNC_REPLICAS = 2
+ASYNC_FAST_QUERIES = 12
+ASYNC_SLOW_QUERIES = 12
+ASYNC_FAST_SELECTIVITY = 0.01
+ASYNC_SLOW_SELECTIVITY = 0.9
+
 #: --smoke: tiny sizes so CI smoke-tests every phase in seconds.
 SMOKE_TENANT_SIZES = {"flat2d": 512, "solid3d": 384}
 SMOKE_NUM_REQUESTS = 16
 SMOKE_SHARD_POINTS = 512
 SMOKE_NUM_SHARD_QUERIES = 4
+SMOKE_ASYNC_POINTS = 1024
+SMOKE_ASYNC_FAST_QUERIES = 6
+SMOKE_ASYNC_SLOW_QUERIES = 8
 
 #: Index kinds built per tenant; "optimal" resolves per dimension.
 SUITES = {
@@ -233,6 +256,108 @@ def run_sharding(smoke=False):
     }
 
 
+def run_async_serving(smoke=False):
+    """Threaded vs async serving of a mixed-tenant, shared-dataset trace.
+
+    The trace submits the *slow* tenant's reporting-heavy queries first,
+    then the *fast* tenant's selective ones — the arrival order the
+    threaded batch path executes verbatim, so every fast request's
+    turnaround absorbs the whole slow backlog.  The async path serves the
+    identical trace with the slow tenant budget-capped (queue policy):
+    its requests defer while the fast tenant's flow, so the fast p95 must
+    drop below the threaded figure.  Both engines serve a K=2 sharded
+    dataset with 2 replicas per shard; the async run additionally records
+    the per-replica I/O attribution the least-loaded picker produces.
+    """
+    num_points = SMOKE_ASYNC_POINTS if smoke else ASYNC_POINTS
+    num_fast = SMOKE_ASYNC_FAST_QUERIES if smoke else ASYNC_FAST_QUERIES
+    num_slow = SMOKE_ASYNC_SLOW_QUERIES if smoke else ASYNC_SLOW_QUERIES
+    points = uniform_points(num_points, seed=SEED + 5)
+    slow_queries = halfspace_queries_with_selectivity(
+        points, num_slow, ASYNC_SLOW_SELECTIVITY, seed=SEED + 6)
+    fast_queries = halfspace_queries_with_selectivity(
+        points, num_fast, ASYNC_FAST_SELECTIVITY, seed=SEED + 8)
+    trace = [("slow", constraint) for constraint in slow_queries] \
+        + [("fast", constraint) for constraint in fast_queries]
+
+    def make_engine():
+        engine = QueryEngine(block_size=BLOCK_SIZE, seed=SEED)
+        engine.register_sharded_dataset(
+            "shared", points, num_shards=ASYNC_NUM_SHARDS,
+            replicas=ASYNC_REPLICAS, sharding="range",
+            kinds=SUITES["flat2d"])
+        return engine
+
+    def tenant_p95(completions, tenant):
+        ordered = sorted(turnaround for name, turnaround in completions
+                         if name == tenant)
+        return percentile(ordered, 0.95)
+
+    # --- threaded batch path: one dataset => serial in arrival order ----
+    threaded_engine = make_engine()
+    completions = []
+    with threaded_engine.executor.core.warm_stores(["shared"], 64):
+        started = time.perf_counter()
+        for tenant, constraint in trace:
+            threaded_engine.executor.execute("shared", constraint)
+            completions.append((tenant, time.perf_counter() - started))
+        threaded_wall = time.perf_counter() - started
+    threaded = {
+        "fast_p95_ms": tenant_p95(completions, "fast") * 1e3,
+        "slow_p95_ms": tenant_p95(completions, "slow") * 1e3,
+        "total_ios": threaded_engine.stats.total_ios,
+        "wall_seconds": threaded_wall,
+    }
+    threaded_engine.close()
+
+    # --- async path: same trace, slow tenant budget-capped --------------
+    async_engine = make_engine()
+    requests = [ServingRequest(tenant=tenant, dataset="shared",
+                               constraint=constraint)
+                for tenant, constraint in trace]
+    slow_estimate = async_engine.explain("shared",
+                                         slow_queries[0]).estimated_ios
+    budget = TenantBudget(ios_per_s=max(4.0 * slow_estimate, 100.0),
+                          burst=1.1 * slow_estimate, policy="queue")
+    result = async_engine.serve_async(requests, budgets={"slow": budget},
+                                      max_concurrency=4)
+    for (tenant, constraint), item in zip(trace, result.requests):
+        expected = {tuple(p) for p in points if constraint.below(p)}
+        assert {tuple(p) for p in item.answer.points} == expected
+    summary = async_engine.summary()
+    async_payload = {
+        "fast_p95_ms": result.turnaround_percentile("fast", 0.95) * 1e3,
+        "slow_p95_ms": result.turnaround_percentile("slow", 0.95) * 1e3,
+        "total_ios": result.total_ios,
+        "wall_seconds": result.wall_seconds,
+        "outcomes": result.outcomes(),
+        "deferrals": sum(item.deferrals for item in result.requests),
+        "admission": summary["admission"],
+        "max_queue_depth": summary["max_queue_depth"],
+        "replica_load": summary["replica_load"],
+    }
+    async_engine.close()
+
+    return {
+        "workload": {
+            "num_points": num_points,
+            "num_shards": ASYNC_NUM_SHARDS,
+            "replicas": ASYNC_REPLICAS,
+            "fast_queries": num_fast,
+            "slow_queries": num_slow,
+            "fast_selectivity": ASYNC_FAST_SELECTIVITY,
+            "slow_selectivity": ASYNC_SLOW_SELECTIVITY,
+            "slow_budget": {"ios_per_s": budget.ios_per_s,
+                            "burst": budget.burst,
+                            "policy": budget.policy},
+        },
+        "threaded": threaded,
+        "async": async_payload,
+        "fast_p95_speedup": (threaded["fast_p95_ms"]
+                             / max(async_payload["fast_p95_ms"], 1e-6)),
+    }
+
+
 def run_experiment(smoke=False):
     """Run every strategy once and return the result payload."""
     tenants, engine, requests, builds = build_scenario(smoke=smoke)
@@ -280,6 +405,7 @@ def run_experiment(smoke=False):
         "calibration": engine.planner.export_calibration(),
         "backends": run_backend_parity(smoke=smoke),
         "sharding": run_sharding(smoke=smoke),
+        "async_serving": run_async_serving(smoke=smoke),
     }
 
 
@@ -332,7 +458,29 @@ def storage_tables(results):
         ["strategy", "total I/Os", "fan-out"], shard_rows,
         title="SHARDING — %d steep leading-attribute queries, cold"
         % sharding["workload"]["num_queries"])
-    return backend_table + "\n\n" + shard_table
+
+    serving = results["async_serving"]
+    serving_rows = [
+        ["threaded (serial batch)",
+         "%.1f" % serving["threaded"]["fast_p95_ms"],
+         "%.1f" % serving["threaded"]["slow_p95_ms"],
+         str(serving["threaded"]["total_ios"]), "-"],
+        ["async (slow budget-capped)",
+         "%.1f" % serving["async"]["fast_p95_ms"],
+         "%.1f" % serving["async"]["slow_p95_ms"],
+         str(serving["async"]["total_ios"]),
+         str(serving["async"]["deferrals"])],
+    ]
+    serving_table = format_table(
+        ["path", "fast p95 ms", "slow p95 ms", "total I/Os", "deferrals"],
+        serving_rows,
+        title="ASYNC SERVING — shared K=%dx%d dataset, %d slow + %d fast "
+        "requests (fast p95 speedup %.1fx)"
+        % (serving["workload"]["num_shards"], serving["workload"]["replicas"],
+           serving["workload"]["slow_queries"],
+           serving["workload"]["fast_queries"],
+           serving["fast_p95_speedup"]))
+    return backend_table + "\n\n" + shard_table + "\n\n" + serving_table
 
 
 def check_acceptance(results):
@@ -364,6 +512,26 @@ def check_acceptance(results):
            sharding["sharded_all_shards"]["total_ios"]))
     assert sharding["sharded_pruned"]["shards_pruned"] > 0, (
         "the steep workload should prune at least one shard")
+
+    serving = results["async_serving"]
+    assert serving["async"]["outcomes"] == {
+        "served": serving["workload"]["fast_queries"]
+        + serving["workload"]["slow_queries"]}, (
+        "the queue policy must eventually serve every request, got %r"
+        % (serving["async"]["outcomes"],))
+    assert (serving["async"]["fast_p95_ms"]
+            < serving["threaded"]["fast_p95_ms"]), (
+        "budget-capping the slow tenant must stop it inflating the fast "
+        "tenant's p95: async %.1f ms vs threaded %.1f ms"
+        % (serving["async"]["fast_p95_ms"],
+           serving["threaded"]["fast_p95_ms"]))
+    replica_load = serving["async"]["replica_load"]
+    for shard_id in range(serving["workload"]["num_shards"]):
+        used = {key for key, ios in replica_load.items()
+                if key.startswith("shared/%d/" % shard_id) and ios > 0}
+        assert len(used) >= 2, (
+            "concurrent same-shard tenants should spread I/O over both "
+            "replicas of shard %d, got %r" % (shard_id, replica_load))
 
 
 def test_engine_serving_beats_fixed_and_cold():

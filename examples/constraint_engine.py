@@ -11,13 +11,19 @@ executor adds dedup, a result cache and warm buffer pools.
 The scenario: two tenants share the engine —
 
 * ``servers``: a 3-D fact table (cpu_load, memory_load, latency_ms),
-  **range-sharded on cpu_load across 3 file-backed stores** — queries fan
-  out to the relevant shards only, and the blocks live in real files;
+  **range-sharded on cpu_load across 2 file-backed shards with 2 replicas
+  each** — queries fan out to the relevant shards only, concurrent
+  queries on one shard overlap across its replicas, and the blocks live
+  in real files;
 * ``stocks``: a 2-D table (volatility, expected_return) on the default
   in-memory store.
 
-The engine serves a mixed trace of hot and fresh constraints against both
-and prints its serving dashboard.  Run with::
+The engine serves a mixed trace of hot and fresh constraints against
+both, then switches to the **async serving path**: two logical tenants —
+an interactive dashboard and a budget-capped batch reporter — share the
+replicated ``servers`` dataset, and admission control keeps the
+reporter's heavy queries from inflating the dashboard's latency.  Run
+with::
 
     python examples/constraint_engine.py
 """
@@ -27,7 +33,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro import ConstraintConjunction, LinearConstraint, QueryEngine
-from repro.workloads import mixed_tenant_workload
+from repro.engine import ServingRequest, TenantBudget
+from repro.workloads import (
+    halfspace_queries_with_selectivity,
+    mixed_tenant_workload,
+)
 
 
 def main() -> None:
@@ -45,10 +55,10 @@ def main() -> None:
 
     print("Registering tenants and bulk-building their index suites ...")
     engine = QueryEngine(block_size=block_size, seed=9)
-    # servers: 3 range shards on cpu_load, each shard in its own real file
-    # (temp files; engine.close() removes them).
+    # servers: 2 range shards on cpu_load x 2 replicas, every replica in
+    # its own real file (temp files; engine.close() removes them).
     for record in engine.register_sharded_dataset(
-            "servers", servers, num_shards=3, sharding="range",
+            "servers", servers, num_shards=2, replicas=2, sharding="range",
             backend="file"):
         print("  %-22s %5d blocks  built in %.2fs"
               % ("%s/%s" % (record.dataset, record.kind),
@@ -112,6 +122,44 @@ def main() -> None:
           % (result.total_ios, result.result_cache_hits,
              result.wall_seconds * 1e3))
 
+    # --- async serving: a budget-capped tenant shares the replicated shard -
+    # Two logical tenants hit the *same* replicated dataset: "dashboard"
+    # issues selective interactive queries, "batch_report" issues
+    # reporting-heavy ones.  The reporter is capped to a token-bucket I/O
+    # budget (queue policy): its requests defer while the dashboard's
+    # flow, so the slow tenant cannot head-of-line-block the fast one.
+    dashboard_queries = halfspace_queries_with_selectivity(
+        servers, 6, 0.01, seed=23)
+    report_queries = halfspace_queries_with_selectivity(
+        servers, 6, 0.8, seed=29)
+    async_requests = [
+        ServingRequest(tenant="batch_report", dataset="servers",
+                       constraint=constraint, priority=5)
+        for constraint in report_queries
+    ] + [
+        ServingRequest(tenant="dashboard", dataset="servers",
+                       constraint=constraint, priority=0)
+        for constraint in dashboard_queries
+    ]
+    report_cost = engine.explain("servers", report_queries[0]).estimated_ios
+    budgets = {"batch_report": TenantBudget(ios_per_s=4.0 * report_cost,
+                                            burst=1.2 * report_cost,
+                                            policy="queue")}
+    print("\nAsync serving: dashboard vs budget-capped batch reporter "
+          "(%d requests) ..." % len(async_requests))
+    async_result = engine.serve_async(async_requests, budgets=budgets,
+                                      max_concurrency=4)
+    for request, item in zip(async_requests, async_result.requests):
+        assert {tuple(p) for p in item.answer.points} == {
+            tuple(p) for p in servers if request.constraint.below(p)}
+    print("  outcomes        : %s (%d deferrals of the capped tenant)"
+          % (async_result.outcomes(),
+             sum(item.deferrals for item in async_result.requests)))
+    print("  dashboard p95   : %.1f ms turnaround"
+          % (async_result.turnaround_percentile("dashboard", 0.95) * 1e3))
+    print("  batch_report p95: %.1f ms turnaround (throttled, by design)"
+          % (async_result.turnaround_percentile("batch_report", 0.95) * 1e3))
+
     print()
     print(engine.stats.to_table(title="engine serving dashboard"))
     summary = engine.summary()
@@ -123,6 +171,8 @@ def main() -> None:
     print("shard fan-out     : %d shard visits, %d pruned (%.0f%%)"
           % (summary["shards_queried"], summary["shards_pruned"],
              100 * summary["shard_prune_rate"]))
+    print("admission         : %s" % summary["admission"])
+    print("replica load      : %s" % summary["replica_load"])
     engine.close()   # removes the file backends' temp block files
     print("\nAll answers verified against in-memory filters.  Done.")
 

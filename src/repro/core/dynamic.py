@@ -64,6 +64,7 @@ class DynamicPartitionTreeIndex(ExternalIndex):
                                  partitioner=partitioner)
         self._rebuilds = 0
         self._mutation_listeners: List[Callable[[], None]] = []
+        self._pre_mutation_listeners: List[Callable[[], None]] = []
         self._begin_space_accounting()
         self._buffer = DiskArray(self._store)
         self._buffer_points: List[Tuple[float, ...]] = []
@@ -114,8 +115,24 @@ class DynamicPartitionTreeIndex(ExternalIndex):
         """
         self._mutation_listeners.append(listener)
 
+    def add_pre_mutation_listener(self,
+                                  listener: Callable[[], None]) -> None:
+        """Register a callback fired *before* a mutation is applied.
+
+        A pre-listener that raises vetoes the mutation: nothing has been
+        written yet, so the index is left exactly as it was.  The engine
+        uses this to reject writes to a shard replica other than the one
+        routing is pinned to — a post-hoc error would leave the replicas
+        silently divergent.
+        """
+        self._pre_mutation_listeners.append(listener)
+
     def _notify_mutation(self) -> None:
         for listener in self._mutation_listeners:
+            listener()
+
+    def _check_pre_mutation(self) -> None:
+        for listener in self._pre_mutation_listeners:
             listener()
 
     def insert(self, point: Sequence[float]) -> None:
@@ -124,6 +141,7 @@ class DynamicPartitionTreeIndex(ExternalIndex):
         if len(record) != self._dimension:
             raise ValueError("point dimension %d does not match index dimension %d"
                              % (len(record), self._dimension))
+        self._check_pre_mutation()
         self._tombstones.discard(record)
         self._buffer.append(record)
         self._buffer_points.append(record)
@@ -135,6 +153,10 @@ class DynamicPartitionTreeIndex(ExternalIndex):
         record = tuple(float(c) for c in point)
         in_buffer = record in self._buffer_points
         in_tree = record in self._tree_points and record not in self._tombstones
+        if in_buffer or in_tree:
+            # Veto only writes that would actually happen: deleting an
+            # absent point stays a no-op returning False.
+            self._check_pre_mutation()
         if in_buffer:
             self._buffer_points.remove(record)
             # Rewrite the buffer without the record (small, O(buffer/B) I/Os).

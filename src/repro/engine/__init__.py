@@ -10,13 +10,20 @@ query.  This package is that layer:
 * :class:`~repro.engine.planner.Planner` — estimates each candidate's
   query I/Os from the paper's bounds (via ``estimated_query_ios``),
   calibrated against observed history, and routes to the cheapest;
-* :class:`~repro.engine.executor.BatchExecutor` — batch serving with
-  constraint dedup, an LRU result cache (with invalidation hooks for
-  dynamic indexes), warm buffer pools, a thread-pool path for concurrent
-  read-only tenants, and per-shard query fan-out;
+* :class:`~repro.engine.executor.ExecutionCore` — the shared data path
+  (plan execution, sharded fan-out with replica picking, calibration
+  feedback, LRU result cache with invalidation hooks for dynamic
+  indexes) both executors run through;
+* :class:`~repro.engine.executor.BatchExecutor` — synchronous batch
+  serving with constraint dedup, warm buffer pools and a thread-pool
+  path for concurrent read-only tenants;
+* :mod:`~repro.engine.serving` — the async serving subsystem: the
+  :class:`~repro.engine.serving.AsyncExecutor` scheduler over a
+  prioritized deadline queue, per-tenant token-bucket admission control
+  (queue/reject/degrade), and the least-loaded replica picker;
 * :mod:`~repro.engine.sharding` — hash/range shard routers and
-  :class:`~repro.engine.sharding.ShardedDataset` (per-shard stores and
-  index suites with bounding-box pruning);
+  :class:`~repro.engine.sharding.ShardedDataset` (per-shard replicated
+  stores and index suites with bounding-box pruning);
 * :class:`~repro.engine.calibration.CalibrationStore` — JSON persistence
   of the planner's learned constants, with staleness age-out;
 * :class:`~repro.engine.metrics.EngineStats` — latency percentiles, I/O
@@ -38,10 +45,22 @@ from repro.engine.executor import (
     BatchExecutor,
     BatchResult,
     ExecutedQuery,
+    ExecutionCore,
     WorkloadResult,
     constraint_key,
 )
 from repro.engine.metrics import EngineStats, ServedQueryRecord
+from repro.engine.serving import (
+    AdmissionController,
+    AsyncExecutor,
+    LeastLoadedReplicaPicker,
+    PriorityRequestQueue,
+    ServeResult,
+    ServedRequest,
+    ServingRequest,
+    TenantBudget,
+    TokenBucket,
+)
 from repro.engine.planner import (
     AnyPlan,
     CandidateEstimate,
@@ -59,7 +78,9 @@ from repro.engine.sharding import (
 )
 
 __all__ = [
+    "AdmissionController",
     "AnyPlan",
+    "AsyncExecutor",
     "BatchExecutor",
     "BatchResult",
     "BuildRecord",
@@ -69,18 +90,26 @@ __all__ = [
     "Dataset",
     "EngineStats",
     "ExecutedQuery",
+    "ExecutionCore",
     "HashShardRouter",
     "INDEX_KINDS",
     "IndexKind",
+    "LeastLoadedReplicaPicker",
     "Plan",
     "Planner",
+    "PriorityRequestQueue",
     "QueryEngine",
     "RangeShardRouter",
+    "ServeResult",
     "ServedQueryRecord",
+    "ServedRequest",
+    "ServingRequest",
     "Shard",
     "ShardRouter",
     "ShardedDataset",
     "ShardedPlan",
+    "TenantBudget",
+    "TokenBucket",
     "WorkloadResult",
     "constraint_key",
     "default_suite",

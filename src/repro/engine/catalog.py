@@ -182,12 +182,12 @@ class Catalog:
         Seed for sampling and for the randomised index builds.
     backend:
         Default storage backend for every dataset's store(s): ``"memory"``
-        (default), ``"file"``, or a factory (see
+        (default), ``"file"``, ``"mmap"``, or a factory (see
         :func:`repro.io.backend.make_backend`).
     data_dir:
-        Directory for file-backed stores registered without an explicit
-        path (one ``<dataset>.blocks`` file each); a temporary file per
-        store when omitted.
+        Directory for file-backed (``"file"``/``"mmap"``) stores
+        registered without an explicit path (one ``<dataset>.blocks`` file
+        each); a temporary file per store when omitted.
     """
 
     def __init__(self, block_size: int = 64, cache_blocks: int = 4,
@@ -246,7 +246,7 @@ class Catalog:
                     backend: object) -> BlockStore:
         spec = self._backend if backend is None else backend
         path = None
-        if spec == "file" and self._data_dir is not None:
+        if spec in ("file", "mmap") and self._data_dir is not None:
             path = os.path.join(self._data_dir, self._block_file_name(name))
         return BlockStore(
             block_size=block_size or self._block_size,
@@ -273,35 +273,52 @@ class Catalog:
         self._datasets[name] = dataset
         return dataset
 
+    @staticmethod
+    def _replica_name(name: str, shard_id: int, replica_id: int) -> str:
+        """Child-dataset name of one shard replica (replica 0 = primary)."""
+        if replica_id == 0:
+            return "%s#%d" % (name, shard_id)
+        return "%s#%d@r%d" % (name, shard_id, replica_id)
+
     def register_sharded_dataset(self, name: str,
                                  points: Sequence[Sequence[float]],
                                  num_shards: int,
                                  sharding: str = "range",
                                  shard_attribute: int = 0,
+                                 replicas: int = 1,
                                  block_size: Optional[int] = None,
                                  cache_blocks: Optional[int] = None,
                                  backend: object = None) -> ShardedDataset:
         """Partition ``points`` across ``num_shards`` per-shard stores.
 
         ``sharding`` picks the router (``"range"`` on ``shard_attribute``,
-        or ``"hash"``); each non-empty shard gets a child dataset named
-        ``<name>#<shard>`` with its own store (and backend) plus its own
-        sample, and records the bounding box of its points for pruning.
+        or ``"hash"``); each non-empty shard gets ``replicas`` child
+        datasets — the primary named ``<name>#<shard>``, further replicas
+        ``<name>#<shard>@r<replica>`` — each with its own store (and
+        backend) plus its own sample, and records the bounding box of its
+        points for pruning.  Replicas hold identical copies of the shard's
+        points, so the executor can overlap concurrent queries on the same
+        shard by picking the least-loaded replica.
         """
         self._check_name_free(name)
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1, got %r" % replicas)
         array = self._as_points(points)
         router = make_router(sharding, array, num_shards,
                              attribute=shard_attribute)
         shards: List[Shard] = []
         for shard_id, rows in enumerate(router.assign(array)):
             if len(rows) == 0:
-                shards.append(Shard(shard_id=shard_id, dataset=None))
+                shards.append(Shard(shard_id=shard_id))
                 continue
             chunk = array[rows]
-            child = self._make_dataset("%s#%d" % (name, shard_id), chunk,
-                                       block_size, cache_blocks, backend)
+            children = [
+                self._make_dataset(
+                    self._replica_name(name, shard_id, replica_id), chunk,
+                    block_size, cache_blocks, backend)
+                for replica_id in range(replicas)]
             shards.append(Shard(
-                shard_id=shard_id, dataset=child,
+                shard_id=shard_id, replicas=children,
                 lows=tuple(chunk.min(axis=0).tolist()),
                 highs=tuple(chunk.max(axis=0).tolist())))
         sharded = ShardedDataset(name=name, points=array,
@@ -342,10 +359,11 @@ class Catalog:
         return sorted(set(self._datasets) | set(self._sharded))
 
     def stores(self, name: str) -> List[BlockStore]:
-        """Every store backing a dataset: one, or one per non-empty shard."""
+        """Every store backing a dataset: one, or one per shard replica."""
         if name in self._sharded:
-            return [shard.dataset.store
-                    for shard in self._sharded[name].nonempty_shards()]
+            return [replica.store
+                    for shard in self._sharded[name].nonempty_shards()
+                    for replica in shard.replicas]
         return [self.dataset(name).store]
 
     def close(self) -> None:
@@ -411,11 +429,12 @@ class Catalog:
     def build_sharded_index(self, dataset_name: str, kind: str,
                             index_name: Optional[str] = None,
                             **params) -> List[BuildRecord]:
-        """Build one kind on every non-empty shard of a sharded dataset."""
+        """Build one kind on every replica of every non-empty shard."""
         sharded = self.sharded(dataset_name)
-        return [self._build_index_on(shard.dataset, kind, index_name,
+        return [self._build_index_on(replica, kind, index_name,
                                      **dict(params))
-                for shard in sharded.nonempty_shards()]
+                for shard in sharded.nonempty_shards()
+                for replica in shard.replicas]
 
     def build_suite(self, dataset_name: str,
                     kinds: Optional[Sequence[str]] = None) -> List[BuildRecord]:
@@ -434,25 +453,37 @@ class Catalog:
             return records
         return [self.build_index(dataset_name, kind) for kind in chosen]
 
+    @staticmethod
+    def _sharded_key(shard_id: int, replica_id: int, index_name: str) -> str:
+        """The catalog's flat key for one shard replica's index."""
+        if replica_id == 0:
+            return "%d/%s" % (shard_id, index_name)
+        return "%d@r%d/%s" % (shard_id, replica_id, index_name)
+
     def indexes(self, dataset_name: str) -> Dict[str, ExternalIndex]:
         """Every index registered on a plain dataset, keyed by index name.
 
-        For a sharded dataset the keys are ``<shard_id>/<index_name>``.
+        For a sharded dataset the keys are ``<shard_id>/<index_name>``
+        (primary replica) and ``<shard_id>@r<replica>/<index_name>``.
         """
         if self.is_sharded(dataset_name):
             return {
-                "%d/%s" % (shard.shard_id, index_name): index
+                self._sharded_key(shard.shard_id, replica_id, index_name):
+                    index
                 for shard in self.sharded(dataset_name).nonempty_shards()
-                for index_name, index in shard.dataset.indexes.items()
+                for replica_id, replica in enumerate(shard.replicas)
+                for index_name, index in replica.indexes.items()
             }
         return dict(self.dataset(dataset_name).indexes)
 
     def build_records(self, dataset_name: str) -> Dict[str, BuildRecord]:
-        """Build statistics for every index on a dataset (sharded: per shard)."""
+        """Build statistics for every index on a dataset (sharded: per replica)."""
         if self.is_sharded(dataset_name):
             return {
-                "%d/%s" % (shard.shard_id, index_name): record
+                self._sharded_key(shard.shard_id, replica_id, index_name):
+                    record
                 for shard in self.sharded(dataset_name).nonempty_shards()
-                for index_name, record in shard.dataset.build_records.items()
+                for replica_id, replica in enumerate(shard.replicas)
+                for index_name, record in replica.build_records.items()
             }
         return dict(self.dataset(dataset_name).build_records)

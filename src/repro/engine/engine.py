@@ -6,23 +6,29 @@ benchmarks drive::
     engine = QueryEngine(block_size=64, seed=7)
     engine.register_dataset("screener", points)          # builds a suite
     engine.register_sharded_dataset("logs", big_points,  # K stores + fan-out
-                                    num_shards=4)
+                                    num_shards=4, replicas=2)
     result = engine.query("screener", constraint)        # planner-routed
     batch = engine.serve_batch("screener", constraints)  # warm, deduped
+    served = engine.serve_async(requests, budgets=...)   # multi-tenant async
     print(engine.stats.to_table())
 
-Storage is pluggable end to end: ``backend="file"`` puts every dataset's
-blocks in real files (``data_dir``), and a ``calibration_path`` persists
-the planner's learned constants across restarts (loaded on startup, aged
-out after ``calibration_max_age_s``).  Everything the facade does is
-available piecemeal through its :attr:`catalog`, :attr:`planner` and
-:attr:`executor` attributes; later scaling work (async executors) is
-expected to swap those components rather than grow this class.
+Storage is pluggable end to end: ``backend="file"`` (or ``"mmap"``) puts
+every dataset's blocks in real files (``data_dir``), and a
+``calibration_path`` persists the planner's learned constants across
+restarts (loaded on startup, aged out after ``calibration_max_age_s``).
+Everything the facade does is available piecemeal through its
+:attr:`catalog`, :attr:`planner` and :attr:`executor` attributes; the
+async serving path (:meth:`QueryEngine.serve_async`) runs through the
+same :class:`~repro.engine.executor.ExecutionCore` as the synchronous
+one, so both share one result cache, one calibration and one metrics
+sink.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import asyncio
 
 from repro.core.conjunction import ConstraintConjunction
 from repro.engine.calibration import DEFAULT_MAX_AGE_S, CalibrationStore
@@ -35,6 +41,13 @@ from repro.engine.executor import (
 )
 from repro.engine.metrics import EngineStats
 from repro.engine.planner import AnyPlan, Planner
+from repro.engine.serving import (
+    AdmissionController,
+    AsyncExecutor,
+    ServeResult,
+    ServingRequest,
+    TenantBudget,
+)
 from repro.geometry.primitives import LinearConstraint
 
 
@@ -55,9 +68,9 @@ class QueryEngine:
     seed:
         Seed for sampling and randomised index builds.
     backend / data_dir:
-        Default storage backend for every store (``"memory"`` or
-        ``"file"``) and, for file backends, the directory the block files
-        live in (temp files when omitted).
+        Default storage backend for every store (``"memory"``, ``"file"``
+        or ``"mmap"``) and, for the file-based backends, the directory
+        the block files live in (temp files when omitted).
     fanout_workers:
         Thread-pool size for per-shard query fan-out (0 = sequential).
     calibration_path / calibration_max_age_s:
@@ -119,6 +132,7 @@ class QueryEngine:
                                  num_shards: int,
                                  sharding: str = "range",
                                  shard_attribute: int = 0,
+                                 replicas: int = 1,
                                  kinds: Optional[Sequence[str]] = None,
                                  block_size: Optional[int] = None,
                                  **catalog_kwargs) -> List[BuildRecord]:
@@ -126,13 +140,17 @@ class QueryEngine:
 
         ``sharding`` picks hash or range partitioning (range splits on
         ``shard_attribute`` and enables shard pruning for constraints that
-        are selective in it).  An index suite is bulk-built per shard;
-        queries against ``name`` then fan out to the relevant shards.
+        are selective in it).  ``replicas`` keeps that many identical
+        copies of every shard — each with its own store and index suite —
+        so the executor can overlap concurrent tenants hitting the same
+        shard by picking the least-loaded replica.  An index suite is
+        bulk-built per shard replica; queries against ``name`` then fan
+        out to the relevant shards.
         """
         self.catalog.register_sharded_dataset(
             name, points, num_shards=num_shards, sharding=sharding,
-            shard_attribute=shard_attribute, block_size=block_size,
-            **catalog_kwargs)
+            shard_attribute=shard_attribute, replicas=replicas,
+            block_size=block_size, **catalog_kwargs)
         records = self.catalog.build_suite(name, kinds=kinds)
         self._watch_indexes(name)
         return records
@@ -141,22 +159,38 @@ class QueryEngine:
         """Hook dynamic indexes up to the engine's staleness machinery.
 
         A mutation through a dynamic index (1) flushes the dataset's
-        result-cache entries, (2) marks the (shard child) dataset mutated
-        so the planner stops routing to its statically-built siblings, and
-        (3) on sharded datasets marks the shard's bounding box stale so
-        pruning no longer trusts it.
+        result-cache entries, (2) marks the (shard replica) dataset
+        mutated so the planner stops routing to its statically-built
+        siblings, and (3) on sharded datasets marks the shard's bounding
+        box stale so pruning no longer trusts it — and pins routing to the
+        mutated replica, the only copy holding the fresh data.
         """
         if self.catalog.is_sharded(name):
-            targets = [(shard.dataset, shard.mark_mutated) for shard in
-                       self.catalog.sharded(name).nonempty_shards()]
+            targets = [
+                (replica,
+                 lambda shard=shard, replica_id=replica_id:
+                     shard.check_mutable(replica_id),
+                 lambda shard=shard, replica_id=replica_id:
+                     shard.mark_mutated(replica_id))
+                for shard in self.catalog.sharded(name).nonempty_shards()
+                for replica_id, replica in enumerate(shard.replicas)]
         else:
-            targets = [(self.catalog.dataset(name), None)]
-        for dataset, extra in targets:
+            targets = [(self.catalog.dataset(name), None, None)]
+        for dataset, guard, extra in targets:
             for index in dataset.indexes.values():
                 self.executor.watch_index(name, index)
                 subscribe = getattr(index, "add_mutation_listener", None)
                 if not callable(subscribe):
                     continue
+                if guard is not None:
+                    # Veto writes to an unpinnable replica *before* they
+                    # land, so a rejected insert leaves the replica
+                    # byte-identical to its siblings.
+                    presubscribe = getattr(index,
+                                           "add_pre_mutation_listener",
+                                           None)
+                    if callable(presubscribe):
+                        presubscribe(guard)
                 subscribe(lambda dataset=dataset: setattr(
                     dataset, "mutated", True))
                 if extra is not None:
@@ -193,6 +227,53 @@ class QueryEngine:
         return self.executor.run_workload(requests, warm_cache=warm_cache,
                                           use_threads=use_threads,
                                           max_workers=max_workers)
+
+    def serve_async(self, requests: Sequence[ServingRequest],
+                    budgets: Optional[Dict[str, TenantBudget]] = None,
+                    max_concurrency: int = 8,
+                    warm_cache: bool = True) -> ServeResult:
+        """Serve a multi-tenant request stream through the async executor.
+
+        Each :class:`~repro.engine.serving.ServingRequest` carries a
+        *tenant* (a logical client — many tenants may hit one dataset), a
+        priority and an optional deadline.  Requests are scheduled per
+        request instead of per dataset batch, so a slow tenant no longer
+        head-of-line-blocks a fast one, and ``budgets`` throttles named
+        tenants to a token-bucket I/O rate with a queue / reject / degrade
+        policy.  The async path executes through the same core as the
+        synchronous one: result cache, calibration and metrics are shared.
+
+        Runs its own event loop; from an already-async context construct
+        an :class:`~repro.engine.serving.AsyncExecutor` over
+        ``engine.executor.core`` and ``await`` its ``serve`` directly.
+
+        Examples
+        --------
+        One throttled tenant and one unconstrained tenant sharing a
+        dataset::
+
+            from repro.engine.serving import ServingRequest, TenantBudget
+
+            requests = [
+                ServingRequest(tenant="dashboard", dataset="servers",
+                               constraint=cheap, priority=0),
+                ServingRequest(tenant="batch_report", dataset="servers",
+                               constraint=heavy, deadline_s=30.0),
+            ]
+            result = engine.serve_async(
+                requests,
+                budgets={"batch_report": TenantBudget(ios_per_s=200,
+                                                      policy="queue")})
+            print(result.outcomes())                     # {"served": 2}
+            print(result.turnaround_percentile("dashboard", 0.95))
+            print(engine.summary()["admission"])         # decision counts
+        """
+        executor = AsyncExecutor(
+            self.executor.core,
+            admission=AdmissionController(budgets),
+            max_concurrency=max_concurrency,
+            warm_cache_blocks=self.executor.warm_cache_blocks)
+        return asyncio.run(executor.serve(requests, warm_cache=warm_cache))
 
     def calibrate(self, dataset: str,
                   constraints: Sequence[LinearConstraint]) -> int:

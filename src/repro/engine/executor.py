@@ -1,31 +1,30 @@
 """Batch execution: dedup, result caching, warm buffer pools, concurrency.
 
-The :class:`BatchExecutor` is the engine's data path.  Given a batch of
-constraints (or a whole multi-tenant workload), it:
+Two layers live here:
 
-* asks the :class:`~repro.engine.planner.Planner` for a plan per unique
-  constraint and *groups* execution by chosen index, so consecutive
-  queries touch the same structure and reuse its hot blocks;
-* serves exact-duplicate constraints from an LRU **result cache** (a batch
-  with repeated hot queries pays I/Os only for the first occurrence);
-* optionally enlarges the dataset store's buffer pool for the duration of
-  the batch (**warm-cache serving**) and restores it afterwards, so the
-  per-query benchmarks elsewhere keep measuring the cold-cache model;
-* feeds every observed (predicted, actual) I/O pair back into the
-  planner's calibration and every latency/IO sample into
-  :class:`~repro.engine.metrics.EngineStats`;
-* can run the per-dataset batches of a workload on a thread pool —
-  queries are read-only and each dataset owns its store(s), so tenants are
-  served concurrently without sharing mutable block state;
-* **fans out** queries against sharded datasets: each relevant shard runs
-  its own per-shard plan (on the same shared thread pool — every shard
-  owns its store), the per-shard I/Os are attributed individually to the
-  planner's calibration and summed into the query's cost, and the fan-out
-  width (shards queried / pruned) lands in the metrics;
-* exposes an **invalidation hook**: dynamic indexes register a mutation
-  listener through :meth:`BatchExecutor.watch_index`, so an insert into a
-  :class:`~repro.core.dynamic.DynamicPartitionTreeIndex` flushes the
-  dataset's result-cache entries instead of serving stale answers.
+* :class:`ExecutionCore` — the engine's shared data path.  Given a planned
+  query it runs the plan (plain or sharded fan-out with replica picking),
+  feeds every observed (predicted, actual) I/O pair back into the
+  planner's calibration, records metrics, and maintains the LRU **result
+  cache** (with the invalidation hooks dynamic indexes need).  Both the
+  synchronous :class:`BatchExecutor` and the asyncio
+  :class:`~repro.engine.serving.executor.AsyncExecutor` execute through
+  this one core, so the two serving paths cannot drift apart.
+* :class:`BatchExecutor` — the synchronous batch front-end.  Given a batch
+  of constraints (or a whole multi-tenant workload), it plans each unique
+  constraint, *groups* execution by chosen index so consecutive queries
+  touch the same structure, serves exact duplicates from the result cache,
+  optionally enlarges the stores' buffer pools for the duration of the
+  batch (**warm-cache serving**), and can run the per-dataset batches of a
+  workload on a thread pool.
+
+Sharded datasets **fan out**: each relevant shard runs its own per-shard
+plan on the shared thread pool, on the shard's least-loaded *replica*
+(each replica owns its store), and the per-shard I/Os are attributed
+individually — to the planner's calibration (merged per query under one
+lock via :meth:`~repro.engine.planner.Planner.observe_many`), to the
+per-replica load counters in :class:`~repro.engine.metrics.EngineStats`,
+and summed into the query's cost.
 """
 
 from __future__ import annotations
@@ -33,8 +32,9 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.conjunction import ConstraintConjunction, query_conjunction
 from repro.core.interface import Point
@@ -43,7 +43,7 @@ from repro.engine.metrics import EngineStats, ServedQueryRecord
 from repro.engine.planner import AnyPlan, Plan, Planner, ShardedPlan
 from repro.geometry.primitives import LinearConstraint
 from repro.io.cache import LRUCache
-from repro.io.store import IOStats
+from repro.io.store import BlockStore, IOStats
 
 ConstraintKey = Tuple
 
@@ -75,6 +75,10 @@ class ExecutedQuery:
     shards_queried: int = 0
     #: Shards skipped by bounding-box pruning (sharded datasets only).
     shards_pruned: int = 0
+    #: Logical tenant the request belonged to ("" outside the async path).
+    tenant: str = ""
+    #: True when admission control served a sample-only degraded answer.
+    degraded: bool = False
 
     @property
     def count(self) -> int:
@@ -127,8 +131,8 @@ class WorkloadResult:
         return sum(batch.result_cache_hits for batch in self.batches.values())
 
 
-class BatchExecutor:
-    """Runs query batches against the catalog under the planner's routing.
+class ExecutionCore:
+    """The shared plan-execution data path behind every executor.
 
     Parameters
     ----------
@@ -139,30 +143,40 @@ class BatchExecutor:
         omitted (exposed as :attr:`stats`).
     result_cache_entries:
         Capacity of the answer LRU (0 disables result caching).
-    warm_cache_blocks:
-        Buffer-pool size used while serving a warm batch; the store's
-        original (small) pool is restored when the batch finishes.
     fanout_workers:
-        Size of the shared thread pool used for per-shard fan-out (and as
-        the default for :meth:`run_workload`'s threaded path); 0 runs
+        Size of the shared thread pool used for per-shard fan-out; 0 runs
         shards sequentially on the calling thread.
+    replica_picker:
+        Strategy choosing which shard replica serves each per-shard query;
+        defaults to the least-loaded picker
+        (:class:`~repro.engine.serving.replicas.LeastLoadedReplicaPicker`).
     """
 
     def __init__(self, catalog: Catalog, planner: Planner,
                  stats: Optional[EngineStats] = None,
                  result_cache_entries: int = 256,
-                 warm_cache_blocks: int = 64,
-                 fanout_workers: int = 8):
-        self._catalog = catalog
-        self._planner = planner
+                 fanout_workers: int = 8,
+                 replica_picker: Optional[object] = None):
+        self.catalog = catalog
+        self.planner = planner
         self.stats = stats if stats is not None else EngineStats()
         self._results: LRUCache[Tuple[str, ConstraintKey], Tuple[str, List[Point]]]
         self._results = LRUCache(result_cache_entries)
         self._results_lock = threading.Lock()
-        self._warm_cache_blocks = warm_cache_blocks
+        # Per-dataset invalidation generation (guarded by _results_lock).
+        # An executing query snapshots it before touching the index; the
+        # post-execution cache put is dropped if an invalidation bumped it
+        # meanwhile, so a concurrent mutation can never be overwritten by
+        # the stale answer that raced it.
+        self._generations: Dict[str, int] = {}
         self._fanout_workers = fanout_workers
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        if replica_picker is None:
+            # Deferred import: the serving package imports this module.
+            from repro.engine.serving.replicas import LeastLoadedReplicaPicker
+            replica_picker = LeastLoadedReplicaPicker()
+        self.replica_picker = replica_picker
 
     def _shared_pool(self) -> Optional[ThreadPoolExecutor]:
         """The lazily-created thread pool shard fan-out runs on."""
@@ -182,6 +196,34 @@ class BatchExecutor:
                 self._pool.shutdown(wait=True)
                 self._pool = None
 
+    @contextmanager
+    def warm_stores(self, names: Sequence[str],
+                    warm_cache_blocks: int) -> Iterator[None]:
+        """Enlarge the named datasets' buffer pools for a serving window.
+
+        Every store backing each named dataset (one, or one per shard
+        replica) is resized to at least ``warm_cache_blocks`` for the
+        duration of the ``with`` block and restored afterwards, so
+        per-query benchmarks keep measuring the cold-cache model.
+        Unknown dataset names are skipped, not raised: per-request error
+        isolation reports them at planning time, and a typo in one
+        request must not abort a whole serving run.
+        """
+        previous: List[Tuple[BlockStore, int]] = []
+        try:
+            for name in names:
+                try:
+                    stores = self.catalog.stores(name)
+                except KeyError:
+                    continue
+                for store in stores:
+                    previous.append((store, store.resize_cache(
+                        max(store.cache_blocks, warm_cache_blocks))))
+            yield
+        finally:
+            for store, size in previous:
+                store.resize_cache(size)
+
     # ------------------------------------------------------------------
     # result-cache invalidation
     # ------------------------------------------------------------------
@@ -200,10 +242,282 @@ class BatchExecutor:
         return True
 
     def invalidate_dataset(self, dataset_name: str) -> int:
-        """Drop every cached result for one dataset; returns entries dropped."""
+        """Drop every cached result for one dataset; returns entries dropped.
+
+        Also bumps the dataset's generation so answers computed *before*
+        this invalidation can no longer be cached after it.
+        """
         with self._results_lock:
+            self._generations[dataset_name] = \
+                self._generations.get(dataset_name, 0) + 1
             return self._results.evict_where(
                 lambda key: key[0] == dataset_name)
+
+    def result_generation(self, dataset_name: str) -> int:
+        """The dataset's current invalidation generation (snapshot before
+        executing a query, pass to the cache put)."""
+        with self._results_lock:
+            return self._generations.get(dataset_name, 0)
+
+    def _cache_put(self, dataset_name: str,
+                   cache_key: Tuple[str, ConstraintKey],
+                   value: Tuple[str, List[Point]], generation: int) -> None:
+        """Cache an answer unless the dataset was invalidated meanwhile."""
+        with self._results_lock:
+            if self._generations.get(dataset_name, 0) == generation:
+                self._results.put(cache_key, value)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def dispatch(self, dataset_name: str, constraint: LinearConstraint,
+                 plan: AnyPlan, cache_key: Tuple[str, ConstraintKey],
+                 clear_cache: bool, tenant: str = "") -> ExecutedQuery:
+        """Route a planned query down the plain or fan-out execution path."""
+        if isinstance(plan, ShardedPlan):
+            return self.run_sharded(dataset_name, constraint, plan,
+                                    cache_key, clear_cache=clear_cache,
+                                    tenant=tenant)
+        return self.run_planned(dataset_name, constraint, plan, cache_key,
+                                clear_cache=clear_cache, tenant=tenant)
+
+    def run_sharded(self, dataset_name: str,
+                    constraint: Optional[LinearConstraint],
+                    plan: ShardedPlan,
+                    cache_key: Tuple[str, ConstraintKey],
+                    clear_cache: bool,
+                    conjunction: Optional[ConstraintConjunction] = None,
+                    tenant: str = "") -> ExecutedQuery:
+        """Fan a query out to the plan's relevant shards and merge.
+
+        Each shard runs its own per-shard plan against its least-loaded
+        replica's store; the per-shard I/Os are attributed to calibration
+        (merged per query under one planner lock), to the per-replica load
+        counters, and summed into the merged answer.  Shards run
+        concurrently on the shared pool when it exists (each replica owns
+        its store, so the only shared state — planner calibration and
+        metrics — is locked).
+        """
+        sharded = self.catalog.sharded(dataset_name)
+        shards_by_id = {shard.shard_id: shard for shard in sharded.shards}
+        generation = self.result_generation(dataset_name)
+        started = time.perf_counter()
+
+        def run_shard(item: Tuple[int, Plan]) -> Tuple[Plan, List[Point], IOStats]:
+            shard_id, shard_plan = item
+            shard = shards_by_id[shard_id]
+            replica_id = self.replica_picker.acquire(
+                dataset_name, shard, shard_plan.estimated_ios)
+            try:
+                dataset = shard.replicas[replica_id]
+                index = dataset.indexes[shard_plan.index_name]
+                store = dataset.store
+                # One store = one disk = one request at a time: the lock
+                # keeps concurrent async requests that landed on the same
+                # replica from racing the buffer pool and smearing each
+                # other's I/O attribution.
+                with store.lock:
+                    if clear_cache:
+                        store.clear_cache()
+                    before = store.stats.snapshot()
+                    if conjunction is not None:
+                        points = query_conjunction(index, conjunction)
+                    else:
+                        points = index.query(constraint)
+                    ios = store.stats.delta(before)
+            finally:
+                self.replica_picker.release(
+                    dataset_name, shard_id, replica_id,
+                    shard_plan.estimated_ios)
+            self.stats.record_replica_load(dataset_name, shard_id,
+                                           replica_id, ios.total)
+            return shard_plan, points, ios
+
+        pool = self._shared_pool()
+        if pool is not None and len(plan.shard_plans) > 1:
+            outcomes = list(pool.map(run_shard, plan.shard_plans))
+        else:
+            outcomes = [run_shard(item) for item in plan.shard_plans]
+
+        points: List[Point] = []
+        ios = IOStats()
+        observations = []
+        for shard_plan, shard_points, shard_ios in outcomes:
+            points.extend(shard_points)
+            ios.merge(shard_ios)
+            # Per-shard calibration feedback, keyed by the parent dataset
+            # (shards share one learned constant per index kind).  As in
+            # run_planned, buffer-pool hits count as the cold reads they
+            # would have been.
+            observations.append((shard_plan.index_name,
+                                 shard_plan.chosen.model_ios,
+                                 shard_ios.total + shard_ios.cache_hits))
+        self.planner.observe_many(dataset_name, observations)
+        latency = time.perf_counter() - started
+        answer = ExecutedQuery(dataset=dataset_name,
+                               index_name=plan.index_name,
+                               points=points, ios=ios, latency_s=latency,
+                               estimated_ios=plan.estimated_ios,
+                               shards_queried=plan.shards_queried,
+                               shards_pruned=plan.shards_pruned,
+                               tenant=tenant)
+        self.record(answer)
+        self._cache_put(dataset_name, cache_key,
+                        (plan.index_name, list(points)), generation)
+        return answer
+
+    def run_planned(self, dataset_name: str, constraint: LinearConstraint,
+                    plan: Plan, cache_key: Tuple[str, ConstraintKey],
+                    clear_cache: bool, tenant: str = "") -> ExecutedQuery:
+        """Execute a single-store plan, recording metrics and calibration."""
+        dataset = self.catalog.dataset(dataset_name)
+        index = dataset.indexes[plan.index_name]
+        store = dataset.store
+        generation = self.result_generation(dataset_name)
+        started = time.perf_counter()
+        # Serialize whole queries on the store: concurrent async requests
+        # against one unsharded dataset would otherwise race the buffer
+        # pool and absorb each other's I/O counts.
+        with store.lock:
+            if clear_cache:
+                store.clear_cache()
+            before = store.stats.snapshot()
+            points = index.query(constraint)
+            ios = store.stats.delta(before)
+        latency = time.perf_counter() - started
+        return self.finish(dataset_name, plan, points, ios, latency,
+                           cache_key, tenant=tenant, generation=generation)
+
+    def finish(self, dataset_name: str, plan: Plan, points: List[Point],
+               ios: IOStats, latency: float,
+               cache_key: Tuple[str, ConstraintKey],
+               tenant: str = "",
+               generation: Optional[int] = None) -> ExecutedQuery:
+        """Feed back calibration, record metrics, cache and return.
+
+        ``generation`` must be the dataset's :meth:`result_generation`
+        snapshot taken *before* the query executed; when an invalidation
+        bumped it meanwhile the answer is returned but not cached.
+        Passing None (unknown provenance) skips caching outright.
+        """
+        # Calibration models the *cold* cost of a structure (what the plan
+        # estimates predict), so count buffer-pool hits as the reads they
+        # would have been on a cold pool — otherwise whichever index runs
+        # later in a warm batch absorbs free reads and its factor collapses
+        # toward MIN_FACTOR, misrouting subsequent queries.
+        self.planner.observe(dataset_name, plan.index_name,
+                             plan.chosen.model_ios,
+                             ios.total + ios.cache_hits)
+        answer = ExecutedQuery(dataset=dataset_name,
+                               index_name=plan.index_name,
+                               points=points, ios=ios, latency_s=latency,
+                               estimated_ios=plan.estimated_ios,
+                               tenant=tenant)
+        self.record(answer)
+        if generation is not None:
+            self._cache_put(dataset_name, cache_key,
+                            (plan.index_name, list(points)), generation)
+        return answer
+
+    def result_cache_get(
+            self, key: Tuple[str, ConstraintKey],
+            tenant: str = "") -> Optional[ExecutedQuery]:
+        """Serve a cached answer (zero I/Os) if one is resident."""
+        with self._results_lock:
+            hit = self._results.get(key)
+        if hit is None:
+            return None
+        index_name, points = hit
+        answer = ExecutedQuery(dataset=key[0], index_name=index_name,
+                               points=list(points), ios=IOStats(),
+                               latency_s=0.0, estimated_ios=0.0,
+                               from_result_cache=True, tenant=tenant)
+        self.record(answer)
+        return answer
+
+    @staticmethod
+    def as_cache_hit(answer: ExecutedQuery) -> ExecutedQuery:
+        """A zero-cost copy of an answer (for repeats inside one batch)."""
+        return ExecutedQuery(dataset=answer.dataset,
+                             index_name=answer.index_name,
+                             points=list(answer.points), ios=IOStats(),
+                             latency_s=0.0, estimated_ios=0.0,
+                             from_result_cache=True, tenant=answer.tenant)
+
+    def record(self, answer: ExecutedQuery) -> None:
+        """Append one served-query record to the metrics sink."""
+        self.stats.record(ServedQueryRecord(
+            dataset=answer.dataset,
+            index_name=answer.index_name,
+            latency_s=answer.latency_s,
+            ios=answer.total_ios,
+            reported=answer.count,
+            result_cache_hit=answer.from_result_cache,
+            store_cache_hits=answer.ios.cache_hits,
+            shards_queried=answer.shards_queried,
+            shards_pruned=answer.shards_pruned,
+            tenant=answer.tenant,
+            degraded=answer.degraded,
+        ))
+
+
+class BatchExecutor:
+    """Runs query batches against the catalog under the planner's routing.
+
+    Parameters
+    ----------
+    catalog / planner:
+        The engine's catalog and planner.
+    stats:
+        Optional :class:`EngineStats` sink; a private one is created when
+        omitted (exposed as :attr:`stats`).
+    result_cache_entries:
+        Capacity of the answer LRU (0 disables result caching).
+    warm_cache_blocks:
+        Buffer-pool size used while serving a warm batch; the store's
+        original (small) pool is restored when the batch finishes.
+    fanout_workers:
+        Size of the core's shared thread pool for per-shard fan-out; 0
+        runs shards sequentially on the calling thread.  (The threaded
+        :meth:`run_workload` path sizes its own pool from its
+        ``max_workers`` argument, one thread per dataset by default.)
+    core:
+        An existing :class:`ExecutionCore` to execute through (the engine
+        facade shares one core between this executor and the async one);
+        a private core is created when omitted.
+    """
+
+    def __init__(self, catalog: Catalog, planner: Planner,
+                 stats: Optional[EngineStats] = None,
+                 result_cache_entries: int = 256,
+                 warm_cache_blocks: int = 64,
+                 fanout_workers: int = 8,
+                 core: Optional[ExecutionCore] = None):
+        self.core = core if core is not None else ExecutionCore(
+            catalog, planner, stats=stats,
+            result_cache_entries=result_cache_entries,
+            fanout_workers=fanout_workers)
+        # Always derive from the core: planning against one catalog while
+        # executing through another would silently serve wrong datasets.
+        self._catalog = self.core.catalog
+        self._planner = self.core.planner
+        self.stats = self.core.stats
+        self.warm_cache_blocks = warm_cache_blocks
+
+    def shutdown(self) -> None:
+        """Stop the core's shared thread pool (idempotent)."""
+        self.core.shutdown()
+
+    # ------------------------------------------------------------------
+    # result-cache invalidation (delegated to the shared core)
+    # ------------------------------------------------------------------
+    def watch_index(self, dataset_name: str, index: object) -> bool:
+        """Subscribe to an index's mutations (see the core's docstring)."""
+        return self.core.watch_index(dataset_name, index)
+
+    def invalidate_dataset(self, dataset_name: str) -> int:
+        """Drop every cached result for one dataset; returns entries dropped."""
+        return self.core.invalidate_dataset(dataset_name)
 
     # ------------------------------------------------------------------
     # single queries
@@ -218,12 +532,12 @@ class BatchExecutor:
         """
         key = (dataset_name, constraint_key(constraint))
         if not clear_cache:
-            cached = self._result_cache_get(key)
+            cached = self.core.result_cache_get(key)
             if cached is not None:
                 return cached
         plan = self._planner.plan(dataset_name, constraint)
-        return self._dispatch(dataset_name, constraint, plan, key,
-                              clear_cache=clear_cache)
+        return self.core.dispatch(dataset_name, constraint, plan, key,
+                                  clear_cache=clear_cache)
 
     def execute_conjunction(self, dataset_name: str,
                             conjunction: ConstraintConjunction,
@@ -235,24 +549,28 @@ class BatchExecutor:
         """
         key = (dataset_name, conjunction_key(conjunction))
         if not clear_cache:
-            cached = self._result_cache_get(key)
+            cached = self.core.result_cache_get(key)
             if cached is not None:
                 return cached
         plan = self._planner.plan_conjunction(dataset_name, conjunction)
         if isinstance(plan, ShardedPlan):
-            return self._run_sharded(dataset_name, None, plan, key,
-                                     clear_cache=clear_cache,
-                                     conjunction=conjunction)
+            return self.core.run_sharded(dataset_name, None, plan, key,
+                                         clear_cache=clear_cache,
+                                         conjunction=conjunction)
         dataset = self._catalog.dataset(dataset_name)
         index = dataset.indexes[plan.index_name]
-        if clear_cache:
-            dataset.store.clear_cache()
+        store = dataset.store
+        generation = self.core.result_generation(dataset_name)
         started = time.perf_counter()
-        before = dataset.store.stats.snapshot()
-        points = query_conjunction(index, conjunction)
-        ios = dataset.store.stats.delta(before)
+        with store.lock:
+            if clear_cache:
+                store.clear_cache()
+            before = store.stats.snapshot()
+            points = query_conjunction(index, conjunction)
+            ios = store.stats.delta(before)
         latency = time.perf_counter() - started
-        return self._finish(dataset_name, plan, points, ios, latency, key)
+        return self.core.finish(dataset_name, plan, points, ios, latency,
+                                key, generation=generation)
 
     # ------------------------------------------------------------------
     # batches and workloads
@@ -265,9 +583,8 @@ class BatchExecutor:
         Unique constraints are planned once, grouped by chosen index, and
         executed with a shared (optionally enlarged) buffer pool; repeats
         are answered from the result cache.  Sharded datasets warm every
-        shard's pool and fan each constraint out to its relevant shards.
+        replica's pool and fan each constraint out to its relevant shards.
         """
-        stores = self._catalog.stores(dataset_name)
         started = time.perf_counter()
         answers: Dict[ConstraintKey, ExecutedQuery] = {}
         ordered_keys = [constraint_key(c) for c in constraints]
@@ -279,19 +596,15 @@ class BatchExecutor:
             unique.setdefault(key, constraint)
         groups: Dict[str, List[Tuple[ConstraintKey, LinearConstraint]]] = {}
         for key, constraint in unique.items():
-            cached = self._result_cache_get((dataset_name, key))
+            cached = self.core.result_cache_get((dataset_name, key))
             if cached is not None:
                 answers[key] = cached
                 continue
             plan = self._planner.plan(dataset_name, constraint)
             groups.setdefault(plan.index_name, []).append((key, constraint))
 
-        previous_pools: List[Tuple[object, int]] = []
-        if warm_cache:
-            for store in stores:
-                previous_pools.append((store, store.resize_cache(
-                    max(store.cache_blocks, self._warm_cache_blocks))))
-        try:
+        with self.core.warm_stores([dataset_name] if warm_cache else [],
+                                   self.warm_cache_blocks):
             for index_name in sorted(groups):
                 for key, constraint in groups[index_name]:
                     # Re-plan just before running: calibration learned from
@@ -299,12 +612,9 @@ class BatchExecutor:
                     # constraint (the pre-pass grouping is only a locality
                     # heuristic).
                     plan = self._planner.plan(dataset_name, constraint)
-                    answers[key] = self._dispatch(
+                    answers[key] = self.core.dispatch(
                         dataset_name, constraint, plan,
                         (dataset_name, key), clear_cache=False)
-        finally:
-            for store, previous in previous_pools:
-                store.resize_cache(previous)
 
         executed = sum(len(group) for group in groups.values())
         first_position: Dict[ConstraintKey, int] = {}
@@ -317,8 +627,8 @@ class BatchExecutor:
             if position != first_position[key]:
                 # A repeat inside the batch: serve the points resolved for
                 # the first occurrence and charge nothing.
-                answer = self._as_cache_hit(answer)
-                self._record(answer)
+                answer = self.core.as_cache_hit(answer)
+                self.core.record(answer)
             if answer.from_result_cache:
                 hits += 1
             in_order.append(answer)
@@ -334,7 +644,10 @@ class BatchExecutor:
         Requests are partitioned per dataset and each dataset's batch runs
         as in :meth:`run_batch` — concurrently on a thread pool when
         ``use_threads`` is set (safe: queries are read-only and each
-        dataset owns its store).
+        dataset owns its store).  Within one dataset's batch execution is
+        serial in arrival order; the async serving path
+        (:meth:`repro.engine.engine.QueryEngine.serve_async`) is the one
+        that interleaves tenants inside a single dataset.
         """
         started = time.perf_counter()
         per_dataset: Dict[str, List[LinearConstraint]] = {}
@@ -366,150 +679,3 @@ class BatchExecutor:
         return WorkloadResult(queries=[q for q in ordered if q is not None],
                               batches=batches,
                               wall_seconds=time.perf_counter() - started)
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _dispatch(self, dataset_name: str, constraint: LinearConstraint,
-                  plan: AnyPlan, cache_key: Tuple[str, ConstraintKey],
-                  clear_cache: bool) -> ExecutedQuery:
-        """Route a planned query down the plain or fan-out execution path."""
-        if isinstance(plan, ShardedPlan):
-            return self._run_sharded(dataset_name, constraint, plan,
-                                     cache_key, clear_cache=clear_cache)
-        return self._run_planned(dataset_name, constraint, plan, cache_key,
-                                 clear_cache=clear_cache)
-
-    def _run_sharded(self, dataset_name: str,
-                     constraint: Optional[LinearConstraint],
-                     plan: ShardedPlan,
-                     cache_key: Tuple[str, ConstraintKey],
-                     clear_cache: bool,
-                     conjunction: Optional[ConstraintConjunction] = None
-                     ) -> ExecutedQuery:
-        """Fan a query out to the plan's relevant shards and merge.
-
-        Each shard runs its own per-shard plan against its own store; the
-        per-shard I/Os are attributed to calibration individually and
-        summed into the merged answer.  Shards run concurrently on the
-        shared pool when it exists (each shard owns its store, so the
-        only shared state — planner calibration and metrics — is locked).
-        """
-        sharded = self._catalog.sharded(dataset_name)
-        shards_by_id = {shard.shard_id: shard for shard in sharded.shards}
-        started = time.perf_counter()
-
-        def run_shard(item: Tuple[int, Plan]) -> Tuple[Plan, List[Point], IOStats]:
-            shard_id, shard_plan = item
-            dataset = shards_by_id[shard_id].dataset
-            index = dataset.indexes[shard_plan.index_name]
-            store = dataset.store
-            if clear_cache:
-                store.clear_cache()
-            before = store.stats.snapshot()
-            if conjunction is not None:
-                points = query_conjunction(index, conjunction)
-            else:
-                points = index.query(constraint)
-            return shard_plan, points, store.stats.delta(before)
-
-        pool = self._shared_pool()
-        if pool is not None and len(plan.shard_plans) > 1:
-            outcomes = list(pool.map(run_shard, plan.shard_plans))
-        else:
-            outcomes = [run_shard(item) for item in plan.shard_plans]
-
-        points: List[Point] = []
-        ios = IOStats()
-        for shard_plan, shard_points, shard_ios in outcomes:
-            points.extend(shard_points)
-            ios.merge(shard_ios)
-            # Per-shard calibration feedback, keyed by the parent dataset
-            # (shards share one learned constant per index kind).  As in
-            # _finish, buffer-pool hits count as the cold reads they would
-            # have been.
-            self._planner.observe(dataset_name, shard_plan.index_name,
-                                  shard_plan.chosen.model_ios,
-                                  shard_ios.total + shard_ios.cache_hits)
-        latency = time.perf_counter() - started
-        answer = ExecutedQuery(dataset=dataset_name,
-                               index_name=plan.index_name,
-                               points=points, ios=ios, latency_s=latency,
-                               estimated_ios=plan.estimated_ios,
-                               shards_queried=plan.shards_queried,
-                               shards_pruned=plan.shards_pruned)
-        self._record(answer)
-        with self._results_lock:
-            self._results.put(cache_key, (plan.index_name, list(points)))
-        return answer
-
-    def _run_planned(self, dataset_name: str, constraint: LinearConstraint,
-                     plan: Plan, cache_key: Tuple[str, ConstraintKey],
-                     clear_cache: bool) -> ExecutedQuery:
-        dataset = self._catalog.dataset(dataset_name)
-        index = dataset.indexes[plan.index_name]
-        store = dataset.store
-        if clear_cache:
-            store.clear_cache()
-        started = time.perf_counter()
-        before = store.stats.snapshot()
-        points = index.query(constraint)
-        ios = store.stats.delta(before)
-        latency = time.perf_counter() - started
-        return self._finish(dataset_name, plan, points, ios, latency,
-                            cache_key)
-
-    def _finish(self, dataset_name: str, plan: Plan, points: List[Point],
-                ios: IOStats, latency: float,
-                cache_key: Tuple[str, ConstraintKey]) -> ExecutedQuery:
-        # Calibration models the *cold* cost of a structure (what the plan
-        # estimates predict), so count buffer-pool hits as the reads they
-        # would have been on a cold pool — otherwise whichever index runs
-        # later in a warm batch absorbs free reads and its factor collapses
-        # toward MIN_FACTOR, misrouting subsequent queries.
-        self._planner.observe(dataset_name, plan.index_name,
-                              plan.chosen.model_ios,
-                              ios.total + ios.cache_hits)
-        answer = ExecutedQuery(dataset=dataset_name,
-                               index_name=plan.index_name,
-                               points=points, ios=ios, latency_s=latency,
-                               estimated_ios=plan.estimated_ios)
-        self._record(answer)
-        with self._results_lock:
-            self._results.put(cache_key, (plan.index_name, list(points)))
-        return answer
-
-    def _result_cache_get(
-            self, key: Tuple[str, ConstraintKey]) -> Optional[ExecutedQuery]:
-        with self._results_lock:
-            hit = self._results.get(key)
-        if hit is None:
-            return None
-        index_name, points = hit
-        answer = ExecutedQuery(dataset=key[0], index_name=index_name,
-                               points=list(points), ios=IOStats(),
-                               latency_s=0.0, estimated_ios=0.0,
-                               from_result_cache=True)
-        self._record(answer)
-        return answer
-
-    @staticmethod
-    def _as_cache_hit(answer: ExecutedQuery) -> ExecutedQuery:
-        return ExecutedQuery(dataset=answer.dataset,
-                             index_name=answer.index_name,
-                             points=list(answer.points), ios=IOStats(),
-                             latency_s=0.0, estimated_ios=0.0,
-                             from_result_cache=True)
-
-    def _record(self, answer: ExecutedQuery) -> None:
-        self.stats.record(ServedQueryRecord(
-            dataset=answer.dataset,
-            index_name=answer.index_name,
-            latency_s=answer.latency_s,
-            ios=answer.total_ios,
-            reported=answer.count,
-            result_cache_hit=answer.from_result_cache,
-            store_cache_hits=answer.ios.cache_hits,
-            shards_queried=answer.shards_queried,
-            shards_pruned=answer.shards_pruned,
-        ))

@@ -7,6 +7,16 @@ serving dashboard would: latency percentiles, I/O totals, cache hit rates
 and the plan distribution.  The benchmarks read these summaries instead of
 re-deriving them from raw query results.
 
+The async serving path adds three more signal families:
+
+* **admission decisions** — how many requests each admission-control
+  outcome saw (admitted / queued / rejected / degraded / expired);
+* **queue depth** — sampled whenever the async scheduler wakes, so the
+  summary can report how deep the prioritized request queue ran;
+* **per-replica load** — I/Os attributed to each (dataset, shard, replica)
+  triple, which is how the replica picker's balancing shows up on a
+  dashboard.
+
 The recorder is thread-safe: the batch executor's concurrent path records
 from worker threads.
 """
@@ -16,7 +26,7 @@ from __future__ import annotations
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.harness import format_table
 
@@ -36,6 +46,10 @@ class ServedQueryRecord:
     shards_queried: int = 0
     #: Shards skipped by the planner's bounding-box pruning.
     shards_pruned: int = 0
+    #: Logical tenant the request belonged to ("" outside the async path).
+    tenant: str = ""
+    #: True when admission control served a degraded (sample-only) answer.
+    degraded: bool = False
 
 
 def percentile(sorted_values: List[float], fraction: float) -> float:
@@ -54,6 +68,12 @@ class EngineStats:
     """Aggregated serving statistics across every query the engine ran."""
 
     records: List[ServedQueryRecord] = field(default_factory=list)
+    #: Admission-control outcome counts (admitted/queued/rejected/...).
+    admission_decisions: Dict[str, int] = field(default_factory=dict)
+    #: Deepest the async request queue has run (sampled per wake-up).
+    _max_queue_depth: int = 0
+    #: I/Os attributed per (dataset, shard_id, replica_id).
+    replica_load: Dict[Tuple[str, int, int], int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, record: ServedQueryRecord) -> None:
@@ -61,10 +81,37 @@ class EngineStats:
         with self._lock:
             self.records.append(record)
 
+    def note_admission(self, decision: str) -> None:
+        """Count one admission-control outcome (thread-safe)."""
+        with self._lock:
+            self.admission_decisions[decision] = \
+                self.admission_decisions.get(decision, 0) + 1
+
+    def note_queue_depth(self, depth: int) -> None:
+        """Sample the serving queue's depth (called by the async scheduler).
+
+        Keeps a running maximum, not the samples: the scheduler wakes up
+        to a thousand times a second under a throttled tenant, and only
+        the peak is reported.
+        """
+        with self._lock:
+            if depth > self._max_queue_depth:
+                self._max_queue_depth = depth
+
+    def record_replica_load(self, dataset: str, shard_id: int,
+                            replica_id: int, ios: int) -> None:
+        """Attribute I/Os to one shard replica (thread-safe)."""
+        key = (dataset, shard_id, replica_id)
+        with self._lock:
+            self.replica_load[key] = self.replica_load.get(key, 0) + ios
+
     def reset(self) -> None:
         """Drop every record (e.g. between benchmark phases)."""
         with self._lock:
             self.records.clear()
+            self.admission_decisions.clear()
+            self._max_queue_depth = 0
+            self.replica_load.clear()
 
     # ------------------------------------------------------------------
     # aggregates
@@ -122,6 +169,11 @@ class EngineStats:
         candidates = self.shards_queried + self.shards_pruned
         return self.shards_pruned / candidates if candidates else 0.0
 
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest the async request queue ran (0 without async traffic)."""
+        return self._max_queue_depth
+
     def plan_distribution(self) -> Dict[str, int]:
         """How many queries each index served (the planner's routing mix)."""
         return dict(Counter(record.index_name for record in self.records))
@@ -131,6 +183,51 @@ class EngineStats:
         ordered = sorted(record.latency_s for record in self.records)
         return {"p%g" % (fraction * 100): percentile(ordered, fraction)
                 for fraction in fractions}
+
+    def tenant_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant traffic summary (queries, I/Os, latency percentiles).
+
+        Only records carrying a tenant label (the async serving path)
+        participate; an empty dict means no tenant-attributed traffic.
+        Snapshots the record list under the lock, so a dashboard thread
+        can call this while workers are recording.
+        """
+        with self._lock:
+            records = list(self.records)
+        by_tenant: Dict[str, List[ServedQueryRecord]] = {}
+        for record in records:
+            if record.tenant:
+                by_tenant.setdefault(record.tenant, []).append(record)
+        out: Dict[str, Dict[str, object]] = {}
+        for tenant in sorted(by_tenant):
+            group = by_tenant[tenant]
+            latencies = sorted(record.latency_s for record in group)
+            out[tenant] = {
+                "queries": len(group),
+                "total_ios": sum(record.ios for record in group),
+                "degraded": sum(1 for record in group if record.degraded),
+                "latency_s": {
+                    "p50": percentile(latencies, 0.5),
+                    "p95": percentile(latencies, 0.95),
+                    "p99": percentile(latencies, 0.99),
+                },
+            }
+        return out
+
+    def replica_load_summary(self) -> Dict[str, int]:
+        """Per-replica I/O totals keyed ``dataset/shard/replica`` (JSON-safe).
+
+        Copies the load table under the lock: fan-out workers insert new
+        replica keys concurrently, and iterating a mutating dict raises.
+        """
+        with self._lock:
+            items = sorted(self.replica_load.items())
+        return {"%s/%d/%d" % key: ios for key, ios in items}
+
+    def admission_summary(self) -> Dict[str, int]:
+        """A stable copy of the admission-decision counters (lock-held)."""
+        with self._lock:
+            return dict(self.admission_decisions)
 
     def mean_ios(self) -> float:
         """Average I/Os per served query."""
@@ -155,6 +252,10 @@ class EngineStats:
             "shard_prune_rate": self.shard_prune_rate,
             "latency_s": self.latency_percentiles(),
             "plan_distribution": self.plan_distribution(),
+            "admission": self.admission_summary(),
+            "max_queue_depth": self.max_queue_depth,
+            "replica_load": self.replica_load_summary(),
+            "tenants": self.tenant_summary(),
         }
 
     def to_table(self, title: Optional[str] = None) -> str:

@@ -34,12 +34,15 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.conjunction import ConstraintConjunction
 from repro.engine.catalog import Catalog, Dataset
 from repro.engine.sharding import Shard, ShardedDataset
 from repro.geometry.primitives import LinearConstraint
+
+#: One calibration feedback sample: (index_name, model_ios, observed_ios).
+Observation = Tuple[str, float, int]
 
 #: Calibration factors are clamped to this range so one outlier
 #: observation can never permanently blacklist (or anoint) an index.
@@ -241,9 +244,13 @@ class Planner:
     def _plan_sharded(self, sharded: ShardedDataset,
                       constraint: LinearConstraint,
                       relevant: "list[Shard]") -> ShardedPlan:
+        # Plan against each shard's *routing* replica: before any mutation
+        # that is replica 0, and after a mutation it is the replica holding
+        # the fresh data (whose routable indexes exclude stale statics).
         shard_plans = tuple(
             (shard.shard_id,
-             self._plan_dataset(shard.dataset, sharded.name, constraint))
+             self._plan_dataset(shard.planning_dataset(), sharded.name,
+                                constraint))
             for shard in relevant)
         return ShardedPlan(dataset=sharded.name,
                            expected_output=sharded.estimate_output(constraint),
@@ -283,6 +290,23 @@ class Planner:
             entry = self._calibrations.get((dataset_name, index_name))
             return entry.factor if entry else 1.0
 
+    def _observe_locked(self, dataset_name: str, index_name: str,
+                        model_ios: float, observed_ios: int) -> None:
+        """One EWMA update; the caller must hold :attr:`_lock`."""
+        if model_ios <= 0:
+            return
+        ratio = max(observed_ios, 1) / model_ios
+        key = (dataset_name, index_name)
+        entry = self._calibrations.setdefault(key, _Calibration())
+        if entry.observations == 0:
+            blended = ratio
+        else:
+            blended = (1.0 - self._alpha) * entry.factor \
+                + self._alpha * ratio
+        entry.factor = min(MAX_FACTOR, max(MIN_FACTOR, blended))
+        entry.observations += 1
+        entry.updated_at = time.time()
+
     def observe(self, dataset_name: str, index_name: str,
                 model_ios: float, observed_ios: int) -> None:
         """Feed back one executed query's (model estimate, observed) pair.
@@ -292,21 +316,29 @@ class Planner:
         then converges to the structure's true constant factor.  The very
         first observation snaps the factor directly so a cold planner
         learns a grossly mispredicted constant after one query.
+
+        The read-modify-write of the EWMA happens entirely under the
+        planner's lock, so concurrent feedback from fan-out workers or the
+        async executor can never lose an update.
         """
-        if model_ios <= 0:
-            return
-        ratio = max(observed_ios, 1) / model_ios
         with self._lock:
-            key = (dataset_name, index_name)
-            entry = self._calibrations.setdefault(key, _Calibration())
-            if entry.observations == 0:
-                blended = ratio
-            else:
-                blended = (1.0 - self._alpha) * entry.factor \
-                    + self._alpha * ratio
-            entry.factor = min(MAX_FACTOR, max(MIN_FACTOR, blended))
-            entry.observations += 1
-            entry.updated_at = time.time()
+            self._observe_locked(dataset_name, index_name, model_ios,
+                                 observed_ios)
+
+    def observe_many(self, dataset_name: str,
+                     observations: Sequence[Observation]) -> None:
+        """Apply a batch of feedback samples under one lock acquisition.
+
+        The sharded fan-out path produces one (model, observed) pair per
+        relevant shard; merging them per query keeps the per-shard EWMA
+        semantics of calling :meth:`observe` in a loop while making the
+        whole batch atomic with respect to concurrent planners — and it
+        halves the lock traffic the async executor generates.
+        """
+        with self._lock:
+            for index_name, model_ios, observed_ios in observations:
+                self._observe_locked(dataset_name, index_name, model_ios,
+                                     observed_ios)
 
     def export_calibration(self) -> Dict[str, Dict[str, object]]:
         """Calibration state as a JSON-friendly dict (persist across runs).

@@ -1,0 +1,52 @@
+"""The async serving subsystem: queue, admission control, replicas.
+
+The synchronous :class:`~repro.engine.executor.BatchExecutor` serializes
+each dataset's requests; this package is the scale-out serving path on
+top of the same :class:`~repro.engine.executor.ExecutionCore`:
+
+* :class:`~repro.engine.serving.queue.ServingRequest` /
+  :class:`~repro.engine.serving.queue.PriorityRequestQueue` — requests
+  carry a tenant, a priority and an optional deadline, and wait in a
+  prioritized queue;
+* :mod:`~repro.engine.serving.admission` — per-tenant token-bucket I/O
+  budgets (refilled from the caller's clock, settled against observed
+  I/Os) with queue / reject / degrade policies;
+* :class:`~repro.engine.serving.replicas.LeastLoadedReplicaPicker` —
+  routes each per-shard query to the replica with the least estimated
+  in-flight I/O, so concurrent tenants on one shard overlap;
+* :class:`~repro.engine.serving.executor.AsyncExecutor` — the asyncio
+  scheduler tying them together (driven via
+  :meth:`repro.engine.engine.QueryEngine.serve_async`).
+"""
+
+from repro.engine.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantBudget,
+    TokenBucket,
+)
+from repro.engine.serving.executor import (
+    AsyncExecutor,
+    ServedRequest,
+    ServeResult,
+)
+from repro.engine.serving.queue import (
+    PriorityRequestQueue,
+    QueuedRequest,
+    ServingRequest,
+)
+from repro.engine.serving.replicas import LeastLoadedReplicaPicker
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AsyncExecutor",
+    "LeastLoadedReplicaPicker",
+    "PriorityRequestQueue",
+    "QueuedRequest",
+    "ServeResult",
+    "ServedRequest",
+    "ServingRequest",
+    "TenantBudget",
+    "TokenBucket",
+]

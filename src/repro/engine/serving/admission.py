@@ -1,0 +1,183 @@
+"""Admission control: per-tenant I/O budgets enforced before dispatch.
+
+The engine's scarce resource is block transfers, and the planner predicts
+each query's I/O cost *before* running it — which is exactly what a
+token-bucket budget needs.  Each budgeted tenant owns a
+:class:`TokenBucket` holding I/O tokens: the bucket refills at
+``ios_per_s`` from the wall clock the caller passes in (the scheduler's
+monotonic clock; tests pass synthetic times), and a request is dispatched
+only if the bucket can cover its *estimated* I/Os.  After execution the
+bucket is **settled** against the I/Os actually observed via
+:class:`~repro.engine.metrics.EngineStats` feedback, so a tenant whose
+queries keep costing more than predicted pays the difference.
+
+When a request exceeds the budget, the tenant's configured policy decides:
+
+* ``"queue"`` (default) — park the request until the bucket has refilled
+  enough; other tenants keep flowing meanwhile.
+* ``"reject"`` — drop the request immediately (load shedding).
+* ``"degrade"`` — serve a zero-I/O *approximate* answer from the
+  dataset's in-memory sample, marked ``degraded`` so the caller knows.
+
+Tenants without a configured budget are always admitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: The three over-budget policies a tenant can configure.
+POLICIES = ("queue", "reject", "degrade")
+
+
+@dataclass
+class TokenBucket:
+    """I/O tokens refilled from a caller-supplied clock.
+
+    Parameters
+    ----------
+    rate:
+        Tokens (estimated I/Os) added per second.
+    burst:
+        Bucket capacity — the largest I/O spike the tenant may spend at
+        once.  The bucket starts full.
+    """
+
+    rate: float
+    burst: float
+    tokens: float = field(init=False)
+    _last_refill: Optional[float] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive, got %r" % self.rate)
+        if self.burst <= 0:
+            raise ValueError("burst must be positive, got %r" % self.burst)
+        self.tokens = self.burst
+
+    def refill(self, now: float) -> None:
+        """Accrue tokens for the wall-clock time since the last refill."""
+        if self._last_refill is not None and now > self._last_refill:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self._last_refill)
+                              * self.rate)
+        self._last_refill = now
+
+    def try_consume(self, amount: float, now: float) -> bool:
+        """Spend ``amount`` tokens if available; False leaves the bucket.
+
+        A request larger than the whole bucket could never be admitted by
+        the plain rule, so it is allowed once the bucket is *full* and
+        drives the balance negative — the tenant then waits out the
+        overdraft, preserving the long-run rate instead of starving the
+        request forever.
+        """
+        self.refill(now)
+        if amount > self.tokens:
+            if amount >= self.burst and self.tokens >= self.burst:
+                self.tokens -= amount
+                return True
+            return False
+        self.tokens -= amount
+        return True
+
+    def seconds_until(self, amount: float, now: float) -> float:
+        """How long until ``amount`` tokens will be available."""
+        self.refill(now)
+        if amount <= self.tokens:
+            return 0.0
+        deficit = min(amount, self.burst) - self.tokens
+        return deficit / self.rate
+
+    def settle(self, estimated: float, observed: float) -> None:
+        """Correct the spend after execution: charge observed, not estimated.
+
+        A query that cost more than predicted drives the bucket further
+        down (it may go negative, delaying the tenant's next refill past
+        zero); one that cost less gives the difference back.
+        """
+        self.tokens = min(self.burst, self.tokens - (observed - estimated))
+
+
+@dataclass(frozen=True)
+class TenantBudget:
+    """Admission-control configuration for one tenant."""
+
+    #: Sustained I/O budget in estimated block transfers per second.
+    ios_per_s: float
+    #: Largest burst the tenant may spend at once (defaults to 2s of rate).
+    burst: Optional[float] = None
+    #: What to do with an over-budget request: queue | reject | degrade.
+    policy: str = "queue"
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError("unknown admission policy %r (expected one of "
+                             "%s)" % (self.policy, ", ".join(POLICIES)))
+
+    def make_bucket(self) -> TokenBucket:
+        burst = self.burst if self.burst is not None else 2.0 * self.ios_per_s
+        return TokenBucket(rate=self.ios_per_s, burst=burst)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict for one request."""
+
+    #: "admit", "queue", "reject" or "degrade".
+    action: str
+    #: For "queue": how long to park the request before retrying.
+    retry_after_s: float = 0.0
+
+
+class AdmissionController:
+    """Per-tenant token buckets plus the over-budget policy dispatch.
+
+    Not thread-safe by design: the async scheduler makes every admission
+    decision on the event loop (execution happens off-loop, admission
+    never does).  ``settle`` is routed back onto the loop by the executor.
+    """
+
+    def __init__(self,
+                 budgets: Optional[Dict[str, TenantBudget]] = None) -> None:
+        self._budgets: Dict[str, TenantBudget] = dict(budgets or {})
+        self._buckets: Dict[str, TokenBucket] = {
+            tenant: budget.make_bucket()
+            for tenant, budget in self._budgets.items()}
+
+    def budget_for(self, tenant: str) -> Optional[TenantBudget]:
+        """The tenant's configured budget (None = unlimited)."""
+        return self._budgets.get(tenant)
+
+    def decide(self, tenant: str, estimated_ios: float,
+               now: float) -> AdmissionDecision:
+        """Admit, defer, drop or degrade one request costing ``estimated_ios``."""
+        budget = self._budgets.get(tenant)
+        if budget is None:
+            return AdmissionDecision("admit")
+        bucket = self._buckets[tenant]
+        if bucket.try_consume(estimated_ios, now):
+            return AdmissionDecision("admit")
+        if budget.policy == "queue":
+            return AdmissionDecision(
+                "queue", retry_after_s=bucket.seconds_until(estimated_ios,
+                                                            now))
+        return AdmissionDecision(budget.policy)
+
+    def settle(self, tenant: str, estimated_ios: float,
+               observed_ios: float) -> None:
+        """Post-execution correction: charge what the query really cost."""
+        bucket = self._buckets.get(tenant)
+        if bucket is not None:
+            bucket.settle(estimated_ios, observed_ios)
+
+    def tokens(self, tenant: str) -> Optional[float]:
+        """Current token balance (None for unbudgeted tenants)."""
+        bucket = self._buckets.get(tenant)
+        return bucket.tokens if bucket is not None else None
+
+    def snapshot(self) -> Dict[str, float]:
+        """Per-tenant token balances (for dashboards and tests)."""
+        return {tenant: bucket.tokens
+                for tenant, bucket in sorted(self._buckets.items())}

@@ -1,0 +1,416 @@
+"""The asyncio executor: per-request scheduling for multi-tenant serving.
+
+:class:`AsyncExecutor` is the asyncio twin of
+:class:`~repro.engine.executor.BatchExecutor`.  The batch path serializes
+each dataset's requests in arrival order, so one tenant issuing expensive
+queries head-of-line-blocks every other tenant of that dataset.  This
+executor instead schedules *per request*:
+
+* requests wait in a :class:`~repro.engine.serving.queue.
+  PriorityRequestQueue` ordered by (priority, deadline, arrival);
+* before dispatch each request passes **admission control** — a
+  token-bucket I/O budget per tenant with queue/reject/degrade policies
+  (see :mod:`repro.engine.serving.admission`);
+* admitted requests execute on worker threads (up to ``max_concurrency``
+  at once) through the *same*
+  :class:`~repro.engine.executor.ExecutionCore` the synchronous path
+  uses, so planning, calibration feedback, result caching and metrics
+  cannot diverge between the two;
+* observed I/Os are settled back into the tenant's bucket, and queue
+  depth / admission decisions / per-replica load land in
+  :class:`~repro.engine.metrics.EngineStats`.
+
+Scheduling (queue pops, admission, settling) runs entirely on the event
+loop; only plan execution leaves it.  The clock is injectable so tests
+drive budgets deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.executor import ExecutedQuery, ExecutionCore, constraint_key
+from repro.engine.metrics import percentile
+from repro.engine.serving.admission import AdmissionController
+from repro.engine.sharding import sample_hits
+from repro.engine.serving.queue import (
+    PriorityRequestQueue,
+    QueuedRequest,
+    ServingRequest,
+)
+from repro.io.store import IOStats
+
+#: Floor on admission-deferral waits so a drained bucket cannot spin-loop.
+_MIN_RETRY_S = 1e-3
+
+
+@dataclass
+class _RunState:
+    """Mutable scheduling state of one :meth:`AsyncExecutor.serve` run."""
+
+    #: Worker futures currently executing, with their queue items.
+    in_flight: Dict[asyncio.Future, QueuedRequest] = field(
+        default_factory=dict)
+    #: The (dataset, constraint) keys currently executing (leaders).
+    keys: Set[Tuple] = field(default_factory=set)
+    #: Identical requests attached to an in-flight leader: later arrivals
+    #: wait for the leader's answer instead of re-executing (and without
+    #: re-charging their tenant's budget) — the async mirror of the batch
+    #: path's constraint dedup.
+    followers: Dict[Tuple, List[QueuedRequest]] = field(default_factory=dict)
+
+
+@dataclass
+class ServedRequest:
+    """One request's outcome in an async serving run."""
+
+    request: ServingRequest
+    #: "served", "degraded", "rejected", "expired" or "failed".
+    outcome: str
+    answer: Optional[ExecutedQuery]
+    #: Submission-to-completion wall time (what a client experiences).
+    turnaround_s: float
+    #: Time spent waiting in the queue (turnaround minus execution).
+    queue_wait_s: float
+    #: How many times admission control parked the request.
+    deferrals: int = 0
+    #: The exception message when ``outcome`` is "failed".
+    error: Optional[str] = None
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one async serving run, in request order."""
+
+    requests: List[ServedRequest]
+    wall_seconds: float
+
+    @property
+    def total_ios(self) -> int:
+        """Block transfers charged across every served request."""
+        return sum(item.answer.total_ios for item in self.requests
+                   if item.answer is not None)
+
+    def outcomes(self) -> Dict[str, int]:
+        """How many requests ended in each outcome."""
+        return dict(Counter(item.outcome for item in self.requests))
+
+    def for_tenant(self, tenant: str) -> List[ServedRequest]:
+        """The subset of outcomes belonging to one tenant, in order."""
+        return [item for item in self.requests
+                if item.request.tenant == tenant]
+
+    def turnaround_percentile(self, tenant: Optional[str] = None,
+                              fraction: float = 0.95) -> float:
+        """Turnaround percentile over (one tenant's) *completed* requests.
+
+        Only requests that produced an answer ("served" / "degraded")
+        participate: a rejected or expired request returns near-instantly
+        precisely because it was dropped, and mixing those zeros in would
+        make a mostly-shed tenant look fast.
+        """
+        chosen = self.requests if tenant is None else self.for_tenant(tenant)
+        ordered = sorted(item.turnaround_s for item in chosen
+                         if item.outcome in ("served", "degraded"))
+        return percentile(ordered, fraction)
+
+
+class AsyncExecutor:
+    """Serve multi-tenant request streams with per-request scheduling.
+
+    Parameters
+    ----------
+    core:
+        The shared :class:`~repro.engine.executor.ExecutionCore` to run
+        plans through (the engine facade passes its executor's core, so
+        sync and async traffic share one result cache and one metrics
+        sink).
+    admission:
+        Per-tenant budgets; an empty controller (admit everything) when
+        omitted.
+    max_concurrency:
+        Requests executing at once; the rest wait in the queue.
+    warm_cache_blocks:
+        Buffer-pool size applied to the touched datasets' stores for the
+        duration of a :meth:`serve` run (original sizes are restored).
+    clock:
+        Monotonic time source for deadlines and bucket refills; tests
+        inject synthetic clocks.
+    """
+
+    def __init__(self, core: ExecutionCore,
+                 admission: Optional[AdmissionController] = None,
+                 max_concurrency: int = 8,
+                 warm_cache_blocks: int = 64,
+                 clock=time.monotonic):
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1, got %r"
+                             % max_concurrency)
+        self._core = core
+        self._admission = admission if admission is not None \
+            else AdmissionController()
+        self._max_concurrency = max_concurrency
+        self._warm_cache_blocks = warm_cache_blocks
+        self._clock = clock
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The admission controller (token balances are inspectable)."""
+        return self._admission
+
+    @property
+    def stats(self):
+        """The shared metrics sink (same object as the sync executor's)."""
+        return self._core.stats
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    async def serve(self, requests: Sequence[ServingRequest],
+                    warm_cache: bool = True) -> ServeResult:
+        """Serve a request stream; returns outcomes in request order.
+
+        The scheduler loop pops the best runnable request, applies its
+        tenant's admission policy, and dispatches admitted work to worker
+        threads — so an over-budget or low-priority tenant's requests wait
+        while everyone else's keep flowing.
+        """
+        started = time.perf_counter()
+        if not requests:
+            return ServeResult(requests=[], wall_seconds=0.0)
+        queue = PriorityRequestQueue()
+        submitted = self._clock()
+        for seq, request in enumerate(requests):
+            queue.push(QueuedRequest(request=request, seq=seq,
+                                     enqueued_at=submitted))
+        outcomes: List[Optional[ServedRequest]] = [None] * len(requests)
+        state = _RunState()
+        in_flight = state.in_flight
+        loop = asyncio.get_running_loop()
+
+        warmed = sorted({request.dataset for request in requests}) \
+            if warm_cache else []
+        with self._core.warm_stores(warmed, self._warm_cache_blocks):
+            while queue or in_flight:
+                self._core.stats.note_queue_depth(len(queue))
+                while len(in_flight) < self._max_concurrency:
+                    now = self._clock()
+                    item = queue.pop_ready(now)
+                    if item is None:
+                        break
+                    outcome = self._admit_one(loop, queue, state, item, now)
+                    if outcome is not None:
+                        outcomes[item.seq] = outcome
+                if in_flight:
+                    timeout = None
+                    if len(in_flight) < self._max_concurrency:
+                        # A parked request may become runnable before any
+                        # in-flight query completes.
+                        timeout = queue.next_ready_delay(self._clock())
+                    done, __ = await asyncio.wait(
+                        set(in_flight), timeout=timeout,
+                        return_when=asyncio.FIRST_COMPLETED)
+                    for future in done:
+                        item = in_flight.pop(future)
+                        for seq, outcome in self._complete(state, item,
+                                                           future, queue):
+                            outcomes[seq] = outcome
+                elif queue:
+                    before_sleep = self._clock()
+                    delay = queue.next_ready_delay(before_sleep)
+                    if delay:
+                        await asyncio.sleep(delay)
+                        if self._clock() <= before_sleep:
+                            # An injected clock that does not advance with
+                            # the event loop would park this request (and
+                            # the scheduler) forever; fail loudly instead
+                            # of livelocking.
+                            raise RuntimeError(
+                                "AsyncExecutor clock did not advance "
+                                "across a %.3fs scheduler sleep; an "
+                                "injected clock must move forward for "
+                                "parked requests to become runnable"
+                                % delay)
+        return ServeResult(
+            requests=[outcome for outcome in outcomes if outcome is not None],
+            wall_seconds=time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # scheduler steps (all on the event loop)
+    # ------------------------------------------------------------------
+    def _admit_one(self, loop, queue: PriorityRequestQueue,
+                   state: _RunState, item: QueuedRequest,
+                   now: float) -> Optional[ServedRequest]:
+        """Decide one popped request: dispatch, park, or finish it now.
+
+        Returns a terminal :class:`ServedRequest` (cache hit, rejection,
+        degraded answer, expiry) or None when the request was dispatched
+        to a worker, attached to an identical in-flight request, or
+        parked back into the queue.
+        """
+        request = item.request
+        if now > item.deadline_at:
+            self._core.stats.note_admission("expired")
+            return self._finished(item, "expired", None, now)
+
+        cache_key = (request.dataset, constraint_key(request.constraint))
+        cached = self._core.result_cache_get(cache_key,
+                                             tenant=request.tenant)
+        if cached is not None:
+            return self._finished(item, "served", cached, now)
+        if cache_key in state.keys:
+            # An identical constraint is already executing: follow it and
+            # share its answer instead of paying the I/O (and the budget
+            # charge) again.
+            state.followers.setdefault(cache_key, []).append(item)
+            return None
+
+        # Plan once per request and keep it on the queue item: admission
+        # deferrals would otherwise re-run the planner (sample scans over
+        # every relevant shard) on the event loop at every retry.  A
+        # planning failure (unknown dataset, wrong constraint dimension)
+        # fails this one request, never the whole wave.
+        if item.plan is None:
+            try:
+                item.plan = self._core.planner.plan(request.dataset,
+                                                    request.constraint)
+            except Exception as exc:
+                return self._failed(item, exc, now)
+        plan = item.plan
+        decision = self._admission.decide(request.tenant, plan.estimated_ios,
+                                          now)
+        if decision.action == "admit":
+            self._core.stats.note_admission("admit")
+            # The bucket was just debited *this* plan's estimate; settle
+            # must use the same figure or every deferral-admit cycle
+            # leaks the difference.
+            item.dispatched_at = now
+            item.admitted_estimate = plan.estimated_ios
+            if item.deferrals:
+                # The cached plan only fed admission estimates while the
+                # request was parked; the world may have moved since (a
+                # mutation re-pins replicas and disqualifies static
+                # indexes), so execute a freshly-made plan.  A failure
+                # here must refund the bucket debit and fail only this
+                # request.
+                try:
+                    plan = self._core.planner.plan(request.dataset,
+                                                   request.constraint)
+                except Exception as exc:
+                    self._admission.settle(request.tenant,
+                                           item.admitted_estimate, 0.0)
+                    return self._failed(item, exc, now)
+            future = loop.run_in_executor(
+                None, self._core.dispatch, request.dataset,
+                request.constraint, plan, cache_key, False, request.tenant)
+            state.in_flight[future] = item
+            state.keys.add(cache_key)
+            return None
+        if decision.action == "queue":
+            not_before = now + max(decision.retry_after_s, _MIN_RETRY_S)
+            if not_before > item.deadline_at:
+                # The budget cannot clear before the deadline: expire now
+                # instead of parking a request that is already dead (one
+                # admission outcome per attempt — this is an expiry, not
+                # a deferral).
+                self._core.stats.note_admission("expired")
+                return self._finished(item, "expired", None, now)
+            self._core.stats.note_admission("queue")
+            item.not_before = not_before
+            item.deferrals += 1
+            queue.push(item)
+            return None
+        self._core.stats.note_admission(decision.action)
+        if decision.action == "reject":
+            return self._finished(item, "rejected", None, now)
+        return self._finished(item, "degraded",
+                              self._degraded_answer(request), now)
+
+    def _complete(self, state: _RunState, item: QueuedRequest,
+                  future: asyncio.Future, queue: PriorityRequestQueue
+                  ) -> List[Tuple[int, ServedRequest]]:
+        """Settle one finished worker future (and its followers) into
+        (seq, outcome) pairs."""
+        now = self._clock()
+        cache_key = (item.request.dataset,
+                     constraint_key(item.request.constraint))
+        state.keys.discard(cache_key)
+        try:
+            answer: ExecutedQuery = future.result()
+        except Exception as exc:
+            # Refund the charge (nothing was observed), fail this request
+            # alone, and send its followers back through the queue to
+            # execute independently.
+            self._admission.settle(item.request.tenant,
+                                   item.admitted_estimate, 0.0)
+            for follower in state.followers.pop(cache_key, ()):
+                queue.push(follower)
+            return [(item.seq, self._failed(item, exc, now))]
+        # Settle against what calibration treats as the cold cost, matching
+        # the estimate the bucket was charged with.
+        observed = answer.ios.total + answer.ios.cache_hits
+        self._admission.settle(item.request.tenant, item.admitted_estimate,
+                               observed)
+        results = [(item.seq, ServedRequest(
+            request=item.request, outcome="served", answer=answer,
+            turnaround_s=now - item.enqueued_at,
+            queue_wait_s=item.dispatched_at - item.enqueued_at,
+            deferrals=item.deferrals))]
+        for follower in state.followers.pop(cache_key, ()):
+            if now > follower.deadline_at:
+                # The leader outlived this follower's deadline: the
+                # contract says expired requests are dropped, even though
+                # an answer happens to be at hand.
+                self._core.stats.note_admission("expired")
+                results.append((follower.seq,
+                                self._finished(follower, "expired", None,
+                                               now)))
+                continue
+            shared = self._core.as_cache_hit(answer)
+            shared.tenant = follower.request.tenant
+            self._core.record(shared)
+            results.append((follower.seq, ServedRequest(
+                request=follower.request, outcome="served", answer=shared,
+                turnaround_s=now - follower.enqueued_at,
+                queue_wait_s=now - follower.enqueued_at,
+                deferrals=follower.deferrals)))
+        return results
+
+    def _finished(self, item: QueuedRequest, outcome: str,
+                  answer: Optional[ExecutedQuery],
+                  now: float) -> ServedRequest:
+        waited = now - item.enqueued_at
+        return ServedRequest(request=item.request, outcome=outcome,
+                             answer=answer, turnaround_s=waited,
+                             queue_wait_s=waited, deferrals=item.deferrals)
+
+    def _failed(self, item: QueuedRequest, exc: Exception,
+                now: float) -> ServedRequest:
+        """One request's planning/execution error, isolated to it."""
+        outcome = self._finished(item, "failed", None, now)
+        outcome.error = "%s: %s" % (type(exc).__name__, exc)
+        return outcome
+
+    def _degraded_answer(self, request: ServingRequest) -> ExecutedQuery:
+        """A zero-I/O approximate answer from the dataset's sample.
+
+        The sample's points are real stored points, so the answer is a
+        *subset* of the truth (membership follows the same rule as the
+        planner's selectivity estimate, via
+        :func:`~repro.engine.sharding.sample_hits`) — marked ``degraded``
+        and kept out of the result cache so it can never masquerade as an
+        exact answer.
+        """
+        entry = self._core.catalog.entry(request.dataset)
+        hits = sample_hits(entry.sample, entry.dimension, request.constraint)
+        answer = ExecutedQuery(
+            dataset=request.dataset, index_name="degraded_sample",
+            points=[tuple(row) for row in hits.tolist()], ios=IOStats(),
+            latency_s=0.0, estimated_ios=0.0, tenant=request.tenant,
+            degraded=True)
+        self._core.record(answer)
+        return answer

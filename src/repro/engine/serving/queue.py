@@ -1,0 +1,127 @@
+"""The async serving queue: prioritized requests with deadlines.
+
+:class:`ServingRequest` is the unit of work the async path accepts: a
+(tenant, dataset, constraint) triple plus a scheduling priority and an
+optional deadline.  *Tenant* here is a logical client, deliberately
+decoupled from *dataset* — many tenants can hit one dataset, which is
+exactly the head-of-line-blocking scenario the synchronous batch path
+cannot untangle (it serializes a dataset's requests in arrival order).
+
+:class:`PriorityRequestQueue` orders runnable requests by
+``(priority, deadline, arrival)``: urgent tenants first, earliest
+deadline among equals, FIFO as the final tie-break.  Requests deferred by
+admission control are *parked* with a not-before time and re-enter the
+runnable order once the clock passes it — the scheduler asks
+:meth:`next_ready_delay` how long it may sleep.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.geometry.primitives import LinearConstraint
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One request in the async serving path.
+
+    Parameters
+    ----------
+    tenant:
+        Logical client the request belongs to (admission control budgets
+        and per-tenant metrics key off this).
+    dataset:
+        Registered dataset (plain or sharded) the constraint runs against.
+    constraint:
+        The linear constraint to answer.
+    priority:
+        Scheduling class; **lower runs first** (0 = most urgent).
+    deadline_s:
+        Optional deadline in seconds *from submission*; a request still
+        queued when it expires is dropped and recorded as ``expired``.
+    """
+
+    tenant: str
+    dataset: str
+    constraint: LinearConstraint
+    priority: int = 0
+    deadline_s: Optional[float] = None
+
+
+@dataclass
+class QueuedRequest:
+    """A request plus its scheduling state inside the queue."""
+
+    request: ServingRequest
+    seq: int
+    enqueued_at: float
+    #: Earliest clock time admission allows dispatch (0 = immediately).
+    not_before: float = 0.0
+    #: How many times admission control sent the request back to wait.
+    deferrals: int = 0
+    #: Clock time the request was handed to a worker (set at dispatch).
+    dispatched_at: float = 0.0
+    #: Estimated I/Os the admission bucket was charged at dispatch.
+    admitted_estimate: float = 0.0
+    #: The plan made at first admission attempt (reused across deferrals).
+    plan: Optional[object] = None
+
+    @property
+    def deadline_at(self) -> float:
+        """Absolute expiry time (+inf when the request has no deadline)."""
+        if self.request.deadline_s is None:
+            return float("inf")
+        return self.enqueued_at + self.request.deadline_s
+
+    def sort_key(self) -> Tuple[int, float, int]:
+        return (self.request.priority, self.deadline_at, self.seq)
+
+
+class PriorityRequestQueue:
+    """Min-heap of runnable requests plus a parked heap of deferred ones."""
+
+    def __init__(self) -> None:
+        self._ready: List[Tuple[Tuple[int, float, int], QueuedRequest]] = []
+        self._parked: List[Tuple[float, int, QueuedRequest]] = []
+
+    def __len__(self) -> int:
+        return len(self._ready) + len(self._parked)
+
+    def __bool__(self) -> bool:
+        return bool(self._ready) or bool(self._parked)
+
+    def push(self, item: QueuedRequest) -> None:
+        """Add a request: parked when its not-before is in the future."""
+        if item.not_before > 0.0:
+            heapq.heappush(self._parked, (item.not_before, item.seq, item))
+        else:
+            heapq.heappush(self._ready, (item.sort_key(), item))
+
+    def _promote(self, now: float) -> None:
+        """Move parked requests whose wait elapsed into the runnable heap."""
+        while self._parked and self._parked[0][0] <= now:
+            __, __, item = heapq.heappop(self._parked)
+            heapq.heappush(self._ready, (item.sort_key(), item))
+
+    def pop_ready(self, now: float) -> Optional[QueuedRequest]:
+        """The best runnable request at time ``now`` (None when all parked)."""
+        self._promote(now)
+        if not self._ready:
+            return None
+        __, item = heapq.heappop(self._ready)
+        return item
+
+    def next_ready_delay(self, now: float) -> Optional[float]:
+        """Seconds until some request becomes runnable.
+
+        0.0 when one already is, None when the queue is empty.
+        """
+        self._promote(now)
+        if self._ready:
+            return 0.0
+        if not self._parked:
+            return None
+        return max(0.0, self._parked[0][0] - now)

@@ -1,0 +1,101 @@
+"""Replica selection: route each per-shard query to the best copy.
+
+A replicated shard holds N identical child datasets (see
+:class:`~repro.engine.sharding.Shard`); any of them can serve a read.  The
+picker's job is to spread concurrent load: two tenants fanning out to the
+same shard at the same moment should land on *different* replicas, so
+their block reads overlap instead of queueing on one store.
+
+:class:`LeastLoadedReplicaPicker` keeps an **in-flight I/O estimate** per
+(dataset, shard, replica): acquiring a replica adds the plan's estimated
+I/Os, releasing it subtracts them.  Ties (e.g. an idle system) fall back
+to the smallest *cumulative* estimate, so sequential traffic round-robins
+across replicas instead of always hammering replica 0 — which keeps the
+per-replica load attribution in :class:`~repro.engine.metrics.EngineStats`
+meaningful even when queries are too fast to overlap.
+
+After a mutation the shard pins routing to the mutated replica
+(:meth:`~repro.engine.sharding.Shard.routing_replica_ids`); the picker
+only ever chooses among the shard's routable replicas.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.sharding import Shard
+
+#: Load-table key: (dataset name, shard id, replica id).
+ReplicaKey = Tuple[str, int, int]
+
+
+class LeastLoadedReplicaPicker:
+    """Pick the replica with the least estimated in-flight I/O.
+
+    Thread-safe: the executor's fan-out workers acquire and release
+    concurrently.  The estimates are the planner's predicted I/Os — cheap,
+    available before execution, and proportional enough to real cost that
+    balancing on them spreads genuine load.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._in_flight: Dict[ReplicaKey, float] = {}
+        self._cumulative: Dict[ReplicaKey, float] = {}
+
+    def acquire(self, dataset_name: str, shard: "Shard",
+                estimated_ios: float) -> int:
+        """Choose a replica for one per-shard query; returns its id.
+
+        The caller must pair every acquire with a :meth:`release` (the
+        executor does so in a ``finally`` block).
+        """
+        candidates = shard.routing_replica_ids()
+        if not candidates:
+            raise ValueError("shard %d of %r has no routable replicas"
+                             % (shard.shard_id, dataset_name))
+        with self._lock:
+            def load(replica_id: int) -> Tuple[float, float, int]:
+                key = (dataset_name, shard.shard_id, replica_id)
+                return (self._in_flight.get(key, 0.0),
+                        self._cumulative.get(key, 0.0),
+                        replica_id)
+
+            chosen = min(candidates, key=load)
+            key = (dataset_name, shard.shard_id, chosen)
+            self._in_flight[key] = self._in_flight.get(key, 0.0) \
+                + estimated_ios
+            self._cumulative[key] = self._cumulative.get(key, 0.0) \
+                + estimated_ios
+        return chosen
+
+    def release(self, dataset_name: str, shard_id: int, replica_id: int,
+                estimated_ios: float) -> None:
+        """Retire one per-shard query's in-flight estimate."""
+        key = (dataset_name, shard_id, replica_id)
+        with self._lock:
+            remaining = self._in_flight.get(key, 0.0) - estimated_ios
+            if remaining <= 0.0:
+                self._in_flight.pop(key, None)
+            else:
+                self._in_flight[key] = remaining
+
+    def in_flight(self, dataset_name: str, shard_id: int,
+                  replica_id: int) -> float:
+        """Current in-flight I/O estimate for one replica (for tests)."""
+        with self._lock:
+            return self._in_flight.get((dataset_name, shard_id, replica_id),
+                                       0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-friendly in-flight load table keyed ``dataset/shard/replica``."""
+        with self._lock:
+            return {"%s/%d/%d" % key: load
+                    for key, load in sorted(self._in_flight.items())}
+
+    def __repr__(self) -> str:
+        with self._lock:
+            busy = sum(1 for load in self._in_flight.values() if load > 0)
+        return "LeastLoadedReplicaPicker(busy_replicas=%d)" % busy

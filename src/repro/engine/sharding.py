@@ -40,12 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (catalog imports us)
     from repro.engine.catalog import Dataset
 
 
-def selectivity_on_sample(sample: np.ndarray, dimension: int,
-                          constraint: LinearConstraint) -> float:
-    """Fraction of the sample satisfying ``constraint`` (zero I/Os).
+def sample_hits(sample: np.ndarray, dimension: int,
+                constraint: LinearConstraint) -> np.ndarray:
+    """The sample rows satisfying ``constraint`` (zero I/Os).
 
-    One vectorised residual computation; shared by plain and sharded
-    datasets so their selectivity estimates can never diverge.
+    One vectorised residual computation; the single membership rule behind
+    both selectivity estimation and the admission controller's degraded
+    sample answers, so the two can never drift apart.
     """
     if constraint.dimension != dimension:
         raise ValueError(
@@ -53,7 +54,19 @@ def selectivity_on_sample(sample: np.ndarray, dimension: int,
             % (constraint.dimension, dimension))
     residuals = (sample[:, -1]
                  - sample[:, :-1] @ np.asarray(constraint.coeffs))
-    return float(np.mean(residuals <= constraint.offset))
+    return sample[residuals <= constraint.offset]
+
+
+def selectivity_on_sample(sample: np.ndarray, dimension: int,
+                          constraint: LinearConstraint) -> float:
+    """Fraction of the sample satisfying ``constraint`` (zero I/Os).
+
+    Shared by plain and sharded datasets so their selectivity estimates
+    can never diverge.
+    """
+    if len(sample) == 0:
+        return 0.0
+    return len(sample_hits(sample, dimension, constraint)) / len(sample)
 
 
 def constraint_feasible_over_box(constraint: LinearConstraint,
@@ -191,10 +204,15 @@ def make_router(scheme: str, points: np.ndarray, num_shards: int,
 
 @dataclass
 class Shard:
-    """One shard: a child dataset plus the bounding box used for pruning.
+    """One shard: replicated child datasets plus the pruning bounding box.
 
-    ``dataset`` is None for an *empty* shard (possible under hash routing
-    of tiny datasets); empty shards hold no store, build no indexes and are
+    ``replicas`` holds N copies of the shard's points, each a full child
+    dataset with its own store and index suite; replica 0 is the *primary*
+    (exposed as :attr:`dataset` for the common unreplicated case).  The
+    executor picks the least-loaded replica per query, so concurrent
+    tenants touching the same shard overlap their I/O across replicas.
+    The list is empty for an *empty* shard (possible under hash routing of
+    tiny datasets); empty shards hold no store, build no indexes and are
     always pruned.
 
     The bounding box is computed from the build-time points.  Mutations
@@ -202,29 +220,91 @@ class Shard:
     marks the shard ``box_stale`` on the first mutation — a stale box is
     no longer trusted for pruning (the shard always participates), keeping
     pruning exact rather than heuristic.
+
+    Mutations also interact with replication: an insert goes through *one*
+    replica's index, so from that point only the mutated replica holds the
+    complete data.  The first mutation pins routing to that replica
+    (:meth:`routing_replica_ids`); mutating a *different* replica of the
+    same shard afterwards raises — the second replica's change could never
+    be served, so silently accepting it would lose data.
     """
 
     shard_id: int
-    dataset: Optional["Dataset"]
+    replicas: List["Dataset"] = field(default_factory=list)
     lows: Optional[Tuple[float, ...]] = None
     highs: Optional[Tuple[float, ...]] = None
     box_stale: bool = False
+    #: The single replica that accepted a mutation (None = none did);
+    #: routing is pinned to it from the first mutation on.
+    pinned_replica: Optional[int] = None
+
+    @property
+    def dataset(self) -> Optional["Dataset"]:
+        """The primary replica (None for an empty shard)."""
+        return self.replicas[0] if self.replicas else None
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
 
     @property
     def is_empty(self) -> bool:
-        return self.dataset is None
+        return not self.replicas
 
     @property
     def size(self) -> int:
-        return 0 if self.dataset is None else self.dataset.size
+        return 0 if self.is_empty else self.replicas[0].size
 
-    def mark_mutated(self) -> None:
-        """Record that the shard's data changed after the build.
+    def check_mutable(self, replica_id: int = 0) -> None:
+        """Veto a mutation through a replica routing cannot serve.
 
-        Called by the engine's mutation hooks; disables box pruning for
-        this shard from now on.
+        Wired as a *pre*-mutation listener by the engine, so the raise
+        lands before any write is applied and the rejected replica stays
+        byte-identical to its siblings.  Mutating a second, different
+        replica is unsupported: routing is already pinned elsewhere, so
+        the change could never be served and silently accepting it would
+        drop the update.
         """
+        if self.pinned_replica is not None \
+                and replica_id != self.pinned_replica:
+            raise ValueError(
+                "shard %d is pinned to mutated replica %d; mutating "
+                "replica %d of the same shard is unsupported (its change "
+                "could never be served)"
+                % (self.shard_id, self.pinned_replica, replica_id))
+
+    def mark_mutated(self, replica_id: int = 0) -> None:
+        """Record that a replica's data changed after the build.
+
+        Called by the engine's post-mutation hooks; disables box pruning
+        for this shard from now on and pins routing to the mutated
+        replica (the only copy holding the fresh data).  The
+        :meth:`check_mutable` guard runs again as defense in depth for
+        indexes without pre-mutation hooks.
+        """
+        self.check_mutable(replica_id)
         self.box_stale = True
+        self.pinned_replica = replica_id
+
+    def routing_replica_ids(self) -> List[int]:
+        """Replica ids a query may be served from.
+
+        Every replica before any mutation; after a mutation only the
+        pinned replica (the one holding the complete data).
+        """
+        if self.pinned_replica is not None:
+            return [self.pinned_replica]
+        return list(range(len(self.replicas)))
+
+    def planning_dataset(self) -> "Dataset":
+        """The replica dataset the planner should cost candidates against.
+
+        Replicas are identical by construction, so before any mutation
+        this is simply the primary; after a mutation it is the pinned
+        replica, whose ``mutated`` flag makes the planner skip its
+        statically-built indexes.
+        """
+        return self.replicas[self.routing_replica_ids()[0]]
 
     def may_contain(self, constraint: LinearConstraint) -> bool:
         """True unless the bounding box proves the shard reports nothing."""
@@ -305,12 +385,18 @@ class ShardedDataset:
         return [shard for shard in self.shards
                 if shard.may_contain_conjunction(conjunction)]
 
+    @property
+    def replicas_per_shard(self) -> int:
+        """The replication factor (max replicas over non-empty shards)."""
+        return max((shard.num_replicas for shard in self.shards), default=0)
+
     def describe(self) -> Dict[str, object]:
         """JSON-friendly sharding summary (persisted by benchmarks)."""
         return {
             "name": self.name,
             "router": self.router.describe(),
             "shard_sizes": [shard.size for shard in self.shards],
+            "replicas_per_shard": self.replicas_per_shard,
         }
 
     def __repr__(self) -> str:

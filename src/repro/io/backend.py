@@ -15,14 +15,21 @@ block transfers the model charges.  Two implementations ship:
   crash-simple, sequential writes); ``compact()`` rewrites live blocks to
   reclaim the space of superseded versions.  Byte counters expose what a
   real disk actually moved, alongside the model's block counts.
+* :class:`MmapBackend` — the same log layout, but reads go through an
+  :mod:`mmap` view of the file instead of ``seek``/``read`` system calls,
+  so repeated block reads measure page-cache behaviour rather than
+  syscall traffic.  The mapping is refreshed lazily when appends grow the
+  file past the mapped size (and invalidated by compaction, which moves
+  live payloads).
 
-Records are arbitrary Python objects, so the file backend serialises each
+Records are arbitrary Python objects, so the file backends serialise each
 block with :mod:`pickle`.  Backends are *not* shared between stores.
 """
 
 from __future__ import annotations
 
 import abc
+import mmap
 import os
 import pickle
 import struct
@@ -337,8 +344,83 @@ class FileBackend(StorageBackend):
         return "FileBackend(path=%r, blocks=%d)" % (self.path, len(self))
 
 
+class MmapBackend(FileBackend):
+    """The log-structured file layout read through a memory mapping.
+
+    Writes share :class:`FileBackend`'s append path (sequential, crash
+    recoverable); reads slice block payloads out of an ``mmap`` view of
+    the file, so hot blocks are served from the OS page cache without a
+    ``seek``/``read`` round trip.  The mapping is rebuilt lazily whenever
+    a read lands past the mapped size (appends grew the file) and
+    invalidated outright by compaction, which relocates live payloads.
+    """
+
+    name = "mmap"
+
+    def __init__(self, path: Optional[str] = None,
+                 auto_compact_ratio: float = 4.0) -> None:
+        self._map: Optional[mmap.mmap] = None
+        self._mapped_size = 0
+        super().__init__(path=path, auto_compact_ratio=auto_compact_ratio)
+
+    # ------------------------------------------------------------------
+    # mapping plumbing (callers hold self._lock)
+    # ------------------------------------------------------------------
+    def _drop_map_locked(self) -> None:
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+        self._mapped_size = 0
+
+    def _remap_locked(self) -> None:
+        """(Re)map the current file contents for reading."""
+        self._handle.flush()
+        size = self._file_bytes()
+        self._drop_map_locked()
+        if size > 0:
+            self._map = mmap.mmap(self._handle.fileno(), size,
+                                  access=mmap.ACCESS_READ)
+            self._mapped_size = size
+
+    def _compact_locked(self) -> None:
+        # Compaction relocates every live payload; the old mapping would
+        # serve stale bytes at the new offsets, so drop it first.
+        self._drop_map_locked()
+        super()._compact_locked()
+
+    # ------------------------------------------------------------------
+    # StorageBackend interface
+    # ------------------------------------------------------------------
+    def get(self, block_id: BlockId) -> List[Any]:
+        with self._lock:
+            self._check_open()
+            offset, length = self._index[block_id]
+            if self._map is None or offset + length > self._mapped_size:
+                self._remap_locked()
+            if length == 0:
+                payload = b""
+            else:
+                payload = bytes(self._map[offset:offset + length])
+            self.bytes_read += length
+        return pickle.loads(payload) if payload else []
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._drop_map_locked()
+        super().close()
+
+    def info(self) -> Dict[str, object]:
+        payload = super().info()   # reports backend=self.name ("mmap")
+        payload["mapped_bytes"] = self._mapped_size
+        return payload
+
+    def __repr__(self) -> str:
+        return "MmapBackend(path=%r, blocks=%d)" % (self.path, len(self))
+
+
 #: Backend spec strings accepted by :func:`make_backend`.
-BACKEND_NAMES = ("memory", "file")
+BACKEND_NAMES = ("memory", "file", "mmap")
 
 
 def make_backend(spec: object = None, path: Optional[str] = None
@@ -346,13 +428,16 @@ def make_backend(spec: object = None, path: Optional[str] = None
     """Resolve a backend spec into a fresh :class:`StorageBackend`.
 
     ``spec`` may be None / ``"memory"`` (dict-backed), ``"file"``
-    (file-backed, optionally at ``path``), an already-constructed backend
-    (returned as is), or a zero-argument callable producing one.
+    (file-backed, optionally at ``path``), ``"mmap"`` (file-backed with
+    memory-mapped reads), an already-constructed backend (returned as
+    is), or a zero-argument callable producing one.
     """
     if spec is None or spec == "memory":
         return MemoryBackend()
     if spec == "file":
         return FileBackend(path=path)
+    if spec == "mmap":
+        return MmapBackend(path=path)
     if isinstance(spec, StorageBackend):
         return spec
     if callable(spec):

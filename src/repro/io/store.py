@@ -17,6 +17,7 @@ without changing any measured I/O count.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -121,6 +122,12 @@ class BlockStore:
             self._next_id = max(self._next_id, existing + 1)
         self._cache: LRUCache[BlockId, List[Any]] = LRUCache(cache_blocks)
         self.stats = IOStats()
+        #: Serializes whole queries from multi-threaded executors.  One
+        #: store models one disk, which serves one request at a time; the
+        #: store's own operations are NOT internally locked, so any driver
+        #: running concurrent queries against a shared store must hold
+        #: this around each query (the engine's execution core does).
+        self.lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # configuration

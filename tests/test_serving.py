@@ -1,0 +1,720 @@
+"""Tests for the async serving subsystem: queue, admission, replicas.
+
+Covers the :mod:`repro.engine.serving` package (token buckets, admission
+policies, the prioritized deadline queue, the asyncio executor) plus the
+replication layer it drives (least-loaded picking, per-replica metrics,
+mutation pinning) and the concurrency regressions the async path must not
+reintroduce (lost calibration updates).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from conftest import brute_force_halfspace
+
+from repro import LinearConstraint, QueryEngine
+from repro.engine import Catalog, Planner, ServingRequest, TenantBudget
+from repro.engine.calibration import CalibrationStore
+from repro.engine.serving.admission import (
+    AdmissionController,
+    TokenBucket,
+)
+from repro.engine.serving.queue import PriorityRequestQueue, QueuedRequest
+from repro.engine.serving.replicas import LeastLoadedReplicaPicker
+from repro.workloads import (
+    halfspace_queries_with_selectivity,
+    uniform_points,
+)
+
+BLOCK_SIZE = 32
+
+
+@pytest.fixture(scope="module")
+def points2d():
+    return uniform_points(2048, seed=77)
+
+
+def _request(constraint, tenant="t", dataset="d", priority=0,
+             deadline_s=None):
+    return ServingRequest(tenant=tenant, dataset=dataset,
+                          constraint=constraint, priority=priority,
+                          deadline_s=deadline_s)
+
+
+# ----------------------------------------------------------------------
+# token buckets
+# ----------------------------------------------------------------------
+def test_token_bucket_starts_full_and_refills_from_clock():
+    bucket = TokenBucket(rate=10.0, burst=20.0)
+    assert bucket.tokens == 20.0
+    assert bucket.try_consume(15.0, now=0.0)
+    assert not bucket.try_consume(10.0, now=0.0)     # only 5 left
+    assert bucket.try_consume(10.0, now=0.5)         # +5 refilled
+    assert bucket.tokens == pytest.approx(0.0)
+    bucket.refill(now=10.0)
+    assert bucket.tokens == 20.0                     # capped at burst
+
+def test_token_bucket_seconds_until_and_settle():
+    bucket = TokenBucket(rate=10.0, burst=20.0)
+    assert bucket.try_consume(20.0, now=0.0)
+    assert bucket.seconds_until(10.0, now=0.0) == pytest.approx(1.0)
+    bucket.settle(estimated=20.0, observed=30.0)     # cost 10 more than predicted
+    assert bucket.tokens == pytest.approx(-10.0)
+    assert bucket.seconds_until(10.0, now=0.0) == pytest.approx(2.0)
+    bucket.settle(estimated=0.0, observed=-0.0)
+    assert bucket.tokens == pytest.approx(-10.0)
+
+
+def test_token_bucket_oversized_request_admitted_from_full_bucket():
+    # A request bigger than the whole bucket must not starve forever: it
+    # is admitted once the bucket is full and drives the balance negative.
+    bucket = TokenBucket(rate=10.0, burst=20.0)
+    assert bucket.try_consume(50.0, now=0.0)
+    assert bucket.tokens == pytest.approx(-30.0)
+    assert not bucket.try_consume(50.0, now=0.0)
+    assert bucket.seconds_until(50.0, now=0.0) == pytest.approx(5.0)
+
+
+def test_token_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.0)
+
+
+# ----------------------------------------------------------------------
+# admission controller
+# ----------------------------------------------------------------------
+def test_admission_unbudgeted_tenant_always_admitted():
+    controller = AdmissionController()
+    decision = controller.decide("anyone", 1e9, now=0.0)
+    assert decision.action == "admit"
+    assert controller.tokens("anyone") is None
+
+
+def test_admission_policies_dispatch():
+    controller = AdmissionController({
+        "q": TenantBudget(ios_per_s=10.0, burst=10.0, policy="queue"),
+        "r": TenantBudget(ios_per_s=10.0, burst=10.0, policy="reject"),
+        "g": TenantBudget(ios_per_s=10.0, burst=10.0, policy="degrade"),
+    })
+    for tenant in "qrg":
+        assert controller.decide(tenant, 10.0, now=0.0).action == "admit"
+    queued = controller.decide("q", 5.0, now=0.0)
+    assert queued.action == "queue"
+    assert queued.retry_after_s == pytest.approx(0.5)
+    assert controller.decide("r", 5.0, now=0.0).action == "reject"
+    assert controller.decide("g", 5.0, now=0.0).action == "degrade"
+
+
+def test_admission_settle_charges_observed_cost():
+    controller = AdmissionController(
+        {"t": TenantBudget(ios_per_s=10.0, burst=100.0)})
+    assert controller.decide("t", 10.0, now=0.0).action == "admit"
+    controller.settle("t", estimated_ios=10.0, observed_ios=60.0)
+    assert controller.tokens("t") == pytest.approx(40.0)
+    controller.settle("unbudgeted", 1.0, 100.0)      # no-op, no crash
+
+
+def test_tenant_budget_validates_policy():
+    with pytest.raises(ValueError):
+        TenantBudget(ios_per_s=1.0, policy="drop")
+
+
+# ----------------------------------------------------------------------
+# priority queue
+# ----------------------------------------------------------------------
+def test_queue_orders_by_priority_deadline_then_arrival():
+    constraint = LinearConstraint(coeffs=(0.0,), offset=0.0)
+    queue = PriorityRequestQueue()
+    items = [
+        QueuedRequest(_request(constraint, priority=1), seq=0,
+                      enqueued_at=0.0),
+        QueuedRequest(_request(constraint, priority=0, deadline_s=9.0),
+                      seq=1, enqueued_at=0.0),
+        QueuedRequest(_request(constraint, priority=0, deadline_s=2.0),
+                      seq=2, enqueued_at=0.0),
+        QueuedRequest(_request(constraint, priority=0, deadline_s=2.0),
+                      seq=3, enqueued_at=0.0),
+    ]
+    for item in items:
+        queue.push(item)
+    order = [queue.pop_ready(0.0).seq for __ in range(4)]
+    assert order == [2, 3, 1, 0]
+    assert queue.pop_ready(0.0) is None
+
+
+def test_queue_parks_and_promotes_deferred_requests():
+    constraint = LinearConstraint(coeffs=(0.0,), offset=0.0)
+    queue = PriorityRequestQueue()
+    parked = QueuedRequest(_request(constraint), seq=0, enqueued_at=0.0,
+                           not_before=5.0)
+    queue.push(parked)
+    assert queue.pop_ready(1.0) is None
+    assert queue.next_ready_delay(1.0) == pytest.approx(4.0)
+    ready = QueuedRequest(_request(constraint), seq=1, enqueued_at=2.0)
+    queue.push(ready)
+    assert queue.next_ready_delay(2.0) == 0.0
+    assert queue.pop_ready(2.0).seq == 1
+    assert queue.pop_ready(6.0).seq == 0             # promoted after 5.0
+    assert queue.next_ready_delay(7.0) is None       # empty
+
+
+# ----------------------------------------------------------------------
+# async executor end to end
+# ----------------------------------------------------------------------
+def test_serve_async_answers_match_brute_force(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraints = halfspace_queries_with_selectivity(points2d, 6, 0.05,
+                                                     seed=11)
+    requests = [_request(c, tenant="t%d" % (i % 3))
+                for i, c in enumerate(constraints)]
+    result = engine.serve_async(requests, max_concurrency=4)
+    assert result.outcomes() == {"served": len(requests)}
+    for constraint, item in zip(constraints, result.requests):
+        assert item.answer is not None
+        assert {tuple(p) for p in item.answer.points} == \
+            brute_force_halfspace(points2d, constraint)
+        assert item.turnaround_s >= item.queue_wait_s >= 0.0
+    tenants = engine.summary()["tenants"]
+    assert set(tenants) == {"t0", "t1", "t2"}
+    assert sum(payload["queries"] for payload in tenants.values()) == 6
+
+
+def test_serve_async_shares_result_cache_with_sync_path(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.03,
+                                                    seed=13)[0]
+    first = engine.query("d", constraint)            # sync fills the cache
+    assert not first.from_result_cache
+    result = engine.serve_async([_request(constraint, tenant="async")])
+    answer = result.requests[0].answer
+    assert answer.from_result_cache
+    assert answer.total_ios == 0
+    assert {tuple(p) for p in answer.points} == {
+        tuple(p) for p in first.points}
+
+
+def test_serve_async_expires_requests_past_deadline(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.05,
+                                                    seed=17)[0]
+    requests = [
+        _request(constraint, tenant="live"),
+        # A deadline strictly before submission can never be met.
+        _request(constraint, tenant="dead", deadline_s=-1.0),
+    ]
+    result = engine.serve_async(requests)
+    assert result.requests[0].outcome == "served"
+    assert result.requests[1].outcome == "expired"
+    assert result.requests[1].answer is None
+    assert engine.summary()["admission"].get("expired") == 1
+
+
+def test_serve_async_reject_policy_drops_over_budget(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraints = halfspace_queries_with_selectivity(points2d, 4, 0.2,
+                                                     seed=19)
+    requests = [_request(c, tenant="capped") for c in constraints]
+    # The burst covers roughly one query; the trickle refill cannot clear
+    # another before the run ends, so later requests are rejected.
+    plan = engine.explain("d", constraints[0])
+    budget = TenantBudget(ios_per_s=0.001, burst=plan.estimated_ios + 1.0,
+                          policy="reject")
+    result = engine.serve_async(requests, budgets={"capped": budget},
+                                max_concurrency=1)
+    outcomes = result.outcomes()
+    assert outcomes.get("served", 0) >= 1
+    assert outcomes.get("rejected", 0) >= 1
+    admission = engine.summary()["admission"]
+    assert admission["reject"] == outcomes["rejected"]
+
+
+def test_serve_async_degrade_policy_serves_sample_subset(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraints = halfspace_queries_with_selectivity(points2d, 3, 0.3,
+                                                     seed=23)
+    requests = [_request(c, tenant="soft") for c in constraints]
+    plan = engine.explain("d", constraints[0])
+    budget = TenantBudget(ios_per_s=0.001, burst=plan.estimated_ios + 1.0,
+                          policy="degrade")
+    result = engine.serve_async(requests, budgets={"soft": budget},
+                                max_concurrency=1)
+    degraded = [item for item in result.requests
+                if item.outcome == "degraded"]
+    assert degraded
+    for item, constraint in zip(result.requests, constraints):
+        if item.outcome != "degraded":
+            continue
+        assert item.answer.degraded
+        assert item.answer.total_ios == 0
+        truth = brute_force_halfspace(points2d, constraint)
+        assert {tuple(p) for p in item.answer.points} <= truth
+    # Degraded answers must never be cached as exact results.
+    exact = engine.query("d", degraded[0].request.constraint)
+    assert not exact.from_result_cache
+
+
+def test_serve_async_queue_policy_throttles_but_serves_all(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraints = halfspace_queries_with_selectivity(points2d, 4, 0.1,
+                                                     seed=29)
+    requests = [_request(c, tenant="throttled") for c in constraints]
+    plan = engine.explain("d", constraints[0])
+    # Enough rate that deferrals clear in milliseconds, small enough burst
+    # that back-to-back requests must wait.
+    budget = TenantBudget(ios_per_s=20_000.0,
+                          burst=plan.estimated_ios + 1.0, policy="queue")
+    result = engine.serve_async(requests, budgets={"throttled": budget},
+                                max_concurrency=2)
+    assert result.outcomes() == {"served": len(requests)}
+    assert sum(item.deferrals for item in result.requests) > 0
+    assert engine.summary()["admission"].get("queue", 0) > 0
+    for constraint, item in zip(constraints, result.requests):
+        assert {tuple(p) for p in item.answer.points} == \
+            brute_force_halfspace(points2d, constraint)
+
+
+def test_serve_async_coalesces_duplicate_in_flight_requests(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.1,
+                                                    seed=47)[0]
+    plan = engine.explain("d", constraint)
+    requests = [_request(constraint, tenant="hot") for __ in range(6)]
+    # The budget covers exactly one execution: only dedup (not six
+    # admissions) can serve the whole wave.
+    budget = TenantBudget(ios_per_s=0.001, burst=plan.estimated_ios + 1.0,
+                          policy="reject")
+    result = engine.serve_async(requests, budgets={"hot": budget},
+                                max_concurrency=6)
+    assert result.outcomes() == {"served": 6}
+    executed = [item for item in result.requests
+                if not item.answer.from_result_cache]
+    assert len(executed) == 1                         # one leader paid I/O
+    truth = brute_force_halfspace(points2d, constraint)
+    for item in result.requests:
+        assert {tuple(p) for p in item.answer.points} == truth
+    assert engine.summary()["admission"]["admit"] == 1
+
+
+def test_follower_whose_deadline_passed_during_leader_is_expired(points2d):
+    # A deduped follower never re-enters the queue, so _complete itself
+    # must enforce its deadline: a follower that the leader outlived is
+    # dropped as "expired", not reported "served" late.
+    from concurrent.futures import Future
+    from repro.engine import ExecutionCore
+    from repro.engine.executor import ExecutedQuery
+    from repro.engine.serving.executor import AsyncExecutor, _RunState
+    from repro.io.store import IOStats
+
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.05,
+                                                    seed=61)[0]
+    executor = AsyncExecutor(engine.executor.core, clock=lambda: 100.0)
+    leader = QueuedRequest(_request(constraint, tenant="a"), seq=0,
+                           enqueued_at=0.0, dispatched_at=0.0)
+    timely = QueuedRequest(_request(constraint, tenant="b",
+                                    deadline_s=200.0), seq=1,
+                           enqueued_at=0.0)
+    doomed = QueuedRequest(_request(constraint, tenant="c",
+                                    deadline_s=1.0), seq=2,
+                           enqueued_at=0.0)
+    key = ("d", (constraint.coeffs, constraint.offset))
+    state = _RunState()
+    state.followers[key] = [timely, doomed]
+    future = Future()
+    future.set_result(ExecutedQuery(dataset="d", index_name="halfplane2d",
+                                    points=[(0.0, 0.0)], ios=IOStats(),
+                                    latency_s=0.01, estimated_ios=3.0,
+                                    tenant="a"))
+    outcomes = dict(executor._complete(state, leader, future,
+                                       PriorityRequestQueue()))
+    assert outcomes[0].outcome == "served"
+    assert outcomes[1].outcome == "served"           # deadline 200 > 100
+    assert outcomes[1].answer.from_result_cache
+    assert outcomes[1].answer.tenant == "b"
+    assert outcomes[2].outcome == "expired"          # deadline 1 < 100
+    assert outcomes[2].answer is None
+    assert engine.summary()["admission"] == {"expired": 1}
+
+
+def test_queue_policy_expiry_counts_once_and_never_parks(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraints = halfspace_queries_with_selectivity(points2d, 2, 0.1,
+                                                     seed=53)
+    plan = engine.explain("d", constraints[0])
+    # Trickle refill: the second request's wait is far past its deadline,
+    # so it must expire at admission — one recorded outcome, no deferral.
+    # Priorities pin the admission order (a deadline would otherwise sort
+    # the doomed request first and let it drain the bucket).
+    budget = TenantBudget(ios_per_s=0.001, burst=plan.estimated_ios + 1.0,
+                          policy="queue")
+    requests = [_request(constraints[0], tenant="t", priority=0),
+                _request(constraints[1], tenant="t", priority=1,
+                         deadline_s=0.5)]
+    result = engine.serve_async(requests, budgets={"t": budget},
+                                max_concurrency=1)
+    assert result.requests[0].outcome == "served"
+    expired = result.requests[1]
+    assert expired.outcome == "expired"
+    assert expired.deferrals == 0
+    admission = engine.summary()["admission"]
+    assert admission == {"admit": 1, "expired": 1}    # no "queue" count
+
+
+def test_deferred_request_replans_after_mutation(points2d):
+    # A request parked by admission control must not execute the plan it
+    # was costed with if the dataset mutated meanwhile: the fresh plan
+    # routes to the dynamic index and sees the inserted point.
+    import threading as _threading
+    import time as _time
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d, kinds=["dynamic", "full_scan"])
+    constraints = halfspace_queries_with_selectivity(points2d, 2, 0.2,
+                                                     seed=59)
+    drain, deferred = constraints
+    inserted = (0.0, -2.0)
+    assert deferred.below(inserted)
+    e_drain = engine.explain("d", drain).estimated_ios
+    e_deferred = engine.explain("d", deferred).estimated_ios
+    # First request empties the bucket; the second defers for ~0.5s while
+    # a background insert lands (at ~50ms) into the dynamic index.
+    budget = TenantBudget(ios_per_s=2.0 * e_deferred,
+                          burst=e_drain + 1.0, policy="queue")
+    dynamic = engine.catalog.indexes("d")["dynamic"]
+
+    def mutate():
+        _time.sleep(0.05)
+        dynamic.insert(inserted)
+
+    mutator = _threading.Thread(target=mutate)
+    mutator.start()
+    try:
+        result = engine.serve_async(
+            [_request(drain, tenant="t"), _request(deferred, tenant="t")],
+            budgets={"t": budget}, max_concurrency=1)
+    finally:
+        mutator.join()
+    late = result.requests[1]
+    assert late.outcome == "served"
+    assert late.deferrals > 0
+    assert late.answer.index_name == "dynamic"
+    assert tuple(inserted) in {tuple(p) for p in late.answer.points}
+    # And the result cache holds the fresh answer, not a stale one.
+    again = engine.query("d", deferred)
+    assert again.from_result_cache
+    assert tuple(inserted) in {tuple(p) for p in again.points}
+
+
+def test_serve_async_isolates_per_request_failures(points2d):
+    # One bad request (wrong constraint dimension fails planning) must not
+    # discard the rest of the wave's outcomes.
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    good = halfspace_queries_with_selectivity(points2d, 2, 0.05, seed=67)
+    bad = LinearConstraint(coeffs=(0.1, 0.2), offset=0.0)   # 3-D vs 2-D data
+    result = engine.serve_async([_request(good[0]), _request(bad),
+                                 _request(good[1])])
+    assert result.outcomes() == {"served": 2, "failed": 1}
+    failed = result.requests[1]
+    assert failed.outcome == "failed" and failed.answer is None
+    assert "dimension" in failed.error
+    for index in (0, 2):
+        item = result.requests[index]
+        assert {tuple(p) for p in item.answer.points} == \
+            brute_force_halfspace(points2d, item.request.constraint)
+
+
+def test_serve_async_isolates_unknown_dataset_with_warm_cache(points2d):
+    # An unknown dataset name must fail its own request at planning time,
+    # not crash the whole run in the warm-cache pre-pass.
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.05,
+                                                    seed=71)[0]
+    result = engine.serve_async(
+        [_request(constraint, dataset="typo"),
+         _request(constraint, dataset="d")],
+        warm_cache=True)
+    assert result.outcomes() == {"failed": 1, "served": 1}
+    assert "unknown dataset" in result.requests[0].error
+    assert {tuple(p) for p in result.requests[1].answer.points} == \
+        brute_force_halfspace(points2d, constraint)
+
+
+def test_serve_async_priorities_run_urgent_tenant_first(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d)
+    constraints = halfspace_queries_with_selectivity(points2d, 8, 0.05,
+                                                     seed=31)
+    # Background tenant submits first but with a worse priority class.
+    requests = [_request(c, tenant="background", priority=5)
+                for c in constraints[:4]]
+    requests += [_request(c, tenant="urgent", priority=0)
+                 for c in constraints[4:]]
+    result = engine.serve_async(requests, max_concurrency=1)
+    dispatch_order = sorted(result.requests,
+                            key=lambda item: item.queue_wait_s)
+    first_tenants = [item.request.tenant for item in dispatch_order[:4]]
+    assert first_tenants == ["urgent"] * 4
+
+
+# ----------------------------------------------------------------------
+# replicated shards
+# ----------------------------------------------------------------------
+def test_replicated_shard_registration_builds_per_replica(points2d):
+    catalog = Catalog(block_size=BLOCK_SIZE, seed=3)
+    sharded = catalog.register_sharded_dataset("sh", points2d, num_shards=2,
+                                               replicas=2)
+    assert sharded.replicas_per_shard == 2
+    assert sharded.describe()["replicas_per_shard"] == 2
+    records = catalog.build_suite("sh", kinds=["full_scan"])
+    assert len(records) == 2 * 2                      # shards x replicas
+    assert len(catalog.stores("sh")) == 4
+    keys = set(catalog.indexes("sh"))
+    assert keys == {"0/full_scan", "0@r1/full_scan",
+                    "1/full_scan", "1@r1/full_scan"}
+    assert set(catalog.build_records("sh")) == keys
+    with pytest.raises(ValueError):
+        catalog.register_sharded_dataset("bad", points2d, num_shards=2,
+                                         replicas=0)
+
+
+def test_replicated_answers_match_brute_force(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=2,
+                                    replicas=2)
+    constraints = halfspace_queries_with_selectivity(points2d, 5, 0.08,
+                                                     seed=37)
+    batch = engine.serve_batch("sh", constraints)
+    for constraint, answer in zip(constraints, batch.queries):
+        assert {tuple(p) for p in answer.points} == brute_force_halfspace(
+            points2d, constraint)
+
+
+def test_replica_picker_prefers_idle_then_balances():
+    picker = LeastLoadedReplicaPicker()
+
+    class FakeShard:
+        shard_id = 0
+
+        @staticmethod
+        def routing_replica_ids():
+            return [0, 1]
+
+    first = picker.acquire("d", FakeShard, 10.0)
+    second = picker.acquire("d", FakeShard, 10.0)    # 0 busy -> picks 1
+    assert {first, second} == {0, 1}
+    assert picker.in_flight("d", 0, first) == 10.0
+    picker.release("d", 0, first, 10.0)
+    picker.release("d", 0, second, 10.0)
+    assert picker.in_flight("d", 0, 0) == 0.0
+    # Idle ties round-robin on cumulative load instead of hammering 0.
+    third = picker.acquire("d", FakeShard, 5.0)
+    fourth = picker.acquire("d", FakeShard, 5.0)
+    assert {third, fourth} == {0, 1}
+    assert picker.snapshot() == {"d/0/0": 5.0, "d/0/1": 5.0}
+
+
+def test_replicated_serving_attributes_load_to_both_replicas(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=2,
+                                    replicas=2)
+    constraints = halfspace_queries_with_selectivity(points2d, 6, 0.05,
+                                                     seed=41)
+    requests = [_request(c, tenant="t%d" % (i % 2), dataset="sh")
+                for i, c in enumerate(constraints)]
+    result = engine.serve_async(requests, max_concurrency=4)
+    assert result.outcomes() == {"served": len(requests)}
+    load = engine.stats.replica_load
+    for shard_id in (0, 1):
+        replicas_used = {replica for (name, shard, replica), ios
+                         in load.items()
+                         if name == "sh" and shard == shard_id and ios > 0}
+        assert replicas_used == {0, 1}, (
+            "shard %d load should spread over both replicas" % shard_id)
+
+
+# ----------------------------------------------------------------------
+# mutations through a replicated shard (satellite regression)
+# ----------------------------------------------------------------------
+def test_mutation_through_replica_pins_routing_and_defeats_stale_box(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=2,
+                                    replicas=2, kinds=["dynamic"])
+    sharded = engine.catalog.sharded("sh")
+    last_shard = sharded.shards[-1]
+    outlier = (10.0, 0.0)                            # far outside [-1, 1]^2
+    # Insert through the *second* replica's dynamic index.
+    engine.catalog.indexes("sh")["1@r1/dynamic"].insert(outlier)
+    assert last_shard.box_stale
+    assert last_shard.pinned_replica == 1
+    assert last_shard.routing_replica_ids() == [1]
+    assert last_shard.planning_dataset() is last_shard.replicas[1]
+    # Satisfied by the outlier alone: y <= 5x - 40.  The build-time box
+    # would prune the shard; the stale flag must defeat that, and the
+    # answer must come from the mutated replica.
+    constraint = LinearConstraint(coeffs=(5.0,), offset=-40.0)
+    answer = engine.query("sh", constraint)
+    assert tuple(outlier) in {tuple(p) for p in answer.points}
+    # Repeated queries keep routing to the pinned replica only.
+    engine.query("sh", constraint, clear_cache=True)
+    load = engine.stats.replica_load
+    assert load.get(("sh", last_shard.shard_id, 0), 0) == 0
+
+
+def test_mutating_a_second_replica_of_one_shard_raises(points2d):
+    # Routing is pinned to the first-mutated replica; an insert through a
+    # *different* replica of the same shard could never be served, so it
+    # must fail loudly instead of silently dropping the update.
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=2,
+                                    replicas=2, kinds=["dynamic"])
+    indexes = engine.catalog.indexes("sh")
+    indexes["0@r1/dynamic"].insert((0.25, 0.25))
+    indexes["0@r1/dynamic"].insert((0.3, 0.3))       # same replica: fine
+    with pytest.raises(ValueError, match="pinned to mutated replica 1"):
+        indexes["0/dynamic"].insert((0.5, 0.5))
+    # The veto is pre-mutation: the rejected insert never landed, so the
+    # forbidden replica stays byte-identical to the build and unflagged.
+    forbidden = engine.catalog.sharded("sh").shards[0].replicas[0]
+    assert not forbidden.mutated
+    inside_all = LinearConstraint(coeffs=(0.0,), offset=1e9)
+    assert (0.5, 0.5) not in {
+        tuple(p) for p in indexes["0/dynamic"].query(inside_all)}
+    # The other shard is independent and still accepts its first mutation.
+    indexes["1/dynamic"].insert((0.9, 0.9))
+    assert engine.catalog.sharded("sh").shards[1].pinned_replica == 0
+
+
+def test_stale_answer_is_not_cached_past_concurrent_invalidation(points2d):
+    # An answer computed before an invalidation must not be written back
+    # into the result cache after it: the put is generation-guarded.
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_dataset("d", points2d, kinds=["full_scan"])
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.1,
+                                                    seed=73)[0]
+    index = engine.catalog.dataset("d").indexes["full_scan"]
+    original_query = index.query
+
+    def racing_query(c):
+        points = original_query(c)
+        # The invalidation lands after the answer was computed but before
+        # the executor caches it — the async interleaving this guards.
+        engine.executor.core.invalidate_dataset("d")
+        return points
+
+    index.query = racing_query
+    try:
+        engine.query("d", constraint)
+    finally:
+        index.query = original_query
+    after = engine.query("d", constraint)
+    assert not after.from_result_cache        # stale put was dropped
+    assert engine.query("d", constraint).from_result_cache  # fresh one lands
+
+
+def test_delete_of_absent_point_is_noop_even_on_unpinned_replica(points2d):
+    # The pre-mutation veto must not fire for a delete that would write
+    # nothing: the documented contract is "returns False if not present".
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=2,
+                                    replicas=2, kinds=["dynamic"])
+    indexes = engine.catalog.indexes("sh")
+    indexes["0@r1/dynamic"].insert((0.25, 0.25))     # pins shard 0 to r1
+    assert indexes["0/dynamic"].delete((123.0, 456.0)) is False
+    with pytest.raises(ValueError):                  # a real write still vetoed
+        indexes["0/dynamic"].insert((0.5, 0.5))
+
+
+def test_async_serving_after_replica_mutation_stays_fresh(points2d):
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=2,
+                                    replicas=2, kinds=["dynamic"])
+    constraint = halfspace_queries_with_selectivity(points2d, 1, 0.9,
+                                                    seed=43)[0]
+    before = engine.serve_async([_request(constraint, dataset="sh")])
+    count_before = before.requests[0].answer.count
+    inside = (0.0, -2.0)
+    assert constraint.below(inside)
+    engine.catalog.indexes("sh")["0@r1/dynamic"].insert(inside)
+    after = engine.serve_async([_request(constraint, dataset="sh")])
+    answer = after.requests[0].answer
+    assert not answer.from_result_cache              # cache invalidated
+    assert tuple(inside) in {tuple(p) for p in answer.points}
+    assert answer.count == count_before + 1
+
+
+# ----------------------------------------------------------------------
+# calibration: race regression + age-out boundary (satellites)
+# ----------------------------------------------------------------------
+def test_concurrent_observe_never_loses_updates(points2d):
+    catalog = Catalog(block_size=BLOCK_SIZE, seed=3)
+    catalog.register_dataset("d", points2d)
+    catalog.build_suite("d", kinds=["full_scan"])
+    planner = Planner(catalog, ewma_alpha=0.25)
+    num_threads, per_thread = 8, 200
+    barrier = threading.Barrier(num_threads)
+
+    def hammer(seed):
+        barrier.wait()
+        for i in range(per_thread):
+            planner.observe("d", "full_scan", 10.0, 10 + (seed + i) % 5)
+
+    threads = [threading.Thread(target=hammer, args=(t,))
+               for t in range(num_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    state = planner.export_calibration()["d/full_scan"]
+    # Every observation must be counted: a lost read-modify-write would
+    # show up as a short count here.
+    assert state["observations"] == num_threads * per_thread
+    assert 0.05 <= state["factor"] <= 20.0
+
+
+def test_observe_many_matches_sequential_observes(points2d):
+    catalog = Catalog(block_size=BLOCK_SIZE, seed=3)
+    catalog.register_dataset("d", points2d)
+    catalog.build_suite("d", kinds=["full_scan", "partition_tree"])
+    sequential = Planner(catalog, ewma_alpha=0.5)
+    batched = Planner(catalog, ewma_alpha=0.5)
+    samples = [("full_scan", 10.0, 12), ("partition_tree", 20.0, 15),
+               ("full_scan", 10.0, 30)]
+    for index_name, model, observed in samples:
+        sequential.observe("d", index_name, model, observed)
+    batched.observe_many("d", samples)
+    assert batched.export_calibration().keys() == \
+        sequential.export_calibration().keys()
+    for key, entry in sequential.export_calibration().items():
+        assert batched.export_calibration()[key]["factor"] == \
+            pytest.approx(entry["factor"])
+
+
+def test_calibration_age_out_keeps_entry_exactly_at_max_age(tmp_path):
+    # The boundary case: an entry whose age equals max_age_s to the tick
+    # is still fresh (strictly-older-than ages out), one tick past is not.
+    path = str(tmp_path / "calibration.json")
+    store = CalibrationStore(path, max_age_s=3600.0)
+    store.save({
+        "d/boundary": {"factor": 2.0, "observations": 3,
+                       "updated_at": 6_400.0},
+        "d/one_past": {"factor": 3.0, "observations": 3,
+                       "updated_at": 6_399.999},
+    })
+    state = store.load(now=10_000.0)                  # ages: 3600.0, 3600.001
+    assert set(state) == {"d/boundary"}
+    assert state["d/boundary"]["factor"] == 2.0

@@ -14,6 +14,7 @@ import pytest
 from repro.io.backend import (
     FileBackend,
     MemoryBackend,
+    MmapBackend,
     StorageBackend,
     make_backend,
 )
@@ -21,13 +22,15 @@ from repro.io.cache import LRUCache
 from repro.io.store import BlockStore
 
 
-@pytest.fixture(params=["memory", "file"])
+@pytest.fixture(params=["memory", "file", "mmap"])
 def backend(request, tmp_path):
     """One instance of every backend implementation."""
     if request.param == "memory":
         instance = MemoryBackend()
-    else:
+    elif request.param == "file":
         instance = FileBackend(str(tmp_path / "blocks.log"))
+    else:
+        instance = MmapBackend(str(tmp_path / "blocks.log"))
     yield instance
     instance.close()
 
@@ -81,7 +84,7 @@ class TestBackendConformance:
     def test_info_reports_backend_name_and_blocks(self, backend):
         backend.put(0, [1])
         info = backend.info()
-        assert info["backend"] in ("memory", "file")
+        assert info["backend"] in ("memory", "file", "mmap")
         assert info["blocks"] == 1
 
 
@@ -207,6 +210,66 @@ class TestFileBackend:
         reopened.close()
 
 
+class TestMmapBackend:
+    """Mmap-specific behaviour: remapping across appends and compaction."""
+
+    def test_reads_after_appends_remap_lazily(self, tmp_path):
+        backend = MmapBackend(str(tmp_path / "m.log"))
+        backend.put(0, [1, 2])
+        assert backend.get(0) == [1, 2]          # maps the initial file
+        backend.put(1, list(range(64)))          # grows past the mapping
+        assert backend.get(1) == list(range(64))
+        assert backend.get(0) == [1, 2]
+        assert backend.info()["mapped_bytes"] > 0
+        backend.close()
+
+    def test_compaction_invalidates_mapping(self, tmp_path):
+        backend = MmapBackend(str(tmp_path / "m.log"), auto_compact_ratio=0)
+        for version in range(10):
+            backend.put(0, [version] * 8)
+        backend.put(1, ["keep"])
+        assert backend.get(0) == [9] * 8         # mapping established
+        backend.compact()                        # payloads relocate
+        assert backend.get(0) == [9] * 8
+        assert backend.get(1) == ["keep"]
+        backend.close()
+
+    def test_reopen_recovers_like_file_backend(self, tmp_path):
+        path = str(tmp_path / "m.log")
+        first = MmapBackend(path)
+        first.put(0, [1, 2])
+        first.put(1, ["a"])
+        first.delete(1)
+        first.close()
+        reopened = MmapBackend(path)
+        assert sorted(reopened.block_ids()) == [0]
+        assert reopened.get(0) == [1, 2]
+        reopened.close()
+
+    def test_file_written_by_file_backend_is_readable(self, tmp_path):
+        # Same log format: the two file-based backends are interchangeable
+        # on disk, so a deployment can switch read paths without migrating.
+        path = str(tmp_path / "shared.log")
+        writer = FileBackend(path)
+        writer.put(3, [(1.0, 2.0)])
+        writer.close()
+        reader = MmapBackend(path)
+        assert reader.get(3) == [(1.0, 2.0)]
+        reader.close()
+
+    def test_accounting_parity_with_memory(self, tmp_path):
+        memory_store = BlockStore(block_size=4, cache_blocks=2)
+        mmap_store = BlockStore(block_size=4, cache_blocks=2,
+                                backend=MmapBackend(str(tmp_path / "p.log")))
+        _exercise(memory_store)
+        _exercise(mmap_store)
+        for attribute in ("reads", "writes", "allocations", "frees",
+                          "cache_hits"):
+            assert getattr(memory_store.stats, attribute) == \
+                getattr(mmap_store.stats, attribute), attribute
+        mmap_store.close()
+
+
 class TestMakeBackend:
     def test_none_and_memory_specs(self):
         assert isinstance(make_backend(None), MemoryBackend)
@@ -215,6 +278,11 @@ class TestMakeBackend:
     def test_file_spec_with_path(self, tmp_path):
         backend = make_backend("file", path=str(tmp_path / "b.log"))
         assert isinstance(backend, FileBackend)
+        backend.close()
+
+    def test_mmap_spec_with_path(self, tmp_path):
+        backend = make_backend("mmap", path=str(tmp_path / "m.log"))
+        assert isinstance(backend, MmapBackend)
         backend.close()
 
     def test_instance_passthrough_and_factory(self):
