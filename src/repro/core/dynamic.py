@@ -65,6 +65,8 @@ class DynamicPartitionTreeIndex(ExternalIndex):
         self._rebuilds = 0
         self._mutation_listeners: List[Callable[[], None]] = []
         self._pre_mutation_listeners: List[Callable[[], None]] = []
+        self._point_listeners: List[Callable[[str, Tuple[float, ...]],
+                                             None]] = []
         self._begin_space_accounting()
         self._buffer = DiskArray(self._store)
         self._buffer_points: List[Tuple[float, ...]] = []
@@ -127,9 +129,26 @@ class DynamicPartitionTreeIndex(ExternalIndex):
         """
         self._pre_mutation_listeners.append(listener)
 
+    def add_point_listener(
+            self, listener: Callable[[str, Tuple[float, ...]], None]) -> None:
+        """Register a callback receiving each mutated point.
+
+        Called as ``listener(op, point)`` with ``op`` one of ``"insert"``
+        / ``"delete"`` after the mutation is applied, just before the
+        plain mutation listeners fire.  The engine's statistics layer
+        subscribes here: unlike :meth:`add_mutation_listener`, the point
+        itself is what a selectivity model needs to update its sample
+        reservoir and histograms incrementally.
+        """
+        self._point_listeners.append(listener)
+
     def _notify_mutation(self) -> None:
         for listener in self._mutation_listeners:
             listener()
+
+    def _notify_point(self, op: str, record: Tuple[float, ...]) -> None:
+        for listener in self._point_listeners:
+            listener(op, record)
 
     def _check_pre_mutation(self) -> None:
         for listener in self._pre_mutation_listeners:
@@ -142,10 +161,16 @@ class DynamicPartitionTreeIndex(ExternalIndex):
             raise ValueError("point dimension %d does not match index dimension %d"
                              % (len(record), self._dimension))
         self._check_pre_mutation()
-        self._tombstones.discard(record)
-        self._buffer.append(record)
-        self._buffer_points.append(record)
+        if record in self._tombstones:
+            # The point is a tombstoned tree copy: dropping the tombstone
+            # alone resurrects it.  Buffering it too would duplicate the
+            # point in queries, size and live_points().
+            self._tombstones.discard(record)
+        else:
+            self._buffer.append(record)
+            self._buffer_points.append(record)
         self._maybe_rebuild()
+        self._notify_point("insert", record)
         self._notify_mutation()
 
     def delete(self, point: Sequence[float]) -> bool:
@@ -162,6 +187,7 @@ class DynamicPartitionTreeIndex(ExternalIndex):
             # Rewrite the buffer without the record (small, O(buffer/B) I/Os).
             self._buffer.clear()
             self._buffer.extend(self._buffer_points)
+            self._notify_point("delete", record)
             self._notify_mutation()
             return True
         if not in_tree:
@@ -169,6 +195,7 @@ class DynamicPartitionTreeIndex(ExternalIndex):
         self._tombstones.add(record)
         self._tombstone_array.append(record)
         self._maybe_rebuild()
+        self._notify_point("delete", record)
         self._notify_mutation()
         return True
 
@@ -193,6 +220,18 @@ class DynamicPartitionTreeIndex(ExternalIndex):
     def buffered(self) -> int:
         """Number of points currently waiting in the insertion buffer."""
         return len(self._buffer_points)
+
+    def live_points(self) -> List[Tuple[float, ...]]:
+        """Every live point (tree minus tombstones, plus the buffer).
+
+        The shard rebalancer collects these to re-split a mutated shard
+        at fresh quantiles: the child dataset's build-time array no
+        longer reflects the data once inserts and deletes have landed.
+        """
+        live = [point for point in self._tree_points
+                if point not in self._tombstones]
+        live.extend(self._buffer_points)
+        return live
 
     def query(self, constraint: LinearConstraint) -> List[Point]:
         """Report every live point satisfying the constraint."""

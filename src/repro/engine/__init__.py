@@ -21,9 +21,14 @@ query.  This package is that layer:
   :class:`~repro.engine.serving.AsyncExecutor` scheduler over a
   prioritized deadline queue, per-tenant token-bucket admission control
   (queue/reject/degrade), and the least-loaded replica picker;
-* :mod:`~repro.engine.sharding` — hash/range shard routers and
+* :mod:`~repro.engine.sharding` — hash/range shard routers,
   :class:`~repro.engine.sharding.ShardedDataset` (per-shard replicated
-  stores and index suites with bounding-box pruning);
+  stores and index suites with bounding-box pruning) and the
+  :class:`~repro.engine.sharding.RebalanceManager` (skew-triggered
+  quantile re-splits after dynamic inserts);
+* :mod:`~repro.engine.stats` — pluggable selectivity models behind
+  every ``expected_output`` estimate: the uniform sample scan and
+  directional equi-depth histograms, per dataset and per shard;
 * :class:`~repro.engine.calibration.CalibrationStore` — JSON persistence
   of the planner's learned constants, with staleness age-out;
 * :class:`~repro.engine.metrics.EngineStats` — latency percentiles, I/O
@@ -71,10 +76,19 @@ from repro.engine.planner import (
 from repro.engine.sharding import (
     HashShardRouter,
     RangeShardRouter,
+    RebalanceManager,
+    RebalanceReport,
     Shard,
     ShardedDataset,
     ShardRouter,
     make_router,
+)
+from repro.engine.stats import (
+    EquiDepthHistogram,
+    HistogramModel,
+    SelectivityModel,
+    UniformSampleModel,
+    make_model,
 )
 
 __all__ = [
@@ -89,9 +103,11 @@ __all__ = [
     "Catalog",
     "Dataset",
     "EngineStats",
+    "EquiDepthHistogram",
     "ExecutedQuery",
     "ExecutionCore",
     "HashShardRouter",
+    "HistogramModel",
     "INDEX_KINDS",
     "IndexKind",
     "LeastLoadedReplicaPicker",
@@ -100,6 +116,9 @@ __all__ = [
     "PriorityRequestQueue",
     "QueryEngine",
     "RangeShardRouter",
+    "RebalanceManager",
+    "RebalanceReport",
+    "SelectivityModel",
     "ServeResult",
     "ServedQueryRecord",
     "ServedRequest",
@@ -110,8 +129,10 @@ __all__ = [
     "ShardedPlan",
     "TenantBudget",
     "TokenBucket",
+    "UniformSampleModel",
     "WorkloadResult",
     "constraint_key",
     "default_suite",
+    "make_model",
     "make_router",
 ]

@@ -13,11 +13,14 @@ stores, a router, one index suite per shard).  Each store's *backend* —
 in-memory dict or a real file — is chosen per catalog or per dataset; see
 :mod:`repro.io.backend`.
 
-The catalog also keeps a small in-memory *sample* of every dataset.
-Sampling is the engine's only data statistic: the planner estimates a
-constraint's selectivity by evaluating it on the sample (O(sample)
-arithmetic, zero I/Os), which turns the paper's output-sensitive bounds
-into concrete per-query cost predictions.
+The catalog also attaches a pluggable *selectivity model* (see
+:mod:`repro.engine.stats`) to every dataset — and to every shard child,
+so sharded planning is priced with shard-local statistics.  The default
+``"uniform"`` model evaluates constraints on a small in-memory sample
+(O(sample) arithmetic, zero I/Os); ``"histogram"`` maintains equi-depth
+directional histograms that resolve skewed data like the §1.2 diagonal.
+Either way the estimate turns the paper's output-sensitive bounds into
+concrete per-query cost predictions.
 """
 
 from __future__ import annotations
@@ -46,11 +49,13 @@ from repro.core import (
     ShallowPartitionTreeIndex,
 )
 from repro.engine.sharding import (
+    RangeShardRouter,
     Shard,
     ShardedDataset,
     make_router,
     selectivity_on_sample,
 )
+from repro.engine.stats import SelectivityModel, make_model
 from repro.geometry.primitives import LinearConstraint
 from repro.io.backend import make_backend
 from repro.io.store import BlockStore, IOStats
@@ -130,7 +135,7 @@ class BuildRecord:
 
 @dataclass
 class Dataset:
-    """One registered point set: its shared store, its indexes, its sample."""
+    """One registered point set: its store, indexes, sample and statistics."""
 
     name: str
     points: np.ndarray
@@ -142,6 +147,8 @@ class Dataset:
     #: dataset accepts an insert/delete.  Statically-built sibling indexes
     #: are stale from that point on, so the planner stops routing to them.
     mutated: bool = False
+    #: Pluggable selectivity model (None = estimate on the sample).
+    stats: Optional[SelectivityModel] = None
 
     @property
     def dimension(self) -> int:
@@ -150,19 +157,29 @@ class Dataset:
 
     @property
     def size(self) -> int:
-        """Number of stored points (the paper's N)."""
+        """Number of stored points at build time (the paper's N)."""
         return int(self.points.shape[0])
+
+    @property
+    def live_size(self) -> int:
+        """Current point count, observed mutations included."""
+        return self.stats.size if self.stats is not None else self.size
 
     def estimate_selectivity(self, constraint: LinearConstraint) -> float:
         """Fraction of points expected to satisfy ``constraint``.
 
-        Evaluated on the in-memory sample with one vectorised residual
-        computation; never touches the simulated disk.
+        Delegated to the dataset's selectivity model (sample scan or
+        directional histograms); pure arithmetic either way — estimation
+        never touches the simulated disk.
         """
+        if self.stats is not None:
+            return self.stats.estimate_selectivity(constraint)
         return selectivity_on_sample(self.sample, self.dimension, constraint)
 
     def estimate_output(self, constraint: LinearConstraint) -> int:
         """Expected number of reported points (the paper's T)."""
+        if self.stats is not None:
+            return self.stats.estimate_output(constraint)
         return int(round(self.estimate_selectivity(constraint) * self.size))
 
 
@@ -188,18 +205,27 @@ class Catalog:
         Directory for file-backed (``"file"``/``"mmap"``) stores
         registered without an explicit path (one ``<dataset>.blocks`` file
         each); a temporary file per store when omitted.
+    stats_model / stats_params:
+        Default selectivity model for every dataset (and shard child):
+        ``"uniform"`` (default), ``"histogram"``, or a factory — see
+        :func:`repro.engine.stats.make_model`; ``stats_params`` are
+        forwarded to the model constructor.
     """
 
     def __init__(self, block_size: int = 64, cache_blocks: int = 4,
                  sample_size: int = 512, seed: Optional[int] = None,
                  backend: object = "memory",
-                 data_dir: Optional[str] = None):
+                 data_dir: Optional[str] = None,
+                 stats_model: object = "uniform",
+                 stats_params: Optional[Dict[str, object]] = None):
         self._block_size = block_size
         self._cache_blocks = cache_blocks
         self._sample_size = sample_size
         self._seed = seed
         self._backend = backend
         self._data_dir = data_dir
+        self._stats_model = stats_model
+        self._stats_params = dict(stats_params or {})
         self._datasets: Dict[str, Dataset] = {}
         self._sharded: Dict[str, ShardedDataset] = {}
 
@@ -254,31 +280,103 @@ class Catalog:
                           else cache_blocks),
             backend=make_backend(spec, path=path))
 
+    def _make_stats(self, array: np.ndarray, sample: np.ndarray,
+                    stats_model: object = None,
+                    stats_params: Optional[Dict[str, object]] = None
+                    ) -> SelectivityModel:
+        """Build the selectivity model for one (child) dataset.
+
+        A per-dataset ``stats_model`` override does *not* inherit the
+        catalog-wide ``stats_params``: those are specific to the
+        catalog's model kind (e.g. histogram bucket counts would crash a
+        uniform model), so an override starts from empty params unless
+        it brings its own.
+        """
+        if stats_model is None:
+            spec = self._stats_model
+            params = self._stats_params if stats_params is None \
+                else stats_params
+        else:
+            spec = stats_model
+            params = stats_params or {}
+        return make_model(spec, array, sample, seed=self._seed, **params)
+
     def _make_dataset(self, name: str, array: np.ndarray,
                       block_size: Optional[int], cache_blocks: Optional[int],
-                      backend: object) -> Dataset:
+                      backend: object,
+                      stats_model: object = None,
+                      stats_params: Optional[Dict[str, object]] = None,
+                      stats: Optional[SelectivityModel] = None) -> Dataset:
+        """One (child) dataset; ``stats`` shares a pre-built model
+        instead of constructing a new one (shard replicas hold identical
+        data, so one model serves all of them)."""
         store = self._make_store(name, block_size, cache_blocks, backend)
-        return Dataset(name=name, points=array, store=store,
-                       sample=self._sample_of(array))
+        sample = self._sample_of(array)
+        return Dataset(name=name, points=array, store=store, sample=sample,
+                       stats=(stats if stats is not None else
+                              self._make_stats(array, sample, stats_model,
+                                               stats_params)))
 
     def register_dataset(self, name: str, points: Sequence[Sequence[float]],
                          block_size: Optional[int] = None,
                          cache_blocks: Optional[int] = None,
-                         backend: object = None) -> Dataset:
-        """Register a point set under ``name`` with its own shared store."""
+                         backend: object = None,
+                         stats_model: object = None,
+                         stats_params: Optional[Dict[str, object]] = None
+                         ) -> Dataset:
+        """Register a point set under ``name`` with its own shared store.
+
+        ``stats_model`` / ``stats_params`` override the catalog-wide
+        selectivity model for this dataset.
+        """
         self._check_name_free(name)
         array = self._as_points(points)
         dataset = self._make_dataset(name, array, block_size, cache_blocks,
-                                     backend)
+                                     backend, stats_model, stats_params)
         self._datasets[name] = dataset
         return dataset
 
     @staticmethod
-    def _replica_name(name: str, shard_id: int, replica_id: int) -> str:
-        """Child-dataset name of one shard replica (replica 0 = primary)."""
+    def _replica_name(name: str, shard_id: int, replica_id: int,
+                      generation: int = 0) -> str:
+        """Child-dataset name of one shard replica (replica 0 = primary).
+
+        Re-split generations get a ``@g<G>`` infix so a rebuilt shard's
+        block file can never collide with (and recover blocks from) the
+        file its predecessor used.
+        """
+        base = name if generation == 0 else "%s@g%d" % (name, generation)
         if replica_id == 0:
-            return "%s#%d" % (name, shard_id)
-        return "%s#%d@r%d" % (name, shard_id, replica_id)
+            return "%s#%d" % (base, shard_id)
+        return "%s#%d@r%d" % (base, shard_id, replica_id)
+
+    def _make_shards(self, name: str, array: np.ndarray, router,
+                     replicas: int, params: Dict[str, object],
+                     generation: int = 0) -> List[Shard]:
+        """Per-shard child datasets (with stores, samples and models)."""
+        shards: List[Shard] = []
+        for shard_id, rows in enumerate(router.assign(array)):
+            if len(rows) == 0:
+                shards.append(Shard(shard_id=shard_id))
+                continue
+            chunk = array[rows]
+            children: List[Dataset] = []
+            for replica_id in range(replicas):
+                children.append(self._make_dataset(
+                    self._replica_name(name, shard_id, replica_id,
+                                       generation),
+                    chunk, params.get("block_size"),
+                    params.get("cache_blocks"), params.get("backend"),
+                    params.get("stats_model"), params.get("stats_params"),
+                    # Replicas are identical copies: the primary's model
+                    # serves every replica (mutations pin to one replica,
+                    # whose point hooks keep the shared model current).
+                    stats=children[0].stats if children else None))
+            shards.append(Shard(
+                shard_id=shard_id, replicas=children,
+                lows=tuple(chunk.min(axis=0).tolist()),
+                highs=tuple(chunk.max(axis=0).tolist())))
+        return shards
 
     def register_sharded_dataset(self, name: str,
                                  points: Sequence[Sequence[float]],
@@ -288,17 +386,24 @@ class Catalog:
                                  replicas: int = 1,
                                  block_size: Optional[int] = None,
                                  cache_blocks: Optional[int] = None,
-                                 backend: object = None) -> ShardedDataset:
+                                 backend: object = None,
+                                 stats_model: object = None,
+                                 stats_params: Optional[Dict[str, object]]
+                                 = None) -> ShardedDataset:
         """Partition ``points`` across ``num_shards`` per-shard stores.
 
         ``sharding`` picks the router (``"range"`` on ``shard_attribute``,
         or ``"hash"``); each non-empty shard gets ``replicas`` child
         datasets — the primary named ``<name>#<shard>``, further replicas
         ``<name>#<shard>@r<replica>`` — each with its own store (and
-        backend) plus its own sample, and records the bounding box of its
-        points for pruning.  Replicas hold identical copies of the shard's
-        points, so the executor can overlap concurrent queries on the same
-        shard by picking the least-loaded replica.
+        backend) plus its own sample and selectivity model, and records
+        the bounding box of its points for pruning.  Replicas hold
+        identical copies of the shard's points, so the executor can
+        overlap concurrent queries on the same shard by picking the
+        least-loaded replica.  The registration parameters are kept on
+        the returned :class:`~repro.engine.sharding.ShardedDataset` so a
+        later re-split (:meth:`resplit_sharded_dataset`) rebuilds shards
+        with identical settings.
         """
         self._check_name_free(name)
         if replicas < 1:
@@ -306,26 +411,128 @@ class Catalog:
         array = self._as_points(points)
         router = make_router(sharding, array, num_shards,
                              attribute=shard_attribute)
-        shards: List[Shard] = []
-        for shard_id, rows in enumerate(router.assign(array)):
-            if len(rows) == 0:
-                shards.append(Shard(shard_id=shard_id))
-                continue
-            chunk = array[rows]
-            children = [
-                self._make_dataset(
-                    self._replica_name(name, shard_id, replica_id), chunk,
-                    block_size, cache_blocks, backend)
-                for replica_id in range(replicas)]
-            shards.append(Shard(
-                shard_id=shard_id, replicas=children,
-                lows=tuple(chunk.min(axis=0).tolist()),
-                highs=tuple(chunk.max(axis=0).tolist())))
-        sharded = ShardedDataset(name=name, points=array,
-                                 sample=self._sample_of(array),
-                                 router=router, shards=shards)
+        params: Dict[str, object] = {
+            "block_size": block_size, "cache_blocks": cache_blocks,
+            "backend": backend, "stats_model": stats_model,
+            "stats_params": stats_params, "replicas": replicas,
+        }
+        sample = self._sample_of(array)
+        sharded = ShardedDataset(
+            name=name, points=array, sample=sample, router=router,
+            shards=self._make_shards(name, array, router, replicas, params),
+            stats=self._make_stats(array, sample, stats_model, stats_params),
+            register_params=params)
         self._sharded[name] = sharded
         return sharded
+
+    def _remove_store_file(self, store: BlockStore) -> None:
+        """Delete a retired store's block file, if the catalog assigned it.
+
+        Temp-file backends delete themselves on close; files the catalog
+        placed under ``data_dir`` do not (the backend does not own an
+        explicit path), so a re-split would otherwise orphan one full
+        copy of the dataset per generation.  Files outside ``data_dir``
+        (caller-managed backends) are left alone.
+        """
+        path = getattr(store.backend, "path", None)
+        if not path or self._data_dir is None:
+            return
+        directory = os.path.dirname(os.path.abspath(path))
+        if directory != os.path.abspath(self._data_dir):
+            return
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def live_points_of(dataset: Dataset) -> np.ndarray:
+        """A (child) dataset's current points, mutations included.
+
+        When a mutation-aware index exists, its own ``live_points`` (the
+        dynamic partition tree's exact live set) is the truth — the
+        build array no longer reflects the data after inserts/deletes.
+        The index is consulted even when the ``mutated`` flag is unset:
+        the flag is wired by *engine*-built suites, and an index built
+        directly through the catalog must not lose its updates in a
+        re-split just because nobody subscribed to it.
+        """
+        for index in dataset.indexes.values():
+            live = getattr(index, "live_points", None)
+            if callable(live):
+                return np.asarray(live(), dtype=float).reshape(
+                    -1, dataset.dimension)
+        return dataset.points
+
+    def resplit_sharded_dataset(self, name: str) -> Dict[str, object]:
+        """Re-split a range-sharded dataset at fresh quantiles.
+
+        Collects the live points of every shard (from each shard's
+        routing replica, so post-mutation data is included), computes new
+        quantile boundaries on the original shard attribute, rebuilds the
+        per-shard child datasets — stores, samples, selectivity models
+        and the recorded index-suite kinds — with the registration-time
+        parameters, and swaps them into the existing
+        :class:`~repro.engine.sharding.ShardedDataset` *in place* (so
+        references held by the planner and executor stay valid), bumping
+        its ``generation``.  The old shards' stores are closed afterwards.
+
+        This is the mechanism under
+        :class:`~repro.engine.sharding.RebalanceManager`; callers above
+        the catalog should go through the manager (or the engine facade),
+        which also invalidates result caches and re-wires mutation hooks.
+        """
+        sharded = self.sharded(name)
+        if not isinstance(sharded.router, RangeShardRouter):
+            raise ValueError(
+                "only range-sharded datasets can be re-split; %r uses %r "
+                "routing" % (name, sharded.router.scheme))
+        old_sizes = sharded.shard_live_sizes()
+        chunks = [self.live_points_of(shard.planning_dataset())
+                  for shard in sharded.nonempty_shards()]
+        chunks = [chunk for chunk in chunks if len(chunk)]
+        if not chunks:
+            raise ValueError("cannot re-split %r: it holds no live points"
+                             % name)
+        array = np.concatenate(chunks)
+        params = sharded.register_params
+        replicas = int(params.get("replicas") or 1)
+        router = RangeShardRouter.from_points(
+            array, sharded.router.num_shards,
+            attribute=sharded.router.attribute)
+        generation = sharded.generation + 1
+        old_stores = [replica.store
+                      for shard in sharded.nonempty_shards()
+                      for replica in shard.replicas]
+        sample = self._sample_of(array)
+        sharded.points = array
+        sharded.sample = sample
+        sharded.stats = self._make_stats(array, sample,
+                                         params.get("stats_model"),
+                                         params.get("stats_params"))
+        sharded.router = router
+        sharded.shards = self._make_shards(name, array, router, replicas,
+                                           params, generation)
+        sharded.generation = generation
+        for build in list(sharded.suite_builds):
+            self.build_sharded_index(name, build["kind"],
+                                     build["index_name"],
+                                     **dict(build["params"]))
+        for store in old_stores:
+            # Close under the store's lock: an in-flight fan-out that
+            # still holds references to the retiring layout finishes its
+            # shard read before the store (and its file) disappears.
+            with store.lock:
+                store.close()
+                self._remove_store_file(store)
+        return {
+            "dataset": name,
+            "generation": generation,
+            "old_sizes": old_sizes,
+            "new_sizes": [shard.size for shard in sharded.shards],
+            "boundaries": list(router.boundaries),
+            "num_points": int(len(array)),
+        }
 
     def dataset(self, name: str) -> Dataset:
         """Look up a plain registered dataset (KeyError with known names)."""
@@ -429,12 +636,27 @@ class Catalog:
     def build_sharded_index(self, dataset_name: str, kind: str,
                             index_name: Optional[str] = None,
                             **params) -> List[BuildRecord]:
-        """Build one kind on every replica of every non-empty shard."""
+        """Build one kind on every replica of every non-empty shard.
+
+        The build — kind, index name *and* parameters — is recorded on
+        the sharded dataset's ``suite_builds`` so a re-split
+        (:meth:`resplit_sharded_dataset`) rebuilds the identical suite
+        over the new shards.
+        """
         sharded = self.sharded(dataset_name)
-        return [self._build_index_on(replica, kind, index_name,
-                                     **dict(params))
-                for shard in sharded.nonempty_shards()
-                for replica in shard.replicas]
+        records = [self._build_index_on(replica, kind, index_name,
+                                        **dict(params))
+                   for shard in sharded.nonempty_shards()
+                   for replica in shard.replicas]
+        # Record only after the builds succeeded: a phantom entry for a
+        # failed build would make every later re-split fail mid-rebuild.
+        effective_name = index_name or kind
+        if all(build["index_name"] != effective_name
+               for build in sharded.suite_builds):
+            sharded.suite_builds.append({
+                "kind": kind, "index_name": effective_name,
+                "params": dict(params)})
+        return records
 
     def build_suite(self, dataset_name: str,
                     kinds: Optional[Sequence[str]] = None) -> List[BuildRecord]:

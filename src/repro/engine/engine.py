@@ -16,6 +16,11 @@ Storage is pluggable end to end: ``backend="file"`` (or ``"mmap"``) puts
 every dataset's blocks in real files (``data_dir``), and a
 ``calibration_path`` persists the planner's learned constants across
 restarts (loaded on startup, aged out after ``calibration_max_age_s``).
+Estimation is pluggable too: ``stats_model="histogram"`` prices queries
+with directional equi-depth histograms instead of the uniform sample
+(see :mod:`repro.engine.stats`), and ``auto_rebalance=True`` re-splits
+range shards whose statistics have drifted under dynamic inserts
+(:meth:`QueryEngine.rebalance` does it on demand).
 Everything the facade does is available piecemeal through its
 :attr:`catalog`, :attr:`planner` and :attr:`executor` attributes; the
 async serving path (:meth:`QueryEngine.serve_async`) runs through the
@@ -41,6 +46,7 @@ from repro.engine.executor import (
 )
 from repro.engine.metrics import EngineStats
 from repro.engine.planner import AnyPlan, Planner
+from repro.engine.sharding import RebalanceManager, RebalanceReport
 from repro.engine.serving import (
     AdmissionController,
     AsyncExecutor,
@@ -77,6 +83,18 @@ class QueryEngine:
         When a path is given, planner calibration is loaded from that JSON
         file on startup (entries older than the max age are dropped) and
         :meth:`save_calibration` persists it back.
+    stats_model / stats_params:
+        Selectivity model built for every dataset and shard child:
+        ``"uniform"`` (default, sample scan) or ``"histogram"``
+        (directional equi-depth histograms for skewed data); see
+        :mod:`repro.engine.stats`.
+    auto_rebalance / rebalance_threshold / rebalance_min_mutations:
+        When ``auto_rebalance`` is set, every serving entry point first
+        checks the touched range-sharded datasets for skew (largest
+        shard's live size, or histogram drift, at ``rebalance_threshold``
+        times the fair share, after at least ``rebalance_min_mutations``
+        mutations) and re-splits them before serving.
+        :meth:`rebalance` triggers the same re-split manually.
     """
 
     def __init__(self, block_size: int = 64, cache_blocks: int = 4,
@@ -87,11 +105,18 @@ class QueryEngine:
                  data_dir: Optional[str] = None,
                  fanout_workers: int = 8,
                  calibration_path: Optional[str] = None,
-                 calibration_max_age_s: float = DEFAULT_MAX_AGE_S):
+                 calibration_max_age_s: float = DEFAULT_MAX_AGE_S,
+                 stats_model: object = "uniform",
+                 stats_params: Optional[Dict[str, object]] = None,
+                 auto_rebalance: bool = False,
+                 rebalance_threshold: float = 2.0,
+                 rebalance_min_mutations: int = 64):
         self.catalog = Catalog(block_size=block_size,
                                cache_blocks=cache_blocks,
                                sample_size=sample_size, seed=seed,
-                               backend=backend, data_dir=data_dir)
+                               backend=backend, data_dir=data_dir,
+                               stats_model=stats_model,
+                               stats_params=stats_params)
         self.planner = Planner(self.catalog, ewma_alpha=ewma_alpha)
         self.stats = EngineStats()
         self.executor = BatchExecutor(
@@ -99,6 +124,18 @@ class QueryEngine:
             result_cache_entries=result_cache_entries,
             warm_cache_blocks=warm_cache_blocks,
             fanout_workers=fanout_workers)
+        self._auto_rebalance = auto_rebalance
+        self.rebalancer = RebalanceManager(
+            self.catalog, stats=self.stats,
+            threshold=rebalance_threshold,
+            min_mutations=rebalance_min_mutations)
+        # A re-split rebuilds per-shard stores and indexes: flush the old
+        # layout's cached answers, then re-wire the staleness/statistics
+        # hooks onto the freshly built indexes.
+        self.rebalancer.add_listener(
+            lambda name, report: self.executor.invalidate_dataset(name))
+        self.rebalancer.add_listener(
+            lambda name, report: self._watch_indexes(name))
         self.calibration_store: Optional[CalibrationStore] = None
         if calibration_path is not None:
             self.calibration_store = CalibrationStore(
@@ -161,22 +198,28 @@ class QueryEngine:
         A mutation through a dynamic index (1) flushes the dataset's
         result-cache entries, (2) marks the (shard replica) dataset
         mutated so the planner stops routing to its statically-built
-        siblings, and (3) on sharded datasets marks the shard's bounding
-        box stale so pruning no longer trusts it — and pins routing to the
-        mutated replica, the only copy holding the fresh data.
+        siblings, (3) on sharded datasets marks the shard's bounding
+        box stale so pruning no longer trusts it — and pins routing to
+        the mutated replica, the only copy holding the fresh data — and
+        (4) feeds the mutated *point* into the dataset's selectivity
+        model (sample reservoir / histograms) and the rebalance
+        manager's skew counters.
         """
-        if self.catalog.is_sharded(name):
+        sharded = self.catalog.sharded(name) \
+            if self.catalog.is_sharded(name) else None
+        if sharded is not None:
             targets = [
                 (replica,
                  lambda shard=shard, replica_id=replica_id:
                      shard.check_mutable(replica_id),
                  lambda shard=shard, replica_id=replica_id:
                      shard.mark_mutated(replica_id))
-                for shard in self.catalog.sharded(name).nonempty_shards()
+                for shard in sharded.nonempty_shards()
                 for replica_id, replica in enumerate(shard.replicas)]
         else:
             targets = [(self.catalog.dataset(name), None, None)]
         for dataset, guard, extra in targets:
+            point_hook = self._make_point_hook(name, dataset, sharded)
             for index in dataset.indexes.values():
                 self.executor.watch_index(name, index)
                 subscribe = getattr(index, "add_mutation_listener", None)
@@ -195,6 +238,46 @@ class QueryEngine:
                     dataset, "mutated", True))
                 if extra is not None:
                     subscribe(extra)
+                observe = getattr(index, "add_point_listener", None)
+                if callable(observe):
+                    observe(point_hook)
+
+    def _make_point_hook(self, name, dataset, sharded):
+        """The per-point mutation callback keeping statistics current."""
+        def hook(op: str, point) -> None:
+            for model in (dataset.stats,
+                          sharded.stats if sharded is not None else None):
+                if model is None:
+                    continue
+                if op == "insert":
+                    model.observe_insert(point)
+                else:
+                    model.observe_delete(point)
+            self.rebalancer.note_mutation(name)
+        return hook
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+    def rebalance(self, dataset: str) -> RebalanceReport:
+        """Re-split a range-sharded dataset at fresh quantiles now.
+
+        Collects every shard's live points (dynamic inserts included),
+        recomputes the quantile boundaries, rebuilds the per-shard
+        stores / index suites / statistics, flushes the dataset's cached
+        results and re-wires the mutation hooks.  Pruning works again
+        afterwards: the new shards' bounding boxes are fresh, and no
+        shard is pinned to a replica.  The event lands in
+        ``summary()["rebalances"]``.
+        """
+        return self.rebalancer.rebalance(dataset)
+
+    def _maybe_rebalance(self, *datasets: str) -> None:
+        """Auto-trigger hook run at every serving entry point."""
+        if not self._auto_rebalance:
+            return
+        for name in dict.fromkeys(datasets):
+            self.rebalancer.maybe_rebalance(name)
 
     # ------------------------------------------------------------------
     # serving
@@ -202,6 +285,7 @@ class QueryEngine:
     def query(self, dataset: str, constraint: LinearConstraint,
               clear_cache: bool = False) -> ExecutedQuery:
         """Serve one constraint through the planner-chosen index(es)."""
+        self._maybe_rebalance(dataset)
         return self.executor.execute(dataset, constraint,
                                      clear_cache=clear_cache)
 
@@ -209,6 +293,7 @@ class QueryEngine:
                           conjunction: ConstraintConjunction,
                           clear_cache: bool = False) -> ExecutedQuery:
         """Serve an AND of constraints (convex-polytope query)."""
+        self._maybe_rebalance(dataset)
         return self.executor.execute_conjunction(dataset, conjunction,
                                                  clear_cache=clear_cache)
 
@@ -216,6 +301,7 @@ class QueryEngine:
                     constraints: Sequence[LinearConstraint],
                     warm_cache: bool = True) -> BatchResult:
         """Serve a batch against one dataset (dedup + warm buffer pool)."""
+        self._maybe_rebalance(dataset)
         return self.executor.run_batch(dataset, constraints,
                                        warm_cache=warm_cache)
 
@@ -224,6 +310,7 @@ class QueryEngine:
                        warm_cache: bool = True, use_threads: bool = False,
                        max_workers: Optional[int] = None) -> WorkloadResult:
         """Serve a mixed-tenant workload of (dataset, constraint) pairs."""
+        self._maybe_rebalance(*(name for name, __ in requests))
         return self.executor.run_workload(requests, warm_cache=warm_cache,
                                           use_threads=use_threads,
                                           max_workers=max_workers)
@@ -231,7 +318,9 @@ class QueryEngine:
     def serve_async(self, requests: Sequence[ServingRequest],
                     budgets: Optional[Dict[str, TenantBudget]] = None,
                     max_concurrency: int = 8,
-                    warm_cache: bool = True) -> ServeResult:
+                    warm_cache: bool = True,
+                    admission: Optional[AdmissionController] = None
+                    ) -> ServeResult:
         """Serve a multi-tenant request stream through the async executor.
 
         Each :class:`~repro.engine.serving.ServingRequest` carries a
@@ -246,6 +335,15 @@ class QueryEngine:
         Runs its own event loop; from an already-async context construct
         an :class:`~repro.engine.serving.AsyncExecutor` over
         ``engine.executor.core`` and ``await`` its ``serve`` directly.
+
+        ``budgets`` builds a fresh admission controller per call — token
+        balances reset between waves.  For a long-lived deployment pass
+        a caller-held ``admission``
+        :class:`~repro.engine.serving.AdmissionController` instead: its
+        buckets persist across calls, so a tenant that exhausted its
+        budget in one wave stays throttled in the next, and mid-wave
+        overdrafts carry over (the two parameters are mutually
+        exclusive).
 
         Examples
         --------
@@ -268,9 +366,15 @@ class QueryEngine:
             print(result.turnaround_percentile("dashboard", 0.95))
             print(engine.summary()["admission"])         # decision counts
         """
+        if admission is not None and budgets:
+            raise ValueError("pass either budgets (per-call buckets) or "
+                             "admission (a caller-held controller whose "
+                             "balances persist across calls), not both")
+        self._maybe_rebalance(*(request.dataset for request in requests))
         executor = AsyncExecutor(
             self.executor.core,
-            admission=AdmissionController(budgets),
+            admission=(admission if admission is not None
+                       else AdmissionController(budgets)),
             max_concurrency=max_concurrency,
             warm_cache_blocks=self.executor.warm_cache_blocks)
         return asyncio.run(executor.serve(requests, warm_cache=warm_cache))

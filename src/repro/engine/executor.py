@@ -79,6 +79,17 @@ class ExecutedQuery:
     tenant: str = ""
     #: True when admission control served a sample-only degraded answer.
     degraded: bool = False
+    #: Fraction of the dataset the answer was computed from (1.0 = exact;
+    #: degraded answers carry their sample's coverage so callers can
+    #: scale counts).
+    sample_rate: float = 1.0
+    #: For degraded answers: ``count / sample_rate`` rounded — the scaled
+    #: estimate of how many points the *full* dataset would report.
+    estimated_count: Optional[int] = None
+    #: For degraded answers: a ~95% confidence interval on the full
+    #: count (see :func:`repro.engine.serving.admission.
+    #: scaled_count_estimate`).
+    count_interval: Optional[Tuple[int, int]] = None
 
     @property
     def count(self) -> int:
@@ -299,6 +310,14 @@ class ExecutionCore:
         metrics — is locked).
         """
         sharded = self.catalog.sharded(dataset_name)
+        if plan.generation != sharded.generation:
+            # A rebalance re-split the shards after this plan was made:
+            # its shard ids, boxes and per-shard indexes describe a
+            # layout that no longer exists, so executing it could miss
+            # points that moved shards.  Re-plan against the new layout.
+            plan = (self.planner.plan_conjunction(dataset_name, conjunction)
+                    if conjunction is not None
+                    else self.planner.plan(dataset_name, constraint))
         shards_by_id = {shard.shard_id: shard for shard in sharded.shards}
         generation = self.result_generation(dataset_name)
         started = time.perf_counter()
@@ -352,6 +371,15 @@ class ExecutionCore:
             observations.append((shard_plan.index_name,
                                  shard_plan.chosen.model_ios,
                                  shard_ios.total + shard_ios.cache_hits))
+            if conjunction is None:
+                # Estimation feedback rides the calibration path: each
+                # shard plan's expected output against what its shard
+                # reported.  (Conjunction plans are costed with a single
+                # conjunct's output — an intentional upper bound, not an
+                # estimate — so they are excluded from q-error.)
+                self.stats.note_estimation(dataset_name,
+                                           shard_plan.expected_output,
+                                           len(shard_points))
         self.planner.observe_many(dataset_name, observations)
         latency = time.perf_counter() - started
         answer = ExecutedQuery(dataset=dataset_name,
@@ -392,13 +420,17 @@ class ExecutionCore:
                ios: IOStats, latency: float,
                cache_key: Tuple[str, ConstraintKey],
                tenant: str = "",
-               generation: Optional[int] = None) -> ExecutedQuery:
+               generation: Optional[int] = None,
+               estimation: bool = True) -> ExecutedQuery:
         """Feed back calibration, record metrics, cache and return.
 
         ``generation`` must be the dataset's :meth:`result_generation`
         snapshot taken *before* the query executed; when an invalidation
         bumped it meanwhile the answer is returned but not cached.
         Passing None (unknown provenance) skips caching outright.
+        ``estimation=False`` keeps the plan's expected output out of the
+        q-error metrics (conjunction plans, whose estimate is a
+        deliberate single-conjunct upper bound).
         """
         # Calibration models the *cold* cost of a structure (what the plan
         # estimates predict), so count buffer-pool hits as the reads they
@@ -408,6 +440,9 @@ class ExecutionCore:
         self.planner.observe(dataset_name, plan.index_name,
                              plan.chosen.model_ios,
                              ios.total + ios.cache_hits)
+        if estimation:
+            self.stats.note_estimation(dataset_name, plan.expected_output,
+                                       len(points))
         answer = ExecutedQuery(dataset=dataset_name,
                                index_name=plan.index_name,
                                points=points, ios=ios, latency_s=latency,
@@ -458,6 +493,8 @@ class ExecutionCore:
             shards_pruned=answer.shards_pruned,
             tenant=answer.tenant,
             degraded=answer.degraded,
+            sample_rate=answer.sample_rate,
+            estimated_count=answer.estimated_count,
         ))
 
 
@@ -570,7 +607,7 @@ class BatchExecutor:
             ios = store.stats.delta(before)
         latency = time.perf_counter() - started
         return self.core.finish(dataset_name, plan, points, ios, latency,
-                                key, generation=generation)
+                                key, generation=generation, estimation=False)
 
     # ------------------------------------------------------------------
     # batches and workloads

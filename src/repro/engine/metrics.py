@@ -17,6 +17,16 @@ The async serving path adds three more signal families:
   triple, which is how the replica picker's balancing shows up on a
   dashboard.
 
+The statistics subsystem adds two more:
+
+* **estimation q-error** — per dataset, the ``max(est/act, act/est)``
+  ratio of each executed plan's expected output against what it actually
+  reported, summarised as percentiles so operators can see when a
+  selectivity model is misestimating;
+* **rebalance events** — every shard re-split the
+  :class:`~repro.engine.sharding.RebalanceManager` performed, with
+  before/after shard sizes and the skew that triggered it.
+
 The recorder is thread-safe: the batch executor's concurrent path records
 from worker threads.
 """
@@ -50,6 +60,23 @@ class ServedQueryRecord:
     tenant: str = ""
     #: True when admission control served a degraded (sample-only) answer.
     degraded: bool = False
+    #: Fraction of the dataset the answer was computed from (1.0 = exact;
+    #: degraded sample answers carry their sample's coverage).
+    sample_rate: float = 1.0
+    #: For degraded answers: the scaled full-dataset count estimate.
+    estimated_count: Optional[int] = None
+
+
+def q_error(expected: float, actual: float) -> float:
+    """The planner's estimation error for one query, as a ratio >= 1.
+
+    The standard cardinality-estimation metric: ``max(est/act, act/est)``
+    with both sides clamped to 1, so a zero estimate against a zero
+    actual is a perfect 1.0 instead of 0/0.
+    """
+    expected = max(float(expected), 1.0)
+    actual = max(float(actual), 1.0)
+    return max(expected / actual, actual / expected)
 
 
 def percentile(sorted_values: List[float], fraction: float) -> float:
@@ -74,12 +101,35 @@ class EngineStats:
     _max_queue_depth: int = 0
     #: I/Os attributed per (dataset, shard_id, replica_id).
     replica_load: Dict[Tuple[str, int, int], int] = field(default_factory=dict)
+    #: Per-dataset expected-output q-errors (one per executed plan /
+    #: shard plan), fed by the executor's calibration-feedback path.
+    estimation_errors: Dict[str, List[float]] = field(default_factory=dict)
+    #: Shard re-split events (RebalanceReport summaries, in order).
+    rebalance_events: List[Dict[str, object]] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, record: ServedQueryRecord) -> None:
         """Append one served-query record (thread-safe)."""
         with self._lock:
             self.records.append(record)
+
+    def note_estimation(self, dataset: str, expected: float,
+                        actual: float) -> None:
+        """Record one plan's expected-vs-actual output q-error (thread-safe).
+
+        Fed by the executor alongside calibration feedback, so every
+        executed (shard) plan contributes exactly one sample — the signal
+        operators watch to see when a dataset's selectivity model is
+        misestimating.
+        """
+        error = q_error(expected, actual)
+        with self._lock:
+            self.estimation_errors.setdefault(dataset, []).append(error)
+
+    def note_rebalance(self, event: Dict[str, object]) -> None:
+        """Record one shard re-split event (thread-safe)."""
+        with self._lock:
+            self.rebalance_events.append(dict(event))
 
     def note_admission(self, decision: str) -> None:
         """Count one admission-control outcome (thread-safe)."""
@@ -112,6 +162,8 @@ class EngineStats:
             self.admission_decisions.clear()
             self._max_queue_depth = 0
             self.replica_load.clear()
+            self.estimation_errors.clear()
+            self.rebalance_events.clear()
 
     # ------------------------------------------------------------------
     # aggregates
@@ -229,6 +281,41 @@ class EngineStats:
         with self._lock:
             return dict(self.admission_decisions)
 
+    def estimation_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-dataset expected-output q-error percentiles.
+
+        One entry per dataset that executed at least one plan: sample
+        count, p50/p90/max and mean of the q-errors.  A p50 near 1.0
+        means the selectivity model prices typical queries well; a heavy
+        tail (p90/max) is the operator's cue to switch models (or that a
+        mutated shard needs rebalancing).  Snapshots under the lock.
+        """
+        with self._lock:
+            errors = {dataset: list(values)
+                      for dataset, values in self.estimation_errors.items()}
+        out: Dict[str, Dict[str, float]] = {}
+        for dataset in sorted(errors):
+            ordered = sorted(errors[dataset])
+            out[dataset] = {
+                "plans": len(ordered),
+                "p50": percentile(ordered, 0.5),
+                "p90": percentile(ordered, 0.9),
+                "max": ordered[-1] if ordered else 0.0,
+                "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+            }
+        return out
+
+    def rebalance_summary(self) -> Dict[str, object]:
+        """Shard re-split events: total count, per-dataset counts, events."""
+        with self._lock:
+            events = [dict(event) for event in self.rebalance_events]
+        return {
+            "count": len(events),
+            "by_dataset": dict(Counter(str(event.get("dataset"))
+                                       for event in events)),
+            "events": events,
+        }
+
     def mean_ios(self) -> float:
         """Average I/Os per served query."""
         return self.total_ios / self.num_queries if self.num_queries else 0.0
@@ -252,6 +339,8 @@ class EngineStats:
             "shard_prune_rate": self.shard_prune_rate,
             "latency_s": self.latency_percentiles(),
             "plan_distribution": self.plan_distribution(),
+            "estimation_qerror": self.estimation_summary(),
+            "rebalances": self.rebalance_summary(),
             "admission": self.admission_summary(),
             "max_queue_depth": self.max_queue_depth,
             "replica_load": self.replica_load_summary(),

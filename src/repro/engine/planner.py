@@ -8,7 +8,10 @@ prediction has two factors:
   :meth:`~repro.core.interface.ExternalIndex.estimated_query_ios`, i.e. the
   paper's asymptotic bound (``log_B n + t`` for the optimal structures,
   ``n^{1-1/d} + t`` for the partition tree, ``n`` for a scan) evaluated
-  with the expected output size from the catalog's sample;
+  with the expected output size from the dataset's selectivity model
+  (:mod:`repro.engine.stats` — a uniform sample by default, directional
+  histograms for skewed data; sharded datasets are priced with each
+  shard child's *own* model);
 * a *calibration* factor — an exponentially-weighted running ratio of
   observed I/Os (from ``query_with_stats`` history fed back by the
   executor) to predicted I/Os, per (dataset, index).  Asymptotic bounds
@@ -114,6 +117,9 @@ class ShardedPlan:
     expected_output: int
     shard_plans: Tuple[Tuple[int, Plan], ...]
     num_shards: int
+    #: The sharded dataset's re-split generation this plan was made
+    #: against; the executor re-plans when a rebalance has bumped it.
+    generation: int = 0
 
     @property
     def estimated_ios(self) -> float:
@@ -252,10 +258,17 @@ class Planner:
              self._plan_dataset(shard.planning_dataset(), sharded.name,
                                 constraint))
             for shard in relevant)
+        # The fan-out's expected output is the sum of the *shard-local*
+        # estimates (each shard child owns its own selectivity model) —
+        # on skewed data the per-shard models see their shard's
+        # distribution, where the single global estimate would not.
         return ShardedPlan(dataset=sharded.name,
-                           expected_output=sharded.estimate_output(constraint),
+                           expected_output=sum(
+                               plan.expected_output
+                               for __, plan in shard_plans),
                            shard_plans=shard_plans,
-                           num_shards=sharded.num_shards)
+                           num_shards=sharded.num_shards,
+                           generation=sharded.generation)
 
     def plan_conjunction(self, dataset_name: str,
                          conjunction: ConstraintConjunction) -> AnyPlan:

@@ -17,18 +17,69 @@ When a request exceeds the budget, the tenant's configured policy decides:
   enough; other tenants keep flowing meanwhile.
 * ``"reject"`` — drop the request immediately (load shedding).
 * ``"degrade"`` — serve a zero-I/O *approximate* answer from the
-  dataset's in-memory sample, marked ``degraded`` so the caller knows.
+  dataset's in-memory sample, marked ``degraded`` so the caller knows,
+  carrying the sample rate plus a scaled full-count estimate with a
+  confidence interval (:func:`scaled_count_estimate`).
 
 Tenants without a configured budget are always admitted.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 #: The three over-budget policies a tenant can configure.
 POLICIES = ("queue", "reject", "degrade")
+
+
+def scaled_count_estimate(hits: int, sample_size: int, population: int,
+                          z: float = 1.96) -> Tuple[int, Tuple[int, int]]:
+    """Scale a sample hit count to the population, with a ~95% interval.
+
+    A degraded answer reports the ``hits`` sample points satisfying the
+    constraint out of a uniform ``sample_size``-point sample of a
+    ``population``-point dataset.  The unbiased full-count estimate is
+    ``hits / sample_rate``; the interval is the normal approximation to
+    the hypergeometric count, ``z`` standard errors wide with the
+    finite-population correction (so a sample covering the whole dataset
+    collapses to the exact count).  Zero observed hits use the rule of
+    three (``3/sample_size``) as the 95% upper bound instead of the
+    degenerate zero-width normal interval, and symmetrically for a
+    sample that hits everything.  The interval is clamped to
+    ``[hits, population]`` — the hits are real stored points, so the true
+    count is never below them.
+    """
+    if sample_size <= 0 or population <= 0:
+        return 0, (0, 0)
+    hits = min(max(int(hits), 0), sample_size)
+    proportion = hits / sample_size
+    estimate = int(round(proportion * population))
+    if population > 1:
+        correction = math.sqrt(
+            max(0.0, (population - sample_size) / (population - 1)))
+    else:
+        correction = 0.0
+    error = z * correction * math.sqrt(
+        proportion * (1.0 - proportion) / sample_size)
+    low = proportion - error
+    high = proportion + error
+    if correction > 0:  # a full-coverage sample is exact; skip widening
+        if hits == 0:
+            high = max(high, min(1.0, 3.0 / sample_size))
+        if hits == sample_size:
+            low = min(low, 1.0 - min(1.0, 3.0 / sample_size))
+    # The epsilon absorbs float noise so an exact proportion (e.g. a
+    # full-coverage sample) does not ceil up to a phantom extra point.
+    low_count = max(hits, int(math.floor(low * population + 1e-9)))
+    high_count = max(min(population, int(math.ceil(high * population
+                                                   - 1e-9))), low_count)
+    # The point estimate must respect its own interval: the hits are real
+    # stored points, so the true count (and hence the estimate) can never
+    # sit below them even when the sample outnumbers the population.
+    estimate = min(max(estimate, low_count), high_count)
+    return estimate, (low_count, high_count)
 
 
 @dataclass

@@ -35,7 +35,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.executor import ExecutedQuery, ExecutionCore, constraint_key
 from repro.engine.metrics import percentile
-from repro.engine.serving.admission import AdmissionController
+from repro.engine.serving.admission import (
+    AdmissionController,
+    scaled_count_estimate,
+)
 from repro.engine.sharding import sample_hits
 from repro.engine.serving.queue import (
     PriorityRequestQueue,
@@ -403,14 +406,24 @@ class AsyncExecutor:
         planner's selectivity estimate, via
         :func:`~repro.engine.sharding.sample_hits`) — marked ``degraded``
         and kept out of the result cache so it can never masquerade as an
-        exact answer.
+        exact answer.  The answer carries its ``sample_rate`` (what
+        fraction of the dataset was scanned) plus a scaled full-count
+        estimate with a ~95% confidence interval, so callers can turn
+        the subset into a qualified count instead of mistaking it for
+        the whole truth.
         """
         entry = self._core.catalog.entry(request.dataset)
         hits = sample_hits(entry.sample, entry.dimension, request.constraint)
+        sample_size = int(len(entry.sample))
+        population = max(int(entry.live_size), sample_size)
+        estimate, interval = scaled_count_estimate(len(hits), sample_size,
+                                                   population)
         answer = ExecutedQuery(
             dataset=request.dataset, index_name="degraded_sample",
             points=[tuple(row) for row in hits.tolist()], ios=IOStats(),
             latency_s=0.0, estimated_ios=0.0, tenant=request.tenant,
-            degraded=True)
+            degraded=True,
+            sample_rate=(sample_size / population if population else 1.0),
+            estimated_count=estimate, count_interval=interval)
         self._core.record(answer)
         return answer

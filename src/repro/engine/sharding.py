@@ -29,7 +29,15 @@ from __future__ import annotations
 import abc
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TYPE_CHECKING,
+    Tuple,
+)
 
 import numpy as np
 
@@ -37,7 +45,9 @@ from repro.core.conjunction import ConstraintConjunction
 from repro.geometry.primitives import LinearConstraint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (catalog imports us)
-    from repro.engine.catalog import Dataset
+    from repro.engine.catalog import Catalog, Dataset
+    from repro.engine.metrics import EngineStats
+    from repro.engine.stats import SelectivityModel
 
 
 def sample_hits(sample: np.ndarray, dimension: int,
@@ -329,11 +339,17 @@ class Shard:
 class ShardedDataset:
     """A dataset partitioned across per-shard stores and index suites.
 
-    The global ``sample`` estimates whole-dataset selectivity exactly as
-    :class:`~repro.engine.catalog.Dataset` does; each shard's child dataset
-    additionally keeps its own sample so the planner can price per-shard
-    output sizes.  ``prune`` can be flipped off to force fan-out to every
-    shard (benchmarks use this to measure what pruning saves).
+    The global ``stats`` model estimates whole-dataset selectivity exactly
+    as :class:`~repro.engine.catalog.Dataset` does (falling back to the
+    uniform ``sample`` when no model is attached); each shard's child
+    dataset additionally keeps its own model so the planner can price
+    per-shard output sizes with shard-local statistics.  ``prune`` can be
+    flipped off to force fan-out to every shard (benchmarks use this to
+    measure what pruning saves).
+
+    ``generation`` counts re-splits: the :class:`RebalanceManager` bumps
+    it when it rebuilds the shard layout, and the executor re-plans any
+    query whose plan was made against an older generation.
     """
 
     name: str
@@ -342,6 +358,17 @@ class ShardedDataset:
     router: ShardRouter
     shards: List[Shard] = field(default_factory=list)
     prune: bool = True
+    #: Pluggable selectivity model (None = estimate on the sample).
+    stats: Optional["SelectivityModel"] = None
+    #: Index builds performed over every shard — ``{"kind", "index_name",
+    #: "params"}`` records kept by the catalog so a re-split can rebuild
+    #: the identical suite (same names, same parameters) on new shards.
+    suite_builds: List[Dict[str, object]] = field(default_factory=list)
+    #: Re-split counter; plans carry the generation they were made against.
+    generation: int = 0
+    #: Registration parameters (block size, backend, stats model, ...)
+    #: replayed by the catalog when re-splitting.
+    register_params: Dict[str, object] = field(default_factory=dict)
 
     @property
     def dimension(self) -> int:
@@ -354,6 +381,11 @@ class ShardedDataset:
         return int(self.points.shape[0])
 
     @property
+    def live_size(self) -> int:
+        """Current point count across shards, observed mutations included."""
+        return self.stats.size if self.stats is not None else self.size
+
+    @property
     def num_shards(self) -> int:
         """The configured shard count K (empty shards included)."""
         return self.router.num_shards
@@ -364,11 +396,25 @@ class ShardedDataset:
 
     def estimate_selectivity(self, constraint: LinearConstraint) -> float:
         """Fraction of all points expected to satisfy ``constraint``."""
+        if self.stats is not None:
+            return self.stats.estimate_selectivity(constraint)
         return selectivity_on_sample(self.sample, self.dimension, constraint)
 
     def estimate_output(self, constraint: LinearConstraint) -> int:
         """Expected number of reported points across shards (the paper's T)."""
+        if self.stats is not None:
+            return self.stats.estimate_output(constraint)
         return int(round(self.estimate_selectivity(constraint) * self.size))
+
+    def shard_live_sizes(self) -> List[int]:
+        """Current per-shard point counts, mutations included.
+
+        Uses each shard's routing replica (the copy holding the fresh
+        data after a mutation) and its live size, so post-insert skew is
+        visible — the build-time ``shards[i].size`` is not.
+        """
+        return [0 if shard.is_empty else shard.planning_dataset().live_size
+                for shard in self.shards]
 
     def relevant_shards(self, constraint: LinearConstraint) -> List[Shard]:
         """The shards a query must visit (box pruning unless disabled)."""
@@ -397,8 +443,178 @@ class ShardedDataset:
             "router": self.router.describe(),
             "shard_sizes": [shard.size for shard in self.shards],
             "replicas_per_shard": self.replicas_per_shard,
+            "generation": self.generation,
         }
 
     def __repr__(self) -> str:
         return "ShardedDataset(name=%r, N=%d, %r)" % (
             self.name, self.size, self.router)
+
+
+# ----------------------------------------------------------------------
+# rebalancing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one re-split did (recorded in EngineStats and benchmarks)."""
+
+    dataset: str
+    #: "manual" (QueryEngine.rebalance) or "auto" (threshold trigger).
+    reason: str
+    #: The sharded dataset's generation after the re-split.
+    generation: int
+    old_sizes: Tuple[int, ...]
+    new_sizes: Tuple[int, ...]
+    imbalance_before: float
+    imbalance_after: float
+    drift_before: float
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly view (EngineStats keeps these as events)."""
+        return {
+            "dataset": self.dataset,
+            "reason": self.reason,
+            "generation": self.generation,
+            "old_sizes": list(self.old_sizes),
+            "new_sizes": list(self.new_sizes),
+            "imbalance_before": self.imbalance_before,
+            "imbalance_after": self.imbalance_after,
+            "drift_before": self.drift_before,
+        }
+
+
+class RebalanceManager:
+    """Detects shard skew and re-splits range shards at fresh quantiles.
+
+    Range shards are split at *build-time* quantiles; inserts through a
+    shard's dynamic index land wherever the caller sends them, so the
+    split drifts: one shard bloats (its I/O share and its histogram skew
+    grow) and its bounding box goes stale, which disables pruning for
+    every later query.  The manager watches two signals, both fed by the
+    engine's mutation hooks:
+
+    * **size imbalance** — the largest shard's live size over the fair
+      share ``N/K``;
+    * **statistics drift** — the worst per-shard selectivity-model
+      ``drift()`` (equi-depth bucket skew for histogram models).
+
+    When either exceeds ``threshold`` (after at least ``min_mutations``
+    mutations), :meth:`maybe_rebalance` re-splits: live points are
+    collected from every shard's routing replica, fresh quantile
+    boundaries are computed, per-shard stores / index suites / models are
+    rebuilt through the catalog, and the registered listeners run (the
+    engine wires result-cache invalidation and mutation-hook re-wiring
+    there).  Plans made against the old layout are invalidated by the
+    dataset's bumped ``generation``.
+
+    Only range-sharded datasets rebalance: hash routing has no
+    boundaries to move.
+    """
+
+    def __init__(self, catalog: "Catalog",
+                 stats: Optional["EngineStats"] = None,
+                 threshold: float = 2.0, min_mutations: int = 64):
+        if threshold <= 1.0:
+            raise ValueError("threshold must exceed 1.0 (1.0 means "
+                             "perfectly balanced), got %r" % threshold)
+        if min_mutations < 1:
+            raise ValueError("min_mutations must be >= 1, got %r"
+                             % min_mutations)
+        self._catalog = catalog
+        self._stats = stats
+        self.threshold = threshold
+        self.min_mutations = min_mutations
+        self._mutations: Dict[str, int] = {}
+        self._listeners: List[Callable[[str, RebalanceReport], None]] = []
+
+    def add_listener(
+            self,
+            listener: Callable[[str, RebalanceReport], None]) -> None:
+        """Run ``listener(dataset_name, report)`` after every re-split."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # skew signals
+    # ------------------------------------------------------------------
+    def note_mutation(self, dataset_name: str) -> None:
+        """Count one mutation against a dataset (fed by engine hooks)."""
+        self._mutations[dataset_name] = \
+            self._mutations.get(dataset_name, 0) + 1
+
+    def mutations(self, dataset_name: str) -> int:
+        """Mutations observed since the last re-split (or registration)."""
+        return self._mutations.get(dataset_name, 0)
+
+    @staticmethod
+    def _imbalance(sizes: Sequence[int]) -> float:
+        """Largest shard over the fair share (1.0 = perfectly balanced)."""
+        total = sum(sizes)
+        if total <= 0 or not sizes:
+            return 1.0
+        return max(sizes) / (total / len(sizes))
+
+    def skew(self, dataset_name: str) -> Dict[str, float]:
+        """The dataset's current skew signals (imbalance, drift, mutations)."""
+        sharded = self._catalog.sharded(dataset_name)
+        sizes = sharded.shard_live_sizes()
+        drift = 0.0
+        for shard in sharded.nonempty_shards():
+            model = shard.planning_dataset().stats
+            if model is not None:
+                drift = max(drift, model.drift())
+        return {
+            "imbalance": self._imbalance(sizes),
+            "drift": drift,
+            "mutations": float(self.mutations(dataset_name)),
+        }
+
+    def should_rebalance(self, dataset_name: str) -> bool:
+        """True when skew warrants a re-split (cheap; no I/Os)."""
+        if not self._catalog.is_sharded(dataset_name):
+            return False
+        sharded = self._catalog.sharded(dataset_name)
+        if sharded.router.scheme != "range":
+            return False
+        if self.mutations(dataset_name) < self.min_mutations:
+            return False
+        signals = self.skew(dataset_name)
+        return (signals["imbalance"] >= self.threshold
+                or signals["drift"] >= self.threshold)
+
+    # ------------------------------------------------------------------
+    # the re-split
+    # ------------------------------------------------------------------
+    def rebalance(self, dataset_name: str,
+                  reason: str = "manual") -> RebalanceReport:
+        """Re-split a range-sharded dataset at fresh quantiles now.
+
+        Collects live points (mutations included) from every shard's
+        routing replica, rebuilds routers / stores / index suites /
+        statistics through the catalog, resets the mutation counter, and
+        notifies the listeners (cache invalidation, hook re-wiring).
+        """
+        before = self.skew(dataset_name)
+        outcome = self._catalog.resplit_sharded_dataset(dataset_name)
+        self._mutations[dataset_name] = 0
+        report = RebalanceReport(
+            dataset=dataset_name,
+            reason=reason,
+            generation=int(outcome["generation"]),
+            old_sizes=tuple(outcome["old_sizes"]),
+            new_sizes=tuple(outcome["new_sizes"]),
+            imbalance_before=before["imbalance"],
+            imbalance_after=self.skew(dataset_name)["imbalance"],
+            drift_before=before["drift"],
+        )
+        for listener in self._listeners:
+            listener(dataset_name, report)
+        if self._stats is not None:
+            self._stats.note_rebalance(report.summary())
+        return report
+
+    def maybe_rebalance(self,
+                        dataset_name: str) -> Optional[RebalanceReport]:
+        """Re-split iff the skew signals cross the threshold."""
+        if self.should_rebalance(dataset_name):
+            return self.rebalance(dataset_name, reason="auto")
+        return None

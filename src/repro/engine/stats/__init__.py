@@ -1,0 +1,53 @@
+"""The statistics subsystem: pluggable selectivity estimation.
+
+The paper's query bounds are output-sensitive, so every planner decision
+hinges on the expected output size T.  This package owns that estimate:
+
+* :class:`~repro.engine.stats.models.SelectivityModel` — the seam; one
+  model per dataset and one per shard child, so sharded plans are priced
+  with shard-local statistics;
+* :class:`~repro.engine.stats.models.UniformSampleModel` — evaluate the
+  constraint on a uniform in-memory sample (the original estimator);
+* :class:`~repro.engine.stats.models.HistogramModel` — equi-depth
+  histograms of projections onto canonical directions, answered by
+  nearest direction with a sample fallback — resolves the deep tail on
+  skewed data like the §1.2 diagonal;
+* :class:`~repro.engine.stats.histograms.EquiDepthHistogram` and the
+  direction helpers the histogram model composes.
+
+Models accept mutation feedback (``observe_insert``/``observe_delete``,
+wired to dynamic-index point listeners by the engine) and expose a
+``drift()`` signal the shard :class:`~repro.engine.sharding.
+RebalanceManager` uses to detect when inserts have skewed a shard's
+statistics.
+"""
+
+from repro.engine.stats.histograms import (
+    EquiDepthHistogram,
+    canonical_directions,
+    constraint_direction,
+    normalize_direction,
+    principal_directions,
+)
+from repro.engine.stats.models import (
+    DEFAULT_MIN_COSINE,
+    HistogramModel,
+    MODEL_KINDS,
+    SelectivityModel,
+    UniformSampleModel,
+    make_model,
+)
+
+__all__ = [
+    "DEFAULT_MIN_COSINE",
+    "EquiDepthHistogram",
+    "HistogramModel",
+    "MODEL_KINDS",
+    "SelectivityModel",
+    "UniformSampleModel",
+    "canonical_directions",
+    "constraint_direction",
+    "make_model",
+    "normalize_direction",
+    "principal_directions",
+]

@@ -1,0 +1,338 @@
+"""Pluggable selectivity models: the engine's estimation seam.
+
+Every planner decision hinges on ``expected_output`` — the paper's bounds
+are output-sensitive, so a misestimated T misprices every candidate
+index.  :class:`SelectivityModel` is the seam that estimate comes
+through; the catalog builds one model per dataset *and one per shard
+child*, so sharded planning is priced with shard-local statistics.
+
+Two models ship:
+
+* :class:`UniformSampleModel` — the engine's original estimator,
+  relocated: evaluate the constraint on a uniform in-memory sample.
+  Unbiased on any data, but its resolution floor is ``1/len(sample)`` —
+  a selective query on a 512-point sample reports 0–2 hits and the
+  estimate is mostly noise.
+* :class:`HistogramModel` — equi-depth histograms of the points'
+  projections onto a set of canonical directions (axis, principal
+  directions of the cloud, fill directions).  A constraint is answered
+  by projecting onto the *nearest* canonical direction, which resolves
+  the deep tail from all N points instead of a sample — exactly what the
+  §1.2 diagonal workload needs, where every adversarial query shares
+  (almost) one residual direction.  When no canonical direction is close
+  enough to the query's, the model falls back to the sample estimate, so
+  it is never much worse than the uniform baseline.
+
+Both models accept ``observe_insert`` / ``observe_delete`` feedback from
+the engine's dynamic-index mutation hooks, so estimates track mutated
+datasets: the sample is reservoir-refreshed, histograms are incremented,
+and the live size used to scale selectivity into an output count stays
+current.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.sharding import selectivity_on_sample
+from repro.engine.stats.histograms import (
+    EquiDepthHistogram,
+    canonical_directions,
+    constraint_direction,
+    normalize_direction,
+)
+from repro.geometry.primitives import LinearConstraint
+
+#: The model kinds :func:`make_model` accepts by name.
+MODEL_KINDS = ("uniform", "histogram")
+
+#: Cosine similarity below which HistogramModel distrusts its nearest
+#: canonical direction and falls back to the sample estimate (~5.7°).
+DEFAULT_MIN_COSINE = 0.995
+
+
+def _reservoir_insert(sample: np.ndarray, rng: np.random.Generator,
+                      live_size: int, point: Sequence[float]) -> None:
+    """One reservoir-sampling step: keep the sample uniform over inserts.
+
+    Replaces a uniformly-chosen row with probability
+    ``len(sample)/live_size`` — the classic algorithm-R update, shared by
+    both models so their sample semantics can never diverge.
+    """
+    if len(sample) == 0:
+        return
+    slot = int(rng.integers(max(live_size, 1)))
+    if slot < len(sample):
+        sample[slot] = np.asarray(point, dtype=float)
+
+
+def _reservoir_evict(sample: np.ndarray, rng: np.random.Generator,
+                     point: Sequence[float]) -> None:
+    """Purge a deleted point from the sample.
+
+    Rows equal to the deleted point are overwritten with copies of
+    uniformly-chosen surviving rows: the sample stays fixed-size and
+    free of dead points (a slight duplication bias, far smaller than the
+    unbounded bias of estimating against points that no longer exist).
+    """
+    if len(sample) == 0:
+        return
+    row = np.asarray(point, dtype=float)
+    dead = np.flatnonzero(np.all(sample == row, axis=1))
+    if len(dead) == 0 or len(dead) == len(sample):
+        return
+    alive = np.setdiff1d(np.arange(len(sample)), dead)
+    for slot in dead:
+        sample[slot] = sample[int(rng.choice(alive))]
+
+
+class SelectivityModel(abc.ABC):
+    """Estimates what fraction of a dataset satisfies a constraint.
+
+    Subclasses implement :meth:`estimate_selectivity`; the base class
+    turns it into an output-count estimate against the *live* size
+    (build size plus observed inserts minus deletes) and provides the
+    no-op mutation/drift hooks.
+    """
+
+    #: Short kind name ("uniform" / "histogram") used in configs.
+    name = "abstract"
+
+    def __init__(self, dimension: int, size: int):
+        self._dimension = int(dimension)
+        self._size = int(size)
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension of the modelled points."""
+        return self._dimension
+
+    @property
+    def size(self) -> int:
+        """Live number of modelled points (tracks observed mutations)."""
+        return self._size
+
+    def _check_dimension(self, constraint: LinearConstraint) -> None:
+        if constraint.dimension != self._dimension:
+            raise ValueError(
+                "constraint dimension %d does not match dataset dimension %d"
+                % (constraint.dimension, self._dimension))
+
+    @abc.abstractmethod
+    def estimate_selectivity(self, constraint: LinearConstraint) -> float:
+        """Fraction of points expected to satisfy ``constraint``."""
+
+    def estimate_output(self, constraint: LinearConstraint) -> int:
+        """Expected number of reported points (the paper's T)."""
+        return int(round(self.estimate_selectivity(constraint) * self._size))
+
+    # ------------------------------------------------------------------
+    # mutation feedback (wired to dynamic-index point listeners)
+    # ------------------------------------------------------------------
+    def observe_insert(self, point: Sequence[float]) -> None:
+        """Fold one inserted point into the statistics."""
+        self._size += 1
+
+    def observe_delete(self, point: Sequence[float]) -> None:
+        """Fold one deleted point out of the statistics."""
+        self._size = max(0, self._size - 1)
+
+    def drift(self) -> float:
+        """How far mutations have skewed the statistics (1.0 = none).
+
+        Models without a drift signal return 0.0 so they never trip a
+        drift-based rebalance trigger on their own.
+        """
+        return 0.0
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly model summary (benchmarks persist these)."""
+        return {"model": self.name, "size": self._size}
+
+
+class UniformSampleModel(SelectivityModel):
+    """The original sample-scan estimator, relocated behind the seam.
+
+    Holds a *reference* to the dataset's in-memory sample (the same array
+    the degraded-answer path scans, so the two can never drift apart) and
+    keeps it fresh under inserts with reservoir sampling: each insert
+    replaces a uniformly-chosen sample row with probability
+    ``len(sample)/live_size``, preserving uniformity over the live set.
+    """
+
+    name = "uniform"
+
+    def __init__(self, sample: np.ndarray, dimension: int, size: int,
+                 seed: Optional[int] = None):
+        super().__init__(dimension, size)
+        self._sample = np.asarray(sample, dtype=float)
+        self._rng = np.random.default_rng(seed)
+
+    def estimate_selectivity(self, constraint: LinearConstraint) -> float:
+        if len(self._sample):
+            self._check_dimension(constraint)
+        return selectivity_on_sample(self._sample, self._dimension, constraint)
+
+    def observe_insert(self, point: Sequence[float]) -> None:
+        super().observe_insert(point)
+        _reservoir_insert(self._sample, self._rng, self._size, point)
+
+    def observe_delete(self, point: Sequence[float]) -> None:
+        super().observe_delete(point)
+        _reservoir_evict(self._sample, self._rng, point)
+
+    def describe(self) -> Dict[str, object]:
+        payload = super().describe()
+        payload["sample_size"] = int(len(self._sample))
+        return payload
+
+
+class HistogramModel(SelectivityModel):
+    """Directional equi-depth histograms with nearest-direction answering.
+
+    Parameters
+    ----------
+    points:
+        The dataset's points (projections are computed once at build).
+    dimension:
+        Ambient dimension (defaults to ``points.shape[1]``).
+    directions:
+        Canonical directions to histogram; defaults to
+        :func:`~repro.engine.stats.histograms.canonical_directions`
+        (axis + principal directions + fill).  Rows are normalised.
+    num_buckets:
+        Buckets per histogram (each holds ``N/num_buckets`` points).
+    min_cosine:
+        A query whose residual direction is farther than this cosine from
+        every canonical direction falls back to the sample estimate (set
+        to -1 to force histogram answers; requires a sample otherwise).
+    sample:
+        The dataset's uniform sample, used for the fallback and kept
+        reservoir-fresh under inserts like :class:`UniformSampleModel`.
+    """
+
+    name = "histogram"
+
+    def __init__(self, points: np.ndarray,
+                 dimension: Optional[int] = None,
+                 directions: Optional[Sequence[Sequence[float]]] = None,
+                 num_buckets: int = 64,
+                 min_cosine: float = DEFAULT_MIN_COSINE,
+                 sample: Optional[np.ndarray] = None,
+                 seed: Optional[int] = None):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must have shape (N >= 1, d), got %r"
+                             % (points.shape,))
+        super().__init__(dimension if dimension is not None
+                         else points.shape[1], len(points))
+        if directions is None:
+            self._directions = canonical_directions(points, seed=seed)
+        else:
+            self._directions = np.asarray(
+                [normalize_direction(row) for row in directions])
+        if len(self._directions) == 0:
+            raise ValueError("need at least one canonical direction")
+        if self._directions.shape[1] != self._dimension:
+            raise ValueError("direction dimension %d does not match dataset "
+                             "dimension %d" % (self._directions.shape[1],
+                                               self._dimension))
+        self._min_cosine = float(min_cosine)
+        self._histograms = [EquiDepthHistogram(points @ direction,
+                                               num_buckets=num_buckets)
+                            for direction in self._directions]
+        self._sample = None if sample is None \
+            else np.asarray(sample, dtype=float)
+        if (self._sample is None or len(self._sample) == 0) \
+                and self._min_cosine > -1.0:
+            # Without a fallback, an off-direction query would be priced
+            # from a badly-mismatched histogram with no signal at all.
+            raise ValueError(
+                "HistogramModel needs a fallback sample while min_cosine "
+                "> -1; pass sample=..., or set min_cosine=-1 to accept "
+                "nearest-direction answers unconditionally")
+        self._rng = np.random.default_rng(seed)
+        self._fallbacks = 0
+
+    @property
+    def num_directions(self) -> int:
+        return len(self._directions)
+
+    @property
+    def fallbacks(self) -> int:
+        """How many estimates fell back to the sample (poor direction fit)."""
+        return self._fallbacks
+
+    def estimate_selectivity(self, constraint: LinearConstraint) -> float:
+        self._check_dimension(constraint)
+        unit, scale = constraint_direction(constraint)
+        cosines = self._directions @ unit
+        best = int(np.argmax(cosines))
+        if cosines[best] < self._min_cosine:
+            self._fallbacks += 1
+            return selectivity_on_sample(self._sample, self._dimension,
+                                         constraint)
+        return self._histograms[best].selectivity(constraint.offset / scale)
+
+    # ------------------------------------------------------------------
+    # mutation feedback
+    # ------------------------------------------------------------------
+    def observe_insert(self, point: Sequence[float]) -> None:
+        super().observe_insert(point)
+        row = np.asarray(point, dtype=float)
+        for direction, histogram in zip(self._directions, self._histograms):
+            histogram.insert(float(direction @ row))
+        if self._sample is not None:
+            _reservoir_insert(self._sample, self._rng, self._size, row)
+
+    def observe_delete(self, point: Sequence[float]) -> None:
+        super().observe_delete(point)
+        row = np.asarray(point, dtype=float)
+        for direction, histogram in zip(self._directions, self._histograms):
+            histogram.delete(float(direction @ row))
+        if self._sample is not None:
+            _reservoir_evict(self._sample, self._rng, row)
+
+    def drift(self) -> float:
+        """Worst per-direction bucket skew relative to build time.
+
+        Inserts concentrated in one region of one direction drive a
+        single equi-depth bucket far above its fair share; the maximum
+        over directions is the signal the rebalance trigger compares
+        against its threshold.
+        """
+        return max(histogram.drift() for histogram in self._histograms)
+
+    def describe(self) -> Dict[str, object]:
+        payload = super().describe()
+        payload["directions"] = self.num_directions
+        payload["buckets"] = self._histograms[0].num_buckets
+        payload["fallbacks"] = self._fallbacks
+        return payload
+
+
+def make_model(spec: object, points: np.ndarray, sample: np.ndarray,
+               seed: Optional[int] = None, **params) -> SelectivityModel:
+    """Build a selectivity model from a spec.
+
+    ``spec`` is a kind name (``"uniform"`` / ``"histogram"``), a callable
+    ``f(points, sample, seed, **params) -> SelectivityModel`` for custom
+    models, or ``None`` (the uniform default).  ``params`` are forwarded
+    to the model constructor (e.g. ``num_buckets`` / ``directions`` /
+    ``min_cosine`` for histograms).
+    """
+    points = np.asarray(points, dtype=float)
+    if spec is None:
+        spec = "uniform"
+    if callable(spec):
+        return spec(points=points, sample=sample, seed=seed, **params)
+    if spec == "uniform":
+        return UniformSampleModel(sample, dimension=points.shape[1],
+                                  size=len(points), seed=seed, **params)
+    if spec == "histogram":
+        return HistogramModel(points, sample=sample, seed=seed, **params)
+    raise ValueError("unknown selectivity model %r (expected one of %s, or "
+                     "a callable)" % (spec, ", ".join(MODEL_KINDS)))

@@ -1,0 +1,655 @@
+"""Tests for the statistics subsystem: models, drift, rebalancing.
+
+Covers the equi-depth directional histograms, the pluggable selectivity
+models (uniform sample vs histogram, including the histogram-beats-sample
+q-error claim on the §1.2 diagonal), per-shard estimates, the mutation
+hooks keeping statistics live, the shard rebalance path (pruning
+restored, caches invalidated, pinned replicas handled, auto-trigger) and
+the serving satellites (degraded answers with error bars, caller-held
+admission across serve_async calls).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import brute_force_halfspace
+
+from repro import LinearConstraint, QueryEngine
+from repro.engine import (
+    EquiDepthHistogram,
+    HistogramModel,
+    ServingRequest,
+    ShardedPlan,
+    TenantBudget,
+    UniformSampleModel,
+    make_model,
+)
+from repro.engine.metrics import q_error
+from repro.engine.serving import AdmissionController
+from repro.engine.serving.admission import scaled_count_estimate
+from repro.engine.stats import canonical_directions, constraint_direction
+from repro.workloads import (
+    diagonal_points,
+    halfspace_queries_with_selectivity,
+    rotated_diagonal_query,
+    steep_leading_attribute_queries,
+    uniform_points,
+)
+
+BLOCK_SIZE = 32
+
+
+# ----------------------------------------------------------------------
+# equi-depth histograms
+# ----------------------------------------------------------------------
+def test_equi_depth_histogram_matches_empirical_cdf():
+    values = np.random.default_rng(0).normal(size=4000)
+    histogram = EquiDepthHistogram(values, num_buckets=64)
+    for threshold in (-2.0, -0.5, 0.0, 0.7, 1.9):
+        estimate = histogram.selectivity(threshold)
+        truth = float((values <= threshold).mean())
+        assert abs(estimate - truth) <= 1.0 / 64 + 1e-9
+
+
+def test_equi_depth_histogram_is_exact_at_bucket_edges():
+    values = np.arange(1000, dtype=float)
+    histogram = EquiDepthHistogram(values, num_buckets=10)
+    assert histogram.selectivity(values.min() - 1) == 0.0
+    assert histogram.selectivity(values.max()) == 1.0
+    # The 30% quantile edge reports (almost exactly) 30%.
+    edge = float(np.quantile(values, 0.3))
+    assert abs(histogram.selectivity(edge) - 0.3) < 2e-3
+
+
+def test_equi_depth_histogram_handles_duplicate_heavy_values():
+    values = np.array([1.0] * 900 + [2.0] * 50 + [3.0] * 50)
+    histogram = EquiDepthHistogram(values, num_buckets=8)
+    assert abs(histogram.selectivity(1.0) - 0.9) < 0.05
+    assert histogram.selectivity(3.0) == 1.0
+    # Duplicate-collapsed edges must not read as pre-drifted.
+    assert histogram.drift() == pytest.approx(1.0)
+
+
+def test_equi_depth_histogram_insert_delete_and_drift():
+    values = np.random.default_rng(1).uniform(-1, 1, size=1024)
+    histogram = EquiDepthHistogram(values, num_buckets=16)
+    assert histogram.drift() == pytest.approx(1.0)
+    for __ in range(1024):
+        histogram.insert(0.9999)  # all land in the last bucket
+    assert histogram.total == 2048
+    assert histogram.drift() > 8.0
+    # Out-of-range inserts stretch the edge buckets instead of vanishing.
+    histogram.insert(5.0)
+    assert histogram.selectivity(5.0) == 1.0
+    histogram.delete(5.0)
+    assert histogram.total == 2048
+
+
+def test_histogram_rejects_empty_and_bad_buckets():
+    with pytest.raises(ValueError):
+        EquiDepthHistogram([], num_buckets=4)
+    with pytest.raises(ValueError):
+        EquiDepthHistogram([1.0], num_buckets=0)
+
+
+# ----------------------------------------------------------------------
+# directions
+# ----------------------------------------------------------------------
+def test_canonical_directions_cover_axis_and_principal():
+    points = diagonal_points(1000, noise=1e-3, seed=3)
+    directions = canonical_directions(points, num_directions=12)
+    assert directions.shape[1] == 2
+    # Unit vectors on the upper half-circle.
+    assert np.allclose(np.linalg.norm(directions, axis=1), 1.0)
+    # The diagonal perpendicular (the §1.2 residual direction) is present.
+    perpendicular = np.array([-1.0, 1.0]) / np.sqrt(2.0)
+    assert np.max(directions @ perpendicular) > 0.9999
+
+
+def test_constraint_direction_normalisation():
+    constraint = LinearConstraint(coeffs=(1.0,), offset=2.0)
+    unit, scale = constraint_direction(constraint)
+    assert np.allclose(unit, np.array([-1.0, 1.0]) / np.sqrt(2.0))
+    assert scale == pytest.approx(np.sqrt(2.0))
+
+
+# ----------------------------------------------------------------------
+# models
+# ----------------------------------------------------------------------
+def test_uniform_model_matches_sample_scan():
+    points = uniform_points(2000, seed=4)
+    sample = points[:500].copy()
+    model = UniformSampleModel(sample, dimension=2, size=len(points))
+    constraint = LinearConstraint(coeffs=(0.25,), offset=0.1)
+    expected = sum(constraint.below(p) for p in sample) / len(sample)
+    assert model.estimate_selectivity(constraint) == pytest.approx(expected)
+    assert model.estimate_output(constraint) == int(round(expected * 2000))
+
+
+def test_models_check_constraint_dimension():
+    points = uniform_points(100, seed=5)
+    bad = LinearConstraint(coeffs=(0.1, 0.2), offset=0.0)  # 3-D constraint
+    for spec in ("uniform", "histogram"):
+        model = make_model(spec, points, points[:50].copy(), seed=5)
+        with pytest.raises(ValueError):
+            model.estimate_selectivity(bad)
+
+
+def test_make_model_rejects_unknown_spec():
+    points = uniform_points(64, seed=6)
+    with pytest.raises(ValueError):
+        make_model("parametric", points, points.copy())
+
+
+def test_histogram_model_beats_uniform_on_diagonal_qerror():
+    """The acceptance-criterion claim, in miniature.
+
+    On the §1.2 diagonal with near-diagonal queries across a log-spaced
+    selectivity range, the histogram model (whose principal direction
+    matches the queries' residual direction) must show strictly lower
+    mean AND median q-error than the uniform 256-point sample.
+    """
+    points = diagonal_points(4096, noise=5e-3, seed=7)
+    rng = np.random.default_rng(8)
+    sample = points[rng.choice(len(points), 256, replace=False)]
+    uniform = make_model("uniform", points, sample.copy(), seed=9)
+    histogram = make_model("histogram", points, sample.copy(), seed=9)
+    errors = {"uniform": [], "histogram": []}
+    selectivities = np.exp(np.linspace(np.log(0.002), np.log(0.3), 20))
+    for index, selectivity in enumerate(selectivities):
+        angle = float(rng.normal(scale=2e-4))
+        constraint = rotated_diagonal_query(points, angle=angle,
+                                            selectivity=float(selectivity))
+        actual = sum(constraint.below(p) for p in points)
+        errors["uniform"].append(
+            q_error(uniform.estimate_output(constraint), actual))
+        errors["histogram"].append(
+            q_error(histogram.estimate_output(constraint), actual))
+    assert np.mean(errors["histogram"]) < np.mean(errors["uniform"])
+    assert np.median(errors["histogram"]) < np.median(errors["uniform"])
+
+
+def test_histogram_model_falls_back_to_sample_off_direction():
+    points = uniform_points(1000, seed=10)
+    sample = points[:300].copy()
+    # Only the x_d axis is canonical; a steep constraint's residual
+    # direction is far from it, so the model must fall back.
+    model = HistogramModel(points, directions=[(0.0, 1.0)],
+                           min_cosine=0.99, sample=sample)
+    steep = LinearConstraint(coeffs=(25.0,), offset=0.0)
+    expected = sum(steep.below(p) for p in sample) / len(sample)
+    assert model.estimate_selectivity(steep) == pytest.approx(expected)
+    assert model.fallbacks == 1
+    # An axis-aligned constraint uses the histogram (no new fallback).
+    model.estimate_selectivity(LinearConstraint(coeffs=(0.0,), offset=0.0))
+    assert model.fallbacks == 1
+
+
+def test_histogram_model_requires_sample_unless_forced():
+    points = uniform_points(200, seed=26)
+    with pytest.raises(ValueError):
+        HistogramModel(points, directions=[(0.0, 1.0)])
+    forced = HistogramModel(points, directions=[(0.0, 1.0)],
+                            min_cosine=-1.0)
+    steep = LinearConstraint(coeffs=(25.0,), offset=0.0)
+    assert 0.0 <= forced.estimate_selectivity(steep) <= 1.0
+    assert forced.fallbacks == 0
+
+
+def test_observe_delete_evicts_dead_points_from_sample():
+    """Deleting a region must not leave its points haunting the sample."""
+    rng = np.random.default_rng(27)
+    left = np.column_stack([rng.uniform(-1, -0.5, 200),
+                            rng.uniform(-1, 1, 200)])
+    right = np.column_stack([rng.uniform(0.5, 1, 200),
+                             rng.uniform(-1, 1, 200)])
+    points = np.concatenate([left, right])
+    sample = points.copy()  # full-coverage sample
+    model = UniformSampleModel(sample, dimension=2, size=len(points),
+                               seed=27)
+    left_half = LinearConstraint.from_inequality((1.0, 1e-9), -0.5)
+    assert model.estimate_selectivity(left_half) == pytest.approx(0.5)
+    for point in left:
+        model.observe_delete(point)
+    assert model.size == 200
+    # The dead region's sample rows were evicted: its estimated
+    # selectivity collapses instead of staying at ~50%.
+    assert model.estimate_selectivity(left_half) < 0.05
+
+
+def test_model_tracks_live_size_under_mutation_feedback():
+    points = uniform_points(400, seed=11)
+    model = make_model("histogram", points, points[:100].copy(), seed=11)
+    everything = LinearConstraint(coeffs=(0.0,), offset=10.0)
+    assert model.estimate_output(everything) == 400
+    for __ in range(100):
+        model.observe_insert((0.5, 0.5))
+    assert model.size == 500
+    assert model.estimate_output(everything) == 500
+    model.observe_delete((0.5, 0.5))
+    assert model.size == 499
+
+
+# ----------------------------------------------------------------------
+# engine integration: per-dataset and per-shard estimates
+# ----------------------------------------------------------------------
+def test_engine_builds_configured_model_per_dataset_and_shard():
+    points = uniform_points(600, seed=12)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=12,
+                         stats_model="histogram",
+                         stats_params={"num_buckets": 32})
+    engine.register_dataset("plain", points)
+    engine.register_sharded_dataset("sh", points, num_shards=2,
+                                    sharding="range")
+    assert engine.catalog.dataset("plain").stats.name == "histogram"
+    sharded = engine.catalog.sharded("sh")
+    assert sharded.stats.name == "histogram"
+    for shard in sharded.nonempty_shards():
+        for replica in shard.replicas:
+            assert replica.stats.name == "histogram"
+            assert replica.stats.describe()["buckets"] == 32
+    engine.close()
+
+
+def test_sharded_plan_uses_shard_local_expected_output():
+    """Per-shard models price the fan-out; the plan's expected output is
+    the sum of the shard-local estimates over relevant shards."""
+    points = uniform_points(2048, seed=13)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=13)
+    engine.register_sharded_dataset("sh", points, num_shards=4,
+                                    sharding="range")
+    constraint = steep_leading_attribute_queries(points, 1, 0.05,
+                                                 seed=14)[0]
+    plan = engine.explain("sh", constraint)
+    assert isinstance(plan, ShardedPlan)
+    assert plan.expected_output == sum(
+        shard_plan.expected_output for __, shard_plan in plan.shard_plans)
+    # Shard-local estimates differ across shards on a steep constraint
+    # (only the low-attribute shards see satisfying points).
+    per_shard = [shard_plan.expected_output
+                 for __, shard_plan in plan.shard_plans]
+    truth = len(brute_force_halfspace(points, constraint))
+    assert q_error(plan.expected_output, truth) < 2.0
+    assert per_shard  # pruning keeps at least one relevant shard
+    engine.close()
+
+
+def test_estimation_qerror_lands_in_summary():
+    points = uniform_points(800, seed=15)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=15)
+    engine.register_dataset("d", points)
+    for constraint in halfspace_queries_with_selectivity(points, 4, 0.1,
+                                                         seed=16):
+        engine.query("d", constraint)
+    summary = engine.summary()["estimation_qerror"]
+    assert summary["d"]["plans"] == 4
+    assert summary["d"]["p50"] >= 1.0
+    assert summary["d"]["max"] >= summary["d"]["p50"]
+    engine.close()
+
+
+def test_insert_hooks_update_dataset_model_and_counters():
+    points = uniform_points(512, seed=17)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=17)
+    engine.register_dataset("d", points, kinds=["dynamic", "full_scan"])
+    dataset = engine.catalog.dataset("d")
+    before = dataset.stats.size
+    dynamic = dataset.indexes["dynamic"]
+    dynamic.insert((2.0, 2.0))
+    dynamic.insert((2.1, 2.1))
+    assert dataset.stats.size == before + 2
+    assert dataset.live_size == before + 2
+    assert engine.rebalancer.mutations("d") == 2
+    # The model's estimate now reflects the inserted points.
+    everything = LinearConstraint(coeffs=(0.0,), offset=100.0)
+    assert dataset.estimate_output(everything) == before + 2
+    dynamic.delete((2.0, 2.0))
+    assert dataset.stats.size == before + 1
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# rebalancing
+# ----------------------------------------------------------------------
+def _skewed_insert_scenario(replicas=1, stats_model="uniform", **kwargs):
+    """A K=4 range-sharded engine plus skewed inserts into shard 3."""
+    points = uniform_points(1024, seed=18)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=18,
+                         stats_model=stats_model, **kwargs)
+    engine.register_sharded_dataset(
+        "sh", points, num_shards=4, sharding="range", replicas=replicas,
+        kinds=["partition_tree", "full_scan", "dynamic"])
+    queries = steep_leading_attribute_queries(points, 5, 0.02, seed=19)
+    rng = np.random.default_rng(20)
+    extra = rng.uniform(-1, 1, size=(400, 2))
+    dynamic = engine.catalog.sharded("sh").shards[3] \
+        .planning_dataset().indexes["dynamic"]
+    for point in extra:
+        dynamic.insert(point)
+    return engine, points, extra, queries
+
+
+def _serve_cold(engine, queries):
+    engine.stats.reset()
+    ios = sum(engine.query("sh", c, clear_cache=True).total_ios
+              for c in queries)
+    return ios, engine.stats.shards_pruned
+
+
+def test_rebalance_restores_pruning_after_skewed_inserts():
+    engine, points, extra, queries = _skewed_insert_scenario()
+    live = np.concatenate([points, extra])
+    skewed_ios, skewed_pruned = _serve_cold(engine, queries)
+    # The mutated shard's box is stale: it participates in every query.
+    assert skewed_pruned < 3 * len(queries)
+    report = engine.rebalance("sh")
+    assert report.generation == 1
+    assert max(report.new_sizes) < max(report.old_sizes)
+    rebalanced_ios, rebalanced_pruned = _serve_cold(engine, queries)
+    assert rebalanced_pruned == 3 * len(queries)
+    assert rebalanced_ios < skewed_ios
+    # Answers stay exact over the live set after the re-split.
+    for constraint in queries:
+        answer = engine.query("sh", constraint)
+        assert {tuple(p) for p in answer.points} == \
+            brute_force_halfspace(live, constraint)
+    engine.close()
+
+
+def test_rebalance_invalidates_cached_results():
+    engine, points, extra, queries = _skewed_insert_scenario()
+    warm = engine.query("sh", queries[0])
+    again = engine.query("sh", queries[0])
+    assert again.from_result_cache
+    engine.rebalance("sh")
+    fresh = engine.query("sh", queries[0])
+    assert not fresh.from_result_cache
+    assert {tuple(p) for p in fresh.points} == \
+        {tuple(p) for p in warm.points}
+    engine.close()
+
+
+def test_rebalance_handles_pinned_replicas():
+    engine, points, extra, queries = _skewed_insert_scenario(replicas=2)
+    sharded = engine.catalog.sharded("sh")
+    assert sharded.shards[3].pinned_replica == 0
+    engine.rebalance("sh")
+    for shard in sharded.nonempty_shards():
+        assert shard.pinned_replica is None
+        assert not shard.box_stale
+        assert shard.num_replicas == 2
+    live = np.concatenate([points, extra])
+    for constraint in queries:
+        answer = engine.query("sh", constraint)
+        assert {tuple(p) for p in answer.points} == \
+            brute_force_halfspace(live, constraint)
+    engine.close()
+
+
+def test_rebalance_rebuilds_models_and_rewires_insert_hooks():
+    engine, points, extra, queries = _skewed_insert_scenario(
+        stats_model="histogram")
+    assert engine.rebalancer.skew("sh")["drift"] > 2.0
+    engine.rebalance("sh")
+    assert engine.rebalancer.skew("sh")["drift"] == pytest.approx(1.0)
+    assert engine.rebalancer.mutations("sh") == 0
+    # Hooks moved to the rebuilt indexes: an insert through a *new*
+    # shard's dynamic index still updates statistics and counters.
+    sharded = engine.catalog.sharded("sh")
+    child = sharded.shards[0].planning_dataset()
+    size_before = child.stats.size
+    child.indexes["dynamic"].insert((-5.0, -5.0))
+    assert child.stats.size == size_before + 1
+    assert engine.rebalancer.mutations("sh") == 1
+    assert sharded.live_size == len(points) + len(extra) + 1
+    engine.close()
+
+
+def test_rebalance_preserves_custom_index_names_and_params():
+    points = uniform_points(512, seed=28)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=28)
+    engine.register_sharded_dataset("sh", points, num_shards=2,
+                                    sharding="range", kinds=["full_scan"])
+    engine.catalog.build_sharded_index("sh", "partition_tree",
+                                       index_name="pt_wide", max_fanout=4)
+    engine.catalog.build_sharded_index("sh", "dynamic")
+    sharded = engine.catalog.sharded("sh")
+    sharded.shards[0].planning_dataset().indexes["dynamic"].insert(
+        (0.0, 0.0))
+    engine.rebalance("sh")
+    for shard in sharded.nonempty_shards():
+        indexes = shard.planning_dataset().indexes
+        assert set(indexes) == {"full_scan", "pt_wide", "dynamic"}
+        record = shard.planning_dataset().build_records["pt_wide"]
+        assert record.params == {"max_fanout": 4}
+    # The insert went through a catalog-built (engine-unwired) index;
+    # the re-split must still carry it into the new shards.
+    assert sharded.size == len(points) + 1
+    hit = engine.query("sh", LinearConstraint.from_inequality((1e-9, 1.0),
+                                                              0.0))
+    assert (0.0, 0.0) in {tuple(p) for p in hit.points}
+    engine.close()
+
+
+def test_rebalance_removes_previous_generation_block_files(tmp_path):
+    points = uniform_points(256, seed=29)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=29, backend="file",
+                         data_dir=str(tmp_path))
+    engine.register_sharded_dataset("sh", points, num_shards=2,
+                                    sharding="range",
+                                    kinds=["full_scan", "dynamic"])
+    sharded = engine.catalog.sharded("sh")
+    sharded.shards[0].planning_dataset().indexes["dynamic"].insert(
+        (0.0, 0.0))
+    files_before = sorted(p.name for p in tmp_path.iterdir())
+    engine.rebalance("sh")
+    files_after = sorted(p.name for p in tmp_path.iterdir())
+    # Same file count: generation-0 files removed, @g1 files created.
+    assert len(files_after) == len(files_before)
+    assert all("_000040g1" in name for name in files_after)  # escaped "@g1"
+    engine.close()
+
+
+def test_shard_replicas_share_one_selectivity_model():
+    points = uniform_points(512, seed=30)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=30,
+                         stats_model="histogram")
+    engine.register_sharded_dataset("sh", points, num_shards=2,
+                                    sharding="range", replicas=3)
+    for shard in engine.catalog.sharded("sh").nonempty_shards():
+        models = {id(replica.stats) for replica in shard.replicas}
+        assert len(models) == 1
+    engine.close()
+
+
+def test_rebalance_records_event_in_engine_stats():
+    engine, __, __, __ = _skewed_insert_scenario()
+    engine.rebalance("sh")
+    summary = engine.summary()["rebalances"]
+    assert summary["count"] == 1
+    assert summary["by_dataset"] == {"sh": 1}
+    event = summary["events"][0]
+    assert event["reason"] == "manual"
+    assert event["generation"] == 1
+    engine.close()
+
+
+def test_auto_rebalance_triggers_on_serving_entry():
+    engine, points, extra, queries = _skewed_insert_scenario(
+        auto_rebalance=True, rebalance_threshold=1.5,
+        rebalance_min_mutations=50)
+    assert engine.rebalancer.should_rebalance("sh")
+    engine.query("sh", queries[0])
+    summary = engine.summary()["rebalances"]
+    assert summary["count"] == 1
+    assert summary["events"][0]["reason"] == "auto"
+    # Balanced again: no second trigger on the next query.
+    engine.query("sh", queries[1])
+    assert engine.summary()["rebalances"]["count"] == 1
+    engine.close()
+
+
+def test_reinserting_tombstoned_point_does_not_duplicate():
+    from repro import DynamicPartitionTreeIndex
+    points = uniform_points(64, seed=33)
+    index = DynamicPartitionTreeIndex(points, block_size=BLOCK_SIZE)
+    victim = tuple(points[0])
+    assert index.delete(victim)
+    index.insert(victim)
+    assert index.size == len(points)
+    everything = LinearConstraint(coeffs=(0.0,), offset=1e9)
+    reported = [tuple(p) for p in index.query(everything)]
+    assert len(reported) == len(set(reported)) == len(points)
+    assert sorted(index.live_points()) == sorted(map(tuple, points))
+
+
+def test_failed_build_leaves_no_phantom_suite_record():
+    points = uniform_points(256, seed=34)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=34)
+    engine.register_sharded_dataset("sh", points, num_shards=2,
+                                    sharding="range",
+                                    kinds=["full_scan", "dynamic"])
+    with pytest.raises(KeyError):
+        engine.catalog.build_sharded_index("sh", "nosuchkind")
+    engine.catalog.sharded("sh").shards[0].planning_dataset() \
+        .indexes["dynamic"].insert((0.0, 0.0))
+    report = engine.rebalance("sh")  # must not replay the failed build
+    assert report.generation == 1
+    names = {build["index_name"]
+             for build in engine.catalog.sharded("sh").suite_builds}
+    assert names == {"full_scan", "dynamic"}
+    engine.close()
+
+
+def test_model_kind_override_does_not_inherit_catalog_params():
+    points = uniform_points(256, seed=35)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=35,
+                         stats_model="histogram",
+                         stats_params={"num_buckets": 16})
+    # A uniform override must not receive histogram-specific params.
+    engine.register_dataset("u", points, stats_model="uniform")
+    assert engine.catalog.dataset("u").stats.name == "uniform"
+    engine.close()
+
+
+def test_rebalance_rejects_hash_and_unsharded_datasets():
+    points = uniform_points(256, seed=21)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=21)
+    engine.register_sharded_dataset("hashed", points, num_shards=2,
+                                    sharding="hash")
+    engine.register_dataset("plain", points)
+    with pytest.raises(ValueError):
+        engine.rebalance("hashed")
+    with pytest.raises(KeyError):
+        engine.rebalance("plain")
+    assert not engine.rebalancer.should_rebalance("hashed")
+    assert not engine.rebalancer.should_rebalance("plain")
+    engine.close()
+
+
+def test_stale_sharded_plan_is_replanned_after_rebalance():
+    engine, points, extra, queries = _skewed_insert_scenario()
+    live = np.concatenate([points, extra])
+    constraint = queries[0]
+    stale_plan = engine.planner.plan("sh", constraint)
+    engine.rebalance("sh")
+    key = ("sh", (constraint.coeffs, constraint.offset))
+    answer = engine.executor.core.dispatch("sh", constraint, stale_plan,
+                                           key, clear_cache=False)
+    assert {tuple(p) for p in answer.points} == \
+        brute_force_halfspace(live, constraint)
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# serving satellites
+# ----------------------------------------------------------------------
+def test_scaled_count_estimate_properties():
+    estimate, (low, high) = scaled_count_estimate(10, 100, 1000)
+    assert estimate == 100
+    assert low <= estimate <= high
+    assert low >= 10 and high <= 1000
+    # Full-coverage sample is exact.
+    assert scaled_count_estimate(7, 50, 50) == (140 * 0 + 7, (7, 7))
+    # Zero hits still admit a rule-of-three upper bound.
+    __, (zero_low, zero_high) = scaled_count_estimate(0, 100, 1000)
+    assert zero_low == 0 and 0 < zero_high <= 1000
+    assert scaled_count_estimate(5, 0, 100) == (0, (0, 0))
+    # A sample larger than the population cannot push the point estimate
+    # below the observed hits (it stays inside its own interval).
+    weird_estimate, (weird_low, weird_high) = scaled_count_estimate(3, 7, 5)
+    assert weird_low <= weird_estimate <= weird_high
+    assert weird_estimate >= 3
+
+
+def test_degraded_answer_carries_sample_rate_and_interval():
+    points = uniform_points(2000, seed=22)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=22, sample_size=400)
+    engine.register_dataset("d", points)
+    constraints = halfspace_queries_with_selectivity(points, 3, 0.3,
+                                                     seed=23)
+    plan = engine.explain("d", constraints[0])
+    budget = TenantBudget(ios_per_s=0.001, burst=plan.estimated_ios + 1.0,
+                          policy="degrade")
+    requests = [ServingRequest(tenant="soft", dataset="d", constraint=c)
+                for c in constraints]
+    result = engine.serve_async(requests, budgets={"soft": budget},
+                                max_concurrency=1)
+    degraded = [item for item in result.requests
+                if item.outcome == "degraded"]
+    assert degraded
+    for item in degraded:
+        answer = item.answer
+        assert answer.sample_rate == pytest.approx(400 / 2000)
+        low, high = answer.count_interval
+        assert low <= answer.estimated_count <= high
+        assert answer.estimated_count == int(round(
+            answer.count / answer.sample_rate))
+        truth = len(brute_force_halfspace(points,
+                                          item.request.constraint))
+        assert low <= truth <= high
+    # The metrics records carry the rate and the estimate too.
+    records = [record for record in engine.stats.records if record.degraded]
+    assert records and all(r.sample_rate == pytest.approx(0.2)
+                           for r in records)
+    assert all(r.estimated_count is not None for r in records)
+    engine.close()
+
+
+def test_caller_held_admission_persists_across_serve_async_calls():
+    points = uniform_points(1024, seed=24)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=24)
+    engine.register_dataset("d", points)
+    constraints = halfspace_queries_with_selectivity(points, 4, 0.2,
+                                                     seed=25)
+    plan = engine.explain("d", constraints[0])
+    budget = TenantBudget(ios_per_s=1.0, burst=plan.estimated_ios * 1.2,
+                          policy="reject")
+    controller = AdmissionController({"slow": budget})
+    first = engine.serve_async(
+        [ServingRequest(tenant="slow", dataset="d",
+                        constraint=constraints[0])],
+        admission=controller)
+    assert first.outcomes() == {"served": 1}
+    drained = controller.tokens("slow")
+    assert drained < budget.burst * 0.5
+    # The second wave sees the drained bucket (fresh budgets would not).
+    second = engine.serve_async(
+        [ServingRequest(tenant="slow", dataset="d",
+                        constraint=constraints[1])],
+        admission=controller)
+    assert second.outcomes() == {"rejected": 1}
+    with pytest.raises(ValueError):
+        engine.serve_async([], budgets={"slow": budget},
+                           admission=controller)
+    engine.close()
+
+
+def test_qerror_helper_is_symmetric_and_clamped():
+    assert q_error(10, 10) == 1.0
+    assert q_error(0, 0) == 1.0
+    assert q_error(50, 5) == 10.0
+    assert q_error(5, 50) == 10.0
+    assert q_error(0, 8) == 8.0
