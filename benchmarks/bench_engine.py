@@ -43,6 +43,13 @@ Three serving/storage-layer experiments ride along:
   its bounding box stale (pruning degrades, I/Os rise); a quantile
   re-split must restore pruning and cut the fan-out cost, with answers
   staying exact over the live point set in every phase.
+* **write fanout** — routed `QueryEngine.insert` writes applied to every
+  replica of the target shard must leave read load *spread* across the
+  replicas afterwards (busiest replica well below 100% of its shard's
+  I/O), versus an emulation of the retired replica-pinning behaviour
+  where every post-mutation read concentrates on one copy; answers stay
+  exact over the live set and the per-dataset write counters/latency
+  percentiles are recorded.
 
 Run standalone to (re)record the repo-root ``BENCH_engine.json``::
 
@@ -122,6 +129,14 @@ REBALANCE_INSERTS = 800
 REBALANCE_QUERIES = 8
 REBALANCE_SELECTIVITY = 0.02
 
+#: Write-fanout experiment: routed inserts on K=2 x 2 replicated shards.
+WRITE_POINTS = 4096
+WRITE_NUM_SHARDS = 2
+WRITE_REPLICAS = 2
+WRITE_INSERTS = 240
+WRITE_QUERIES = 12
+WRITE_SELECTIVITY = 0.1
+
 #: --smoke: tiny sizes so CI smoke-tests every phase in seconds.
 SMOKE_TENANT_SIZES = {"flat2d": 512, "solid3d": 384}
 SMOKE_NUM_REQUESTS = 16
@@ -135,6 +150,9 @@ SMOKE_STATS_NUM_QUERIES = 12
 SMOKE_REBALANCE_POINTS = 512
 SMOKE_REBALANCE_INSERTS = 200
 SMOKE_REBALANCE_QUERIES = 4
+SMOKE_WRITE_POINTS = 1024
+SMOKE_WRITE_INSERTS = 60
+SMOKE_WRITE_QUERIES = 6
 
 #: Index kinds built per tenant; "optimal" resolves per dimension.
 SUITES = {
@@ -541,6 +559,130 @@ def run_rebalance(smoke=False):
     }
 
 
+class _ConcentratedPicker:
+    """Emulates the retired replica pinning for the baseline comparison.
+
+    Before the write-fanout path landed, the first mutation pinned a
+    shard to the mutated replica and every later read had to be served
+    by that one copy.  This picker reproduces the resulting read-load
+    concentration (always replica 0) so the experiment can show what the
+    fan-out restores.
+    """
+
+    @staticmethod
+    def acquire(dataset_name, shard, estimated_ios):
+        return 0
+
+    @staticmethod
+    def release(dataset_name, shard_id, replica_id, estimated_ios):
+        pass
+
+
+def run_write_fanout(smoke=False):
+    """Routed replica-fanout writes vs the retired pinned-replica world.
+
+    A K=2 range-sharded, 2-replica dataset serves a read wave, absorbs a
+    stream of routed ``QueryEngine.insert`` writes (each applied to both
+    replicas of its target shard), then serves the same wave again.  The
+    post-write wave must keep *both* replicas of every shard busy — the
+    busiest replica's share of its shard's I/O stays well below 100% —
+    where the pinned emulation (all post-mutation reads on one replica)
+    concentrates to exactly 100%.  Answers are checked exact against the
+    live point set in every phase, and the engine's per-dataset write
+    counters and latency percentiles are recorded.
+    """
+    num_points = SMOKE_WRITE_POINTS if smoke else WRITE_POINTS
+    num_inserts = SMOKE_WRITE_INSERTS if smoke else WRITE_INSERTS
+    num_queries = SMOKE_WRITE_QUERIES if smoke else WRITE_QUERIES
+    points = uniform_points(num_points, seed=SEED + 16)
+    queries = halfspace_queries_with_selectivity(
+        points, num_queries, WRITE_SELECTIVITY, seed=SEED + 17)
+    rng = np.random.default_rng(SEED + 18)
+    extra = rng.uniform(-1.0, 1.0, size=(num_inserts, 2))
+
+    def make_engine(picker=None):
+        engine = QueryEngine(block_size=BLOCK_SIZE, seed=SEED + 16)
+        if picker is not None:
+            engine.executor.core.replica_picker = picker
+        engine.register_sharded_dataset(
+            "written", points, num_shards=WRITE_NUM_SHARDS,
+            replicas=WRITE_REPLICAS, sharding="range",
+            kinds=["partition_tree", "full_scan", "dynamic"])
+        return engine
+
+    def busiest_replica_share(engine):
+        """Per shard: the busiest replica's fraction of the shard's I/O."""
+        load = engine.stats.replica_load_summary()
+        shares = {}
+        for shard_id in range(WRITE_NUM_SHARDS):
+            ios = [value for key, value in load.items()
+                   if key.startswith("written/%d/" % shard_id)]
+            total = sum(ios)
+            if total:
+                shares[str(shard_id)] = max(ios) / total
+        return shares
+
+    def serve_cold(engine, live):
+        engine.stats.reset()
+        total_ios = 0
+        started = time.perf_counter()
+        answers = []
+        for constraint in queries:
+            answer = engine.query("written", constraint, clear_cache=True)
+            total_ios += answer.total_ios
+            answers.append(answer)
+        wall_seconds = time.perf_counter() - started
+        for constraint, answer in zip(queries, answers):
+            expected = {tuple(p) for p in live if constraint.below(p)}
+            assert {tuple(p) for p in answer.points} == expected
+        return {
+            "total_ios": total_ios,
+            "wall_seconds": wall_seconds,
+            "busiest_replica_share": busiest_replica_share(engine),
+            "replica_load": engine.stats.replica_load_summary(),
+        }
+
+    live = np.concatenate([points, extra])
+
+    # --- the write-fanout engine ----------------------------------------
+    engine = make_engine()
+    before = serve_cold(engine, points)
+    write_started = time.perf_counter()
+    for point in extra:
+        result = engine.insert("written", point)
+        assert result.applied and result.replicas == WRITE_REPLICAS
+    write_wall = time.perf_counter() - write_started
+    writes = engine.summary()["writes"]["written"]
+    # Every replica of every shard keeps serving after the mutations.
+    for shard in engine.catalog.sharded("written").nonempty_shards():
+        assert shard.replicas_for_query() == list(range(WRITE_REPLICAS))
+    after = serve_cold(engine, live)
+    engine.close()
+
+    # --- the pinned emulation (the behaviour this PR retires) -----------
+    pinned_engine = make_engine(picker=_ConcentratedPicker())
+    for point in extra:
+        pinned_engine.insert("written", point)
+    pinned = serve_cold(pinned_engine, live)
+    pinned_engine.close()
+
+    return {
+        "workload": {
+            "num_points": num_points,
+            "num_inserts": num_inserts,
+            "num_queries": num_queries,
+            "num_shards": WRITE_NUM_SHARDS,
+            "replicas": WRITE_REPLICAS,
+            "selectivity": WRITE_SELECTIVITY,
+        },
+        "writes": writes,
+        "write_wall_seconds": write_wall,
+        "before_writes": before,
+        "after_writes": after,
+        "pinned_emulation": pinned,
+    }
+
+
 def run_experiment(smoke=False):
     """Run every strategy once and return the result payload."""
     tenants, engine, requests, builds = build_scenario(smoke=smoke)
@@ -591,6 +733,7 @@ def run_experiment(smoke=False):
         "async_serving": run_async_serving(smoke=smoke),
         "selectivity_models": run_selectivity_models(smoke=smoke),
         "rebalance": run_rebalance(smoke=smoke),
+        "write_fanout": run_write_fanout(smoke=smoke),
     }
 
 
@@ -697,8 +840,32 @@ def storage_tables(results):
            rebalance["workload"]["num_inserts"],
            rebalance["report"]["old_sizes"],
            rebalance["report"]["new_sizes"]))
+    fanout = results["write_fanout"]
+
+    def share_cell(phase):
+        shares = fanout[phase]["busiest_replica_share"]
+        return " ".join("s%s:%.0f%%" % (shard, 100 * share)
+                        for shard, share in sorted(shares.items()))
+
+    fanout_rows = [
+        ["before writes", str(fanout["before_writes"]["total_ios"]),
+         share_cell("before_writes")],
+        ["after fanout writes", str(fanout["after_writes"]["total_ios"]),
+         share_cell("after_writes")],
+        ["pinned emulation", str(fanout["pinned_emulation"]["total_ios"]),
+         share_cell("pinned_emulation")],
+    ]
+    fanout_table = format_table(
+        ["phase", "total I/Os", "busiest replica share"], fanout_rows,
+        title="WRITE FANOUT — %d routed inserts over K=%dx%d, %d cold "
+        "queries per phase (write p95 %.2f ms)"
+        % (fanout["workload"]["num_inserts"],
+           fanout["workload"]["num_shards"],
+           fanout["workload"]["replicas"],
+           fanout["workload"]["num_queries"],
+           fanout["writes"]["latency_s"]["p95"] * 1e3))
     return "\n\n".join([backend_table, shard_table, serving_table,
-                        stats_table, rebalance_table])
+                        stats_table, rebalance_table, fanout_table])
 
 
 def check_acceptance(results):
@@ -779,6 +946,23 @@ def check_acceptance(results):
     assert restored["total_ios"] < skewed["total_ios"], (
         "rebalancing must cut the skewed fan-out cost: %d I/Os after vs "
         "%d while skewed" % (restored["total_ios"], skewed["total_ios"]))
+
+    fanout = results["write_fanout"]
+    assert fanout["writes"]["inserts"] == \
+        fanout["workload"]["num_inserts"], (
+        "every routed insert must be recorded in the write counters, got "
+        "%r" % (fanout["writes"],))
+    after = fanout["after_writes"]["busiest_replica_share"]
+    for shard_id in range(fanout["workload"]["num_shards"]):
+        share = after.get(str(shard_id))
+        assert share is not None and share < 0.95, (
+            "post-mutation reads must spread across shard %d's replicas "
+            "(write fanout keeps them identical), but the busiest "
+            "replica served %r of its I/O" % (shard_id, share))
+    pinned = fanout["pinned_emulation"]["busiest_replica_share"]
+    assert all(share == 1.0 for share in pinned.values()), (
+        "the pinned emulation should concentrate every shard's reads on "
+        "one replica, got %r" % (pinned,))
 
 
 def test_engine_serving_beats_fixed_and_cold():

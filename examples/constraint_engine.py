@@ -19,8 +19,11 @@ The scenario: two tenants share the engine —
   in-memory store.
 
 The engine serves a mixed trace of hot and fresh constraints against
-both, then switches to the **async serving path**: two logical tenants —
-an interactive dashboard and a budget-capped batch reporter — share the
+both, ingests **live mutations through the engine-level write path**
+(``engine.insert`` routes each new server by cpu_load to its shard and
+applies it to *both* replicas, so reads keep spreading after writes),
+then switches to the **async serving path**: two logical tenants — an
+interactive dashboard and a budget-capped batch reporter — share the
 replicated ``servers`` dataset, and admission control keeps the
 reporter's heavy queries from inflating the dashboard's latency.  Run
 with::
@@ -59,7 +62,8 @@ def main() -> None:
     # its own real file (temp files; engine.close() removes them).
     for record in engine.register_sharded_dataset(
             "servers", servers, num_shards=2, replicas=2, sharding="range",
-            backend="file"):
+            backend="file",
+            kinds=["halfspace3d", "partition_tree", "full_scan", "dynamic"]):
         print("  %-22s %5d blocks  built in %.2fs"
               % ("%s/%s" % (record.dataset, record.kind),
                  record.space_blocks, record.build_seconds))
@@ -159,6 +163,30 @@ def main() -> None:
           % (async_result.turnaround_percentile("dashboard", 0.95) * 1e3))
     print("  batch_report p95: %.1f ms turnaround (throttled, by design)"
           % (async_result.turnaround_percentile("batch_report", 0.95) * 1e3))
+
+    # --- live writes: routed inserts applied to every replica --------------
+    # engine.insert routes each new server by cpu_load through the range
+    # router and applies it to *both* replicas of the target shard, so
+    # reads keep spreading over the full replica set afterwards.
+    print("\nIngesting 5 fresh servers through the routed write path ...")
+    new_servers = np.column_stack([
+        rng.beta(2, 3, 5), rng.beta(2, 4, 5), rng.gamma(2.0, 0.1, 5)])
+    for row in new_servers:
+        result = engine.insert("servers", row)
+        print("  cpu %.2f -> shard %d, %d replicas, %d I/Os"
+              % (row[0], result.shard_id, result.replicas, result.ios))
+    retired = engine.delete("servers", tuple(new_servers[0]))
+    assert retired.applied                                 # decommissioned
+    live = np.vstack([servers, new_servers[1:]])
+    fresh = engine.query("servers", constraint, clear_cache=True)
+    assert {tuple(p) for p in fresh.points} == {
+        tuple(p) for p in live if constraint.below(p)}
+    for shard in engine.catalog.sharded("servers").nonempty_shards():
+        assert shard.replicas_for_query() == [0, 1]        # no pinning
+    writes = engine.summary()["writes"]["servers"]
+    print("  write counters  : %d inserts, %d deletes, p95 %.2f ms"
+          % (writes["inserts"], writes["deletes"],
+             writes["latency_s"]["p95"] * 1e3))
 
     print()
     print(engine.stats.to_table(title="engine serving dashboard"))

@@ -7,11 +7,18 @@ implements the practical variant of that idea:
 
 * insertions go to a small blocked *buffer*; once the buffer exceeds a
   fixed fraction of the indexed set, the whole structure is rebuilt;
-* deletions mark points in a tombstone set (stored in its own blocks);
-  once half of the indexed points are dead, the structure is rebuilt;
+* deletions mark points in a tombstone *multiset* (stored in its own
+  blocks); once half of the indexed points are dead, the structure is
+  rebuilt;
 * queries combine the main tree (minus tombstones) with a scan of the
   buffer, so answers are always exact and the extra query cost is
   O(buffer/B) = O(εn) I/Os.
+
+Duplicate points get **multiset semantics**: the same point may be
+stored several times (the tree built with duplicates, plus buffered
+re-inserts), and one ``delete()`` removes exactly *one* copy — the
+tombstones carry per-value counts, so ``query()``, ``size`` and
+``live_points()`` always agree on how many copies are live.
 
 Rebuilds are charged to the store like any other construction, so the
 amortised update cost is measurable with the usual counters.
@@ -19,7 +26,8 @@ amortised update cost is measurable with the usual counters.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,7 +78,10 @@ class DynamicPartitionTreeIndex(ExternalIndex):
         self._begin_space_accounting()
         self._buffer = DiskArray(self._store)
         self._buffer_points: List[Tuple[float, ...]] = []
-        self._tombstones: Set[Tuple[float, ...]] = set()
+        #: Tombstoned tree copies as value -> count (multiset semantics:
+        #: one delete hides exactly one of a duplicated point's copies).
+        self._tombstones: Dict[Tuple[float, ...], int] = {}
+        self._num_tombstones = 0
         self._tombstone_array = DiskArray(self._store)
         self._build_tree(initial)
         self._end_space_accounting()
@@ -81,28 +92,54 @@ class DynamicPartitionTreeIndex(ExternalIndex):
     def _build_tree(self, points: List[Tuple[float, ...]]) -> None:
         array = np.array(points, dtype=float).reshape(-1, self._dimension)
         self._tree_points: List[Tuple[float, ...]] = list(points)
+        self._tree_counts = Counter(self._tree_points)
         self._tree = PartitionTreeIndex(array, store=self._store,
                                         block_size=self.block_size,
                                         **self._tree_kwargs)
 
+    def _live_tree_points(self) -> List[Tuple[float, ...]]:
+        """The tree's points with exactly ``count`` copies of each
+        tombstoned value hidden (multiset semantics for duplicates)."""
+        remaining = dict(self._tombstones)
+        live: List[Tuple[float, ...]] = []
+        for point in self._tree_points:
+            hidden = remaining.get(point, 0)
+            if hidden:
+                remaining[point] = hidden - 1
+                continue
+            live.append(point)
+        return live
+
+    def _rewrite_tombstone_array(self) -> None:
+        """Make the on-disk tombstone blocks match the in-memory multiset.
+
+        Called when a resurrecting insert *removes* a tombstone: leaving
+        the dropped record on disk would make the array disagree with the
+        set it persists (and its space accounting drift upward forever).
+        Costs O(tombstones/B) I/Os, the same class as a buffer rewrite.
+        """
+        self._tombstone_array.clear()
+        self._tombstone_array.extend(
+            record for record, count in self._tombstones.items()
+            for __ in range(count))
+
     def _rebuild(self) -> None:
         """Fold the buffer and tombstones back into a fresh tree."""
-        live = [point for point in self._tree_points
-                if point not in self._tombstones]
-        live.extend(point for point in self._buffer_points
-                    if point not in self._tombstones)
+        live = self._live_tree_points()
+        live.extend(self._buffer_points)
         self._buffer.clear()
         self._buffer_points = []
-        self._tombstones = set()
+        self._tombstones = {}
+        self._num_tombstones = 0
         self._tombstone_array.clear()
         self._build_tree(live)
         self._rebuilds += 1
 
     def _maybe_rebuild(self) -> None:
-        live_estimate = max(1, len(self._tree_points) - len(self._tombstones))
+        live_estimate = max(1, len(self._tree_points) - self._num_tombstones)
         if len(self._buffer_points) > self._buffer_fraction * live_estimate:
             self._rebuild()
-        elif len(self._tombstones) * 2 > max(1, len(self._tree_points)):
+        elif self._num_tombstones * 2 > max(1, len(self._tree_points)):
             self._rebuild()
 
     # ------------------------------------------------------------------
@@ -123,9 +160,10 @@ class DynamicPartitionTreeIndex(ExternalIndex):
 
         A pre-listener that raises vetoes the mutation: nothing has been
         written yet, so the index is left exactly as it was.  The engine
-        uses this to reject writes to a shard replica other than the one
-        routing is pinned to — a post-hoc error would leave the replicas
-        silently divergent.
+        uses this to reject *direct* writes to one replica of a
+        replicated shard (the supported route is the engine's write
+        fan-out, which keeps every replica in step) — a post-hoc error
+        would leave the replicas silently divergent.
         """
         self._pre_mutation_listeners.append(listener)
 
@@ -161,11 +199,19 @@ class DynamicPartitionTreeIndex(ExternalIndex):
             raise ValueError("point dimension %d does not match index dimension %d"
                              % (len(record), self._dimension))
         self._check_pre_mutation()
-        if record in self._tombstones:
-            # The point is a tombstoned tree copy: dropping the tombstone
+        if self._tombstones.get(record, 0) > 0:
+            # The point has a tombstoned tree copy: dropping one tombstone
             # alone resurrects it.  Buffering it too would duplicate the
-            # point in queries, size and live_points().
-            self._tombstones.discard(record)
+            # point in queries, size and live_points().  The on-disk
+            # tombstone blocks are rewritten so they keep matching the
+            # multiset (a stale record would survive to the next rebuild
+            # and leak space meanwhile).
+            if self._tombstones[record] == 1:
+                del self._tombstones[record]
+            else:
+                self._tombstones[record] -= 1
+            self._num_tombstones -= 1
+            self._rewrite_tombstone_array()
         else:
             self._buffer.append(record)
             self._buffer_points.append(record)
@@ -174,10 +220,16 @@ class DynamicPartitionTreeIndex(ExternalIndex):
         self._notify_mutation()
 
     def delete(self, point: Sequence[float]) -> bool:
-        """Delete one point; returns False if it was not present."""
+        """Delete one copy of a point; returns False if it was not present.
+
+        Multiset semantics: a point stored k times needs k deletes to
+        disappear — buffered copies are removed first (cheap rewrite),
+        then tree copies are tombstoned one count at a time.
+        """
         record = tuple(float(c) for c in point)
         in_buffer = record in self._buffer_points
-        in_tree = record in self._tree_points and record not in self._tombstones
+        in_tree = (self._tree_counts.get(record, 0)
+                   > self._tombstones.get(record, 0))
         if in_buffer or in_tree:
             # Veto only writes that would actually happen: deleting an
             # absent point stays a no-op returning False.
@@ -187,12 +239,17 @@ class DynamicPartitionTreeIndex(ExternalIndex):
             # Rewrite the buffer without the record (small, O(buffer/B) I/Os).
             self._buffer.clear()
             self._buffer.extend(self._buffer_points)
+            # Both delete paths check the rebuild thresholds: the buffer
+            # path skipping it would let a delete-heavy workload sit past
+            # the tombstone fraction until an unrelated mutation noticed.
+            self._maybe_rebuild()
             self._notify_point("delete", record)
             self._notify_mutation()
             return True
         if not in_tree:
             return False
-        self._tombstones.add(record)
+        self._tombstones[record] = self._tombstones.get(record, 0) + 1
+        self._num_tombstones += 1
         self._tombstone_array.append(record)
         self._maybe_rebuild()
         self._notify_point("delete", record)
@@ -208,8 +265,14 @@ class DynamicPartitionTreeIndex(ExternalIndex):
 
     @property
     def size(self) -> int:
-        """Number of live points."""
-        return len(self._tree_points) - len(self._tombstones) + len(self._buffer_points)
+        """Number of live points (copies of duplicates counted)."""
+        return len(self._tree_points) - self._num_tombstones \
+            + len(self._buffer_points)
+
+    @property
+    def tombstoned(self) -> int:
+        """Tree copies currently hidden by tombstones (multiset total)."""
+        return self._num_tombstones
 
     @property
     def rebuilds(self) -> int:
@@ -228,18 +291,29 @@ class DynamicPartitionTreeIndex(ExternalIndex):
         at fresh quantiles: the child dataset's build-time array no
         longer reflects the data once inserts and deletes have landed.
         """
-        live = [point for point in self._tree_points
-                if point not in self._tombstones]
+        live = self._live_tree_points()
         live.extend(self._buffer_points)
         return live
 
     def query(self, constraint: LinearConstraint) -> List[Point]:
-        """Report every live point satisfying the constraint."""
+        """Report every live point satisfying the constraint.
+
+        A tombstoned value hides exactly ``count`` of its tree copies, so
+        duplicated points report the same multiplicity as ``size`` and
+        ``live_points()`` account for.
+        """
         if constraint.dimension != self._dimension:
             raise ValueError("constraint dimension %d does not match index "
                              "dimension %d" % (constraint.dimension, self._dimension))
-        results = [point for point in self._tree.query(constraint)
-                   if tuple(point) not in self._tombstones]
+        hidden: Dict[Tuple[float, ...], int] = {}
+        results: List[Point] = []
+        for point in self._tree.query(constraint):
+            record = tuple(point)
+            count = self._tombstones.get(record, 0)
+            if count and hidden.get(record, 0) < count:
+                hidden[record] = hidden.get(record, 0) + 1
+                continue
+            results.append(point)
         for record in self._buffer.scan():
             if constraint.below(record):
                 results.append(record)

@@ -17,6 +17,10 @@ query.  This package is that layer:
 * :class:`~repro.engine.executor.BatchExecutor` — synchronous batch
   serving with constraint dedup, warm buffer pools and a thread-pool
   path for concurrent read-only tenants;
+* :class:`~repro.engine.writes.WritePath` — the engine-level mutation
+  path: inserts/deletes routed by shard attribute and fanned out to
+  every replica (rollback on veto), keeping replicas identical so reads
+  stay free to spread after writes;
 * :mod:`~repro.engine.serving` — the async serving subsystem: the
   :class:`~repro.engine.serving.AsyncExecutor` scheduler over a
   prioritized deadline queue, per-tenant token-bucket admission control
@@ -90,6 +94,7 @@ from repro.engine.stats import (
     UniformSampleModel,
     make_model,
 )
+from repro.engine.writes import MutationResult, WritePath
 
 __all__ = [
     "AdmissionController",
@@ -111,6 +116,7 @@ __all__ = [
     "INDEX_KINDS",
     "IndexKind",
     "LeastLoadedReplicaPicker",
+    "MutationResult",
     "Plan",
     "Planner",
     "PriorityRequestQueue",
@@ -131,6 +137,7 @@ __all__ = [
     "TokenBucket",
     "UniformSampleModel",
     "WorkloadResult",
+    "WritePath",
     "constraint_key",
     "default_suite",
     "make_model",

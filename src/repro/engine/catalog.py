@@ -446,6 +446,26 @@ class Catalog:
             pass
 
     @staticmethod
+    def mutable_index_of(dataset: Dataset) -> ExternalIndex:
+        """The (child) dataset's mutation-capable index — the write target.
+
+        The engine-level write path routes ``insert``/``delete`` here.  A
+        suite built without a mutation-capable kind cannot be upgraded in
+        place (its statically-built structures would silently go stale),
+        so the error says how to register the dataset writable instead.
+        """
+        for index in dataset.indexes.values():
+            if callable(getattr(index, "insert", None)) \
+                    and callable(getattr(index, "delete", None)):
+                return index
+        raise ValueError(
+            "dataset %r accepts no engine-level writes: its index suite "
+            "was built statically (no mutation-capable index).  Register "
+            "it with kinds including 'dynamic' (e.g. kinds=[\"dynamic\", "
+            "\"full_scan\"]) to route inserts and deletes through it."
+            % dataset.name)
+
+    @staticmethod
     def live_points_of(dataset: Dataset) -> np.ndarray:
         """A (child) dataset's current points, mutations included.
 
@@ -468,7 +488,7 @@ class Catalog:
         """Re-split a range-sharded dataset at fresh quantiles.
 
         Collects the live points of every shard (from each shard's
-        routing replica, so post-mutation data is included), computes new
+        planning replica, so post-mutation data is included), computes new
         quantile boundaries on the original shard attribute, rebuilds the
         per-shard child datasets — stores, samples, selectivity models
         and the recorded index-suite kinds — with the registration-time
@@ -487,37 +507,45 @@ class Catalog:
             raise ValueError(
                 "only range-sharded datasets can be re-split; %r uses %r "
                 "routing" % (name, sharded.router.scheme))
-        old_sizes = sharded.shard_live_sizes()
-        chunks = [self.live_points_of(shard.planning_dataset())
-                  for shard in sharded.nonempty_shards()]
-        chunks = [chunk for chunk in chunks if len(chunk)]
-        if not chunks:
-            raise ValueError("cannot re-split %r: it holds no live points"
-                             % name)
-        array = np.concatenate(chunks)
-        params = sharded.register_params
-        replicas = int(params.get("replicas") or 1)
-        router = RangeShardRouter.from_points(
-            array, sharded.router.num_shards,
-            attribute=sharded.router.attribute)
-        generation = sharded.generation + 1
-        old_stores = [replica.store
-                      for shard in sharded.nonempty_shards()
-                      for replica in shard.replicas]
-        sample = self._sample_of(array)
-        sharded.points = array
-        sharded.sample = sample
-        sharded.stats = self._make_stats(array, sample,
-                                         params.get("stats_model"),
-                                         params.get("stats_params"))
-        sharded.router = router
-        sharded.shards = self._make_shards(name, array, router, replicas,
-                                           params, generation)
-        sharded.generation = generation
-        for build in list(sharded.suite_builds):
-            self.build_sharded_index(name, build["kind"],
-                                     build["index_name"],
-                                     **dict(build["params"]))
+        # Hold the dataset's write barrier for the whole
+        # collect-swap-rebuild window: an engine-level write holds the
+        # same lock for its route+fanout, so no mutation can land in the
+        # retiring shards after their live points were collected (it
+        # would vanish from the rebuilt layout), and no write routes
+        # against a half-swapped router/shard list or a suite that is
+        # still being rebuilt.
+        with sharded.write_lock:
+            old_sizes = sharded.shard_live_sizes()
+            chunks = [self.live_points_of(shard.planning_dataset())
+                      for shard in sharded.nonempty_shards()]
+            chunks = [chunk for chunk in chunks if len(chunk)]
+            if not chunks:
+                raise ValueError("cannot re-split %r: it holds no live "
+                                 "points" % name)
+            array = np.concatenate(chunks)
+            params = sharded.register_params
+            replicas = int(params.get("replicas") or 1)
+            router = RangeShardRouter.from_points(
+                array, sharded.router.num_shards,
+                attribute=sharded.router.attribute)
+            generation = sharded.generation + 1
+            old_stores = [replica.store
+                          for shard in sharded.nonempty_shards()
+                          for replica in shard.replicas]
+            sample = self._sample_of(array)
+            sharded.points = array
+            sharded.sample = sample
+            sharded.stats = self._make_stats(array, sample,
+                                             params.get("stats_model"),
+                                             params.get("stats_params"))
+            sharded.router = router
+            sharded.shards = self._make_shards(name, array, router,
+                                               replicas, params, generation)
+            sharded.generation = generation
+            for build in list(sharded.suite_builds):
+                self.build_sharded_index(name, build["kind"],
+                                         build["index_name"],
+                                         **dict(build["params"]))
         for store in old_stores:
             # Close under the store's lock: an in-flight fan-out that
             # still holds references to the retiring layout finishes its

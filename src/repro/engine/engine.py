@@ -6,8 +6,11 @@ benchmarks drive::
     engine = QueryEngine(block_size=64, seed=7)
     engine.register_dataset("screener", points)          # builds a suite
     engine.register_sharded_dataset("logs", big_points,  # K stores + fan-out
-                                    num_shards=4, replicas=2)
+                                    num_shards=4, replicas=2,
+                                    kinds=["dynamic", "full_scan"])
     result = engine.query("screener", constraint)        # planner-routed
+    engine.insert("logs", point)                         # routed write,
+    engine.delete("logs", point)                         # every replica
     batch = engine.serve_batch("screener", constraints)  # warm, deduped
     served = engine.serve_async(requests, budgets=...)   # multi-tenant async
     print(engine.stats.to_table())
@@ -54,6 +57,7 @@ from repro.engine.serving import (
     ServingRequest,
     TenantBudget,
 )
+from repro.engine.writes import MutationResult
 from repro.geometry.primitives import LinearConstraint
 
 
@@ -195,49 +199,55 @@ class QueryEngine:
     def _watch_indexes(self, name: str) -> None:
         """Hook dynamic indexes up to the engine's staleness machinery.
 
-        A mutation through a dynamic index (1) flushes the dataset's
-        result-cache entries, (2) marks the (shard replica) dataset
-        mutated so the planner stops routing to its statically-built
-        siblings, (3) on sharded datasets marks the shard's bounding
-        box stale so pruning no longer trusts it — and pins routing to
-        the mutated replica, the only copy holding the fresh data — and
-        (4) feeds the mutated *point* into the dataset's selectivity
-        model (sample reservoir / histograms) and the rebalance
-        manager's skew counters.
+        A logical mutation (1) flushes the dataset's result-cache
+        entries, (2) marks the mutated (shard replica) dataset so the
+        planner stops routing to its statically-built siblings, (3) on
+        sharded datasets marks the shard's bounding box stale so pruning
+        no longer trusts it, and (4) feeds the mutated *point* into the
+        dataset's selectivity model (sample reservoir / histograms) and
+        the rebalance manager's skew counters.
+
+        On replicated shards the write path fans each mutation out to
+        *every* replica, so hooks (1), (3) and (4) — the
+        once-per-logical-mutation family — are wired to the **primary
+        replica only**: the fan-out applies the primary last, so they
+        fire exactly once, and only when every replica already holds the
+        write.  Each replica keeps its own ``mutated`` flag (2) and a
+        pre-mutation veto against *direct* single-replica writes, which
+        would silently desynchronise the copies.
         """
         sharded = self.catalog.sharded(name) \
             if self.catalog.is_sharded(name) else None
         if sharded is not None:
             targets = [
-                (replica,
-                 lambda shard=shard, replica_id=replica_id:
-                     shard.check_mutable(replica_id),
-                 lambda shard=shard, replica_id=replica_id:
-                     shard.mark_mutated(replica_id))
+                (replica, shard, replica_id == 0)
                 for shard in sharded.nonempty_shards()
                 for replica_id, replica in enumerate(shard.replicas)]
         else:
-            targets = [(self.catalog.dataset(name), None, None)]
-        for dataset, guard, extra in targets:
+            targets = [(self.catalog.dataset(name), None, True)]
+        for dataset, shard, primary in targets:
             point_hook = self._make_point_hook(name, dataset, sharded)
             for index in dataset.indexes.values():
-                self.executor.watch_index(name, index)
                 subscribe = getattr(index, "add_mutation_listener", None)
                 if not callable(subscribe):
                     continue
-                if guard is not None:
-                    # Veto writes to an unpinnable replica *before* they
-                    # land, so a rejected insert leaves the replica
-                    # byte-identical to its siblings.
+                if shard is not None:
+                    # Veto direct writes to one replica of a replicated
+                    # shard *before* they land (the engine's fan-out
+                    # thread is exempt), so a rejected mutation leaves
+                    # the replica byte-identical to its siblings.
                     presubscribe = getattr(index,
                                            "add_pre_mutation_listener",
                                            None)
                     if callable(presubscribe):
-                        presubscribe(guard)
+                        presubscribe(shard.check_direct_mutation)
                 subscribe(lambda dataset=dataset: setattr(
                     dataset, "mutated", True))
-                if extra is not None:
-                    subscribe(extra)
+                if not primary:
+                    continue
+                self.executor.watch_index(name, index)
+                if shard is not None:
+                    subscribe(shard.mark_mutated)
                 observe = getattr(index, "add_point_listener", None)
                 if callable(observe):
                     observe(point_hook)
@@ -266,9 +276,8 @@ class QueryEngine:
         recomputes the quantile boundaries, rebuilds the per-shard
         stores / index suites / statistics, flushes the dataset's cached
         results and re-wires the mutation hooks.  Pruning works again
-        afterwards: the new shards' bounding boxes are fresh, and no
-        shard is pinned to a replica.  The event lands in
-        ``summary()["rebalances"]``.
+        afterwards: the new shards' bounding boxes are fresh.  The event
+        lands in ``summary()["rebalances"]``.
         """
         return self.rebalancer.rebalance(dataset)
 
@@ -278,6 +287,38 @@ class QueryEngine:
             return
         for name in dict.fromkeys(datasets):
             self.rebalancer.maybe_rebalance(name)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, dataset: str, point) -> MutationResult:
+        """Insert one point through the engine-level write path.
+
+        On a sharded dataset the point is routed by the shard attribute
+        through the dataset's router — using the *current* generation's
+        quantile boundaries, so rebalances are transparent to writers —
+        and the mutation is fanned out to **every** replica of the
+        target shard (all-or-nothing: a replica that vetoes rolls the
+        already-applied copies back), so reads keep spreading over the
+        full replica set afterwards.  Statistics, skew counters, cache
+        invalidation and box staleness observe exactly one logical
+        mutation.  Requires a mutation-capable index in the suite
+        (``kinds`` including ``"dynamic"``).
+        """
+        result = self.executor.core.run_write(dataset, "insert", point)
+        self._maybe_rebalance(dataset)
+        return result
+
+    def delete(self, dataset: str, point) -> MutationResult:
+        """Delete one point (one copy) through the engine-level write path.
+
+        Routed and replica-fanned-out exactly like :meth:`insert`; the
+        returned result's ``applied`` is False when the point was not
+        present (a no-op, as with the dynamic index's ``delete``).
+        """
+        result = self.executor.core.run_write(dataset, "delete", point)
+        self._maybe_rebalance(dataset)
+        return result
 
     # ------------------------------------------------------------------
     # serving

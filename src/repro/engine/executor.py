@@ -41,6 +41,7 @@ from repro.core.interface import Point
 from repro.engine.catalog import Catalog
 from repro.engine.metrics import EngineStats, ServedQueryRecord
 from repro.engine.planner import AnyPlan, Plan, Planner, ShardedPlan
+from repro.engine.writes import MutationResult, WritePath
 from repro.geometry.primitives import LinearConstraint
 from repro.io.cache import LRUCache
 from repro.io.store import BlockStore, IOStats
@@ -188,6 +189,28 @@ class ExecutionCore:
             from repro.engine.serving.replicas import LeastLoadedReplicaPicker
             replica_picker = LeastLoadedReplicaPicker()
         self.replica_picker = replica_picker
+        #: The mutation twin of this core: routed inserts/deletes with
+        #: replica write-fanout, sharing the same catalog and metrics
+        #: sink (so sync and async writes cannot drift apart either).
+        #: The invalidate hook covers aborted fan-outs, whose rollback
+        #: must flush answers cached off a mid-fanout secondary.
+        self.writes = WritePath(catalog, stats=self.stats,
+                                invalidate=self.invalidate_dataset)
+
+    def run_write(self, dataset_name: str, op: str,
+                  point) -> MutationResult:
+        """Apply one engine-level mutation (the async path's write hook).
+
+        Delegates to the shared :class:`~repro.engine.writes.WritePath`;
+        result-cache invalidation, statistics feedback and shard-box
+        staleness all fire through the mutation listeners the engine
+        facade wired onto the primary replica's dynamic index.
+        """
+        if op == "insert":
+            return self.writes.insert(dataset_name, point)
+        if op == "delete":
+            return self.writes.delete(dataset_name, point)
+        raise ValueError("unknown mutation op %r" % (op,))
 
     def _shared_pool(self) -> Optional[ThreadPoolExecutor]:
         """The lazily-created thread pool shard fan-out runs on."""

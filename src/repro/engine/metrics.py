@@ -17,6 +17,13 @@ The async serving path adds three more signal families:
   triple, which is how the replica picker's balancing shows up on a
   dashboard.
 
+The write path adds one more:
+
+* **per-dataset write counters** — inserts, deletes, no-op deletes,
+  replica applications and write I/Os per dataset, with write latency
+  percentiles, fed by the engine's
+  :class:`~repro.engine.writes.WritePath` on every routed mutation.
+
 The statistics subsystem adds two more:
 
 * **estimation q-error** — per dataset, the ``max(est/act, act/est)``
@@ -106,6 +113,11 @@ class EngineStats:
     estimation_errors: Dict[str, List[float]] = field(default_factory=dict)
     #: Shard re-split events (RebalanceReport summaries, in order).
     rebalance_events: List[Dict[str, object]] = field(default_factory=list)
+    #: Per-dataset write counters ({"inserts", "deletes", "noop_deletes",
+    #: "replica_writes", "total_ios"}) fed by the engine's write path.
+    write_counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Per-dataset write latencies (seconds, one sample per mutation).
+    write_latencies: Dict[str, List[float]] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, record: ServedQueryRecord) -> None:
@@ -125,6 +137,29 @@ class EngineStats:
         error = q_error(expected, actual)
         with self._lock:
             self.estimation_errors.setdefault(dataset, []).append(error)
+
+    def note_write(self, dataset: str, op: str, applied: bool, ios: int,
+                   latency_s: float, replicas: int) -> None:
+        """Record one engine-level mutation (thread-safe).
+
+        One call per *logical* mutation, however many replicas it fanned
+        out to; ``replicas`` counts the per-replica applications and
+        ``ios`` the block transfers they charged in total.  A delete of
+        an absent point lands in ``noop_deletes`` instead of ``deletes``.
+        """
+        with self._lock:
+            counters = self.write_counters.setdefault(dataset, {
+                "inserts": 0, "deletes": 0, "noop_deletes": 0,
+                "replica_writes": 0, "total_ios": 0})
+            if op == "insert":
+                counters["inserts"] += 1
+            elif applied:
+                counters["deletes"] += 1
+            else:
+                counters["noop_deletes"] += 1
+            counters["replica_writes"] += replicas
+            counters["total_ios"] += ios
+            self.write_latencies.setdefault(dataset, []).append(latency_s)
 
     def note_rebalance(self, event: Dict[str, object]) -> None:
         """Record one shard re-split event (thread-safe)."""
@@ -164,6 +199,8 @@ class EngineStats:
             self.replica_load.clear()
             self.estimation_errors.clear()
             self.rebalance_events.clear()
+            self.write_counters.clear()
+            self.write_latencies.clear()
 
     # ------------------------------------------------------------------
     # aggregates
@@ -305,6 +342,31 @@ class EngineStats:
             }
         return out
 
+    def write_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-dataset write counters plus latency percentiles.
+
+        One entry per dataset that accepted at least one engine-level
+        mutation: the counters from :meth:`note_write` plus p50/p95/p99
+        write latency in seconds.  Snapshots under the lock, so a
+        dashboard thread can call this while writers are recording.
+        """
+        with self._lock:
+            counters = {dataset: dict(values)
+                        for dataset, values in self.write_counters.items()}
+            latencies = {dataset: sorted(values)
+                         for dataset, values in self.write_latencies.items()}
+        out: Dict[str, Dict[str, object]] = {}
+        for dataset in sorted(counters):
+            ordered = latencies.get(dataset, [])
+            payload: Dict[str, object] = dict(counters[dataset])
+            payload["latency_s"] = {
+                "p50": percentile(ordered, 0.5),
+                "p95": percentile(ordered, 0.95),
+                "p99": percentile(ordered, 0.99),
+            }
+            out[dataset] = payload
+        return out
+
     def rebalance_summary(self) -> Dict[str, object]:
         """Shard re-split events: total count, per-dataset counts, events."""
         with self._lock:
@@ -340,6 +402,7 @@ class EngineStats:
             "latency_s": self.latency_percentiles(),
             "plan_distribution": self.plan_distribution(),
             "estimation_qerror": self.estimation_summary(),
+            "writes": self.write_summary(),
             "rebalances": self.rebalance_summary(),
             "admission": self.admission_summary(),
             "max_queue_depth": self.max_queue_depth,

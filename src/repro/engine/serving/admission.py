@@ -201,9 +201,16 @@ class AdmissionController:
         """The tenant's configured budget (None = unlimited)."""
         return self._budgets.get(tenant)
 
-    def decide(self, tenant: str, estimated_ios: float,
-               now: float) -> AdmissionDecision:
-        """Admit, defer, drop or degrade one request costing ``estimated_ios``."""
+    def decide(self, tenant: str, estimated_ios: float, now: float,
+               write: bool = False) -> AdmissionDecision:
+        """Admit, defer, drop or degrade one request costing ``estimated_ios``.
+
+        ``write`` marks a mutation request: writes obey the same token
+        budgets as reads, but an over-budget write under the
+        ``"degrade"`` policy is **rejected** instead — there is no
+        approximate version of an insert, and silently skipping it while
+        reporting success would lose data.
+        """
         budget = self._budgets.get(tenant)
         if budget is None:
             return AdmissionDecision("admit")
@@ -214,6 +221,8 @@ class AdmissionController:
             return AdmissionDecision(
                 "queue", retry_after_s=bucket.seconds_until(estimated_ios,
                                                             now))
+        if write and budget.policy == "degrade":
+            return AdmissionDecision("reject")
         return AdmissionDecision(budget.policy)
 
     def settle(self, tenant: str, estimated_ios: float,

@@ -7,10 +7,16 @@ queries head-of-line-blocks every other tenant of that dataset.  This
 executor instead schedules *per request*:
 
 * requests wait in a :class:`~repro.engine.serving.queue.
-  PriorityRequestQueue` ordered by (priority, deadline, arrival);
+  PriorityRequestQueue` ordered by (priority, deadline, arrival) —
+  **mutations included**: an ``op="insert"``/``"delete"`` request rides
+  the same queue and executes through the engine's routed write-fanout
+  path (:class:`~repro.engine.writes.WritePath`), so writes obey the
+  same priorities, deadlines and budgets as reads;
 * before dispatch each request passes **admission control** — a
   token-bucket I/O budget per tenant with queue/reject/degrade policies
-  (see :mod:`repro.engine.serving.admission`);
+  (see :mod:`repro.engine.serving.admission`; an over-budget *write*
+  under the degrade policy is rejected — there is no approximate
+  insert);
 * admitted requests execute on worker threads (up to ``max_concurrency``
   at once) through the *same*
   :class:`~repro.engine.executor.ExecutionCore` the synchronous path
@@ -45,6 +51,7 @@ from repro.engine.serving.queue import (
     QueuedRequest,
     ServingRequest,
 )
+from repro.engine.writes import MutationResult
 from repro.io.store import IOStats
 
 #: Floor on admission-deferral waits so a drained bucket cannot spin-loop.
@@ -83,6 +90,9 @@ class ServedRequest:
     deferrals: int = 0
     #: The exception message when ``outcome`` is "failed".
     error: Optional[str] = None
+    #: The applied mutation when the request was an insert/delete
+    #: (``answer`` stays None for mutations).
+    mutation: Optional[MutationResult] = None
 
 
 @dataclass
@@ -94,9 +104,12 @@ class ServeResult:
 
     @property
     def total_ios(self) -> int:
-        """Block transfers charged across every served request."""
+        """Block transfers charged across every served request (writes
+        included)."""
         return sum(item.answer.total_ios for item in self.requests
-                   if item.answer is not None)
+                   if item.answer is not None) \
+            + sum(item.mutation.ios for item in self.requests
+                  if item.mutation is not None)
 
     def outcomes(self) -> Dict[str, int]:
         """How many requests ended in each outcome."""
@@ -259,6 +272,8 @@ class AsyncExecutor:
         if now > item.deadline_at:
             self._core.stats.note_admission("expired")
             return self._finished(item, "expired", None, now)
+        if request.is_mutation:
+            return self._admit_mutation(loop, queue, state, item, now)
 
         cache_key = (request.dataset, constraint_key(request.constraint))
         cached = self._core.result_cache_get(cache_key,
@@ -333,11 +348,81 @@ class AsyncExecutor:
         return self._finished(item, "degraded",
                               self._degraded_answer(request), now)
 
+    def _admit_mutation(self, loop, queue: PriorityRequestQueue,
+                        state: _RunState, item: QueuedRequest,
+                        now: float) -> Optional[ServedRequest]:
+        """Decide one popped insert/delete request.
+
+        Mutations skip the result cache and the follower (dedup)
+        machinery — two identical writes are two writes — but pass the
+        same token-bucket admission as reads, priced by the write path's
+        fan-out estimate and settled against the observed I/Os.
+        """
+        request = item.request
+        try:
+            estimate = self._core.writes.estimate_ios(request.dataset,
+                                                      request.point)
+        except Exception as exc:
+            return self._failed(item, exc, now)
+        decision = self._admission.decide(request.tenant, estimate, now,
+                                          write=True)
+        if decision.action == "admit":
+            self._core.stats.note_admission("admit")
+            item.dispatched_at = now
+            item.admitted_estimate = estimate
+            future = loop.run_in_executor(
+                None, self._core.run_write, request.dataset, request.op,
+                request.point)
+            state.in_flight[future] = item
+            return None
+        if decision.action == "queue":
+            not_before = now + max(decision.retry_after_s, _MIN_RETRY_S)
+            if not_before > item.deadline_at:
+                self._core.stats.note_admission("expired")
+                return self._finished(item, "expired", None, now)
+            self._core.stats.note_admission("queue")
+            item.not_before = not_before
+            item.deferrals += 1
+            queue.push(item)
+            return None
+        # "reject" (the degrade policy maps to it for writes: there is
+        # no approximate version of an insert).
+        self._core.stats.note_admission("reject")
+        return self._finished(item, "rejected", None, now)
+
+    def _complete_mutation(self, item: QueuedRequest,
+                           future: asyncio.Future
+                           ) -> List[Tuple[int, ServedRequest]]:
+        """Settle one finished write future into its (seq, outcome) pair."""
+        now = self._clock()
+        try:
+            result: MutationResult = future.result()
+        except Exception as exc:
+            # The fan-out rolled back (or never started): settle against
+            # what the aborted attempt really spent — the write path
+            # annotates the exception with its apply+rollback I/Os, so a
+            # tenant retrying failing writes still pays for the block
+            # traffic they cause instead of looping for free.
+            observed = float(getattr(exc, "write_ios_observed", 0.0))
+            self._admission.settle(item.request.tenant,
+                                   item.admitted_estimate, observed)
+            return [(item.seq, self._failed(item, exc, now))]
+        self._admission.settle(item.request.tenant, item.admitted_estimate,
+                               float(result.ios))
+        outcome = ServedRequest(
+            request=item.request, outcome="served", answer=None,
+            turnaround_s=now - item.enqueued_at,
+            queue_wait_s=item.dispatched_at - item.enqueued_at,
+            deferrals=item.deferrals, mutation=result)
+        return [(item.seq, outcome)]
+
     def _complete(self, state: _RunState, item: QueuedRequest,
                   future: asyncio.Future, queue: PriorityRequestQueue
                   ) -> List[Tuple[int, ServedRequest]]:
         """Settle one finished worker future (and its followers) into
         (seq, outcome) pairs."""
+        if item.request.is_mutation:
+            return self._complete_mutation(item, future)
         now = self._clock()
         cache_key = (item.request.dataset,
                      constraint_key(item.request.constraint))

@@ -7,6 +7,11 @@ decoupled from *dataset* — many tenants can hit one dataset, which is
 exactly the head-of-line-blocking scenario the synchronous batch path
 cannot untangle (it serializes a dataset's requests in arrival order).
 
+Mutations ride the same queue: a request with ``op="insert"`` /
+``op="delete"`` carries a ``point`` instead of a constraint and flows
+through the identical priority/deadline/admission machinery, so writes
+obey the same per-tenant budgets as reads.
+
 :class:`PriorityRequestQueue` orders runnable requests by
 ``(priority, deadline, arrival)``: urgent tenants first, earliest
 deadline among equals, FIFO as the final tie-break.  Requests deferred by
@@ -23,6 +28,9 @@ from typing import List, Optional, Tuple
 
 from repro.geometry.primitives import LinearConstraint
 
+#: The request kinds the async path serves.
+REQUEST_OPS = ("query", "insert", "delete")
+
 
 @dataclass(frozen=True)
 class ServingRequest:
@@ -34,21 +42,48 @@ class ServingRequest:
         Logical client the request belongs to (admission control budgets
         and per-tenant metrics key off this).
     dataset:
-        Registered dataset (plain or sharded) the constraint runs against.
+        Registered dataset (plain or sharded) the request runs against.
     constraint:
-        The linear constraint to answer.
+        The linear constraint to answer (``op="query"`` only).
     priority:
         Scheduling class; **lower runs first** (0 = most urgent).
     deadline_s:
         Optional deadline in seconds *from submission*; a request still
         queued when it expires is dropped and recorded as ``expired``.
+    op:
+        ``"query"`` (default), or a mutation — ``"insert"`` /
+        ``"delete"`` — which carries a ``point`` instead of a constraint
+        and goes through the engine's routed write-fanout path.
+    point:
+        The point to insert or delete (mutation ops only).
     """
 
     tenant: str
     dataset: str
-    constraint: LinearConstraint
+    constraint: Optional[LinearConstraint] = None
     priority: int = 0
     deadline_s: Optional[float] = None
+    op: str = "query"
+    point: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in REQUEST_OPS:
+            raise ValueError("unknown request op %r (expected one of %s)"
+                             % (self.op, ", ".join(REQUEST_OPS)))
+        if self.op == "query":
+            if self.constraint is None:
+                raise ValueError("a query request needs a constraint")
+        else:
+            if self.point is None:
+                raise ValueError("a %r request needs a point" % self.op)
+            # Normalize once so workers and metrics see one record shape.
+            object.__setattr__(self, "point",
+                               tuple(float(c) for c in self.point))
+
+    @property
+    def is_mutation(self) -> bool:
+        """True for insert/delete requests (the write path serves them)."""
+        return self.op != "query"
 
 
 @dataclass

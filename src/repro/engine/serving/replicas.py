@@ -14,9 +14,11 @@ across replicas instead of always hammering replica 0 — which keeps the
 per-replica load attribution in :class:`~repro.engine.metrics.EngineStats`
 meaningful even when queries are too fast to overlap.
 
-After a mutation the shard pins routing to the mutated replica
-(:meth:`~repro.engine.sharding.Shard.routing_replica_ids`); the picker
-only ever chooses among the shard's routable replicas.
+Mutations do not narrow the choice: the engine's write path fans every
+insert/delete out to all replicas
+(:class:`~repro.engine.writes.WritePath`), so
+:meth:`~repro.engine.sharding.Shard.replicas_for_query` keeps returning
+the full replica set after writes and the picker stays free to balance.
 """
 
 from __future__ import annotations
@@ -52,7 +54,7 @@ class LeastLoadedReplicaPicker:
         The caller must pair every acquire with a :meth:`release` (the
         executor does so in a ``finally`` block).
         """
-        candidates = shard.routing_replica_ids()
+        candidates = shard.replicas_for_query()
         if not candidates:
             raise ValueError("shard %d of %r has no routable replicas"
                              % (shard.shard_id, dataset_name))

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import abc
 import bisect
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -231,12 +233,15 @@ class Shard:
     no longer trusted for pruning (the shard always participates), keeping
     pruning exact rather than heuristic.
 
-    Mutations also interact with replication: an insert goes through *one*
-    replica's index, so from that point only the mutated replica holds the
-    complete data.  The first mutation pins routing to that replica
-    (:meth:`routing_replica_ids`); mutating a *different* replica of the
-    same shard afterwards raises — the second replica's change could never
-    be served, so silently accepting it would lose data.
+    Mutations also interact with replication: the engine's write path
+    (:class:`~repro.engine.writes.WritePath`) fans every insert/delete
+    out to **all** replicas inside :meth:`write_fanout`, so the copies
+    stay byte-identical and :meth:`replicas_for_query` keeps returning
+    every replica after writes — the least-loaded picker's choices stay
+    open.  Mutating one replica's index *directly* on a replicated shard
+    is vetoed pre-write by :meth:`check_direct_mutation` (it would
+    silently desynchronise the copies); single-replica shards accept
+    direct index mutations as before.
     """
 
     shard_id: int
@@ -244,9 +249,14 @@ class Shard:
     lows: Optional[Tuple[float, ...]] = None
     highs: Optional[Tuple[float, ...]] = None
     box_stale: bool = False
-    #: The single replica that accepted a mutation (None = none did);
-    #: routing is pinned to it from the first mutation on.
-    pinned_replica: Optional[int] = None
+    #: Serializes write fan-outs on this shard (one logical mutation at
+    #: a time touches the replica set).
+    _write_lock: threading.Lock = field(default_factory=threading.Lock,
+                                        repr=False, compare=False)
+    #: Thread currently fanning a mutation out to every replica (None =
+    #: no fan-out in flight); the direct-mutation veto exempts it.
+    _fanout_owner: Optional[int] = field(default=None, repr=False,
+                                         compare=False)
 
     @property
     def dataset(self) -> Optional["Dataset"]:
@@ -265,56 +275,74 @@ class Shard:
     def size(self) -> int:
         return 0 if self.is_empty else self.replicas[0].size
 
-    def check_mutable(self, replica_id: int = 0) -> None:
-        """Veto a mutation through a replica routing cannot serve.
+    @contextmanager
+    def write_fanout(self):
+        """Scope one logical mutation being applied to *every* replica.
+
+        The engine's write path holds this while fanning an insert/delete
+        out: it serializes writers on the shard and exempts the owning
+        thread from the direct-mutation veto.  Replicas stay identical
+        because nothing else may mutate them meanwhile.
+        """
+        with self._write_lock:
+            self._fanout_owner = threading.get_ident()
+            try:
+                yield
+            finally:
+                self._fanout_owner = None
+
+    def check_direct_mutation(self) -> None:
+        """Veto a single-replica mutation on a replicated shard.
 
         Wired as a *pre*-mutation listener by the engine, so the raise
         lands before any write is applied and the rejected replica stays
-        byte-identical to its siblings.  Mutating a second, different
-        replica is unsupported: routing is already pinned elsewhere, so
-        the change could never be served and silently accepting it would
-        drop the update.
+        byte-identical to its siblings.  Writing one replica of a
+        replicated shard would silently desynchronise the copies — the
+        engine-level write path fans the mutation out to all of them
+        instead (its fan-out thread is exempt).
+
+        Single-replica shards keep accepting direct index mutations, as
+        they always have — but note those bypass the dataset's write
+        barrier, so they are not safe against a *concurrent* re-split
+        (the pre-existing contract: direct mutations are a
+        single-threaded convenience; concurrent writers go through
+        ``QueryEngine.insert``/``delete``).
         """
-        if self.pinned_replica is not None \
-                and replica_id != self.pinned_replica:
+        if len(self.replicas) > 1 \
+                and self._fanout_owner != threading.get_ident():
             raise ValueError(
-                "shard %d is pinned to mutated replica %d; mutating "
-                "replica %d of the same shard is unsupported (its change "
-                "could never be served)"
-                % (self.shard_id, self.pinned_replica, replica_id))
+                "shard %d holds %d replicas; mutating one replica's index "
+                "directly would desynchronise the copies — route the write "
+                "through QueryEngine.insert/delete, which fans it out to "
+                "every replica" % (self.shard_id, len(self.replicas)))
 
-    def mark_mutated(self, replica_id: int = 0) -> None:
-        """Record that a replica's data changed after the build.
+    def mark_mutated(self) -> None:
+        """Record that the shard's data changed after the build.
 
-        Called by the engine's post-mutation hooks; disables box pruning
-        for this shard from now on and pins routing to the mutated
-        replica (the only copy holding the fresh data).  The
-        :meth:`check_mutable` guard runs again as defense in depth for
-        indexes without pre-mutation hooks.
+        Called once per logical mutation by the engine's post-mutation
+        hooks; disables box pruning for this shard from now on (the
+        mutation may have landed outside the build-time bounding box).
         """
-        self.check_mutable(replica_id)
         self.box_stale = True
-        self.pinned_replica = replica_id
 
-    def routing_replica_ids(self) -> List[int]:
-        """Replica ids a query may be served from.
+    def replicas_for_query(self) -> List[int]:
+        """Replica ids a query may be served from — always all of them.
 
-        Every replica before any mutation; after a mutation only the
-        pinned replica (the one holding the complete data).
+        The write path keeps replicas identical (fan-out with rollback),
+        so reads stay free to spread over every copy even after
+        mutations.
         """
-        if self.pinned_replica is not None:
-            return [self.pinned_replica]
         return list(range(len(self.replicas)))
 
     def planning_dataset(self) -> "Dataset":
         """The replica dataset the planner should cost candidates against.
 
-        Replicas are identical by construction, so before any mutation
-        this is simply the primary; after a mutation it is the pinned
-        replica, whose ``mutated`` flag makes the planner skip its
-        statically-built indexes.
+        Replicas are identical by construction (the write path fans
+        mutations out to all of them), so this is simply the primary;
+        its ``mutated`` flag makes the planner skip statically-built
+        indexes after updates.
         """
-        return self.replicas[self.routing_replica_ids()[0]]
+        return self.replicas[0]
 
     def may_contain(self, constraint: LinearConstraint) -> bool:
         """True unless the bounding box proves the shard reports nothing."""
@@ -369,6 +397,16 @@ class ShardedDataset:
     #: Registration parameters (block size, backend, stats model, ...)
     #: replayed by the catalog when re-splitting.
     register_params: Dict[str, object] = field(default_factory=dict)
+    #: The dataset's write barrier: engine-level mutations hold it for
+    #: route+fanout, and a re-split holds it for its whole
+    #: collect-swap-rebuild-rewire window — so a write can neither land
+    #: in shards that are about to be retired and miss the collected
+    #: snapshot (it would be silently lost), nor route against a
+    #: half-swapped layout or freshly-built indexes whose mutation
+    #: hooks are not wired yet.  Re-entrant so the rebalance manager
+    #: can hold it around the catalog re-split *plus* its listeners.
+    write_lock: threading.RLock = field(default_factory=threading.RLock,
+                                        repr=False, compare=False)
 
     @property
     def dimension(self) -> int:
@@ -409,9 +447,9 @@ class ShardedDataset:
     def shard_live_sizes(self) -> List[int]:
         """Current per-shard point counts, mutations included.
 
-        Uses each shard's routing replica (the copy holding the fresh
-        data after a mutation) and its live size, so post-insert skew is
-        visible — the build-time ``shards[i].size`` is not.
+        Uses each shard's planning replica and its live size (replicas
+        hold identical data), so post-insert skew is visible — the
+        build-time ``shards[i].size`` is not.
         """
         return [0 if shard.is_empty else shard.planning_dataset().live_size
                 for shard in self.shards]
@@ -500,7 +538,7 @@ class RebalanceManager:
 
     When either exceeds ``threshold`` (after at least ``min_mutations``
     mutations), :meth:`maybe_rebalance` re-splits: live points are
-    collected from every shard's routing replica, fresh quantile
+    collected from every shard's planning replica, fresh quantile
     boundaries are computed, per-shard stores / index suites / models are
     rebuilt through the catalog, and the registered listeners run (the
     engine wires result-cache invalidation and mutation-hook re-wiring
@@ -589,25 +627,34 @@ class RebalanceManager:
         """Re-split a range-sharded dataset at fresh quantiles now.
 
         Collects live points (mutations included) from every shard's
-        routing replica, rebuilds routers / stores / index suites /
+        planning replica, rebuilds routers / stores / index suites /
         statistics through the catalog, resets the mutation counter, and
         notifies the listeners (cache invalidation, hook re-wiring).
         """
         before = self.skew(dataset_name)
-        outcome = self._catalog.resplit_sharded_dataset(dataset_name)
-        self._mutations[dataset_name] = 0
-        report = RebalanceReport(
-            dataset=dataset_name,
-            reason=reason,
-            generation=int(outcome["generation"]),
-            old_sizes=tuple(outcome["old_sizes"]),
-            new_sizes=tuple(outcome["new_sizes"]),
-            imbalance_before=before["imbalance"],
-            imbalance_after=self.skew(dataset_name)["imbalance"],
-            drift_before=before["drift"],
-        )
-        for listener in self._listeners:
-            listener(dataset_name, report)
+        sharded = self._catalog.sharded(dataset_name)
+        # Hold the dataset's write barrier across the re-split AND the
+        # listeners: the engine re-wires its mutation hooks onto the new
+        # generation's indexes in a listener, and a write slipping in
+        # between the swap and that re-wiring would mutate hook-less
+        # indexes — stored but invisible to planning, statistics and
+        # cache invalidation.  (Re-entrant: the catalog re-split
+        # acquires the same lock inside.)
+        with sharded.write_lock:
+            outcome = self._catalog.resplit_sharded_dataset(dataset_name)
+            self._mutations[dataset_name] = 0
+            report = RebalanceReport(
+                dataset=dataset_name,
+                reason=reason,
+                generation=int(outcome["generation"]),
+                old_sizes=tuple(outcome["old_sizes"]),
+                new_sizes=tuple(outcome["new_sizes"]),
+                imbalance_before=before["imbalance"],
+                imbalance_after=self.skew(dataset_name)["imbalance"],
+                drift_before=before["drift"],
+            )
+            for listener in self._listeners:
+                listener(dataset_name, report)
         if self._stats is not None:
             self._stats.note_rebalance(report.summary())
         return report

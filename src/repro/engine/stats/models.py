@@ -104,6 +104,8 @@ class SelectivityModel(abc.ABC):
     def __init__(self, dimension: int, size: int):
         self._dimension = int(dimension)
         self._size = int(size)
+        self._observed_inserts = 0
+        self._observed_deletes = 0
 
     @property
     def dimension(self) -> int:
@@ -135,10 +137,27 @@ class SelectivityModel(abc.ABC):
     def observe_insert(self, point: Sequence[float]) -> None:
         """Fold one inserted point into the statistics."""
         self._size += 1
+        self._observed_inserts += 1
 
     def observe_delete(self, point: Sequence[float]) -> None:
         """Fold one deleted point out of the statistics."""
         self._size = max(0, self._size - 1)
+        self._observed_deletes += 1
+
+    @property
+    def observed_inserts(self) -> int:
+        """Inserts this model has observed (one per *logical* mutation).
+
+        The engine wires point hooks to the primary replica only, so a
+        write fanned out to N replicas must land here exactly once —
+        the counter is how tests (and dashboards) verify that.
+        """
+        return self._observed_inserts
+
+    @property
+    def observed_deletes(self) -> int:
+        """Deletes this model has observed (one per logical mutation)."""
+        return self._observed_deletes
 
     def drift(self) -> float:
         """How far mutations have skewed the statistics (1.0 = none).
@@ -150,7 +169,9 @@ class SelectivityModel(abc.ABC):
 
     def describe(self) -> Dict[str, object]:
         """JSON-friendly model summary (benchmarks persist these)."""
-        return {"model": self.name, "size": self._size}
+        return {"model": self.name, "size": self._size,
+                "observed_inserts": self._observed_inserts,
+                "observed_deletes": self._observed_deletes}
 
 
 class UniformSampleModel(SelectivityModel):

@@ -1,0 +1,311 @@
+"""The engine-level write path: routed inserts with replica write-fanout.
+
+Reads route through the planner; writes route through the *shard
+attribute*.  :class:`WritePath` is the mutation twin of the execution
+core: given ``insert(dataset, point)`` / ``delete(dataset, point)`` it
+
+* **routes** the point to its shard via the dataset's
+  :class:`~repro.engine.sharding.ShardRouter` — including range shards
+  whose boundaries moved under rebalancing: the router object is swapped
+  at every re-split, and routing happens under the dataset's *write
+  barrier* (:attr:`~repro.engine.sharding.ShardedDataset.write_lock`),
+  which a re-split holds for its whole collect-swap-rebuild window, so a
+  write always sees a complete layout — never one mid-swap, and never
+  one whose live points were already collected (the write would be
+  silently dropped from the rebuilt shards);
+* **fans the mutation out to every replica** of the target shard, so the
+  copies stay byte-identical and reads keep spreading over all of them
+  (no replica pinning).  The fan-out is atomic-enough: secondaries are
+  written first and the primary last, a pre-mutation veto (or any
+  failure) on a later replica **rolls the already-applied replicas back
+  via the inverse operation**, and the one-per-logical-mutation hooks —
+  statistics reservoir/histogram updates, rebalance skew counters,
+  result-cache invalidation, shard-box staleness — are wired to the
+  primary alone, so they fire exactly once and only when every replica
+  holds the write;
+* **accounts** the write: per-replica I/Os are measured off each store,
+  and per-dataset write counts and latency percentiles land in
+  :class:`~repro.engine.metrics.EngineStats`.
+
+Plain (unsharded) datasets take the same path minus routing: the
+mutation applies to the dataset's single mutation-capable index.  A
+dataset whose suite was built statically (no ``"dynamic"`` kind) rejects
+writes with a clear error — the catalog resolves the target index via
+:meth:`~repro.engine.catalog.Catalog.mutable_index_of`.
+
+Each replica's application happens under that replica's store lock, the
+same lock the executors hold around queries, so concurrent
+``serve_async`` reads observe each replica either before or after a
+mutation — never mid-write.
+
+Writes to one sharded dataset serialize on its write barrier, even when
+they target disjoint shards — a deliberate correctness-first trade-off
+(a mutation is a handful of amortised I/Os, so the barrier is cheap
+next to the reads it protects).  Sharding the barrier — shared mode for
+writers, exclusive for re-splits, with the per-shard fan-out lock doing
+the serialization — is the upgrade path if write throughput ever
+becomes the bottleneck.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.catalog import Catalog, Dataset
+from repro.engine.metrics import EngineStats
+from repro.engine.sharding import Shard
+
+#: Amortised I/O estimate charged per replica application when admission
+#: control prices a write before it runs: one blocked buffer/tombstone
+#: append plus its share of the eventual rebuild.  Settled against the
+#: observed I/Os afterwards, like read estimates are.
+WRITE_IOS_PER_REPLICA = 2.0
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """One applied engine-level mutation (what ``insert``/``delete`` return)."""
+
+    dataset: str
+    #: "insert" or "delete".
+    op: str
+    point: Tuple[float, ...]
+    #: False only for a delete of an absent point (a no-op).
+    applied: bool
+    #: Shard the router chose (-1 for an unsharded dataset).
+    shard_id: int
+    #: Replicas the mutation was applied to (1 for unsharded datasets).
+    replicas: int
+    #: Block transfers charged across every replica application.
+    ios: int
+    latency_s: float
+    #: The sharded dataset's re-split generation the write was routed
+    #: against (0 for unsharded datasets).
+    generation: int
+
+
+class WritePath:
+    """Routes engine-level mutations and fans them out to replicas.
+
+    Parameters
+    ----------
+    catalog:
+        The engine's catalog (owns datasets, shards and their indexes).
+    stats:
+        Optional :class:`EngineStats` sink for per-dataset write counters
+        and latency percentiles.
+    invalidate:
+        Optional ``invalidate(dataset_name)`` callback (the execution
+        core's result-cache flush).  A *successful* mutation invalidates
+        through the primary replica's mutation hooks; this callback
+        covers the **aborted** fan-out, whose rollback may have raced a
+        concurrent read against an already-mutated secondary — the
+        cached answer would otherwise serve the rolled-back point
+        forever.
+    """
+
+    def __init__(self, catalog: Catalog,
+                 stats: Optional[EngineStats] = None,
+                 invalidate=None):
+        self._catalog = catalog
+        self._stats = stats
+        self._invalidate = invalidate
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def insert(self, dataset_name: str, point) -> MutationResult:
+        """Insert one point, routed by shard attribute, on every replica."""
+        return self._mutate(dataset_name, point, "insert")
+
+    def delete(self, dataset_name: str, point) -> MutationResult:
+        """Delete one point (one copy) everywhere it is replicated.
+
+        Returns a result with ``applied=False`` when the point was not
+        present — a no-op, mirroring the dynamic index's contract.
+        """
+        return self._mutate(dataset_name, point, "delete")
+
+    def estimate_ios(self, dataset_name: str, point=None) -> float:
+        """Predicted write cost, for admission control (pure arithmetic).
+
+        With a ``point`` the routed shard's actual replica count prices
+        the fan-out; without one the dataset's replication factor is the
+        (upper-bound) width.
+        """
+        if not self._catalog.is_sharded(dataset_name):
+            self._catalog.dataset(dataset_name)   # raise on unknown names
+            return WRITE_IOS_PER_REPLICA
+        sharded = self._catalog.sharded(dataset_name)
+        if point is not None:
+            record = tuple(float(c) for c in point)
+            shard = sharded.shards[sharded.router.shard_of(record)]
+            if not shard.is_empty:
+                return WRITE_IOS_PER_REPLICA * shard.num_replicas
+        return WRITE_IOS_PER_REPLICA * max(1, sharded.replicas_per_shard)
+
+    # ------------------------------------------------------------------
+    # the mutation
+    # ------------------------------------------------------------------
+    def _mutate(self, dataset_name: str, point, op: str) -> MutationResult:
+        started = time.perf_counter()
+        if self._catalog.is_sharded(dataset_name):
+            result = self._mutate_sharded(dataset_name, point, op, started)
+        else:
+            result = self._mutate_plain(dataset_name, point, op, started)
+        if self._stats is not None:
+            self._stats.note_write(result.dataset, result.op,
+                                   applied=result.applied, ios=result.ios,
+                                   latency_s=result.latency_s,
+                                   replicas=result.replicas)
+        return result
+
+    def _mutate_plain(self, dataset_name: str, point, op: str,
+                      started: float) -> MutationResult:
+        dataset = self._catalog.dataset(dataset_name)
+        record = self._as_record(point, dataset)
+        index = Catalog.mutable_index_of(dataset)
+        with dataset.store.lock:
+            before = dataset.store.stats.snapshot()
+            applied = self._apply(index, op, record)
+            delta = dataset.store.stats.delta(before)
+        return MutationResult(
+            dataset=dataset_name, op=op, point=record, applied=applied,
+            shard_id=-1, replicas=1,
+            ios=delta.total + delta.cache_hits,
+            latency_s=time.perf_counter() - started, generation=0)
+
+    def _mutate_sharded(self, dataset_name: str, point, op: str,
+                        started: float) -> MutationResult:
+        sharded = self._catalog.sharded(dataset_name)
+        record = self._as_record(point, sharded)
+        # The dataset's write barrier serializes this route+fanout against
+        # re-splits (which hold it across their collect-swap-rebuild
+        # window): routing always uses the *current* generation's router
+        # and shard list, and the write can never land in shards whose
+        # live points a concurrent re-split already collected — that
+        # write would be missing from the rebuilt layout.
+        with sharded.write_lock:
+            generation = sharded.generation
+            shard = sharded.shards[sharded.router.shard_of(record)]
+            if shard.is_empty:
+                if op == "delete":
+                    # An empty shard holds nothing, so the point is
+                    # absent by definition: the documented no-op, not an
+                    # error (blind deletes must behave uniformly however
+                    # the router placed the key).
+                    return MutationResult(
+                        dataset=dataset_name, op=op, point=record,
+                        applied=False, shard_id=shard.shard_id,
+                        replicas=0, ios=0,
+                        latency_s=time.perf_counter() - started,
+                        generation=generation)
+                raise ValueError(
+                    "cannot route a write into shard %d of %r: the shard "
+                    "holds no replicas (it received no build points); "
+                    "register with fewer shards, or rebalance first"
+                    % (shard.shard_id, dataset_name))
+            with shard.write_fanout():
+                applied, ios = self._apply_fanout(dataset_name, shard, op,
+                                                  record)
+        return MutationResult(
+            dataset=dataset_name, op=op, point=record, applied=applied,
+            shard_id=shard.shard_id, replicas=shard.num_replicas,
+            ios=ios, latency_s=time.perf_counter() - started,
+            generation=generation)
+
+    def _apply_fanout(self, dataset_name: str, shard: Shard, op: str,
+                      record: Tuple[float, ...]) -> Tuple[bool, int]:
+        """Apply one mutation to every replica, or to none.
+
+        Secondaries first, primary last: the primary carries the
+        one-per-logical-mutation hooks (statistics, cache invalidation,
+        box staleness), so they fire only once every secondary already
+        holds the write.  A failure part-way rolls the applied replicas
+        back via the inverse operation, restores their ``mutated``
+        flags, flushes the dataset's result cache (a concurrent read may
+        have cached an answer off an already-mutated secondary), and
+        re-raises the original error — annotated with the I/Os the
+        aborted attempt really spent, so admission can charge them.
+        """
+        order = shard.replicas[1:] + shard.replicas[:1]
+        mutated_flags = [replica.mutated for replica in shard.replicas]
+        applied: List[Tuple[Dataset, object, bool]] = []
+        total_ios = 0
+        try:
+            for child in order:
+                index = Catalog.mutable_index_of(child)
+                with child.store.lock:
+                    before = child.store.stats.snapshot()
+                    outcome = self._apply(index, op, record)
+                    delta = child.store.stats.delta(before)
+                total_ios += delta.total + delta.cache_hits
+                applied.append((child, index, outcome))
+        except Exception as exc:
+            total_ios += self._rollback(applied, op, record, exc)
+            # The apply (and its inverse) flagged secondaries mutated;
+            # the data is back to the pre-write state, so the flags are
+            # restored too (inverse ops run after this would re-set them).
+            for replica, flag in zip(shard.replicas, mutated_flags):
+                replica.mutated = flag
+            if self._invalidate is not None:
+                # The primary's invalidation hook never fired (the
+                # primary was never written): flush any answer a
+                # concurrent read cached off a mid-fanout secondary.
+                self._invalidate(dataset_name)
+            try:
+                exc.write_ios_observed = total_ios
+            except AttributeError:  # exceptions with __slots__
+                pass
+            raise
+        # Replicas are identical, so the outcomes agree; report the
+        # primary's (it ran last).
+        return applied[-1][2], total_ios
+
+    def _rollback(self, applied, op: str, record: Tuple[float, ...],
+                  cause: Exception) -> int:
+        """Undo partially-applied replicas with the inverse operation.
+
+        Returns the block transfers the rollback itself charged (the
+        aborted write's admission settlement includes them).
+        """
+        inverse = "delete" if op == "insert" else "insert"
+        total_ios = 0
+        for child, index, outcome in reversed(applied):
+            if not outcome:
+                continue          # a no-op delete needs no inverse
+            try:
+                with child.store.lock:
+                    before = child.store.stats.snapshot()
+                    self._apply(index, inverse, record)
+                    delta = child.store.stats.delta(before)
+                total_ios += delta.total + delta.cache_hits
+            except Exception as rollback_exc:
+                raise RuntimeError(
+                    "write-fanout rollback failed on replica %r (while "
+                    "undoing a fan-out aborted by: %s); its copy may "
+                    "have diverged from its siblings"
+                    % (child.name, cause)) from rollback_exc
+        return total_ios
+
+    @staticmethod
+    def _apply(index, op: str, record: Tuple[float, ...]) -> bool:
+        """One replica application; True unless a delete found nothing."""
+        if op == "insert":
+            index.insert(record)
+            return True
+        if op == "delete":
+            return bool(index.delete(record))
+        raise ValueError("unknown mutation op %r (expected 'insert' or "
+                         "'delete')" % (op,))
+
+    @staticmethod
+    def _as_record(point, entry) -> Tuple[float, ...]:
+        record = tuple(float(c) for c in point)
+        if len(record) != entry.dimension:
+            raise ValueError(
+                "point dimension %d does not match dataset %r dimension %d"
+                % (len(record), entry.name, entry.dimension))
+        return record

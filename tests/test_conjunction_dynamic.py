@@ -149,6 +149,85 @@ class TestDynamicPartitionTree:
         constraint = LinearConstraint((0.0,), 2.0)   # everything
         assert victim in {tuple(p) for p in index.query(constraint)}
 
+    def test_duplicate_points_have_multiset_semantics(self):
+        # Regression: tombstones used to be a *set*, so one delete of a
+        # duplicated point hid every tree copy from query()/live_points()
+        # while size decremented by only 1 — the three disagreed.
+        base = uniform_points(40, seed=21)
+        dup = tuple(base[0])
+        index = DynamicPartitionTreeIndex(np.vstack([base, [dup]]),
+                                          block_size=32)
+        everything = LinearConstraint((0.0,), 1e9)
+
+        def copies():
+            reported = [tuple(p) for p in index.query(everything)]
+            live = [tuple(p) for p in index.live_points()]
+            assert len(reported) == len(live) == index.size
+            assert reported.count(dup) == live.count(dup)
+            return reported.count(dup)
+
+        assert index.size == 41 and copies() == 2
+        assert index.delete(dup)                 # hides exactly ONE copy
+        assert index.size == 40 and copies() == 1
+        assert index.delete(dup)
+        assert index.size == 39 and copies() == 0
+        assert index.delete(dup) is False        # multiset exhausted
+        index.insert(dup)
+        index.insert(dup)                        # resurrect + fresh copy
+        assert index.size == 41 and copies() == 2
+        index._rebuild()                         # rebuild keeps the count
+        assert index.size == 41 and copies() == 2
+
+    def test_resurrecting_insert_rewrites_tombstone_blocks(self):
+        # Regression: the resurrect path dropped the tombstone from the
+        # in-memory set but left the record in the on-disk tombstone
+        # array, so disk state disagreed with the set and the array's
+        # space never came back.
+        points = uniform_points(60, seed=22)
+        index = DynamicPartitionTreeIndex(points, block_size=32)
+        victims = [tuple(p) for p in points[:3]]
+        for victim in victims:
+            assert index.delete(victim)
+        assert len(index._tombstone_array) == 3 == index.tombstoned
+        index.insert(victims[0])                 # resurrects a tree copy
+        assert index.tombstoned == 2
+        assert len(index._tombstone_array) == 2  # disk matches the set
+        assert sorted(index._tombstone_array.read_all()) == \
+            sorted(victims[1:])
+        index.insert(victims[1])
+        index.insert(victims[2])
+        assert index.tombstoned == 0
+        assert len(index._tombstone_array) == 0
+        assert index._tombstone_array.num_blocks == 0   # space released
+
+    def test_buffer_path_delete_checks_rebuild_threshold(self):
+        # Regression: a delete served from the insertion buffer skipped
+        # _maybe_rebuild(), so only tree-path deletes could trigger the
+        # tombstone-fraction rebuild — the two paths must stay aligned.
+        class Counting(DynamicPartitionTreeIndex):
+            def __init__(self, *args, **kwargs):
+                self.rebuild_checks = 0
+                super().__init__(*args, **kwargs)
+
+            def _maybe_rebuild(self):
+                self.rebuild_checks += 1
+                super()._maybe_rebuild()
+
+        index = Counting(uniform_points(64, seed=23), block_size=32,
+                         buffer_fraction=1.0)
+        index.insert((5.0, 5.0))                 # lands in the buffer
+        checks = index.rebuild_checks
+        assert index.delete((5.0, 5.0))          # buffer-path delete
+        assert index.rebuild_checks == checks + 1
+        # Public invariant across a delete-heavy mix: the tombstone
+        # fraction can never sit past the rebuild threshold.
+        points = uniform_points(80, seed=24)
+        index = DynamicPartitionTreeIndex(points, block_size=32)
+        for point in points[:60]:
+            index.delete(tuple(point))
+            tree_size = index.size - index.buffered + index.tombstoned
+            assert index.tombstoned * 2 <= max(1, tree_size)
+
     def test_agrees_with_static_tree_after_updates(self):
         rng = np.random.default_rng(15)
         base = rng.uniform(-1, 1, size=(500, 2))

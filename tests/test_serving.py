@@ -3,8 +3,8 @@
 Covers the :mod:`repro.engine.serving` package (token buckets, admission
 policies, the prioritized deadline queue, the asyncio executor) plus the
 replication layer it drives (least-loaded picking, per-replica metrics,
-mutation pinning) and the concurrency regressions the async path must not
-reintroduce (lost calibration updates).
+write-fanout consistency) and the concurrency regressions the async path
+must not reintroduce (lost calibration updates).
 """
 
 from __future__ import annotations
@@ -511,7 +511,7 @@ def test_replica_picker_prefers_idle_then_balances():
         shard_id = 0
 
         @staticmethod
-        def routing_replica_ids():
+        def replicas_for_query():
             return [0, 1]
 
     first = picker.acquire("d", FakeShard, 10.0)
@@ -548,55 +548,116 @@ def test_replicated_serving_attributes_load_to_both_replicas(points2d):
 
 
 # ----------------------------------------------------------------------
-# mutations through a replicated shard (satellite regression)
+# mutations through a replicated shard (write-fanout regression)
 # ----------------------------------------------------------------------
-def test_mutation_through_replica_pins_routing_and_defeats_stale_box(points2d):
+def test_engine_insert_fans_out_and_defeats_stale_box(points2d):
     engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
     engine.register_sharded_dataset("sh", points2d, num_shards=2,
                                     replicas=2, kinds=["dynamic"])
     sharded = engine.catalog.sharded("sh")
     last_shard = sharded.shards[-1]
     outlier = (10.0, 0.0)                            # far outside [-1, 1]^2
-    # Insert through the *second* replica's dynamic index.
-    engine.catalog.indexes("sh")["1@r1/dynamic"].insert(outlier)
+    result = engine.insert("sh", outlier)
+    # Routed by the shard attribute to the top range shard, applied to
+    # *both* replicas, so reads stay free to use either copy.
+    assert result.shard_id == last_shard.shard_id
+    assert result.replicas == 2
     assert last_shard.box_stale
-    assert last_shard.pinned_replica == 1
-    assert last_shard.routing_replica_ids() == [1]
-    assert last_shard.planning_dataset() is last_shard.replicas[1]
+    assert last_shard.replicas_for_query() == [0, 1]
+    for replica in last_shard.replicas:
+        assert replica.indexes["dynamic"].size == last_shard.size + 1
     # Satisfied by the outlier alone: y <= 5x - 40.  The build-time box
-    # would prune the shard; the stale flag must defeat that, and the
-    # answer must come from the mutated replica.
+    # would prune the shard; the stale flag must defeat that.
     constraint = LinearConstraint(coeffs=(5.0,), offset=-40.0)
     answer = engine.query("sh", constraint)
     assert tuple(outlier) in {tuple(p) for p in answer.points}
-    # Repeated queries keep routing to the pinned replica only.
-    engine.query("sh", constraint, clear_cache=True)
+    # Repeated cold queries spread over both replicas: the least-loaded
+    # picker's choices stay open after the mutation (no pinning).
+    for __ in range(4):
+        engine.query("sh", constraint, clear_cache=True)
     load = engine.stats.replica_load
-    assert load.get(("sh", last_shard.shard_id, 0), 0) == 0
+    assert ("sh", last_shard.shard_id, 0) in load
+    assert ("sh", last_shard.shard_id, 1) in load
 
 
-def test_mutating_a_second_replica_of_one_shard_raises(points2d):
-    # Routing is pinned to the first-mutated replica; an insert through a
-    # *different* replica of the same shard could never be served, so it
-    # must fail loudly instead of silently dropping the update.
+def test_direct_mutation_of_a_replicated_shard_raises(points2d):
+    # Writing one replica's index directly would silently desynchronise
+    # the copies, so it must fail loudly (pre-mutation, nothing written);
+    # the supported route is the engine-level fan-out.
     engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
     engine.register_sharded_dataset("sh", points2d, num_shards=2,
                                     replicas=2, kinds=["dynamic"])
     indexes = engine.catalog.indexes("sh")
-    indexes["0@r1/dynamic"].insert((0.25, 0.25))
-    indexes["0@r1/dynamic"].insert((0.3, 0.3))       # same replica: fine
-    with pytest.raises(ValueError, match="pinned to mutated replica 1"):
+    with pytest.raises(ValueError, match="QueryEngine.insert"):
         indexes["0/dynamic"].insert((0.5, 0.5))
+    with pytest.raises(ValueError, match="desynchronise"):
+        indexes["0@r1/dynamic"].insert((0.5, 0.5))
     # The veto is pre-mutation: the rejected insert never landed, so the
-    # forbidden replica stays byte-identical to the build and unflagged.
-    forbidden = engine.catalog.sharded("sh").shards[0].replicas[0]
-    assert not forbidden.mutated
+    # replicas stay byte-identical to the build and unflagged.
+    shard = engine.catalog.sharded("sh").shards[0]
     inside_all = LinearConstraint(coeffs=(0.0,), offset=1e9)
-    assert (0.5, 0.5) not in {
-        tuple(p) for p in indexes["0/dynamic"].query(inside_all)}
-    # The other shard is independent and still accepts its first mutation.
-    indexes["1/dynamic"].insert((0.9, 0.9))
-    assert engine.catalog.sharded("sh").shards[1].pinned_replica == 0
+    for replica in shard.replicas:
+        assert not replica.mutated
+        assert (0.5, 0.5) not in {
+            tuple(p) for p in replica.indexes["dynamic"].query(inside_all)}
+    # The engine-level route is what works — and flags every replica of
+    # whichever shard the point routes to.
+    result = engine.insert("sh", (0.5, 0.5))
+    routed = engine.catalog.sharded("sh").shards[result.shard_id]
+    for replica in routed.replicas:
+        assert replica.mutated
+        assert (0.5, 0.5) in {
+            tuple(p) for p in replica.indexes["dynamic"].query(inside_all)}
+
+
+def test_fanout_rollback_when_one_replica_vetoes(points2d):
+    # A replica that vetoes mid-fanout must roll back the copies already
+    # written: afterwards every replica is byte-identical to before, and
+    # the statistics/skew hooks never saw the failed logical mutation.
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("sh", points2d, num_shards=2,
+                                    replicas=3, kinds=["dynamic"])
+    sharded = engine.catalog.sharded("sh")
+    shard = sharded.shards[0]
+    target = shard.replicas[0]          # the primary is applied *last*
+    boom = RuntimeError("replica out of space")
+
+    def veto():
+        raise boom
+
+    target.indexes["dynamic"].add_pre_mutation_listener(veto)
+    probe = (float(shard.lows[0]), 0.0)  # routes to shard 0
+    stats_before = (target.stats.observed_inserts, sharded.stats.size)
+    mutations_before = engine.rebalancer.mutations("sh")
+    # Prime the result cache so the rollback's invalidation is visible.
+    everything = LinearConstraint(coeffs=(0.0,), offset=1e9)
+    engine.query("sh", everything)
+    assert engine.query("sh", everything).from_result_cache
+    with pytest.raises(RuntimeError, match="replica out of space") as info:
+        engine.insert("sh", probe)
+    # The aborted attempt's real apply+rollback I/Os ride the exception
+    # so async admission can charge them instead of refunding in full.
+    assert getattr(info.value, "write_ios_observed", 0) > 0
+    # Every replica (the secondaries were written before the veto) was
+    # rolled back via the inverse op: identical sizes, no probe point.
+    inside_all = LinearConstraint(coeffs=(0.0,), offset=1e9)
+    for replica in shard.replicas:
+        assert replica.indexes["dynamic"].size == shard.size
+        assert probe not in {
+            tuple(p) for p in replica.indexes["dynamic"].query(inside_all)}
+    # The one-per-logical-mutation hooks never fired for the failed write.
+    assert (target.stats.observed_inserts, sharded.stats.size) == stats_before
+    assert engine.rebalancer.mutations("sh") == mutations_before
+    # The rollback restored the secondaries' mutated flags and flushed
+    # the result cache (a concurrent read may have cached a mid-fanout
+    # secondary's answer).
+    for replica in shard.replicas:
+        assert not replica.mutated
+    assert not engine.query("sh", everything).from_result_cache
+    # The shard still accepts writes afterwards (lock released, no pin).
+    target.indexes["dynamic"]._pre_mutation_listeners.remove(veto)
+    result = engine.insert("sh", probe)
+    assert result.applied and result.replicas == 3
 
 
 def test_stale_answer_is_not_cached_past_concurrent_invalidation(points2d):
@@ -626,20 +687,22 @@ def test_stale_answer_is_not_cached_past_concurrent_invalidation(points2d):
     assert engine.query("d", constraint).from_result_cache  # fresh one lands
 
 
-def test_delete_of_absent_point_is_noop_even_on_unpinned_replica(points2d):
+def test_delete_of_absent_point_is_noop_even_on_a_replicated_shard(points2d):
     # The pre-mutation veto must not fire for a delete that would write
     # nothing: the documented contract is "returns False if not present".
     engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
     engine.register_sharded_dataset("sh", points2d, num_shards=2,
                                     replicas=2, kinds=["dynamic"])
     indexes = engine.catalog.indexes("sh")
-    indexes["0@r1/dynamic"].insert((0.25, 0.25))     # pins shard 0 to r1
     assert indexes["0/dynamic"].delete((123.0, 456.0)) is False
     with pytest.raises(ValueError):                  # a real write still vetoed
         indexes["0/dynamic"].insert((0.5, 0.5))
+    # The engine-level route reports the no-op without raising too.
+    result = engine.delete("sh", (123.0, 456.0))
+    assert result.applied is False
 
 
-def test_async_serving_after_replica_mutation_stays_fresh(points2d):
+def test_async_serving_after_engine_insert_stays_fresh(points2d):
     engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
     engine.register_sharded_dataset("sh", points2d, num_shards=2,
                                     replicas=2, kinds=["dynamic"])
@@ -649,7 +712,7 @@ def test_async_serving_after_replica_mutation_stays_fresh(points2d):
     count_before = before.requests[0].answer.count
     inside = (0.0, -2.0)
     assert constraint.below(inside)
-    engine.catalog.indexes("sh")["0@r1/dynamic"].insert(inside)
+    engine.insert("sh", inside)
     after = engine.serve_async([_request(constraint, dataset="sh")])
     answer = after.requests[0].answer
     assert not answer.from_result_cache              # cache invalidated

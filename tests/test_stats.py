@@ -371,15 +371,29 @@ def test_rebalance_invalidates_cached_results():
     engine.close()
 
 
-def test_rebalance_handles_pinned_replicas():
-    engine, points, extra, queries = _skewed_insert_scenario(replicas=2)
+def test_rebalance_handles_replicated_shards():
+    # Replicated shards: skewed writes go through the engine's routed
+    # fan-out (direct single-replica inserts are vetoed), the re-split
+    # rebuilds every replica, and reads stay exact and unpinned.
+    points = uniform_points(1024, seed=18)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=18)
+    engine.register_sharded_dataset(
+        "sh", points, num_shards=4, sharding="range", replicas=2,
+        kinds=["partition_tree", "full_scan", "dynamic"])
+    queries = steep_leading_attribute_queries(points, 5, 0.02, seed=19)
     sharded = engine.catalog.sharded("sh")
-    assert sharded.shards[3].pinned_replica == 0
+    top = sharded.router.boundaries[-1]
+    rng = np.random.default_rng(20)
+    extra = np.column_stack([rng.uniform(top, 1.0, size=400),
+                             rng.uniform(-1.0, 1.0, size=400)])
+    for point in extra:
+        assert engine.insert("sh", point).shard_id == 3
+    assert sharded.shards[3].box_stale
     engine.rebalance("sh")
     for shard in sharded.nonempty_shards():
-        assert shard.pinned_replica is None
         assert not shard.box_stale
         assert shard.num_replicas == 2
+        assert shard.replicas_for_query() == [0, 1]
     live = np.concatenate([points, extra])
     for constraint in queries:
         answer = engine.query("sh", constraint)
