@@ -137,6 +137,15 @@ WRITE_INSERTS = 240
 WRITE_QUERIES = 12
 WRITE_SELECTIVITY = 0.1
 
+#: HTTP-serving experiment: the embedded async path vs the same engine
+#: behind the network front-end, plus SSE time-to-first-estimate.
+HTTP_POINTS = 4096
+HTTP_QUERIES_PER_CLIENT = 16
+HTTP_MUTATIONS = 16
+HTTP_STREAMS = 12
+HTTP_FAST_SELECTIVITY = 0.02
+HTTP_HEAVY_SELECTIVITY = 0.5
+
 #: --smoke: tiny sizes so CI smoke-tests every phase in seconds.
 SMOKE_TENANT_SIZES = {"flat2d": 512, "solid3d": 384}
 SMOKE_NUM_REQUESTS = 16
@@ -153,6 +162,10 @@ SMOKE_REBALANCE_QUERIES = 4
 SMOKE_WRITE_POINTS = 1024
 SMOKE_WRITE_INSERTS = 60
 SMOKE_WRITE_QUERIES = 6
+SMOKE_HTTP_POINTS = 1024
+SMOKE_HTTP_QUERIES_PER_CLIENT = 3
+SMOKE_HTTP_MUTATIONS = 4
+SMOKE_HTTP_STREAMS = 3
 
 #: Index kinds built per tenant; "optimal" resolves per dimension.
 SUITES = {
@@ -683,6 +696,194 @@ def run_write_fanout(smoke=False):
     }
 
 
+def run_http_serving(smoke=False):
+    """The network front-end vs the embedded async path, same workload.
+
+    An 80-request mixed trace (halfspace queries of two selectivities
+    plus routed inserts) is served twice: once through
+    ``engine.serve_async`` in-process, once over real localhost HTTP
+    from four concurrent clients holding distinct API keys — one of them
+    budget-capped with the ``degrade`` policy.  Per-tenant p50/p95
+    client-observed latencies are recorded for both paths, the capped
+    tenant's degraded answers are checked for their confidence
+    intervals, and a follow-up SSE phase measures time-to-first-estimate
+    vs time-to-final-result per stream.  ``GET /stats`` must round-trip
+    through strict JSON and carry per-endpoint latency counters.
+    """
+    import threading
+
+    from repro.engine.server import ApiKey, ServerClient
+
+    num_points = SMOKE_HTTP_POINTS if smoke else HTTP_POINTS
+    per_client = SMOKE_HTTP_QUERIES_PER_CLIENT if smoke \
+        else HTTP_QUERIES_PER_CLIENT
+    num_mutations = SMOKE_HTTP_MUTATIONS if smoke else HTTP_MUTATIONS
+    num_streams = SMOKE_HTTP_STREAMS if smoke else HTTP_STREAMS
+    points = uniform_points(num_points, seed=SEED + 21)
+    rng = np.random.default_rng(SEED + 22)
+    inserts = rng.uniform(-1.0, 1.0, size=(num_mutations, 2))
+    tenant_queries = {
+        tenant: halfspace_queries_with_selectivity(
+            points, per_client,
+            HTTP_HEAVY_SELECTIVITY if tenant == "gamma"
+            else HTTP_FAST_SELECTIVITY,
+            seed=SEED + 23 + index)
+        for index, tenant in enumerate(("alpha", "beta", "gamma", "delta"))}
+
+    def make_engine():
+        engine = QueryEngine(block_size=BLOCK_SIZE, seed=SEED + 21)
+        engine.register_sharded_dataset(
+            "served", points, num_shards=4, sharding="range",
+            kinds=["partition_tree", "full_scan", "dynamic"])
+        return engine
+
+    def gamma_budget(engine):
+        estimate = engine.explain("served",
+                                  tenant_queries["gamma"][0]).estimated_ios
+        return TenantBudget(ios_per_s=max(estimate, 50.0),
+                            burst=1.1 * max(estimate, 50.0),
+                            policy="degrade")
+
+    def latency_summary(seconds):
+        ordered = sorted(seconds)
+        return {"p50_ms": percentile(ordered, 0.50) * 1e3,
+                "p95_ms": percentile(ordered, 0.95) * 1e3}
+
+    total_requests = 4 * per_client + num_mutations
+
+    # --- embedded baseline: the identical trace through serve_async -----
+    embedded_engine = make_engine()
+    trace = []
+    for position in range(per_client):
+        for tenant in ("alpha", "beta", "gamma", "delta"):
+            trace.append(ServingRequest(
+                tenant=tenant, dataset="served",
+                constraint=tenant_queries[tenant][position]))
+    for point in inserts:
+        trace.append(ServingRequest(tenant="delta", dataset="served",
+                                    op="insert", point=tuple(point)))
+    result = embedded_engine.serve_async(
+        trace, budgets={"gamma": gamma_budget(embedded_engine)},
+        max_concurrency=4)
+    embedded = {
+        tenant: dict(latency_summary(
+            [item.turnaround_s for item in result.requests
+             if item.request.tenant == tenant]),
+            outcomes=dict(_counter(item.outcome for item in result.requests
+                                   if item.request.tenant == tenant)))
+        for tenant in tenant_queries}
+    embedded_engine.close()
+
+    # --- the same trace over localhost HTTP, 4 concurrent clients -------
+    engine = make_engine()
+    keys = [ApiKey(key="key-alpha", tenant="alpha"),
+            ApiKey(key="key-beta", tenant="beta"),
+            ApiKey(key="key-gamma", tenant="gamma",
+                   budget=gamma_budget(engine)),
+            ApiKey(key="key-delta", tenant="delta")]
+    server = engine.serve_http(keys, max_concurrency=4)
+    host, port = server.address
+    records = {}
+
+    def run_client(tenant):
+        client = ServerClient(host, port, api_key="key-%s" % tenant)
+        rows = []
+        for constraint in tenant_queries[tenant]:
+            started = time.perf_counter()
+            status, body = client.query("served",
+                                        list(constraint.coeffs),
+                                        constraint.offset)
+            rows.append((time.perf_counter() - started, status, body))
+        if tenant == "delta":
+            for point in inserts:
+                started = time.perf_counter()
+                status, body = client.insert("served", list(point))
+                rows.append((time.perf_counter() - started, status, body))
+        records[tenant] = rows
+
+    threads = [threading.Thread(target=run_client, args=(tenant,))
+               for tenant in tenant_queries]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    intervals_ok = True
+    mutations_applied = 0
+    http = {}
+    for tenant, rows in records.items():
+        outcomes = _counter(body.get("outcome", "http-%d" % status)
+                            for __, status, body in rows)
+        http[tenant] = dict(latency_summary([row[0] for row in rows]),
+                            outcomes=dict(outcomes))
+        for __, status, body in rows:
+            if body.get("outcome") == "degraded":
+                answer = body["answer"]
+                low, high = answer["count_interval"]
+                intervals_ok &= (low <= answer["estimated_count"] <= high
+                                 and 0.0 < answer["sample_rate"] <= 1.0)
+            if body.get("mutation", {}).get("applied"):
+                mutations_applied += 1
+
+    # --- SSE: degraded-then-refined over one connection ------------------
+    stream_queries = halfspace_queries_with_selectivity(
+        points, num_streams, HTTP_FAST_SELECTIVITY, seed=SEED + 29)
+    client = ServerClient(host, port, api_key="key-alpha")
+    first_estimate, final, ordering_ok = [], [], True
+    for constraint in stream_queries:
+        started = time.perf_counter()
+        status, events = client.query_stream("served",
+                                             list(constraint.coeffs),
+                                             constraint.offset)
+        names = [event.name for event in events]
+        ordering_ok &= (status == 200 and names == ["estimate", "result"]
+                        and "count_interval" in events[0].data)
+        if len(events) == 2:
+            first_estimate.append(events[0].at - started)
+            final.append(events[1].at - started)
+
+    status, summary = client.stats()
+    try:
+        json.dumps(summary, allow_nan=False)
+        stats_valid = status == 200
+    except ValueError:
+        stats_valid = False
+    endpoints = sorted(summary.get("http", {}))
+    server.stop()
+    engine.close()
+
+    return {
+        "workload": {
+            "num_points": num_points,
+            "num_requests": total_requests,
+            "queries_per_client": per_client,
+            "num_mutations": num_mutations,
+            "num_streams": num_streams,
+            "fast_selectivity": HTTP_FAST_SELECTIVITY,
+            "heavy_selectivity": HTTP_HEAVY_SELECTIVITY,
+        },
+        "embedded": embedded,
+        "http": http,
+        "degraded_intervals_ok": intervals_ok,
+        "mutations_applied": mutations_applied,
+        "sse": {
+            "streams": num_streams,
+            "ordering_ok": ordering_ok,
+            "first_estimate": latency_summary(first_estimate),
+            "final": latency_summary(final),
+        },
+        "stats_endpoint": {"valid_json": stats_valid,
+                           "endpoints": endpoints},
+    }
+
+
+def _counter(values):
+    counts = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
 def run_experiment(smoke=False):
     """Run every strategy once and return the result payload."""
     tenants, engine, requests, builds = build_scenario(smoke=smoke)
@@ -734,6 +935,7 @@ def run_experiment(smoke=False):
         "selectivity_models": run_selectivity_models(smoke=smoke),
         "rebalance": run_rebalance(smoke=smoke),
         "write_fanout": run_write_fanout(smoke=smoke),
+        "http_serving": run_http_serving(smoke=smoke),
     }
 
 
@@ -864,8 +1066,33 @@ def storage_tables(results):
            fanout["workload"]["replicas"],
            fanout["workload"]["num_queries"],
            fanout["writes"]["latency_s"]["p95"] * 1e3))
+    http = results["http_serving"]
+    http_rows = []
+    for tenant in sorted(http["http"]):
+        http_rows.append([
+            tenant + (" (capped)" if tenant == "gamma" else ""),
+            "%.1f / %.1f" % (http["embedded"][tenant]["p50_ms"],
+                             http["embedded"][tenant]["p95_ms"]),
+            "%.1f / %.1f" % (http["http"][tenant]["p50_ms"],
+                             http["http"][tenant]["p95_ms"]),
+            " ".join("%s:%d" % pair for pair in
+                     sorted(http["http"][tenant]["outcomes"].items()))])
+    http_rows.append([
+        "SSE estimate->final",
+        "-",
+        "%.1f -> %.1f" % (http["sse"]["first_estimate"]["p50_ms"],
+                          http["sse"]["final"]["p50_ms"]),
+        "%d streams ordered" % http["sse"]["streams"]])
+    http_table = format_table(
+        ["tenant", "embedded p50/p95 ms", "HTTP p50/p95 ms", "outcomes"],
+        http_rows,
+        title="HTTP SERVING — %d mixed requests, 4 concurrent keyed "
+        "clients (stats endpoint JSON: %s)"
+        % (http["workload"]["num_requests"],
+           http["stats_endpoint"]["valid_json"]))
     return "\n\n".join([backend_table, shard_table, serving_table,
-                        stats_table, rebalance_table, fanout_table])
+                        stats_table, rebalance_table, fanout_table,
+                        http_table])
 
 
 def check_acceptance(results):
@@ -963,6 +1190,33 @@ def check_acceptance(results):
     assert all(share == 1.0 for share in pinned.values()), (
         "the pinned emulation should concentrate every shard's reads on "
         "one replica, got %r" % (pinned,))
+
+    http = results["http_serving"]
+    for tenant in ("alpha", "beta"):
+        assert set(http["http"][tenant]["outcomes"]) == {"served"}, (
+            "unbudgeted tenant %r must be exactly served over HTTP, got "
+            "%r" % (tenant, http["http"][tenant]["outcomes"]))
+    gamma = http["http"]["gamma"]["outcomes"]
+    assert gamma.get("degraded", 0) >= 1, (
+        "the budget-capped tenant must hit its budget and degrade, got "
+        "%r" % (gamma,))
+    assert http["degraded_intervals_ok"], (
+        "every degraded HTTP answer must carry a consistent sample rate "
+        "and count interval")
+    assert http["mutations_applied"] == \
+        http["workload"]["num_mutations"], (
+        "every routed insert over HTTP must apply, got %d of %d"
+        % (http["mutations_applied"], http["workload"]["num_mutations"]))
+    assert http["sse"]["ordering_ok"], (
+        "every SSE stream must deliver its estimate event (with a count "
+        "interval) before the final result")
+    assert http["stats_endpoint"]["valid_json"], (
+        "GET /stats must serve strict JSON")
+    for endpoint in ("/query", "/query/stream", "/insert"):
+        assert endpoint in http["stats_endpoint"]["endpoints"], (
+            "/stats must report per-endpoint HTTP latency counters, "
+            "missing %r in %r" % (endpoint,
+                                  http["stats_endpoint"]["endpoints"]))
 
 
 def test_engine_serving_beats_fixed_and_cold():

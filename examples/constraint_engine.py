@@ -25,8 +25,12 @@ applies it to *both* replicas, so reads keep spreading after writes),
 then switches to the **async serving path**: two logical tenants — an
 interactive dashboard and a budget-capped batch reporter — share the
 replicated ``servers`` dataset, and admission control keeps the
-reporter's heavy queries from inflating the dashboard's latency.  Run
-with::
+reporter's heavy queries from inflating the dashboard's latency.
+Finally the same engine goes **on the network**: ``engine.serve_http``
+binds the asyncio front-end, each tenant presents its own API key, the
+reporter's budget now travels with its key, and an SSE stream delivers
+a degraded estimate (with a confidence interval) before the exact
+answer.  Run with::
 
     python examples/constraint_engine.py
 """
@@ -187,6 +191,41 @@ def main() -> None:
     print("  write counters  : %d inserts, %d deletes, p95 %.2f ms"
           % (writes["inserts"], writes["deletes"],
              writes["latency_s"]["p95"] * 1e3))
+
+    print("\nOpening the HTTP front-end (dashboard key unlimited, "
+          "reporter key budget-capped) ...")
+    from repro.engine.server import ApiKey, ServerClient
+    keys = [
+        ApiKey(key="dash-key", tenant="dashboard"),
+        ApiKey(key="report-key", tenant="batch_report",
+               budget=TenantBudget(ios_per_s=60.0, burst=66.0,
+                                   policy="degrade")),
+    ]
+    with engine.serve_http(keys) as server:
+        host, port = server.address
+        print("  listening on %s" % server.url)
+        dash = ServerClient(host, port, api_key="dash-key")
+        status, body = dash.query("servers", [-0.2, -0.1], 0.4)
+        print("  POST /query     : %d %s, %d servers in %d I/Os"
+              % (status, body["outcome"], body["answer"]["count"],
+                 body["answer"]["ios"]))
+        status, events = dash.query_stream("servers", [-0.2, -0.1], 0.35)
+        estimate, result = events
+        low, high = estimate.data["count_interval"]
+        print("  GET /query/stream: estimate %d in [%d, %d] first, "
+              "exact %d follows"
+              % (estimate.data["count_estimate"], low, high,
+                 result.data["answer"]["count"]))
+        reporter = ServerClient(host, port, api_key="report-key")
+        outcomes = [reporter.query("servers", [0.0, 0.0],
+                                   0.8 + 0.01 * i)[1]["outcome"]
+                    for i in range(4)]
+        print("  capped reporter : %s (over budget -> degraded answers "
+              "with intervals)" % ", ".join(outcomes))
+        status, stats_body = dash.stats()
+        print("  GET /stats      : %d, endpoints %s"
+              % (status, sorted(stats_body["http"])))
+    print("  server drained and stopped.")
 
     print()
     print(engine.stats.to_table(title="engine serving dashboard"))

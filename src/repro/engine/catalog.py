@@ -562,6 +562,61 @@ class Catalog:
             "num_points": int(len(array)),
         }
 
+    def materialize_shard(self, name: str, shard_id: int) -> Shard:
+        """Build an empty shard's replicas, stores and index suite in place.
+
+        A range shard that received no build points holds no replicas, so
+        the first insert routed into it has nowhere to land.  This builds
+        the shard's child datasets from a zero-point array — one store,
+        sample and suite per replica, exactly as registration would have —
+        and attaches them to the existing :class:`Shard` object, so live
+        ingest over the write path works on a fresh shard instead of
+        erroring.  No-op when the shard already has replicas.
+
+        The caller must hold the dataset's ``write_lock`` (the write path
+        does); the engine facade re-wires its mutation hooks onto the new
+        indexes through the write path's materialize listener.
+
+        The shard's bounding box starts stale: there are no points to
+        bound, and pruning must not skip the shard once its first insert
+        lands.  Histogram selectivity models need at least one build
+        point, so a materialized shard starts from the uniform sample
+        model regardless of the configured kind; the next re-split
+        rebuilds it with the registered model over real points.
+        """
+        sharded = self.sharded(name)
+        shard = sharded.shards[shard_id]
+        if not shard.is_empty:
+            return shard
+        params = sharded.register_params
+        replicas = int(params.get("replicas") or 1)
+        empty = np.empty((0, sharded.dimension), dtype=float)
+        children: List[Dataset] = []
+        for replica_id in range(replicas):
+            children.append(self._make_dataset(
+                self._replica_name(name, shard_id, replica_id,
+                                   sharded.generation),
+                empty, params.get("block_size"), params.get("cache_blocks"),
+                params.get("backend"), "uniform", None,
+                stats=children[0].stats if children else None))
+        for build in sharded.suite_builds:
+            build_params = dict(build["params"])
+            if build["kind"] == "dynamic":
+                # A dynamic index built from zero points cannot infer the
+                # dimension from its build array.
+                build_params.setdefault("dimension", sharded.dimension)
+            for replica in children:
+                self._build_index_on(replica, build["kind"],
+                                     build["index_name"], **build_params)
+        # Attach only after every build succeeded, so a failed build
+        # leaves the shard empty (and the write that triggered it fails)
+        # instead of half-materialized.
+        shard.replicas = children
+        shard.lows = None
+        shard.highs = None
+        shard.box_stale = True
+        return shard
+
     def dataset(self, name: str) -> Dataset:
         """Look up a plain registered dataset (KeyError with known names)."""
         if name not in self._datasets:

@@ -140,6 +140,14 @@ class QueryEngine:
             lambda name, report: self.executor.invalidate_dataset(name))
         self.rebalancer.add_listener(
             lambda name, report: self._watch_indexes(name))
+        # A lazily-materialized shard (first insert into an empty range
+        # shard) builds fresh indexes mid-write: wire the hooks onto that
+        # shard alone — re-wiring the whole dataset would subscribe the
+        # already-watched shards twice and double-count statistics.
+        self.executor.core.writes.add_materialize_listener(
+            lambda name, shard_id: self._watch_indexes(name,
+                                                       only_shard=shard_id))
+        self._serving_executor: Optional[AsyncExecutor] = None
         self.calibration_store: Optional[CalibrationStore] = None
         if calibration_path is not None:
             self.calibration_store = CalibrationStore(
@@ -196,7 +204,8 @@ class QueryEngine:
         self._watch_indexes(name)
         return records
 
-    def _watch_indexes(self, name: str) -> None:
+    def _watch_indexes(self, name: str,
+                       only_shard: Optional[int] = None) -> None:
         """Hook dynamic indexes up to the engine's staleness machinery.
 
         A logical mutation (1) flushes the dataset's result-cache
@@ -215,6 +224,12 @@ class QueryEngine:
         write.  Each replica keeps its own ``mutated`` flag (2) and a
         pre-mutation veto against *direct* single-replica writes, which
         would silently desynchronise the copies.
+
+        ``only_shard`` restricts the wiring to one shard's replicas —
+        used when a single shard's indexes were freshly built (lazy
+        materialization) while its siblings keep their existing, already
+        subscribed hooks (re-subscribing them would fire statistics
+        twice per mutation).
         """
         sharded = self.catalog.sharded(name) \
             if self.catalog.is_sharded(name) else None
@@ -222,6 +237,7 @@ class QueryEngine:
             targets = [
                 (replica, shard, replica_id == 0)
                 for shard in sharded.nonempty_shards()
+                if only_shard is None or shard.shard_id == only_shard
                 for replica_id, replica in enumerate(shard.replicas)]
         else:
             targets = [(self.catalog.dataset(name), None, True)]
@@ -419,6 +435,53 @@ class QueryEngine:
             max_concurrency=max_concurrency,
             warm_cache_blocks=self.executor.warm_cache_blocks)
         return asyncio.run(executor.serve(requests, warm_cache=warm_cache))
+
+    def serving_executor(self,
+                         admission: Optional[AdmissionController] = None,
+                         max_concurrency: int = 8) -> AsyncExecutor:
+        """The engine-owned long-lived :class:`AsyncExecutor` handle.
+
+        Created on first call (and cached on the engine) over the shared
+        :class:`~repro.engine.executor.ExecutionCore`, so the network
+        front-end's persistent scheduler serves through the same result
+        cache, calibration and metrics as every other path.  ``admission``
+        binds a caller-held long-lived
+        :class:`~repro.engine.serving.AdmissionController` — budgets then
+        persist for the executor's whole lifetime, the
+        ``serve_async(admission=...)`` seam writ large.  While the
+        scheduler is *running*, a call with a different controller
+        raises — silently swapping budget state out from under a live
+        server would be worse than an error; a stopped executor rebinds
+        (a restarted server brings its own fresh key set).
+        """
+        if self._serving_executor is None:
+            self._serving_executor = AsyncExecutor(
+                self.executor.core,
+                admission=(admission if admission is not None
+                           else AdmissionController()),
+                max_concurrency=max_concurrency,
+                warm_cache_blocks=self.executor.warm_cache_blocks)
+        elif admission is not None \
+                and admission is not self._serving_executor.admission:
+            self._serving_executor.rebind_admission(admission)
+        return self._serving_executor
+
+    def serve_http(self, keys, host: str = "127.0.0.1", port: int = 0,
+                   **server_kwargs):
+        """Start the HTTP front-end over this engine and return it.
+
+        ``keys`` maps API keys to tenants and budgets (see
+        :class:`repro.engine.server.ApiKey`); ``port=0`` binds an
+        ephemeral port (read it back off ``server.address``).  The
+        returned :class:`repro.engine.server.EngineServer` is already
+        started — call its ``stop()`` (or use it as a context manager)
+        to drain in-flight requests and shut down.
+        """
+        from repro.engine.server import EngineServer
+        server = EngineServer(self, keys, host=host, port=port,
+                              **server_kwargs)
+        server.start()
+        return server
 
     def calibrate(self, dataset: str,
                   constraints: Sequence[LinearConstraint]) -> int:

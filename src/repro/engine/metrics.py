@@ -24,6 +24,13 @@ The write path adds one more:
   percentiles, fed by the engine's
   :class:`~repro.engine.writes.WritePath` on every routed mutation.
 
+The network front-end adds one more:
+
+* **per-endpoint HTTP traffic** — request counts, status-code counters
+  and latency percentiles per route, fed by the server's app layer on
+  every handled request (malformed requests land under the ``"*"``
+  endpoint).
+
 The statistics subsystem adds two more:
 
 * **estimation q-error** — per dataset, the ``max(est/act, act/est)``
@@ -40,12 +47,46 @@ from worker threads.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.harness import format_table
+
+
+def jsonable(value: object) -> object:
+    """Normalize a summary value into strict-JSON-serializable shape.
+
+    ``/stats`` serves :meth:`EngineStats.summary` over the wire, so the
+    whole tree must survive ``json.dumps(..., allow_nan=False)`` and
+    round-trip through ``json.loads`` unchanged: tuples become lists,
+    numpy scalars/arrays become Python numbers/lists, non-finite floats
+    (which are invalid JSON) become None, and non-string dict keys are
+    stringified.  Unknown objects fall back to ``repr`` rather than
+    failing the whole dashboard payload.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value) if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(item) for item in value]
+    item_of = getattr(value, "item", None)
+    if callable(item_of):          # numpy scalars
+        try:
+            return jsonable(item_of())
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):           # numpy arrays
+        return jsonable(tolist())
+    return repr(value)
 
 
 @dataclass(frozen=True)
@@ -118,6 +159,11 @@ class EngineStats:
     write_counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: Per-dataset write latencies (seconds, one sample per mutation).
     write_latencies: Dict[str, List[float]] = field(default_factory=dict)
+    #: Per-endpoint HTTP latencies (seconds), fed by the network
+    #: front-end's app layer ("*" = unroutable/malformed requests).
+    http_latencies: Dict[str, List[float]] = field(default_factory=dict)
+    #: Per-endpoint HTTP status-code counts (codes stringified for JSON).
+    http_statuses: Dict[str, Dict[str, int]] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, record: ServedQueryRecord) -> None:
@@ -161,6 +207,20 @@ class EngineStats:
             counters["total_ios"] += ios
             self.write_latencies.setdefault(dataset, []).append(latency_s)
 
+    def note_http(self, endpoint: str, status: int,
+                  latency_s: float) -> None:
+        """Record one handled HTTP request (thread-safe).
+
+        ``endpoint`` is the route path (e.g. ``"/query"``); the server
+        buckets unroutable or malformed requests under ``"*"`` so a
+        scanner probing random paths cannot grow the table unboundedly.
+        """
+        with self._lock:
+            self.http_latencies.setdefault(endpoint, []).append(latency_s)
+            counts = self.http_statuses.setdefault(endpoint, {})
+            code = str(int(status))
+            counts[code] = counts.get(code, 0) + 1
+
     def note_rebalance(self, event: Dict[str, object]) -> None:
         """Record one shard re-split event (thread-safe)."""
         with self._lock:
@@ -201,6 +261,8 @@ class EngineStats:
             self.rebalance_events.clear()
             self.write_counters.clear()
             self.write_latencies.clear()
+            self.http_latencies.clear()
+            self.http_statuses.clear()
 
     # ------------------------------------------------------------------
     # aggregates
@@ -367,6 +429,34 @@ class EngineStats:
             out[dataset] = payload
         return out
 
+    def http_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-endpoint HTTP traffic: counts, status codes, latencies.
+
+        One entry per endpoint the network front-end served, with the
+        request count, per-status-code counters and p50/p95/p99 handling
+        latency in seconds.  Empty without HTTP traffic.  Snapshots
+        under the lock, so ``/stats`` can serve it while connection
+        handlers are recording.
+        """
+        with self._lock:
+            latencies = {endpoint: sorted(values)
+                         for endpoint, values in self.http_latencies.items()}
+            statuses = {endpoint: dict(counts)
+                        for endpoint, counts in self.http_statuses.items()}
+        out: Dict[str, Dict[str, object]] = {}
+        for endpoint in sorted(latencies):
+            ordered = latencies[endpoint]
+            out[endpoint] = {
+                "requests": len(ordered),
+                "status": statuses.get(endpoint, {}),
+                "latency_s": {
+                    "p50": percentile(ordered, 0.5),
+                    "p95": percentile(ordered, 0.95),
+                    "p99": percentile(ordered, 0.99),
+                },
+            }
+        return out
+
     def rebalance_summary(self) -> Dict[str, object]:
         """Shard re-split events: total count, per-dataset counts, events."""
         with self._lock:
@@ -386,8 +476,15 @@ class EngineStats:
     # reporting
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, object]:
-        """Everything a dashboard (or BENCH json) wants, as one dict."""
-        return {
+        """Everything a dashboard (or BENCH json) wants, as one dict.
+
+        The returned tree is strictly JSON-serializable — tuples, numpy
+        scalars and non-finite floats are normalized by
+        :func:`jsonable` — because ``/stats`` ships it over the wire
+        verbatim and ``json.dumps(summary, allow_nan=False)`` must not
+        raise.
+        """
+        return jsonable({
             "num_queries": self.num_queries,
             "total_ios": self.total_ios,
             "mean_ios": self.mean_ios(),
@@ -408,7 +505,8 @@ class EngineStats:
             "max_queue_depth": self.max_queue_depth,
             "replica_load": self.replica_load_summary(),
             "tenants": self.tenant_summary(),
-        }
+            "http": self.http_summary(),
+        })
 
     def to_table(self, title: Optional[str] = None) -> str:
         """Per-index serving table (queries, I/Os, latency percentiles)."""

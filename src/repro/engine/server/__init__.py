@@ -1,0 +1,36 @@
+"""The network front-end: a dependency-free asyncio HTTP server.
+
+Layers, bottom up:
+
+* :mod:`~repro.engine.server.protocol` — HTTP/1.1 parsing, the JSON
+  wire schema, SSE framing, structured :class:`HTTPError` refusals;
+* :mod:`~repro.engine.server.auth` — API-key -> tenant mapping feeding
+  one shared admission controller, plus per-key request-rate limits;
+* :mod:`~repro.engine.server.app` — the six routes over the engine's
+  long-lived serving executor;
+* :mod:`~repro.engine.server.runner` — :class:`EngineServer`, the
+  persistent-event-loop serving core with graceful drain;
+* :mod:`~repro.engine.server.client` — a stdlib test/bench client.
+
+The usual entry point is :meth:`QueryEngine.serve_http`.
+"""
+
+from repro.engine.server.auth import ApiKey, ApiKeyAuthenticator
+from repro.engine.server.app import EngineApp
+from repro.engine.server.client import ServerClient, SSEEvent
+from repro.engine.server.protocol import (HTTPError, HTTPRequest,
+                                          MAX_BODY_BYTES, MAX_HEADER_BYTES)
+from repro.engine.server.runner import EngineServer
+
+__all__ = [
+    "ApiKey",
+    "ApiKeyAuthenticator",
+    "EngineApp",
+    "EngineServer",
+    "HTTPError",
+    "HTTPRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "SSEEvent",
+    "ServerClient",
+]

@@ -1,0 +1,275 @@
+"""The HTTP application: routes, handlers, and the SSE streaming path.
+
+:class:`EngineApp` maps six routes onto the engine's long-lived async
+executor:
+
+* ``POST /query`` — one constraint query, answered as JSON when the
+  scheduler finishes it (budget-degraded answers come back with their
+  sample rate and count interval, same as the embedded API);
+* ``GET /query/stream`` — Server-Sent Events: an ``estimate`` event
+  (zero-I/O degraded answer with a ~95% count interval) flushes
+  immediately, then the exact ``result`` follows when the scheduler
+  serves the query — the degraded-then-refined contract over the wire;
+* ``POST /insert`` / ``POST /delete`` — routed write-fanout mutations;
+* ``GET /stats`` — :meth:`EngineStats.summary` as JSON;
+* ``GET /healthz`` — unauthenticated liveness probe.
+
+Every handler runs *on the event loop* and awaits the executor; the
+engine's blocking work happens in the executor's worker threads, so one
+slow query never stalls other connections.  Each request is recorded in
+:meth:`EngineStats.note_http` under its route (label ``*`` for requests
+that never matched a route), which is what ``GET /stats`` reports back.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.engine.serving.executor import AsyncExecutor, ServedRequest
+from repro.engine.serving.queue import ServingRequest
+from repro.engine.server.auth import ApiKeyAuthenticator
+from repro.engine.server.protocol import (HTTPError, HTTPRequest, json_body,
+                                          parse_mutation_request,
+                                          parse_query_request,
+                                          parse_stream_query,
+                                          render_response, sse_event,
+                                          sse_preamble)
+
+#: HTTP status for each scheduler outcome.
+_OUTCOME_STATUS = {"served": 200, "degraded": 200, "rejected": 429,
+                   "expired": 504, "failed": 500}
+
+#: (status, payload, keep_alive) triple a route handler returns; payload
+#: None means the handler already wrote the response (the SSE path).
+_Handled = Tuple[int, Optional[dict], bool]
+
+
+class EngineApp:
+    """Routes HTTP requests into one engine's serving executor."""
+
+    def __init__(self, engine, auth: ApiKeyAuthenticator,
+                 executor: AsyncExecutor,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._engine = engine
+        self._auth = auth
+        self._executor = executor
+        self._clock = clock
+        self._routes: Dict[Tuple[str, str],
+                           Callable[..., Awaitable[_Handled]]] = {
+            ("POST", "/query"): self._handle_query,
+            ("GET", "/query/stream"): self._handle_stream,
+            ("POST", "/insert"): self._handle_insert,
+            ("POST", "/delete"): self._handle_delete,
+            ("GET", "/stats"): self._handle_stats,
+            ("GET", "/healthz"): self._handle_healthz,
+        }
+
+    async def handle(self, request: HTTPRequest, writer) -> bool:
+        """Serve one parsed request; returns whether to keep the connection.
+
+        Structured refusals (:class:`HTTPError`) become JSON error bodies
+        on the declared status; anything else is a 500 that also closes
+        the connection (handler state is unknown after an unexpected
+        exception).  Either way the endpoint's latency and status-class
+        counters are recorded.
+        """
+        endpoint = request.path if any(path == request.path
+                                       for __, path in self._routes) else "*"
+        started = self._clock()
+        status = 500
+        keep_alive = False
+        try:
+            handler = self._routes.get((request.method, request.path))
+            if handler is None:
+                if endpoint != "*":
+                    raise HTTPError(405, "method_not_allowed",
+                                    "%s does not accept %s"
+                                    % (request.path, request.method))
+                raise HTTPError(404, "unknown_route",
+                                "no route for %s %s"
+                                % (request.method, request.path))
+            status, payload, keep_alive = await handler(request, writer)
+            if payload is not None:
+                writer.write(render_response(status, json_body(payload),
+                                             keep_alive=keep_alive))
+                await writer.drain()
+        except HTTPError as exc:
+            status = exc.status
+            keep_alive = request.keep_alive
+            extra = ()
+            if exc.retry_after_s is not None:
+                extra = (("Retry-After", "%d"
+                          % max(1, int(exc.retry_after_s + 0.999))),)
+            writer.write(render_response(status, json_body(exc.payload()),
+                                         keep_alive=keep_alive,
+                                         extra_headers=extra))
+            await writer.drain()
+        except Exception as exc:
+            status = 500
+            keep_alive = False
+            error = HTTPError(500, "internal_error",
+                              "%s: %s" % (type(exc).__name__, exc))
+            writer.write(render_response(500, json_body(error.payload()),
+                                         keep_alive=False))
+            await writer.drain()
+        finally:
+            self._engine.stats.note_http(endpoint, status,
+                                         self._clock() - started)
+        return keep_alive
+
+    # ------------------------------------------------------------------
+    # validation against the catalog
+    # ------------------------------------------------------------------
+    def _validate_query(self, serving: ServingRequest) -> None:
+        try:
+            entry = self._engine.catalog.entry(serving.dataset)
+        except KeyError:
+            raise HTTPError(404, "unknown_dataset",
+                            "no dataset named %r (registered: %s)"
+                            % (serving.dataset,
+                               ", ".join(self._engine.catalog.datasets())
+                               or "none"))
+        wanted = serving.constraint.dimension if serving.op == "query" \
+            else len(serving.point)
+        if wanted != entry.dimension:
+            what = ("constraint dimension (len(coeffs) + 1)"
+                    if serving.op == "query" else "point dimension")
+            raise HTTPError(400, "dimension_mismatch",
+                            "%s is %d but dataset %r is %d-dimensional"
+                            % (what, wanted, serving.dataset,
+                               entry.dimension))
+
+    def _validate_mutation(self, serving: ServingRequest) -> None:
+        self._validate_query(serving)
+        # Surface "dataset is not writable" as a structured 400 up front
+        # instead of a failed-outcome 500 out of the scheduler.
+        catalog = self._engine.catalog
+        try:
+            if catalog.is_sharded(serving.dataset):
+                for shard in catalog.sharded(serving.dataset) \
+                                    .nonempty_shards():
+                    for replica in shard.replicas:
+                        catalog.mutable_index_of(replica)
+            else:
+                catalog.mutable_index_of(catalog.dataset(serving.dataset))
+        except ValueError as exc:
+            raise HTTPError(400, "not_writable", str(exc))
+
+    # ------------------------------------------------------------------
+    # response payloads
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _served_payload(served: ServedRequest) -> dict:
+        payload: Dict[str, object] = {
+            "outcome": served.outcome,
+            "tenant": served.request.tenant,
+            "dataset": served.request.dataset,
+            "op": served.request.op,
+            "turnaround_s": served.turnaround_s,
+            "queue_wait_s": served.queue_wait_s,
+            "deferrals": served.deferrals,
+        }
+        if served.error is not None:
+            payload["error"] = served.error
+        answer = served.answer
+        if answer is not None:
+            payload["answer"] = {
+                "index": answer.index_name,
+                "count": answer.count,
+                "points": [list(point) for point in answer.points],
+                "ios": answer.total_ios,
+                "latency_s": answer.latency_s,
+                "from_result_cache": answer.from_result_cache,
+                "degraded": answer.degraded,
+            }
+            if answer.degraded:
+                payload["answer"]["sample_rate"] = answer.sample_rate
+                payload["answer"]["estimated_count"] = answer.estimated_count
+                interval = answer.count_interval
+                payload["answer"]["count_interval"] = \
+                    list(interval) if interval is not None else None
+        if served.mutation is not None:
+            mutation = served.mutation
+            payload["mutation"] = {
+                "applied": mutation.applied,
+                "shard_id": mutation.shard_id,
+                "replicas": mutation.replicas,
+                "ios": mutation.ios,
+                "latency_s": mutation.latency_s,
+                "generation": mutation.generation,
+            }
+        return payload
+
+    @staticmethod
+    def _estimate_payload(estimate) -> dict:
+        interval = estimate.count_interval
+        return {
+            "count_estimate": estimate.estimated_count,
+            "count_interval": list(interval) if interval is not None
+            else None,
+            "sample_rate": estimate.sample_rate,
+            "sample_count": estimate.count,
+        }
+
+    # ------------------------------------------------------------------
+    # route handlers
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: HTTPRequest, writer) -> _Handled:
+        key = self._auth.authenticate(request)
+        self._auth.check_rate(key)
+        serving = parse_query_request(request.json(), key.tenant)
+        self._validate_query(serving)
+        served = await self._executor.submit(serving)
+        return (_OUTCOME_STATUS.get(served.outcome, 500),
+                self._served_payload(served), request.keep_alive)
+
+    async def _handle_mutation(self, request: HTTPRequest,
+                               op: str) -> _Handled:
+        key = self._auth.authenticate(request)
+        self._auth.check_rate(key)
+        serving = parse_mutation_request(request.json(), key.tenant, op)
+        self._validate_mutation(serving)
+        served = await self._executor.submit(serving)
+        return (_OUTCOME_STATUS.get(served.outcome, 500),
+                self._served_payload(served), request.keep_alive)
+
+    async def _handle_insert(self, request: HTTPRequest, writer) -> _Handled:
+        return await self._handle_mutation(request, "insert")
+
+    async def _handle_delete(self, request: HTTPRequest, writer) -> _Handled:
+        return await self._handle_mutation(request, "delete")
+
+    async def _handle_stream(self, request: HTTPRequest, writer) -> _Handled:
+        key = self._auth.authenticate(request)
+        self._auth.check_rate(key)
+        serving = parse_stream_query(request.query, key.tenant)
+        self._validate_query(serving)
+        # Everything that can 4xx happened above — from here the response
+        # is a committed 200 event stream, so failures become events.
+        writer.write(sse_preamble())
+        await writer.drain()
+        estimate = self._executor.estimate(serving)
+        writer.write(sse_event("estimate", self._estimate_payload(estimate)))
+        await writer.drain()
+        served = await self._executor.submit(serving)
+        if served.outcome in ("served", "degraded"):
+            writer.write(sse_event("result", self._served_payload(served)))
+        elif served.outcome == "expired":
+            writer.write(sse_event("expired", self._served_payload(served)))
+        else:
+            writer.write(sse_event("error", self._served_payload(served)))
+        await writer.drain()
+        # SSE responses are close-framed; the handler wrote everything.
+        return 200, None, False
+
+    async def _handle_stats(self, request: HTTPRequest, writer) -> _Handled:
+        self._auth.authenticate(request)  # authenticated, but never rated
+        return 200, self._engine.summary(), request.keep_alive
+
+    async def _handle_healthz(self, request: HTTPRequest,
+                              writer) -> _Handled:
+        return (200,
+                {"status": "ok",
+                 "datasets": self._engine.catalog.datasets()},
+                request.keep_alive)

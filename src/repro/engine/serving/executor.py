@@ -29,6 +29,19 @@ executor instead schedules *per request*:
 Scheduling (queue pops, admission, settling) runs entirely on the event
 loop; only plan execution leaves it.  The clock is injectable so tests
 drive budgets deterministically.
+
+The executor serves in two modes sharing the same scheduler steps:
+
+* :meth:`AsyncExecutor.serve` — the original *wave* mode: one call takes
+  a whole request sequence, runs it to completion and returns the
+  outcomes in request order;
+* the *long-lived* mode — :meth:`AsyncExecutor.start` spawns a
+  persistent scheduler task on the running event loop, after which any
+  number of concurrently-executing coroutines (the network front-end's
+  connection handlers) :meth:`AsyncExecutor.submit` single requests and
+  await their outcomes, all sharing one queue, one admission controller
+  and one concurrency cap.  :meth:`AsyncExecutor.stop` drains: queued
+  and in-flight requests finish, new submissions are refused.
 """
 
 from __future__ import annotations
@@ -172,6 +185,14 @@ class AsyncExecutor:
         self._max_concurrency = max_concurrency
         self._warm_cache_blocks = warm_cache_blocks
         self._clock = clock
+        # Long-lived mode state (None until start() is awaited).
+        self._live_queue: Optional[PriorityRequestQueue] = None
+        self._live_state: Optional[_RunState] = None
+        self._live_task: Optional[asyncio.Task] = None
+        self._live_futures: Dict[int, asyncio.Future] = {}
+        self._live_seq = 0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._draining = False
 
     @property
     def admission(self) -> AdmissionController:
@@ -182,6 +203,30 @@ class AsyncExecutor:
     def stats(self):
         """The shared metrics sink (same object as the sync executor's)."""
         return self._core.stats
+
+    @property
+    def core(self):
+        """The shared execution core (same object as the sync executor's)."""
+        return self._core
+
+    def rebind_admission(self, admission: AdmissionController) -> None:
+        """Swap the admission controller while the scheduler is stopped.
+
+        A restarted server binds a fresh key set (and therefore fresh
+        budgets); swapping budget state out from under a *live*
+        scheduler would silently reset every tenant's balance, so that
+        raises instead.
+        """
+        if self.running:
+            raise ValueError(
+                "cannot rebind the admission controller of a running "
+                "executor; stop it first (or reuse executor.admission)")
+        self._admission = admission
+
+    @property
+    def warm_cache_blocks(self) -> int:
+        """Buffer-pool size the serving paths warm touched stores to."""
+        return self._warm_cache_blocks
 
     # ------------------------------------------------------------------
     # serving
@@ -254,6 +299,148 @@ class AsyncExecutor:
         return ServeResult(
             requests=[outcome for outcome in outcomes if outcome is not None],
             wall_seconds=time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # long-lived mode: a persistent scheduler fed one request at a time
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while the long-lived scheduler task is alive."""
+        return self._live_task is not None and not self._live_task.done()
+
+    async def start(self) -> None:
+        """Spawn the persistent scheduler on the running event loop.
+
+        Idempotent while running.  Unlike :meth:`serve`, the long-lived
+        scheduler owns no buffer-pool warming (a server warms stores for
+        its whole lifetime, not per wave) and never exits on an empty
+        queue — it sleeps until :meth:`submit` wakes it, until
+        :meth:`stop` drains it.
+        """
+        if self.running:
+            return
+        self._live_queue = PriorityRequestQueue()
+        self._live_state = _RunState()
+        self._live_futures = {}
+        self._live_seq = 0
+        self._draining = False
+        self._wakeup = asyncio.Event()
+        self._live_task = asyncio.get_running_loop().create_task(
+            self._run_live())
+
+    async def submit(self, request: ServingRequest) -> ServedRequest:
+        """Enqueue one request on the persistent scheduler and await it.
+
+        Any number of coroutines may submit concurrently; their requests
+        share the priority queue, the admission controller's budgets,
+        the follower dedup and the concurrency cap exactly as a
+        :meth:`serve` wave would.  Raises :class:`RuntimeError` when the
+        scheduler is not running or is draining.
+        """
+        if not self.running:
+            raise RuntimeError(
+                "the long-lived scheduler is not running; await start() "
+                "before submitting requests")
+        if self._draining:
+            raise RuntimeError(
+                "the executor is draining; new requests are refused")
+        seq = self._live_seq
+        self._live_seq += 1
+        future = asyncio.get_running_loop().create_future()
+        self._live_futures[seq] = future
+        self._live_queue.push(QueuedRequest(request=request, seq=seq,
+                                            enqueued_at=self._clock()))
+        self._wakeup.set()
+        try:
+            return await future
+        finally:
+            self._live_futures.pop(seq, None)
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut the persistent scheduler down.
+
+        With ``drain=True`` (the default) every queued and in-flight
+        request finishes first — submitters awaiting :meth:`submit` all
+        get their outcomes — and only new submissions are refused.  With
+        ``drain=False`` the scheduler task is cancelled and still-pending
+        submitters receive a :class:`RuntimeError`.
+        """
+        if self._live_task is None:
+            return
+        self._draining = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if not drain:
+            self._live_task.cancel()
+        try:
+            await self._live_task
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for future in self._live_futures.values():
+                if not future.done():
+                    future.set_exception(RuntimeError(
+                        "the executor was stopped without draining"))
+            self._live_task = None
+
+    def estimate(self, request: ServingRequest) -> ExecutedQuery:
+        """The degraded sample answer, outside the scheduler.
+
+        The SSE streaming path sends this (estimate + confidence
+        interval, zero I/Os) before the exact answer arrives, so it must
+        not wait in the queue and must not land in the metrics as a
+        second served query — hence ``record=False``.
+        """
+        return self._degraded_answer(request, record=False)
+
+    async def _run_live(self) -> None:
+        """The persistent scheduler loop (long-lived twin of serve())."""
+        queue = self._live_queue
+        state = self._live_state
+        in_flight = state.in_flight
+        loop = asyncio.get_running_loop()
+        while True:
+            if queue:
+                self._core.stats.note_queue_depth(len(queue))
+            while len(in_flight) < self._max_concurrency:
+                now = self._clock()
+                item = queue.pop_ready(now)
+                if item is None:
+                    break
+                outcome = self._admit_one(loop, queue, state, item, now)
+                if outcome is not None:
+                    self._resolve_live(item.seq, outcome)
+            if self._draining and not queue and not in_flight:
+                return
+            # Clear before computing the timeout: a submit() that lands
+            # after the clear re-sets the event, and one that landed
+            # before is already visible in the queue (push precedes set),
+            # so next_ready_delay() returns 0 — no wake-up can be lost.
+            self._wakeup.clear()
+            timeout = None
+            if len(in_flight) < self._max_concurrency:
+                timeout = queue.next_ready_delay(self._clock())
+            waker = asyncio.ensure_future(self._wakeup.wait())
+            try:
+                done, __ = await asyncio.wait(
+                    set(in_flight) | {waker}, timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                if not waker.done():
+                    waker.cancel()
+            for future in done:
+                if future is waker:
+                    continue
+                item = in_flight.pop(future)
+                for seq, outcome in self._complete(state, item, future,
+                                                   queue):
+                    self._resolve_live(seq, outcome)
+
+    def _resolve_live(self, seq: int, outcome: ServedRequest) -> None:
+        """Hand one finished request back to its awaiting submitter."""
+        future = self._live_futures.get(seq)
+        if future is not None and not future.done():
+            future.set_result(outcome)
 
     # ------------------------------------------------------------------
     # scheduler steps (all on the event loop)
@@ -483,7 +670,8 @@ class AsyncExecutor:
         outcome.error = "%s: %s" % (type(exc).__name__, exc)
         return outcome
 
-    def _degraded_answer(self, request: ServingRequest) -> ExecutedQuery:
+    def _degraded_answer(self, request: ServingRequest,
+                         record: bool = True) -> ExecutedQuery:
         """A zero-I/O approximate answer from the dataset's sample.
 
         The sample's points are real stored points, so the answer is a
@@ -510,5 +698,6 @@ class AsyncExecutor:
             degraded=True,
             sample_rate=(sample_size / population if population else 1.0),
             estimated_count=estimate, count_interval=interval)
-        self._core.record(answer)
+        if record:
+            self._core.record(answer)
         return answer

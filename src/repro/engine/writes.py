@@ -112,6 +112,17 @@ class WritePath:
         self._catalog = catalog
         self._stats = stats
         self._invalidate = invalidate
+        self._materialize_listeners: List = []
+
+    def add_materialize_listener(self, listener) -> None:
+        """Subscribe ``listener(dataset_name, shard_id)`` to lazy builds.
+
+        Fired (under the dataset's write barrier) right after an insert
+        routed into an empty shard materializes its replicas and index
+        suite — the engine facade uses it to wire its mutation hooks onto
+        the freshly built indexes before the insert is applied.
+        """
+        self._materialize_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # public API
@@ -202,11 +213,17 @@ class WritePath:
                         replicas=0, ios=0,
                         latency_s=time.perf_counter() - started,
                         generation=generation)
-                raise ValueError(
-                    "cannot route a write into shard %d of %r: the shard "
-                    "holds no replicas (it received no build points); "
-                    "register with fewer shards, or rebalance first"
-                    % (shard.shard_id, dataset_name))
+                # Lazy materialization: a range shard that received no
+                # build points grows its replicas, stores and index suite
+                # on first insert (still under the write barrier), so
+                # live ingest into a fresh shard works instead of
+                # erroring.  Listeners (the engine's hook wiring) run
+                # before the fan-out applies, so statistics and staleness
+                # hooks observe this very insert.
+                shard = self._catalog.materialize_shard(dataset_name,
+                                                        shard.shard_id)
+                for listener in self._materialize_listeners:
+                    listener(dataset_name, shard.shard_id)
             with shard.write_fanout():
                 applied, ios = self._apply_fanout(dataset_name, shard, op,
                                                   record)

@@ -1,0 +1,454 @@
+"""Integration tests for the network front-end.
+
+Every test here talks to a real :class:`EngineServer` over a localhost
+socket through the stdlib-based :class:`ServerClient` — an independent
+HTTP implementation — so the wire format, not just the handler logic, is
+what gets verified: authentication, per-tenant budgets held across
+requests, SSE event ordering, structured 4xx refusals, and the graceful
+shutdown drain.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import QueryEngine
+from repro.engine import TenantBudget
+from repro.engine.metrics import jsonable
+from repro.engine.server import ApiKey, EngineServer, ServerClient
+from repro.engine.server.protocol import (HTTPError, parse_query_request,
+                                          parse_stream_query)
+from repro.workloads import uniform_points
+
+BLOCK_SIZE = 32
+
+
+def brute_count(points, coeffs, offset):
+    lhs = points[:, -1]
+    rhs = offset + points[:, :-1] @ np.asarray(coeffs)
+    return int(np.sum(lhs <= rhs))
+
+
+@pytest.fixture(scope="module")
+def served_engine():
+    """One engine + running server shared by the read-only tests."""
+    points = uniform_points(2048, seed=31)
+    engine = QueryEngine(block_size=BLOCK_SIZE, cache_blocks=4, seed=31)
+    engine.register_dataset("plain", points, kinds=["dynamic"])
+    engine.register_sharded_dataset("sharded", points, num_shards=4,
+                                    sharding="range", kinds=["dynamic"])
+    keys = [
+        ApiKey(key="key-fast", tenant="fast"),
+        ApiKey(key="key-capped", tenant="capped",
+               budget=TenantBudget(ios_per_s=3.0, burst=3.0,
+                                   policy="degrade")),
+        ApiKey(key="key-reject", tenant="shed",
+               budget=TenantBudget(ios_per_s=1.0, burst=1.0,
+                                   policy="reject")),
+        ApiKey(key="key-slow", tenant="slow", requests_per_s=0.001,
+               request_burst=2.0),
+    ]
+    with engine.serve_http(keys) as server:
+        yield engine, server, points
+    engine.close()
+
+
+def client_for(server: EngineServer, key: str = "key-fast") -> ServerClient:
+    host, port = server.address
+    return ServerClient(host, port, api_key=key)
+
+
+# ----------------------------------------------------------------------
+# authentication
+# ----------------------------------------------------------------------
+def test_missing_and_unknown_keys_are_rejected(served_engine):
+    __, server, __ = served_engine
+    host, port = server.address
+    anonymous = ServerClient(host, port)
+    status, body = anonymous.query("plain", [0.1], 0.2)
+    assert status == 401
+    assert body["error"]["code"] == "missing_api_key"
+    status, body = anonymous.stats()
+    assert status == 401
+    impostor = ServerClient(host, port, api_key="not-a-key")
+    status, body = impostor.query("plain", [0.1], 0.2)
+    assert status == 401
+    assert body["error"]["code"] == "unknown_api_key"
+
+
+def test_healthz_needs_no_key(served_engine):
+    __, server, __ = served_engine
+    host, port = server.address
+    status, body = ServerClient(host, port).healthz()
+    assert status == 200
+    assert body["status"] == "ok"
+    assert set(body["datasets"]) == {"plain", "sharded"}
+
+
+def test_api_key_via_query_parameter(served_engine):
+    __, server, __ = served_engine
+    host, port = server.address
+    status, __ = ServerClient(host, port).request(
+        "GET", "/stats?api_key=key-fast")
+    assert status == 200
+
+
+# ----------------------------------------------------------------------
+# queries over the wire
+# ----------------------------------------------------------------------
+def test_query_answers_match_brute_force(served_engine):
+    __, server, points = served_engine
+    client = client_for(server)
+    for dataset in ("plain", "sharded"):
+        for offset in (-0.5, 0.0, 0.4):
+            status, body = client.query(dataset, [0.3], offset)
+            assert status == 200
+            assert body["outcome"] == "served"
+            assert body["answer"]["count"] == brute_count(points, [0.3],
+                                                          offset)
+            assert body["answer"]["degraded"] is False
+
+
+def test_rejected_and_expired_map_to_http_statuses(served_engine):
+    __, server, __ = served_engine
+    shed = client_for(server, "key-reject")
+    # Two distinct non-cached queries against a 1-token bucket: the
+    # first overdrafts the full bucket, the second is shed.
+    statuses = {shed.query("plain", [0.21], 0.17 + i * 0.01)[0]
+                for i in range(2)}
+    assert 429 in statuses
+    expired_status, body = client_for(server).query("plain", [0.33], 0.4,
+                                                    deadline_s=-1.0)
+    assert expired_status == 504
+    assert body["outcome"] == "expired"
+
+
+# ----------------------------------------------------------------------
+# concurrent tenants with distinct budgets
+# ----------------------------------------------------------------------
+def test_concurrent_tenants_with_distinct_budgets(served_engine):
+    """Four clients, four keys: the capped tenant degrades with a count
+    interval while the unbudgeted tenants stay exactly served."""
+    __, server, points = served_engine
+    per_client = 10
+    results = {}
+
+    def run(name, key):
+        client = client_for(server, key)
+        outcomes = []
+        # Distinct offsets per tenant so nobody rides another tenant's
+        # result-cache entries at zero estimated I/O.
+        nudge = {"a": 0.0, "b": 0.003, "c": 0.007, "d": 0.011}[name]
+        for i in range(per_client):
+            status, body = client.query("plain", [0.27],
+                                        -0.6 + 0.1 * i + nudge)
+            outcomes.append((status, body))
+        results[name] = outcomes
+
+    threads = [threading.Thread(target=run, args=(name, key))
+               for name, key in (("a", "key-fast"), ("b", "key-fast"),
+                                 ("c", "key-capped"), ("d", "key-reject"))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    for name in ("a", "b"):
+        assert all(status == 200 and body["outcome"] == "served"
+                   for status, body in results[name]), name
+    capped = [body for __, body in results["c"]]
+    degraded = [body for body in capped if body["outcome"] == "degraded"]
+    assert degraded, "the capped tenant never hit its budget"
+    for body in degraded:
+        answer = body["answer"]
+        low, high = answer["count_interval"]
+        assert 0.0 < answer["sample_rate"] <= 1.0
+        assert low <= answer["estimated_count"] <= high
+    shed = [body["outcome"] for __, body in results["d"]]
+    assert "rejected" in shed
+
+
+def test_request_rate_limit_is_per_key_not_per_connection(served_engine):
+    __, server, __ = served_engine
+    host, port = server.address
+    # Burst of 2 at a ~zero refill rate: the third request 429s even
+    # though every call opens a fresh connection.
+    statuses = [ServerClient(host, port, api_key="key-slow")
+                .query("plain", [0.11], 0.3 + i * 0.01)[0]
+                for i in range(3)]
+    assert statuses[:2] == [200, 200]
+    assert statuses[2] == 429
+
+
+# ----------------------------------------------------------------------
+# SSE streaming
+# ----------------------------------------------------------------------
+def test_stream_delivers_estimate_before_result(served_engine):
+    __, server, points = served_engine
+    client = client_for(server)
+    status, events = client.query_stream("sharded", [0.19], 0.23)
+    assert status == 200
+    names = [event.name for event in events]
+    assert names == ["estimate", "result"]
+    estimate, result = events
+    assert estimate.at <= result.at
+    low, high = estimate.data["count_interval"]
+    exact = brute_count(points, [0.19], 0.23)
+    assert estimate.data["count_estimate"] >= 0
+    assert low <= estimate.data["count_estimate"] <= high
+    assert 0.0 < estimate.data["sample_rate"] <= 1.0
+    assert result.data["outcome"] == "served"
+    assert result.data["answer"]["count"] == exact
+
+
+def test_stream_on_expired_deadline_still_estimates(served_engine):
+    __, server, __ = served_engine
+    client = client_for(server)
+    status, events = client.query_stream("plain", [0.42], 0.1,
+                                         deadline_s=-1.0)
+    assert status == 200
+    names = [event.name for event in events]
+    assert names == ["estimate", "expired"]
+    assert "count_interval" in events[0].data
+    assert events[1].data["outcome"] == "expired"
+
+
+def test_stream_validation_fails_before_the_stream_opens(served_engine):
+    __, server, __ = served_engine
+    client = client_for(server)
+    status, events = client.query_stream("no-such-dataset", [0.1], 0.0)
+    assert status == 404
+    assert events[0].data["error"]["code"] == "unknown_dataset"
+
+
+# ----------------------------------------------------------------------
+# malformed requests
+# ----------------------------------------------------------------------
+def test_malformed_bodies_get_structured_4xx(served_engine):
+    __, server, __ = served_engine
+    client = client_for(server)
+    cases = [
+        ({"dataset": "plain"}, 400, "missing_constraint"),
+        ({"constraint": {"coeffs": [0.1], "offset": 0.0}}, 400,
+         "missing_dataset"),
+        ({"dataset": "plain",
+          "constraint": {"coeffs": [], "offset": 0.0}}, 400,
+         "bad_constraint"),
+        ({"dataset": "plain",
+          "constraint": {"coeffs": [0.1], "offset": "x"}}, 400,
+         "bad_constraint"),
+        ({"dataset": "plain", "priority": "high",
+          "constraint": {"coeffs": [0.1], "offset": 0.0}}, 400,
+         "bad_priority"),
+        ({"dataset": "missing",
+          "constraint": {"coeffs": [0.1], "offset": 0.0}}, 404,
+         "unknown_dataset"),
+        ({"dataset": "plain",
+          "constraint": {"coeffs": [0.1, 0.2], "offset": 0.0}}, 400,
+         "dimension_mismatch"),
+    ]
+    for payload, expected_status, expected_code in cases:
+        status, body = client.request("POST", "/query", payload)
+        assert status == expected_status, payload
+        assert body["error"]["code"] == expected_code, payload
+
+
+def test_invalid_json_and_unknown_routes(served_engine):
+    __, server, __ = served_engine
+    import http.client
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request("POST", "/query", body=b"{not json",
+                     headers={"Authorization": "Bearer key-fast",
+                              "Content-Type": "application/json"})
+        response = conn.getresponse()
+        body = json.loads(response.read().decode("utf-8"))
+        assert response.status == 400
+        assert body["error"]["code"] == "bad_json"
+    finally:
+        conn.close()
+    client = client_for(server)
+    status, body = client.request("GET", "/no-such-route")
+    assert status == 404
+    assert body["error"]["code"] == "unknown_route"
+    status, body = client.request("GET", "/query")   # wrong method
+    assert status == 405
+    status, body = client.request("POST", "/query")  # no body
+    assert status == 400
+    assert body["error"]["code"] == "empty_body"
+
+
+def test_wire_parsers_reject_bad_shapes():
+    with pytest.raises(HTTPError) as caught:
+        parse_query_request({"dataset": "d", "constraint": "nope"}, "t")
+    assert caught.value.status == 400
+    with pytest.raises(HTTPError):
+        parse_stream_query({"dataset": "d", "coeffs": "a,b",
+                            "offset": "0.1"}, "t")
+    serving = parse_stream_query({"dataset": "d", "coeffs": "0.5,-0.25",
+                                  "offset": "0.125", "priority": "2",
+                                  "deadline_s": "1.5"}, "t")
+    assert serving.constraint.coeffs == (0.5, -0.25)
+    assert serving.constraint.offset == 0.125
+    assert serving.priority == 2 and serving.deadline_s == 1.5
+
+
+# ----------------------------------------------------------------------
+# mutations over the wire
+# ----------------------------------------------------------------------
+def test_insert_and_delete_round_trip():
+    points = uniform_points(256, seed=13)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=13)
+    engine.register_dataset("d", points, kinds=["dynamic"])
+    with engine.serve_http([ApiKey(key="k", tenant="t")]) as server:
+        client = client_for(server, "k")
+        probe = [0.123, 0.456]
+        before = client.query("d", [0.0], 1e9)[1]["answer"]["count"]
+        status, body = client.insert("d", probe)
+        assert status == 200
+        assert body["mutation"]["applied"] is True
+        after = client.query("d", [0.0], 1e9)[1]["answer"]["count"]
+        assert after == before + 1
+        status, body = client.delete("d", probe)
+        assert status == 200
+        assert body["mutation"]["applied"] is True
+        status, body = client.delete("d", probe)   # now absent: no-op
+        assert status == 200
+        assert body["mutation"]["applied"] is False
+        status, body = client.insert("d", [0.1, 0.2, 0.3])   # wrong dim
+        assert status == 400
+        assert body["error"]["code"] == "dimension_mismatch"
+    engine.close()
+
+
+def test_insert_into_empty_shard_over_http_materializes_it():
+    # All build points share leading attribute 0.5, so range sharding
+    # leaves every shard but one empty — the historical 500 trap.
+    points = np.column_stack([np.full(64, 0.5),
+                              np.linspace(-1, 1, 64)])
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=3)
+    engine.register_sharded_dataset("s", points, num_shards=4,
+                                    sharding="range", kinds=["dynamic"])
+    with engine.serve_http([ApiKey(key="k", tenant="t")]) as server:
+        client = client_for(server, "k")
+        status, body = client.insert("s", [-0.9, 0.0])
+        assert status == 200
+        assert body["outcome"] == "served"
+        assert body["mutation"]["applied"] is True
+        status, body = client.query("s", [0.0], 1e9)
+        assert body["answer"]["count"] == 65
+    engine.close()
+
+
+def test_writes_on_a_static_suite_get_a_structured_400():
+    points = uniform_points(128, seed=17)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=17)
+    engine.register_dataset("frozen", points, kinds=["halfplane2d"])
+    with engine.serve_http([ApiKey(key="k", tenant="t")]) as server:
+        client = client_for(server, "k")
+        status, body = client.insert("frozen", [0.1, 0.2])
+        assert status == 400
+        assert body["error"]["code"] == "not_writable"
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# /stats and the JSON-serializability satellite
+# ----------------------------------------------------------------------
+def test_stats_endpoint_reports_http_traffic(served_engine):
+    __, server, __ = served_engine
+    client = client_for(server)
+    client.query("plain", [0.3], 0.25)
+    client.healthz()
+    status, summary = client.stats()
+    assert status == 200
+    json.dumps(summary, allow_nan=False)   # strict JSON all the way down
+    http = summary["http"]
+    assert http["/query"]["requests"] >= 1
+    assert http["/healthz"]["status"]["200"] >= 1
+    latency = http["/query"]["latency_s"]
+    assert 0.0 <= latency["p50"] <= latency["p95"] <= latency["p99"]
+
+
+def test_engine_summary_round_trips_through_strict_json(served_engine):
+    """The satellite regression: everything the engine has ever put in
+    its summary — numpy scalars, tuples, infinities — must survive
+    ``json.dumps`` with ``allow_nan=False``."""
+    engine, __, __ = served_engine
+    summary = engine.summary()
+    assert summary == json.loads(json.dumps(summary, allow_nan=False))
+
+
+def test_jsonable_normalizes_awkward_values():
+    awkward = {
+        "np_int": np.int64(7),
+        "np_float": np.float32(0.5),
+        "array": np.arange(3),
+        "tuple": (1, 2),
+        "nan": float("nan"),
+        "inf": float("inf"),
+        "nested": {"key": np.float64(1.25)},
+        3: "int-key",
+    }
+    cleaned = jsonable(awkward)
+    assert cleaned == {"np_int": 7, "np_float": 0.5, "array": [0, 1, 2],
+                       "tuple": [1, 2], "nan": None, "inf": None,
+                       "nested": {"key": 1.25}, "3": "int-key"}
+    json.dumps(cleaned, allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# graceful shutdown
+# ----------------------------------------------------------------------
+def test_graceful_shutdown_drains_in_flight_requests():
+    points = uniform_points(1024, seed=23)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=23)
+    engine.register_dataset("d", points, kinds=["dynamic"])
+    server = engine.serve_http([ApiKey(key="k", tenant="t")])
+    host, port = server.address
+    outcomes = []
+
+    def slow_client(offset):
+        client = ServerClient(host, port, api_key="k")
+        outcomes.append(client.query("d", [0.3], offset))
+
+    threads = [threading.Thread(target=slow_client, args=(0.1 * i,))
+               for i in range(6)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.02)          # let the requests reach the server
+    server.stop(timeout=30.0)
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not server.running
+    # Every request that made it in before the stop was answered, not
+    # reset: the drain finishes admitted work before the loop exits.
+    assert len(outcomes) == 6
+    for status, body in outcomes:
+        assert status == 200
+        assert body["outcome"] == "served"
+    engine.close()
+
+
+def test_server_restarts_on_the_same_engine():
+    points = uniform_points(256, seed=29)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=29)
+    engine.register_dataset("d", points, kinds=["dynamic"])
+    keys = [ApiKey(key="k", tenant="t")]
+    first = engine.serve_http(keys)
+    host, port = first.address
+    assert ServerClient(host, port, api_key="k").healthz()[0] == 200
+    first.stop()
+    second = engine.serve_http(keys)
+    host, port = second.address
+    status, body = ServerClient(host, port, api_key="k") \
+        .query("d", [0.2], 0.3)
+    assert status == 200 and body["outcome"] == "served"
+    second.stop()
+    engine.close()

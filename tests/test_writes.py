@@ -114,29 +114,73 @@ def test_routed_insert_uses_rebalanced_boundaries(points2d):
     engine.close()
 
 
-def test_write_into_an_empty_shard_raises_clearly():
+def _probe_into_empty_shard(sharded, seed=6):
+    """A point whose routed shard currently holds no replicas."""
+    empty_ids = {shard.shard_id for shard in sharded.shards
+                 if shard.is_empty}
+    assert empty_ids
+    rng = np.random.default_rng(seed)
+    for __ in range(200):
+        probe = tuple(rng.uniform(-1, 1, size=2))
+        shard_id = sharded.router.shard_of(probe)
+        if shard_id in empty_ids:
+            return probe, shard_id
+    pytest.fail("no probe point routed to an empty shard")
+
+
+def test_write_into_an_empty_shard_materializes_it_lazily():
     # Hash-shard a tiny dataset so some shards hold no replicas at all.
+    points = uniform_points(3, seed=5)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
+    engine.register_sharded_dataset("tiny", points, num_shards=8,
+                                    sharding="hash", kinds=["dynamic"],
+                                    replicas=2)
+    sharded = engine.catalog.sharded("tiny")
+    probe, shard_id = _probe_into_empty_shard(sharded)
+    # A delete routed to a still-empty shard stays the documented no-op:
+    # deleting an absent point must not build stores.
+    result = engine.delete("tiny", probe)
+    assert result.applied is False and result.replicas == 0
+    assert sharded.shards[shard_id].is_empty
+    # The first insert materializes the shard — stores, index suites and
+    # replica fan-out appear on demand — and the write applies normally.
+    result = engine.insert("tiny", probe)
+    assert result.applied is True
+    assert result.shard_id == shard_id
+    assert result.replicas == 2
+    shard = sharded.shards[shard_id]
+    assert not shard.is_empty
+    assert len(shard.replicas) == 2
+    assert _replica_answers(shard)[0] == _replica_answers(shard)[1]
+    # The materialized shard serves immediately.
+    answer = engine.query("tiny", EVERYTHING)
+    assert tuple(probe) in {tuple(p) for p in answer.points}
+    # And the point can be deleted again through the same routed path.
+    result = engine.delete("tiny", probe)
+    assert result.applied is True and result.replicas == 2
+    engine.close()
+
+
+def test_materialized_shard_feeds_stats_exactly_once():
     points = uniform_points(3, seed=5)
     engine = QueryEngine(block_size=BLOCK_SIZE, seed=5)
     engine.register_sharded_dataset("tiny", points, num_shards=8,
                                     sharding="hash", kinds=["dynamic"])
     sharded = engine.catalog.sharded("tiny")
-    empty_ids = {shard.shard_id for shard in sharded.shards
-                 if shard.is_empty}
-    assert empty_ids                                  # 3 points, 8 shards
-    rng = np.random.default_rng(6)
-    for __ in range(200):
-        probe = tuple(rng.uniform(-1, 1, size=2))
-        if sharded.router.shard_of(probe) in empty_ids:
-            with pytest.raises(ValueError, match="holds no replicas"):
-                engine.insert("tiny", probe)
-            # A delete routed to an empty shard is absent by definition:
-            # the documented no-op, uniform with non-empty shards.
-            result = engine.delete("tiny", probe)
-            assert result.applied is False and result.replicas == 0
-            break
-    else:  # pragma: no cover - statistically unreachable
-        pytest.fail("no probe point routed to an empty shard")
+    probe, shard_id = _probe_into_empty_shard(sharded)
+    engine.insert("tiny", probe)
+    second = (probe[0] * 0.9, probe[1] * 0.9)
+    if sharded.router.shard_of(second) == shard_id:
+        engine.insert("tiny", second)
+        expected = 2
+    else:
+        expected = 1
+    # The materialization hook wires the new replicas exactly once: each
+    # logical insert is observed once by the shard's model (a double
+    # subscription would count every write twice and skew selectivity).
+    shard_model = sharded.shards[shard_id].replicas[0].stats
+    assert shard_model.observed_inserts == expected
+    assert sharded.stats.observed_inserts == expected
     engine.close()
 
 
