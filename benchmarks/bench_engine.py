@@ -43,6 +43,14 @@ Three serving/storage-layer experiments ride along:
   its bounding box stale (pruning degrades, I/Os rise); a quantile
   re-split must restore pruning and cut the fan-out cost, with answers
   staying exact over the live point set in every phase.
+* **vectorized hot path** — the same workloads served with the numpy
+  batch kernels on and off: a pure full-scan phase (one index, every
+  query read from disk cold in both modes) and a K=4 sharded fan-out
+  phase (two identically-built engines, one per mode).  Answers must be
+  identical record-for-record, every I/O counter must be *bit-identical*
+  (vectorization sits strictly below the accounting seam), and the
+  full-scan wall clock must show a >= 10x speedup at the full
+  configuration; the measured speedup is recorded per phase.
 * **write fanout** — routed `QueryEngine.insert` writes applied to every
   replica of the target shard must leave read load *spread* across the
   replicas afterwards (busiest replica well below 100% of its shard's
@@ -78,6 +86,8 @@ except ImportError:  # standalone invocation from a source checkout
 import numpy as np
 
 from repro import QueryEngine
+from repro.baselines import FullScanIndex
+from repro.core import scalar_kernels
 from repro.engine import ServingRequest, TenantBudget, make_model
 from repro.engine.metrics import percentile, q_error
 from repro.experiments import format_table
@@ -137,6 +147,15 @@ WRITE_INSERTS = 240
 WRITE_QUERIES = 12
 WRITE_SELECTIVITY = 0.1
 
+#: Vectorized-hot-path experiment: numpy batch kernels vs the scalar
+#: record loops, same answers, same I/O counters, faster wall clock.
+VEC_POINTS = 16384
+VEC_BLOCK_SIZE = 128
+VEC_NUM_QUERIES = 8
+VEC_SELECTIVITY = 0.02
+VEC_FANOUT_QUERIES = 10
+VEC_MIN_SPEEDUP = 10.0
+
 #: HTTP-serving experiment: the embedded async path vs the same engine
 #: behind the network front-end, plus SSE time-to-first-estimate.
 HTTP_POINTS = 4096
@@ -162,6 +181,9 @@ SMOKE_REBALANCE_QUERIES = 4
 SMOKE_WRITE_POINTS = 1024
 SMOKE_WRITE_INSERTS = 60
 SMOKE_WRITE_QUERIES = 6
+SMOKE_VEC_POINTS = 1024
+SMOKE_VEC_NUM_QUERIES = 3
+SMOKE_VEC_FANOUT_QUERIES = 4
 SMOKE_HTTP_POINTS = 1024
 SMOKE_HTTP_QUERIES_PER_CLIENT = 3
 SMOKE_HTTP_MUTATIONS = 4
@@ -696,6 +718,138 @@ def run_write_fanout(smoke=False):
     }
 
 
+def run_vectorized(smoke=False):
+    """Numpy batch kernels vs the scalar record loops, same workloads.
+
+    Two phases, both served once with vectorization on and once under
+    ``scalar_kernels()`` (which restores the original per-record python
+    loops, so the baseline is the real pre-vectorization code path):
+
+    * **full scan** — one :class:`FullScanIndex` at the full
+      configuration (N=16384, B=128), every query cold.  The scan's
+      inner loop is the hottest kernel in the repo, so this is where the
+      ISSUE's >= 10x wall-clock gate applies (full configuration only —
+      smoke sizes are too small to time meaningfully).
+    * **K=4 fan-out** — the sharding experiment's steep
+      leading-attribute workload through two *separately built but
+      identical* engines, one per mode.  Separate engines keep the
+      comparison honest: serving the same engine twice would let the
+      first pass's calibration feedback change the second pass's plans.
+
+    In both phases the answers must match record-for-record (same
+    points, same order for the single index; set-equal per query for the
+    sharded fan-out) and every :class:`IOStats` counter must be
+    *identical* — vectorization lives strictly below the I/O-accounting
+    seam, so turning it on must not move a single counter.
+    """
+    num_points = SMOKE_VEC_POINTS if smoke else VEC_POINTS
+    num_queries = SMOKE_VEC_NUM_QUERIES if smoke else VEC_NUM_QUERIES
+    num_fanout = SMOKE_VEC_FANOUT_QUERIES if smoke else VEC_FANOUT_QUERIES
+    points = uniform_points(num_points, seed=SEED + 30)
+    scan_queries = halfspace_queries_with_selectivity(
+        points, num_queries, VEC_SELECTIVITY, seed=SEED + 31)
+
+    # --- full-scan phase: one index, every query cold in both modes ----
+    index = FullScanIndex(points, block_size=VEC_BLOCK_SIZE)
+
+    def serve_scan():
+        answers, counters = [], []
+        started = time.perf_counter()
+        for constraint in scan_queries:
+            result = index.query_with_stats(constraint, clear_cache=True)
+            answers.append([tuple(point) for point in result.points])
+            counters.append((result.ios.reads, result.ios.writes,
+                             result.ios.cache_hits))
+        return answers, counters, time.perf_counter() - started
+
+    vec_answers, vec_counters, vec_wall = serve_scan()
+    with scalar_kernels():
+        scalar_answers, scalar_counters, scalar_wall = serve_scan()
+    assert vec_answers == scalar_answers, (
+        "vectorized full-scan answers must match the scalar loops "
+        "record-for-record")
+    assert vec_counters == scalar_counters, (
+        "vectorization must not move a single full-scan I/O counter: "
+        "%r vs %r" % (vec_counters, scalar_counters))
+    for constraint, answer in zip(scan_queries, vec_answers):
+        expected = [tuple(p) for p in points if constraint.below(p)]
+        assert answer == expected
+    full_scan = {
+        "vectorized": {"wall_seconds": vec_wall,
+                       "total_ios": sum(c[0] + c[1] for c in vec_counters)},
+        "scalar": {"wall_seconds": scalar_wall,
+                   "total_ios": sum(c[0] + c[1]
+                                    for c in scalar_counters)},
+        "io_identical": vec_counters == scalar_counters,
+        "answers_identical": vec_answers == scalar_answers,
+        "speedup": scalar_wall / max(vec_wall, 1e-9),
+    }
+
+    # --- K=4 fan-out phase: two identical engines, one per mode --------
+    fanout_queries = steep_leading_attribute_queries(
+        points, num_fanout, SHARD_SELECTIVITY, seed=SEED + 32)
+
+    def make_engine():
+        # full_scan only: the phase measures the *scan kernel* under
+        # shard fan-out and pruning, not the planner's index choice (a
+        # partition-tree route would touch too few records to time).
+        engine = QueryEngine(block_size=BLOCK_SIZE, seed=SEED + 30)
+        engine.register_sharded_dataset(
+            "vec", points, num_shards=NUM_SHARDS, sharding="range",
+            kinds=["full_scan"])
+        return engine
+
+    def serve_fanout(engine):
+        answers, ios = [], []
+        started = time.perf_counter()
+        for constraint in fanout_queries:
+            answer = engine.query("vec", constraint, clear_cache=True)
+            answers.append({tuple(point) for point in answer.points})
+            ios.append(answer.total_ios)
+        return answers, ios, time.perf_counter() - started
+
+    vec_engine = make_engine()
+    fan_vec_answers, fan_vec_ios, fan_vec_wall = serve_fanout(vec_engine)
+    vec_engine.close()
+    scalar_engine = make_engine()
+    with scalar_kernels():
+        fan_scalar_answers, fan_scalar_ios, fan_scalar_wall = \
+            serve_fanout(scalar_engine)
+    scalar_engine.close()
+    assert fan_vec_answers == fan_scalar_answers, (
+        "vectorized fan-out answers must equal the scalar loops'")
+    assert fan_vec_ios == fan_scalar_ios, (
+        "vectorization must not move a single fan-out I/O count: %r vs "
+        "%r" % (fan_vec_ios, fan_scalar_ios))
+    for constraint, answer in zip(fanout_queries, fan_vec_answers):
+        assert answer == {tuple(p) for p in points if constraint.below(p)}
+    fanout = {
+        "vectorized": {"wall_seconds": fan_vec_wall,
+                       "total_ios": sum(fan_vec_ios)},
+        "scalar": {"wall_seconds": fan_scalar_wall,
+                   "total_ios": sum(fan_scalar_ios)},
+        "io_identical": fan_vec_ios == fan_scalar_ios,
+        "answers_identical": fan_vec_answers == fan_scalar_answers,
+        "speedup": fan_scalar_wall / max(fan_vec_wall, 1e-9),
+    }
+
+    return {
+        "workload": {
+            "num_points": num_points,
+            "scan_block_size": VEC_BLOCK_SIZE,
+            "scan_queries": num_queries,
+            "scan_selectivity": VEC_SELECTIVITY,
+            "fanout_queries": num_fanout,
+            "fanout_selectivity": SHARD_SELECTIVITY,
+            "num_shards": NUM_SHARDS,
+        },
+        #: The >= 10x gate only applies at the full configuration.
+        "speedup_gate": None if smoke else VEC_MIN_SPEEDUP,
+        "full_scan": full_scan,
+        "fanout": fanout,
+    }
+
+
 def run_http_serving(smoke=False):
     """The network front-end vs the embedded async path, same workload.
 
@@ -935,6 +1089,7 @@ def run_experiment(smoke=False):
         "selectivity_models": run_selectivity_models(smoke=smoke),
         "rebalance": run_rebalance(smoke=smoke),
         "write_fanout": run_write_fanout(smoke=smoke),
+        "vectorized": run_vectorized(smoke=smoke),
         "http_serving": run_http_serving(smoke=smoke),
     }
 
@@ -1066,6 +1221,25 @@ def storage_tables(results):
            fanout["workload"]["replicas"],
            fanout["workload"]["num_queries"],
            fanout["writes"]["latency_s"]["p95"] * 1e3))
+    vectorized = results["vectorized"]
+    vec_rows = []
+    for phase, label in (("full_scan", "full scan (N=%d, B=%d)"
+                          % (vectorized["workload"]["num_points"],
+                             vectorized["workload"]["scan_block_size"])),
+                         ("fanout", "sharded fan-out (K=%d)"
+                          % vectorized["workload"]["num_shards"])):
+        payload = vectorized[phase]
+        vec_rows.append([
+            label,
+            "%.1f" % (payload["scalar"]["wall_seconds"] * 1e3),
+            "%.1f" % (payload["vectorized"]["wall_seconds"] * 1e3),
+            "%.1fx" % payload["speedup"],
+            "%s / %s" % (payload["io_identical"],
+                         payload["answers_identical"])])
+    vec_table = format_table(
+        ["kernel", "scalar ms", "vectorized ms", "speedup",
+         "I/O parity / answer parity"], vec_rows,
+        title="VECTORIZED — numpy batch kernels vs scalar record loops")
     http = results["http_serving"]
     http_rows = []
     for tenant in sorted(http["http"]):
@@ -1092,7 +1266,7 @@ def storage_tables(results):
            http["stats_endpoint"]["valid_json"]))
     return "\n\n".join([backend_table, shard_table, serving_table,
                         stats_table, rebalance_table, fanout_table,
-                        http_table])
+                        vec_table, http_table])
 
 
 def check_acceptance(results):
@@ -1190,6 +1364,24 @@ def check_acceptance(results):
     assert all(share == 1.0 for share in pinned.values()), (
         "the pinned emulation should concentrate every shard's reads on "
         "one replica, got %r" % (pinned,))
+
+    vectorized = results["vectorized"]
+    for phase in ("full_scan", "fanout"):
+        payload = vectorized[phase]
+        assert payload["io_identical"], (
+            "the %s phase charged different I/O counters with "
+            "vectorization on vs off — batch kernels must sit strictly "
+            "below the accounting seam" % phase)
+        assert payload["answers_identical"], (
+            "the %s phase answered differently with vectorization on vs "
+            "off" % phase)
+    gate = vectorized["speedup_gate"]
+    if gate is not None:
+        speedup = vectorized["full_scan"]["speedup"]
+        assert speedup >= gate, (
+            "the vectorized full-scan kernel must be at least %.0fx "
+            "faster than the scalar record loops at the full "
+            "configuration, measured %.1fx" % (gate, speedup))
 
     http = results["http_serving"]
     for tenant in ("alpha", "beta"):

@@ -11,6 +11,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.interface import ExternalIndex, Point
 from repro.geometry.primitives import LinearConstraint
 from repro.io.disk_array import DiskArray
@@ -18,17 +19,30 @@ from repro.io.store import BlockStore
 
 
 class FullScanIndex(ExternalIndex):
-    """Linear scan over a blocked point file."""
+    """Linear scan over a blocked point file.
+
+    For an empty point set the dimension cannot be inferred from the
+    data; pass ``dimension=`` explicitly (omitting it raises).
+    """
 
     def __init__(self, points: Sequence[Sequence[float]],
                  store: Optional[BlockStore] = None,
-                 block_size: int = 64):
+                 block_size: int = 64,
+                 dimension: Optional[int] = None):
         super().__init__(store, block_size)
         points = np.asarray(points, dtype=float)
         if points.size == 0 and points.ndim != 2:
-            points = points.reshape(0, 2)
+            if dimension is None:
+                raise ValueError(
+                    "cannot infer the dimension of an empty point set; "
+                    "pass FullScanIndex(..., dimension=d) explicitly")
+            points = points.reshape(0, dimension)
         if points.ndim != 2:
             raise ValueError("points must have shape (N, d)")
+        if dimension is not None and points.shape[1] != dimension:
+            raise ValueError(
+                "points have dimension %d but dimension=%d was given"
+                % (points.shape[1], dimension))
         self._dimension = points.shape[1]
         self._num_points = len(points)
         self._begin_space_accounting()
@@ -54,4 +68,4 @@ class FullScanIndex(ExternalIndex):
         if constraint.dimension != self._dimension:
             raise ValueError("constraint dimension %d does not match data "
                              "dimension %d" % (constraint.dimension, self._dimension))
-        return [record for record in self._data.scan() if constraint.below(record)]
+        return kernels.filter_constraint(self._data, constraint)

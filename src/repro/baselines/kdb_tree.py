@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.interface import ExternalIndex, Point
 from repro.geometry.boxes import Box, CellRelation
 from repro.geometry.primitives import LinearConstraint
@@ -129,9 +130,12 @@ class KDBTreeIndex(ExternalIndex):
         self._last_regions_visited += 1
         if record[0] == _LEAF:
             __, leaf_index, lower, upper = record
-            for point in self._leaf_arrays[leaf_index].scan():
-                if not filter_points or constraint.below(point):
-                    results.append(point)
+            if filter_points:
+                kernels.filter_constraint(self._leaf_arrays[leaf_index],
+                                          constraint, out=results)
+            else:
+                kernels.collect_records(self._leaf_arrays[leaf_index],
+                                        out=results)
             return
         __, left_id, right_id, lower, upper = record
         if not filter_points:

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.interface import ExternalIndex, Point
 from repro.geometry.boxes import Box, CellRelation
 from repro.geometry.primitives import LinearConstraint
@@ -129,9 +130,8 @@ class QuadTreeIndex(ExternalIndex):
         node = self._nodes[node_id]
         self._last_nodes_visited += 1
         if node.is_leaf:
-            for record in node.points_array.scan():
-                if constraint.below(record):
-                    results.append(record)
+            kernels.filter_constraint(node.points_array, constraint,
+                                      out=results)
             return
         hyperplane = constraint.hyperplane
         for record in node.child_table.scan():
@@ -148,8 +148,7 @@ class QuadTreeIndex(ExternalIndex):
         node = self._nodes[node_id]
         self._last_nodes_visited += 1
         if node.is_leaf:
-            for record in node.points_array.scan():
-                results.append(record)
+            kernels.collect_records(node.points_array, out=results)
             return
         for record in node.child_table.scan():
             self._report_subtree(record[0], results)

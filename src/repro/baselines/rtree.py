@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.interface import ExternalIndex, Point
 from repro.geometry.boxes import Box, CellRelation
 from repro.geometry.primitives import LinearConstraint
@@ -139,9 +140,8 @@ class RTreeIndex(ExternalIndex):
         node = self._nodes[node_id]
         self._last_nodes_visited += 1
         if node.is_leaf:
-            for record in node.points_array.scan():
-                if constraint.below(record):
-                    results.append(record)
+            kernels.filter_constraint(node.points_array, constraint,
+                                      out=results)
             return
         hyperplane = constraint.hyperplane
         for record in node.child_table.scan():
@@ -158,8 +158,7 @@ class RTreeIndex(ExternalIndex):
         node = self._nodes[node_id]
         self._last_nodes_visited += 1
         if node.is_leaf:
-            for record in node.points_array.scan():
-                results.append(record)
+            kernels.collect_records(node.points_array, out=results)
             return
         for record in node.child_table.scan():
             self._report_subtree(record[0], results)

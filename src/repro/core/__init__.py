@@ -29,8 +29,16 @@ from repro.core.conjunction import (
     query_conjunction,
     query_conjunction_with_stats,
 )
+from repro.core.kernels import (
+    scalar_kernels,
+    set_vectorized,
+    vectorized_enabled,
+)
 
 __all__ = [
+    "scalar_kernels",
+    "set_vectorized",
+    "vectorized_enabled",
     "ExternalIndex",
     "QueryResult",
     "HalfplaneIndex2D",

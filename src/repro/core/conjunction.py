@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.interface import ExternalIndex, Point, QueryResult
 from repro.core.partition_tree import PartitionTreeIndex
 from repro.geometry.primitives import LinearConstraint
@@ -66,6 +68,34 @@ class ConstraintConjunction:
         """In-memory reference filter (ground truth for the tests)."""
         return [point for point in points if self.satisfied_by(point)]
 
+    def satisfied_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`satisfied_by`: a boolean mask over the rows.
+
+        Conjuncts short-circuit per batch: each one only evaluates the
+        rows every earlier conjunct accepted (cumulative masking), the
+        batch analogue of the scalar ``all(...)`` early exit.
+        """
+        indices = np.arange(points.shape[0])
+        active = points
+        for constraint in self.constraints:
+            keep = constraint.below_many(active)
+            if not keep.all():
+                indices = indices[keep]
+                active = active[keep]
+                if indices.size == 0:
+                    break
+        if indices.size:
+            for halfspace in self.extra_halfspaces:
+                keep = halfspace.contains_many(active)
+                if not keep.all():
+                    indices = indices[keep]
+                    active = active[keep]
+                    if indices.size == 0:
+                        break
+        mask = np.zeros(points.shape[0], dtype=bool)
+        mask[indices] = True
+        return mask
+
     def to_polytope(self) -> Simplex:
         """The conjunction as an intersection of halfspaces.
 
@@ -93,6 +123,15 @@ def query_conjunction(index: ExternalIndex,
     if isinstance(index, PartitionTreeIndex) or hasattr(index, "query_simplex"):
         return index.query_simplex(conjunction.to_polytope())
     candidates = index.query(conjunction.constraints[0])
+    from repro.core import kernels
+    from repro.io.block import as_point_matrix
+    if kernels.vectorized_enabled() and len(candidates) > 1:
+        matrix = as_point_matrix(list(candidates))
+        if matrix is not None:
+            mask = conjunction.satisfied_many(matrix)
+            # Index into the original list so callers keep the exact
+            # objects the underlying index reported.
+            return [candidates[int(i)] for i in np.nonzero(mask)[0]]
     return [point for point in candidates if conjunction.satisfied_by(point)]
 
 

@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.interface import ExternalIndex, Point
 from repro.core.partition_tree import PartitionTreeIndex, Partitioner
 from repro.geometry.primitives import LinearConstraint
@@ -314,7 +315,5 @@ class DynamicPartitionTreeIndex(ExternalIndex):
                 hidden[record] = hidden.get(record, 0) + 1
                 continue
             results.append(point)
-        for record in self._buffer.scan():
-            if constraint.below(record):
-                results.append(record)
+        kernels.filter_constraint(self._buffer, constraint, out=results)
         return results

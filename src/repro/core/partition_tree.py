@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.interface import ExternalIndex, Point
 from repro.geometry.boxes import Box, CellRelation
 from repro.geometry.partitions import PartitionCell, median_cut_partition
@@ -172,9 +173,8 @@ class PartitionTreeIndex(ExternalIndex):
         node = self._nodes[node_id]
         self._last_nodes_visited += 1
         if node.is_leaf:
-            for record in node.points_array.scan():
-                if constraint.below(record):
-                    results.append(record)
+            kernels.filter_constraint(node.points_array, constraint,
+                                      out=results)
             return
         for record in node.child_table.scan():
             child_id, lower, upper = record
@@ -191,8 +191,7 @@ class PartitionTreeIndex(ExternalIndex):
         """Append every point stored under ``node_id`` (no filtering)."""
         node = self._nodes[node_id]
         if node.is_leaf:
-            for record in node.points_array.scan():
-                results.append(record)
+            kernels.collect_records(node.points_array, out=results)
             return
         for record in node.child_table.scan():
             self.report_subtree(record[0], results)
@@ -212,9 +211,7 @@ class PartitionTreeIndex(ExternalIndex):
                             results: List[Point]) -> None:
         node = self._nodes[node_id]
         if node.is_leaf:
-            for record in node.points_array.scan():
-                if simplex.contains(record):
-                    results.append(record)
+            kernels.filter_simplex(node.points_array, simplex, out=results)
             return
         for record in node.child_table.scan():
             child_id, lower, upper = record

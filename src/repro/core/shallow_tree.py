@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.interface import ExternalIndex, Point
 from repro.core.partition_tree import PartitionTreeIndex, Partitioner
 from repro.geometry.boxes import Box, CellRelation
@@ -162,9 +163,8 @@ class ShallowPartitionTreeIndex(ExternalIndex):
                     constraint: LinearConstraint, results: List[Point]) -> None:
         node = self._nodes[node_id]
         if node.is_leaf:
-            for record in node.points_array.scan():
-                if constraint.below(record):
-                    results.append(record)
+            kernels.filter_constraint(node.points_array, constraint,
+                                      out=results)
             return
         # First pass over the child table: classify the cells.
         classified = []

@@ -49,12 +49,24 @@ class EngineServer:
     warm_cache:
         Pre-touch every dataset's stores when the server starts, so the
         first requests are not all cold misses.
+    idle_timeout:
+        Seconds a keep-alive connection gets to deliver its next
+        complete request before the server closes it.  None (the
+        default) keeps the old behaviour: idle connections live until
+        client close or shutdown.  A request already being processed is
+        never interrupted — the deadline only covers the wait for the
+        next request (which also bounds slow-written requests).
     """
 
     def __init__(self, engine, keys: Iterable[ApiKey],
                  host: str = "127.0.0.1", port: int = 0,
                  max_concurrency: int = 8,
-                 warm_cache: bool = True) -> None:
+                 warm_cache: bool = True,
+                 idle_timeout: Optional[float] = None) -> None:
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive or None, got %r"
+                             % (idle_timeout,))
+        self._idle_timeout = idle_timeout
         self._engine = engine
         self.auth = ApiKeyAuthenticator(keys)
         self.executor = engine.serving_executor(
@@ -178,13 +190,16 @@ class EngineServer:
                 stop_waiter = asyncio.ensure_future(self._stop_event.wait())
                 try:
                     await asyncio.wait({read, stop_waiter},
-                                       return_when=asyncio.FIRST_COMPLETED)
+                                       return_when=asyncio.FIRST_COMPLETED,
+                                       timeout=self._idle_timeout)
                 finally:
                     if not stop_waiter.done():
                         stop_waiter.cancel()
                 if not read.done():
-                    # Shutdown arrived while the connection sat idle
-                    # between requests: nothing is half-served, close.
+                    # Either shutdown arrived while the connection sat
+                    # idle between requests, or the idle deadline
+                    # expired with no next request on the wire: nothing
+                    # is half-served, close the socket cleanly.
                     read.cancel()
                     break
                 try:

@@ -59,6 +59,10 @@ class EquiDepthHistogram:
         positions[0] = 0
         self.counts = np.diff(positions).astype(float)
         self.total = float(len(values))
+        # Lazily rebuilt prefix sums so cumulative() answers with one
+        # searchsorted + lookup instead of summing a count slice.  Counts
+        # are integral floats (< 2^53), so the cached cumsum is exact.
+        self._cumsum: Optional[np.ndarray] = None
         # Skew at build time (1.0 for distinct values; can exceed it when
         # duplicate-valued data collapses edges).  drift() reports growth
         # relative to this baseline, so duplicate-heavy builds do not
@@ -69,11 +73,18 @@ class EquiDepthHistogram:
     def num_buckets(self) -> int:
         return len(self.counts)
 
+    def _prefix_counts(self) -> np.ndarray:
+        """Prefix sums of ``counts`` with a leading 0 (cached until mutated)."""
+        if self._cumsum is None or len(self._cumsum) != self.num_buckets + 1:
+            self._cumsum = np.concatenate(([0.0], np.cumsum(self.counts)))
+        return self._cumsum
+
     def cumulative(self, threshold: float) -> float:
         """Estimated number of values ``<= threshold``.
 
         Exact at bucket boundaries; linear interpolation inside the one
-        bucket the threshold falls in.
+        bucket the threshold falls in.  Answered via ``searchsorted``
+        against the edges plus a cached prefix-sum lookup.
         """
         edges = self.edges
         if threshold < edges[0]:
@@ -82,10 +93,24 @@ class EquiDepthHistogram:
             return self.total
         bucket = int(np.searchsorted(edges, threshold, side="right")) - 1
         bucket = min(max(bucket, 0), self.num_buckets - 1)
-        below = float(self.counts[:bucket].sum())
+        below = float(self._prefix_counts()[bucket])
         width = edges[bucket + 1] - edges[bucket]
         fraction = 1.0 if width <= 0 else (threshold - edges[bucket]) / width
         return below + float(self.counts[bucket]) * fraction
+
+    def cumulative_many(self, thresholds: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cumulative` over an array of thresholds."""
+        thresholds = np.asarray(thresholds, dtype=float).ravel()
+        edges = self.edges
+        buckets = np.searchsorted(edges, thresholds, side="right") - 1
+        buckets = np.clip(buckets, 0, self.num_buckets - 1)
+        widths = edges[buckets + 1] - edges[buckets]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(widths <= 0, 1.0,
+                                 (thresholds - edges[buckets]) / widths)
+        answers = self._prefix_counts()[buckets] + self.counts[buckets] * fractions
+        answers = np.where(thresholds < edges[0], 0.0, answers)
+        return np.where(thresholds >= edges[-1], self.total, answers)
 
     def selectivity(self, threshold: float) -> float:
         """Estimated fraction of values ``<= threshold``."""
@@ -109,6 +134,7 @@ class EquiDepthHistogram:
             self.edges[-1] = value
         self.counts[self._bucket_of(value)] += 1.0
         self.total += 1.0
+        self._cumsum = None
 
     def delete(self, value: float) -> None:
         """Uncount one projection (no-op below zero, e.g. absent points)."""
@@ -116,6 +142,7 @@ class EquiDepthHistogram:
         if self.counts[bucket] > 0:
             self.counts[bucket] -= 1.0
             self.total = max(0.0, self.total - 1.0)
+            self._cumsum = None
 
     # ------------------------------------------------------------------
     # drift

@@ -262,9 +262,12 @@ class HistogramModel(SelectivityModel):
                              "dimension %d" % (self._directions.shape[1],
                                                self._dimension))
         self._min_cosine = float(min_cosine)
-        self._histograms = [EquiDepthHistogram(points @ direction,
+        # One matmul projects the whole dataset onto every canonical
+        # direction at once; column k feeds direction k's histogram.
+        projections = points @ self._directions.T
+        self._histograms = [EquiDepthHistogram(projections[:, column],
                                                num_buckets=num_buckets)
-                            for direction in self._directions]
+                            for column in range(self._directions.shape[0])]
         self._sample = None if sample is None \
             else np.asarray(sample, dtype=float)
         if (self._sample is None or len(self._sample) == 0) \
@@ -304,16 +307,18 @@ class HistogramModel(SelectivityModel):
     def observe_insert(self, point: Sequence[float]) -> None:
         super().observe_insert(point)
         row = np.asarray(point, dtype=float)
-        for direction, histogram in zip(self._directions, self._histograms):
-            histogram.insert(float(direction @ row))
+        values = self._directions @ row   # one matvec for every direction
+        for value, histogram in zip(values, self._histograms):
+            histogram.insert(float(value))
         if self._sample is not None:
             _reservoir_insert(self._sample, self._rng, self._size, row)
 
     def observe_delete(self, point: Sequence[float]) -> None:
         super().observe_delete(point)
         row = np.asarray(point, dtype=float)
-        for direction, histogram in zip(self._directions, self._histograms):
-            histogram.delete(float(direction @ row))
+        values = self._directions @ row
+        for value, histogram in zip(values, self._histograms):
+            histogram.delete(float(value))
         if self._sample is not None:
             _reservoir_evict(self._sample, self._rng, row)
 

@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+import numpy as np
+
 #: Tolerance used by strict above/below comparisons throughout the library.
 EPS = 1e-9
 
@@ -125,6 +127,26 @@ class Hyperplane:
         """
         return point[-1] <= self.height_at(point) + eps
 
+    def height_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`height_at` over an ``(n, d)`` point matrix.
+
+        Accumulates one coefficient at a time, in coefficient order, so
+        every row reproduces the scalar left-to-right fold
+        ``sum(c * x for ...)`` bit for bit (a BLAS dot product may round
+        differently and flip points sitting exactly on the boundary).
+        """
+        heights = np.full(points.shape[0], self.offset, dtype=np.float64)
+        total = np.zeros(points.shape[0], dtype=np.float64)
+        for index, coefficient in enumerate(self.coeffs):
+            total += coefficient * points[:, index]
+        heights += total
+        return heights
+
+    def point_below_many(self, points: np.ndarray,
+                         eps: float = EPS) -> np.ndarray:
+        """Vectorized :meth:`point_below`: a boolean mask over the rows."""
+        return points[:, -1] <= self.height_many(points) + eps
+
     def as_line2(self) -> Line2:
         """View a 2-D hyperplane as a :class:`Line2`."""
         if self.dimension != 2:
@@ -207,6 +229,30 @@ class LinearConstraint:
         every index against.
         """
         return [p for p in points if self.below(p)]
+
+    def below_many(self, points: np.ndarray, eps: float = EPS) -> np.ndarray:
+        """Vectorized :meth:`below`: a boolean mask over an ``(n, d)`` matrix.
+
+        Guaranteed to agree with per-point :meth:`below` on every row,
+        including points exactly on the boundary hyperplane: the fold
+        below replays the scalar ``sum(c * x for ...) + offset`` one
+        coefficient at a time (a BLAS dot product may round differently
+        and flip boundary points).  Inlined rather than delegated to
+        :meth:`Hyperplane.point_below_many` — this runs once per scanned
+        block, where constructing a throwaway Hyperplane and the extra
+        temporaries measurably slow the hot path.
+        """
+        total = np.zeros(points.shape[0], dtype=np.float64)
+        for index, coefficient in enumerate(self.coeffs):
+            total += coefficient * points[:, index]
+        total += self.offset
+        total += eps
+        return points[:, -1] <= total
+
+    def filter_many(self, points: np.ndarray,
+                    eps: float = EPS) -> np.ndarray:
+        """The rows of ``points`` satisfying the constraint (a submatrix)."""
+        return points[self.below_many(points, eps)]
 
     def __repr__(self) -> str:
         terms = " + ".join("%.4g*x%d" % (c, i + 1)

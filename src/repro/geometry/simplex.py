@@ -29,6 +29,20 @@ class Halfspace:
         value = sum(n * x for n, x in zip(self.normal, point))
         return value <= self.offset + eps
 
+    def contains_many(self, points: np.ndarray,
+                      eps: float = 1e-9) -> np.ndarray:
+        """Vectorized :meth:`contains`: a boolean mask over the rows.
+
+        Replays the scalar accumulation order (one coefficient at a
+        time) so boundary points resolve identically to :meth:`contains`.
+        """
+        values = np.zeros(points.shape[0], dtype=np.float64)
+        for index, coefficient in enumerate(self.normal):
+            if index >= points.shape[1]:
+                break
+            values += coefficient * points[:, index]
+        return values <= self.offset + eps
+
     def excludes_box(self, box: Box, eps: float = 1e-9) -> bool:
         """True if no point of ``box`` satisfies the halfspace (exact test).
 
@@ -81,6 +95,28 @@ class Simplex:
     def contains(self, point: Sequence[float], eps: float = 1e-9) -> bool:
         """True if ``point`` satisfies every halfspace."""
         return all(halfspace.contains(point, eps) for halfspace in self.halfspaces)
+
+    def contains_many(self, points: np.ndarray,
+                      eps: float = 1e-9) -> np.ndarray:
+        """Vectorized :meth:`contains` over an ``(n, d)`` point matrix.
+
+        Short-circuits the way the scalar ``all(...)`` does, but per
+        batch: each facet is evaluated only on the rows still alive
+        after the previous facets (cumulative masking), so later facets
+        touch shrinking submatrices.
+        """
+        active = points
+        indices = np.arange(points.shape[0])
+        for halfspace in self.halfspaces:
+            inside = halfspace.contains_many(active, eps)
+            if not inside.all():
+                indices = indices[inside]
+                active = active[inside]
+                if indices.size == 0:
+                    break
+        mask = np.zeros(points.shape[0], dtype=bool)
+        mask[indices] = True
+        return mask
 
     def contains_box(self, box: Box, eps: float = 1e-9) -> bool:
         """Exact test: every point of ``box`` lies inside the simplex."""

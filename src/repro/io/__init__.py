@@ -27,7 +27,14 @@ from repro.io.backend import (
     StorageBackend,
     make_backend,
 )
-from repro.io.block import Block, BlockId
+from repro.io.block import (
+    Block,
+    BlockId,
+    BlockPayload,
+    POINT_DTYPE,
+    as_point_matrix,
+    matrix_to_records,
+)
 from repro.io.cache import LRUCache
 from repro.io.store import BlockStore, IOStats
 from repro.io.disk_array import DiskArray
@@ -37,6 +44,10 @@ from repro.io.external_sort import external_merge_sort
 __all__ = [
     "Block",
     "BlockId",
+    "BlockPayload",
+    "POINT_DTYPE",
+    "as_point_matrix",
+    "matrix_to_records",
     "LRUCache",
     "BlockStore",
     "FileBackend",

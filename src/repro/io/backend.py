@@ -23,7 +23,15 @@ block transfers the model charges.  Two implementations ship:
   live payloads).
 
 Records are arbitrary Python objects, so the file backends serialise each
-block with :mod:`pickle`.  Backends are *not* shared between stores.
+block with :mod:`pickle` — except *point blocks* (uniform float tuples,
+detected by :func:`~repro.io.block.as_point_matrix`), which are written as
+a small magic header plus the raw float64 bytes of their ``(n, d)``
+matrix.  That columnar encoding is what makes the vectorized read path
+cheap: ``get_payload`` can hand back a contiguous ndarray without running
+the pickle machinery over every record, and :class:`MmapBackend` serves
+it as an ``np.frombuffer`` view of the mapping (materialised into a
+private copy before the lock is released, so compaction can never move
+bytes under a live view).  Backends are *not* shared between stores.
 """
 
 from __future__ import annotations
@@ -37,10 +45,48 @@ import tempfile
 import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.io.block import BlockId
+import numpy as np
+
+from repro.io.block import (BlockId, POINT_DTYPE, as_point_matrix,
+                            matrix_to_records)
 
 #: Per-block header in the file layout: (block_id, payload_length).
 _HEADER = struct.Struct("<qq")
+
+#: Payload prefix marking a columnar (raw float64) point block.  Pickled
+#: payloads start with the protocol opcode b"\x80", so the two layouts
+#: can never be confused.
+_COLUMNAR_MAGIC = b"\x01NPB"
+
+#: Columnar payload header after the magic: (num_rows, num_columns).
+_COLUMNAR_SHAPE = struct.Struct("<qq")
+
+_COLUMNAR_HEADER = len(_COLUMNAR_MAGIC) + _COLUMNAR_SHAPE.size
+
+
+def _encode_records(records: List[Any]) -> bytes:
+    """Serialise one block: columnar for point blocks, pickle otherwise."""
+    matrix = as_point_matrix(records)
+    if matrix is None:
+        return pickle.dumps(list(records), protocol=pickle.HIGHEST_PROTOCOL)
+    return (_COLUMNAR_MAGIC + _COLUMNAR_SHAPE.pack(*matrix.shape)
+            + matrix.tobytes())
+
+
+def _decode_matrix(payload: bytes) -> np.ndarray:
+    """The ``(n, d)`` float64 matrix of a columnar payload (zero-copy)."""
+    rows, cols = _COLUMNAR_SHAPE.unpack_from(payload, len(_COLUMNAR_MAGIC))
+    return np.frombuffer(payload, dtype=POINT_DTYPE, count=rows * cols,
+                         offset=_COLUMNAR_HEADER).reshape(rows, cols)
+
+
+def _decode_records(payload: bytes) -> List[Any]:
+    """Deserialise one block payload back into its record list."""
+    if not payload:
+        return []
+    if payload[:len(_COLUMNAR_MAGIC)] == _COLUMNAR_MAGIC:
+        return matrix_to_records(_decode_matrix(payload))
+    return pickle.loads(payload)
 
 
 class StorageBackend(abc.ABC):
@@ -79,6 +125,20 @@ class StorageBackend(abc.ABC):
     def block_ids(self) -> Iterator[BlockId]:
         """Iterate over the stored block ids (unspecified order)."""
 
+    def get_payload(self, block_id: BlockId
+                    ) -> Tuple[Optional[List[Any]], Optional[np.ndarray]]:
+        """One block as ``(records, matrix)`` — exactly one is non-None.
+
+        The batch read path: backends that store (or can cheaply derive)
+        a point block's columnar ``(n, d)`` float64 matrix return it in
+        the second slot, skipping per-record deserialisation; everything
+        else falls back to the record list.  The default delegates to
+        :meth:`get`.  Implementations perform exactly the same physical
+        work per call as :meth:`get` (one block fetch), so the store can
+        charge both paths identically.
+        """
+        return self.get(block_id), None
+
     def close(self) -> None:
         """Release any resources (file handles, temp files).  Idempotent."""
 
@@ -94,21 +154,42 @@ class StorageBackend(abc.ABC):
 
 
 class MemoryBackend(StorageBackend):
-    """Blocks held in a Python dict — the simulator's original behaviour."""
+    """Blocks held in a Python dict — the simulator's original behaviour.
+
+    Point blocks additionally get a memoized columnar matrix, built on
+    the first :meth:`get_payload` and invalidated by any overwrite: a
+    full scan repeated over the same blocks then pays the tuple→ndarray
+    conversion once per block, not once per read.  :meth:`get` is
+    untouched, so the scalar path costs exactly what it always did.
+    """
 
     name = "memory"
 
     def __init__(self) -> None:
         self._blocks: Dict[BlockId, List[Any]] = {}
+        #: Memoized columnar conversions (None = checked, not columnar).
+        self._matrices: Dict[BlockId, Optional[np.ndarray]] = {}
 
     def put(self, block_id: BlockId, records: List[Any]) -> None:
         self._blocks[block_id] = list(records)
+        self._matrices.pop(block_id, None)
 
     def get(self, block_id: BlockId) -> List[Any]:
         return list(self._blocks[block_id])
 
+    def get_payload(self, block_id: BlockId
+                    ) -> Tuple[Optional[List[Any]], Optional[np.ndarray]]:
+        records = self._blocks[block_id]
+        if block_id not in self._matrices:
+            self._matrices[block_id] = as_point_matrix(records)
+        matrix = self._matrices[block_id]
+        if matrix is not None:
+            return None, matrix
+        return list(records), None
+
     def delete(self, block_id: BlockId) -> None:
         del self._blocks[block_id]
+        self._matrices.pop(block_id, None)
 
     def contains(self, block_id: BlockId) -> bool:
         return block_id in self._blocks
@@ -250,7 +331,7 @@ class FileBackend(StorageBackend):
     # StorageBackend interface
     # ------------------------------------------------------------------
     def put(self, block_id: BlockId, records: List[Any]) -> None:
-        payload = pickle.dumps(list(records), protocol=pickle.HIGHEST_PROTOCOL)
+        payload = _encode_records(records)
         with self._lock:
             self._check_open()
             previous = self._index.get(block_id)
@@ -260,14 +341,26 @@ class FileBackend(StorageBackend):
                 self._live_bytes -= previous[1]
             self._maybe_compact_locked()
 
-    def get(self, block_id: BlockId) -> List[Any]:
+    def _payload_bytes(self, block_id: BlockId) -> bytes:
+        """Read one block's raw payload (the single physical fetch)."""
         with self._lock:
             self._check_open()
             offset, length = self._index[block_id]
             self._handle.seek(offset)
             payload = self._handle.read(length)
             self.bytes_read += length
-        return pickle.loads(payload)
+        return payload
+
+    def get(self, block_id: BlockId) -> List[Any]:
+        return _decode_records(self._payload_bytes(block_id))
+
+    def get_payload(self, block_id: BlockId
+                    ) -> Tuple[Optional[List[Any]], Optional[np.ndarray]]:
+        payload = self._payload_bytes(block_id)
+        if payload[:len(_COLUMNAR_MAGIC)] == _COLUMNAR_MAGIC:
+            # frombuffer over the just-read bytes: no pickle, no copy.
+            return None, _decode_matrix(payload)
+        return (pickle.loads(payload) if payload else []), None
 
     def delete(self, block_id: BlockId) -> None:
         with self._lock:
@@ -392,17 +485,35 @@ class MmapBackend(FileBackend):
     # StorageBackend interface
     # ------------------------------------------------------------------
     def get(self, block_id: BlockId) -> List[Any]:
+        records, matrix = self.get_payload(block_id)
+        if matrix is not None:
+            return matrix_to_records(matrix)
+        return records
+
+    def get_payload(self, block_id: BlockId
+                    ) -> Tuple[Optional[List[Any]], Optional[np.ndarray]]:
         with self._lock:
             self._check_open()
             offset, length = self._index[block_id]
             if self._map is None or offset + length > self._mapped_size:
                 self._remap_locked()
-            if length == 0:
-                payload = b""
-            else:
-                payload = bytes(self._map[offset:offset + length])
             self.bytes_read += length
-        return pickle.loads(payload) if payload else []
+            if length == 0:
+                return [], None
+            magic_end = offset + len(_COLUMNAR_MAGIC)
+            if self._map[offset:magic_end] == _COLUMNAR_MAGIC:
+                # Zero-copy decode: frombuffer views the mapping directly,
+                # then one copy detaches the result before the lock is
+                # released (compaction relocates payloads, and a closed
+                # mmap with live views raises BufferError).
+                rows, cols = _COLUMNAR_SHAPE.unpack_from(self._map, magic_end)
+                matrix = np.frombuffer(
+                    self._map, dtype=POINT_DTYPE, count=rows * cols,
+                    offset=offset + _COLUMNAR_HEADER,
+                ).reshape(rows, cols).copy()
+                return None, matrix
+            payload = bytes(self._map[offset:offset + length])
+        return pickle.loads(payload), None
 
     def close(self) -> None:
         with self._lock:

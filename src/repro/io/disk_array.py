@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
-from repro.io.block import BlockId
+import numpy as np
+
+from repro.io.block import BlockId, BlockPayload
 from repro.io.store import BlockStore
 
 
@@ -108,9 +110,42 @@ class DiskArray:
         """Yield all records front to back, one block read at a time."""
         return self._store.scan(self._block_ids)
 
+    def scan_batches(self) -> Iterator[BlockPayload]:
+        """Yield one :class:`BlockPayload` per block, front to back.
+
+        The batch analogue of :meth:`scan`: identical I/O charging (one
+        read or cache hit per block), but point blocks arrive as
+        contiguous ``(n, d)`` matrices ready for the vectorized kernels.
+        """
+        for block_id in self._block_ids:
+            yield self._store.read_payload(block_id)
+
     def read_all(self) -> List[Any]:
         """Read the whole array into memory (⌈N/B⌉ read I/Os)."""
         return self._store.read_many(self._block_ids)
+
+    def read_all_array(self) -> Optional[np.ndarray]:
+        """Read the whole array as one stacked ``(N, d)`` float64 matrix.
+
+        Charges the same ⌈N/B⌉ I/Os as :meth:`read_all`.  Returns None
+        when any block is non-columnar (mixed records, width mismatch)
+        or the array is empty — callers fall back to :meth:`read_all`.
+        """
+        matrices: List[np.ndarray] = []
+        columnar = True
+        for payload in self.scan_batches():
+            if payload.is_columnar:
+                matrices.append(payload.matrix)
+            else:
+                columnar = False  # keep scanning: I/O parity with read_all
+        if not columnar or not matrices:
+            return None
+        if len(matrices) == 1:
+            return matrices[0]
+        widths = {matrix.shape[1] for matrix in matrices}
+        if len(widths) != 1:
+            return None
+        return np.concatenate(matrices, axis=0)
 
     def read_block(self, index: int) -> List[Any]:
         """Read the records of the ``index``-th block (one I/O)."""
@@ -127,7 +162,12 @@ class DiskArray:
         return self._store.read(self._block_ids[block_index])[offset]
 
     def read_range(self, start: int, stop: int) -> List[Any]:
-        """Read records in ``[start, stop)`` touching only the needed blocks."""
+        """Read records in ``[start, stop)`` touching only the needed blocks.
+
+        Exactly ``last_block - first_block + 1`` block reads; the first
+        and last blocks are sliced to the requested offsets instead of
+        concatenating every covered record and slicing afterwards.
+        """
         if start < 0 or stop > self._length or start > stop:
             raise IndexError("invalid range [%d, %d) for length %d"
                              % (start, stop, self._length))
@@ -138,10 +178,11 @@ class DiskArray:
         last_block = (stop - 1) // B
         records: List[Any] = []
         for block_index in range(first_block, last_block + 1):
-            records.extend(self._store.read(self._block_ids[block_index]))
-        lo = start - first_block * B
-        hi = stop - first_block * B
-        return records[lo:hi]
+            block = self._store.read(self._block_ids[block_index])
+            lo = start - block_index * B if block_index == first_block else 0
+            hi = stop - block_index * B if block_index == last_block else len(block)
+            records.extend(block[lo:hi] if (lo, hi) != (0, len(block)) else block)
+        return records
 
     def __repr__(self) -> str:
         return "DiskArray(len=%d, blocks=%d)" % (self._length, self.num_blocks)

@@ -22,8 +22,42 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.io.backend import StorageBackend, make_backend
-from repro.io.block import Block, BlockId
+from repro.io.block import (Block, BlockId, BlockPayload, as_point_matrix,
+                            matrix_to_records)
 from repro.io.cache import LRUCache
+
+
+class _CacheEntry:
+    """One buffer-pool slot: a block's records, its matrix, or both.
+
+    The pool memoizes whichever representation a read produced and
+    converts to the other lazily, at most once per cached version
+    (``put``/``write`` install a fresh entry, so mutations can never be
+    served from a stale conversion).  ``tried_matrix`` records that a
+    columnar conversion was attempted and failed, so non-point blocks
+    pay the type scan only once while resident.
+    """
+
+    __slots__ = ("records", "matrix", "tried_matrix")
+
+    def __init__(self, records: Optional[List[Any]] = None,
+                 matrix: Optional[Any] = None):
+        self.records = records
+        self.matrix = matrix
+        self.tried_matrix = matrix is not None
+
+    def record_list(self) -> List[Any]:
+        if self.records is None:
+            self.records = matrix_to_records(self.matrix)
+        return self.records
+
+    def payload(self) -> BlockPayload:
+        if self.matrix is None and not self.tried_matrix:
+            self.matrix = as_point_matrix(self.records)
+            self.tried_matrix = True
+        if self.matrix is not None:
+            return BlockPayload(matrix=self.matrix, records=self.records)
+        return BlockPayload(records=self.records)
 
 
 @dataclass
@@ -120,7 +154,7 @@ class BlockStore:
         self._next_id: BlockId = 0
         for existing in self._backend.block_ids():
             self._next_id = max(self._next_id, existing + 1)
-        self._cache: LRUCache[BlockId, List[Any]] = LRUCache(cache_blocks)
+        self._cache: LRUCache[BlockId, _CacheEntry] = LRUCache(cache_blocks)
         self.stats = IOStats()
         #: Serializes whole queries from multi-threaded executors.  One
         #: store models one disk, which serves one request at a time; the
@@ -164,7 +198,7 @@ class BlockStore:
         self.stats.allocations += 1
         if self._config.count_writes:
             self.stats.writes += 1
-        self._cache.put(block_id, block.copy_records())
+        self._cache.put(block_id, _CacheEntry(records=block.copy_records()))
         return block_id
 
     def allocate_many(self, records: Sequence[Any]) -> List[BlockId]:
@@ -191,13 +225,37 @@ class BlockStore:
         cached = self._cache.get(block_id)
         if cached is not None:
             self.stats.cache_hits += 1
-            return list(cached)
+            return list(cached.record_list())
+        entry = self._fetch(block_id)
+        return list(entry.record_list())
+
+    def read_payload(self, block_id: BlockId) -> BlockPayload:
+        """Read a block as a :class:`BlockPayload` (columnar when possible).
+
+        Charges exactly what :meth:`read` charges — one read I/O on a
+        buffer-pool miss, one cache hit otherwise — so batch consumers
+        see bit-identical :class:`IOStats` to the record-at-a-time path.
+        The payload may share storage with the buffer pool; treat it as
+        read-only.
+        """
+        cached = self._cache.get(block_id)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached.payload()
+        return self._fetch(block_id).payload()
+
+    def _fetch(self, block_id: BlockId) -> _CacheEntry:
+        """Fetch a block from the backend, charge one read, cache it."""
         if not self._backend.contains(block_id):
             raise KeyError("block %r is not allocated" % block_id)
         self.stats.reads += 1
-        records = self._backend.get(block_id)
-        self._cache.put(block_id, list(records))
-        return records
+        records, matrix = self._backend.get_payload(block_id)
+        if matrix is not None:
+            entry = _CacheEntry(matrix=matrix)
+        else:
+            entry = _CacheEntry(records=list(records))
+        self._cache.put(block_id, entry)
+        return entry
 
     def write(self, block_id: BlockId, records: Iterable[Any]) -> None:
         """Overwrite a block's contents, charging one write I/O."""
@@ -207,7 +265,7 @@ class BlockStore:
         self._backend.put(block_id, block.records)
         if self._config.count_writes:
             self.stats.writes += 1
-        self._cache.put(block_id, block.copy_records())
+        self._cache.put(block_id, _CacheEntry(records=block.copy_records()))
 
     def read_many(self, block_ids: Iterable[BlockId]) -> List[Any]:
         """Read several blocks and concatenate their records in order."""

@@ -76,6 +76,69 @@ class TestDiskArray:
         array = DiskArray(store, list(range(10)))
         assert array.read_block(1) == [8, 9]
 
+    def test_read_range_touches_only_covered_blocks(self, store_nocache):
+        # Block size 8: records 0..39 live in blocks [0..7][8..15][16..23]...
+        array = DiskArray(store_nocache, list(range(40)))
+        store_nocache.reset_stats()
+        assert array.read_range(10, 14) == list(range(10, 14))
+        assert store_nocache.stats.reads == 1      # inside one block
+        store_nocache.reset_stats()
+        assert array.read_range(5, 20) == list(range(5, 20))
+        assert store_nocache.stats.reads == 3      # blocks 0, 1, 2
+        store_nocache.reset_stats()
+        assert array.read_range(8, 16) == list(range(8, 16))
+        assert store_nocache.stats.reads == 1      # exactly block 1
+
+    def test_read_range_block_aligned_and_edges(self, store):
+        array = DiskArray(store, list(range(30)))
+        assert array.read_range(0, 30) == list(range(30))
+        assert array.read_range(0, 8) == list(range(8))
+        assert array.read_range(24, 30) == list(range(24, 30))
+        assert array.read_range(7, 9) == [7, 8]
+
+    def test_scan_batches_matches_scan(self, store):
+        points = [(float(i), float(i * 2)) for i in range(20)]
+        array = DiskArray(store, points)
+        batched = []
+        for payload in array.scan_batches():
+            assert payload.is_columnar
+            batched.extend(tuple(row) for row in payload.matrix.tolist())
+        assert batched == list(array.scan())
+
+    def test_scan_batches_same_ios_as_scan(self, store_nocache):
+        points = [(float(i), float(i)) for i in range(24)]
+        array = DiskArray(store_nocache, points)
+        store_nocache.reset_stats()
+        list(array.scan())
+        scalar = store_nocache.stats.snapshot()
+        store_nocache.reset_stats()
+        list(array.scan_batches())
+        assert store_nocache.stats.reads == scalar.reads
+        assert store_nocache.stats.cache_hits == scalar.cache_hits
+
+    def test_scan_batches_non_point_records_fall_back(self, store):
+        array = DiskArray(store, ["a", "b", "c"])
+        payloads = list(array.scan_batches())
+        assert len(payloads) == 1
+        assert not payloads[0].is_columnar
+        assert payloads[0].records() == ["a", "b", "c"]
+
+    def test_read_all_array_stacks_blocks(self, store):
+        points = [(float(i), -float(i)) for i in range(20)]
+        array = DiskArray(store, points)
+        matrix = array.read_all_array()
+        assert matrix is not None
+        assert matrix.shape == (20, 2)
+        assert [tuple(row) for row in matrix.tolist()] == points
+
+    def test_read_all_array_mixed_records_returns_none(self, store):
+        array = DiskArray(store, [(1.0, 2.0)] * 8 + ["not a point"])
+        assert array.read_all_array() is None
+        assert array.read_all() == [(1.0, 2.0)] * 8 + ["not a point"]
+
+    def test_read_all_array_empty(self, store):
+        assert DiskArray(store).read_all_array() is None
+
 
 class TestExternalSort:
     def test_sort_small_input(self, store):

@@ -436,6 +436,63 @@ def test_graceful_shutdown_drains_in_flight_requests():
     engine.close()
 
 
+def test_idle_keep_alive_connections_are_reaped():
+    import socket
+
+    points = uniform_points(256, seed=41)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=41)
+    engine.register_dataset("d", points, kinds=["dynamic"])
+    with engine.serve_http([ApiKey(key="k", tenant="t")],
+                           idle_timeout=0.4) as server:
+        host, port = server.address
+
+        def raw_get(sock):
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n"
+                         b"Host: test\r\nX-Api-Key: k\r\n\r\n")
+            sock.settimeout(5.0)
+            data = b""
+            while b"\r\n\r\n" not in data:
+                data += sock.recv(4096)
+            headers, __, rest = data.partition(b"\r\n\r\n")
+            length = 0
+            for line in headers.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            while len(rest) < length:
+                rest += sock.recv(4096)
+            return headers
+
+        stale = socket.create_connection((host, port), timeout=5.0)
+        active = socket.create_connection((host, port), timeout=5.0)
+        try:
+            assert raw_get(stale).startswith(b"HTTP/1.1 200")
+            assert raw_get(active).startswith(b"HTTP/1.1 200")
+            # Keep `active` busy under the deadline; let `stale` sit idle.
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                assert raw_get(active).startswith(b"HTTP/1.1 200")
+                time.sleep(0.1)
+            # The stale connection has been idle > idle_timeout: the
+            # server must have closed it (recv sees EOF, not a hang).
+            stale.settimeout(5.0)
+            assert stale.recv(4096) == b""
+            # The active connection survived the whole time.
+            assert raw_get(active).startswith(b"HTTP/1.1 200")
+        finally:
+            stale.close()
+            active.close()
+    engine.close()
+
+
+def test_idle_timeout_rejects_nonpositive_values():
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=43)
+    engine.register_dataset("d", uniform_points(64, seed=43),
+                            kinds=["dynamic"])
+    with pytest.raises(ValueError):
+        EngineServer(engine, [ApiKey(key="k", tenant="t")], idle_timeout=0.0)
+    engine.close()
+
+
 def test_server_restarts_on_the_same_engine():
     points = uniform_points(256, seed=29)
     engine = QueryEngine(block_size=BLOCK_SIZE, seed=29)

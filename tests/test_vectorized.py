@@ -1,0 +1,359 @@
+"""Scalar/vector kernel parity: the vectorized hot path must be invisible.
+
+The batch kernels promise two things: answers identical to the original
+record-at-a-time loops (including points exactly on a query boundary),
+and bit-identical I/O counters (vectorization happens strictly on the
+memory side of the BlockStore accounting seam).  These tests sweep
+dimensions 2–5, duplicate points, on-hyperplane boundary values, empty
+blocks, and every storage backend, asserting both properties.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import FullScanIndex, KDBTreeIndex, RTreeIndex
+from repro.core import (ConstraintConjunction, PartitionTreeIndex,
+                        query_conjunction, scalar_kernels,
+                        set_vectorized, vectorized_enabled)
+from repro.core import kernels
+from repro.geometry.primitives import EPS, Hyperplane, LinearConstraint
+from repro.geometry.simplex import Halfspace, Simplex
+from repro.io.block import BlockPayload, as_point_matrix, matrix_to_records
+from repro.io.backend import FileBackend, MemoryBackend, MmapBackend
+from repro.io.disk_array import DiskArray
+from repro.io.store import BlockStore
+
+
+def make_cloud(dimension, count, seed, with_boundary=None):
+    """A float-tuple cloud; optionally with points EXACTLY on a boundary."""
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(-1.0, 1.0, size=(count, dimension))
+    records = [tuple(float(v) for v in row) for row in points]
+    if with_boundary is not None:
+        hyperplane = with_boundary.hyperplane
+        for row in points[: max(3, count // 10)]:
+            prefix = tuple(float(v) for v in row[:-1])
+            # Place the last coordinate exactly at the scalar height, so
+            # the point sits on the hyperplane to the last bit.
+            height = hyperplane.height_at(prefix + (0.0,))
+            records.append(prefix + (height,))
+            records.append(prefix + (height + EPS,))      # still inside
+            records.append(prefix + (height + 3 * EPS,))  # just outside
+    # Duplicates exercise multiset behaviour.
+    records.extend(records[: max(2, len(records) // 8)])
+    return records
+
+
+def constraint_for(dimension, seed):
+    rng = np.random.default_rng(seed + 100)
+    coeffs = tuple(float(v) for v in rng.uniform(-1.0, 1.0, dimension - 1))
+    return LinearConstraint(coeffs=coeffs, offset=float(rng.uniform(-0.5, 0.5)))
+
+
+# ----------------------------------------------------------------------
+# predicate-level parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dimension", [2, 3, 4, 5])
+def test_below_many_matches_scalar_below(dimension):
+    constraint = constraint_for(dimension, dimension)
+    records = make_cloud(dimension, 64, dimension, with_boundary=constraint)
+    matrix = as_point_matrix(records)
+    assert matrix is not None and matrix.shape == (len(records), dimension)
+    mask = constraint.below_many(matrix)
+    scalar = np.array([constraint.below(record) for record in records])
+    assert np.array_equal(mask, scalar)
+    filtered = kernels.matrix_rows(constraint.filter_many(matrix))
+    assert filtered == constraint.filter(records)
+
+
+@pytest.mark.parametrize("dimension", [2, 3, 4, 5])
+def test_hyperplane_height_many_bit_exact(dimension):
+    constraint = constraint_for(dimension, 7 * dimension)
+    hyperplane = constraint.hyperplane
+    records = make_cloud(dimension, 48, 7 * dimension)
+    matrix = as_point_matrix(records)
+    heights = hyperplane.height_many(matrix)
+    for row, batch_height in zip(records, heights):
+        # Bit-exact, not approximately equal: the batch kernel replays
+        # the scalar accumulation order.
+        assert float(batch_height) == hyperplane.height_at(row)
+
+
+def test_below_many_empty_matrix():
+    constraint = constraint_for(3, 1)
+    empty = np.empty((0, 3), dtype=float)
+    assert constraint.below_many(empty).shape == (0,)
+    assert constraint.filter_many(empty).shape == (0, 3)
+
+
+@pytest.mark.parametrize("dimension", [2, 3, 4])
+def test_simplex_contains_many_matches_scalar(dimension):
+    rng = np.random.default_rng(dimension)
+    halfspaces = []
+    for __ in range(dimension + 1):
+        normal = tuple(float(v) for v in rng.uniform(-1.0, 1.0, dimension))
+        halfspaces.append(Halfspace(normal=normal,
+                                    offset=float(rng.uniform(0.0, 1.0))))
+    simplex = Simplex(halfspaces=tuple(halfspaces))
+    records = make_cloud(dimension, 80, dimension + 50)
+    matrix = as_point_matrix(records)
+    mask = simplex.contains_many(matrix)
+    scalar = np.array([simplex.contains(record) for record in records])
+    assert np.array_equal(mask, scalar)
+
+
+def test_simplex_boundary_points_resolve_identically():
+    # Points exactly on a facet: normal . x == offset must be inside.
+    simplex = Simplex(halfspaces=(Halfspace(normal=(1.0, 0.0), offset=0.5),
+                                  Halfspace(normal=(0.0, 1.0), offset=0.5)))
+    records = [(0.5, 0.0), (0.0, 0.5), (0.5, 0.5), (0.5 + EPS, 0.0),
+               (0.5 + 3e-9, 0.0), (-0.2, -0.9)]
+    matrix = as_point_matrix(records)
+    mask = simplex.contains_many(matrix)
+    scalar = np.array([simplex.contains(record) for record in records])
+    assert np.array_equal(mask, scalar)
+
+
+@pytest.mark.parametrize("dimension", [2, 4])
+def test_conjunction_satisfied_many_matches_scalar(dimension):
+    first = constraint_for(dimension, 11)
+    second = constraint_for(dimension, 23)
+    conjunction = ConstraintConjunction.of(first, second).and_halfspace(
+        normal=(1.0,) + (0.0,) * (dimension - 1), offset=0.6)
+    records = make_cloud(dimension, 90, 31, with_boundary=first)
+    matrix = as_point_matrix(records)
+    mask = conjunction.satisfied_many(matrix)
+    scalar = np.array([conjunction.satisfied_by(record) for record in records])
+    assert np.array_equal(mask, scalar)
+
+
+# ----------------------------------------------------------------------
+# columnar payloads
+# ----------------------------------------------------------------------
+def test_as_point_matrix_rejects_non_point_blocks():
+    assert as_point_matrix([]) is None
+    assert as_point_matrix(["text", "more"]) is None
+    assert as_point_matrix([(1, 2)]) is None                # ints, not floats
+    assert as_point_matrix([(1.0, 2.0), (1.0,)]) is None    # ragged widths
+    assert as_point_matrix([(1.0, (2.0,))]) is None         # nested
+    assert as_point_matrix([[1.0, 2.0]]) is None            # list, not tuple
+
+
+def test_as_point_matrix_round_trips():
+    records = [(0.1, -2.5), (float("inf"), 0.0), (1e-300, 1e300)]
+    matrix = as_point_matrix(records)
+    assert matrix is not None
+    assert not matrix.flags.writeable
+    assert matrix_to_records(matrix) == records
+
+
+def test_block_payload_requires_one_representation():
+    with pytest.raises(ValueError):
+        BlockPayload()
+    payload = BlockPayload(matrix=np.asarray([[1.0, 2.0]]))
+    assert payload.is_columnar and len(payload) == 1
+    assert payload.records() == [(1.0, 2.0)]
+
+
+@pytest.mark.parametrize("backend_factory",
+                         [MemoryBackend, FileBackend, MmapBackend])
+def test_point_blocks_round_trip_every_backend(backend_factory):
+    backend = backend_factory()
+    try:
+        points = [(0.5, -1.25, 3.0), (2.0, 0.0, -7.5)]
+        mixed = [(1.0, 2.0), "a string", (3, 4)]
+        backend.put(1, points)
+        backend.put(2, mixed)
+        assert backend.get(1) == points
+        assert backend.get(2) == mixed
+        records, matrix = backend.get_payload(1)
+        assert records is None and matrix is not None
+        assert matrix_to_records(matrix) == points
+        records, matrix = backend.get_payload(2)
+        assert matrix is None and records == mixed
+    finally:
+        backend.close()
+
+
+@pytest.mark.parametrize("backend", ["memory", "file", "mmap"])
+def test_payload_reads_charge_identically_to_record_reads(backend):
+    points = [(float(i), float(-i)) for i in range(32)]
+    store_a = BlockStore(block_size=8, cache_blocks=2, backend=backend)
+    store_b = BlockStore(block_size=8, cache_blocks=2, backend=backend)
+    try:
+        array_a = DiskArray(store_a, points)
+        array_b = DiskArray(store_b, points)
+        store_a.reset_stats()
+        store_b.reset_stats()
+        scalar = list(array_a.scan())
+        batched = []
+        for payload in array_b.scan_batches():
+            batched.extend(tuple(row) for row in payload.matrix.tolist())
+        assert batched == scalar
+        # Run both a second time so buffer-pool hits are exercised too.
+        list(array_a.scan())
+        list(array_b.scan_batches())
+        for field in ("reads", "writes", "cache_hits"):
+            assert getattr(store_a.stats, field) == \
+                getattr(store_b.stats, field)
+    finally:
+        store_a.close()
+        store_b.close()
+
+
+def test_mmap_zero_copy_matrix_detached_from_mapping():
+    store = BlockStore(block_size=4, cache_blocks=0, backend="mmap")
+    try:
+        array = DiskArray(store, [(float(i), 1.0) for i in range(8)])
+        payloads = list(array.scan_batches())
+        matrices = [payload.matrix for payload in payloads]
+    finally:
+        store.close()
+    # The mapping is closed; the matrices must stay readable (they were
+    # copied out under the lock, not left as live mmap views).
+    total = sum(float(matrix[:, 0].sum()) for matrix in matrices)
+    assert total == sum(range(8))
+
+
+# ----------------------------------------------------------------------
+# index-level parity: answers AND IOStats
+# ----------------------------------------------------------------------
+def index_cases(points, block_size=16):
+    yield FullScanIndex(points, block_size=block_size)
+    yield PartitionTreeIndex(points, block_size=block_size)
+    yield KDBTreeIndex(points, block_size=block_size)
+    yield RTreeIndex(points, block_size=block_size)
+
+
+@pytest.mark.parametrize("dimension", [2, 3])
+def test_index_answers_and_ios_identical_both_paths(dimension):
+    constraint = constraint_for(dimension, 5)
+    records = make_cloud(dimension, 300, 5, with_boundary=constraint)
+    points = np.asarray(records, dtype=float)
+    for index in index_cases(records if dimension != 2 else points):
+        store = index.store
+        store.clear_cache()
+        store.reset_stats()
+        vector_answer = sorted(index.query(constraint))
+        vector_ios = store.stats.snapshot()
+        store.clear_cache()
+        store.reset_stats()
+        with scalar_kernels():
+            scalar_answer = sorted(index.query(constraint))
+        scalar_ios = store.stats.snapshot()
+        name = type(index).__name__
+        assert vector_answer == scalar_answer, name
+        assert vector_ios.reads == scalar_ios.reads, name
+        assert vector_ios.writes == scalar_ios.writes, name
+        assert vector_ios.cache_hits == scalar_ios.cache_hits, name
+
+
+def test_partition_tree_simplex_parity():
+    rng = np.random.default_rng(17)
+    points = rng.uniform(-1.0, 1.0, size=(400, 2))
+    index = PartitionTreeIndex(points, block_size=16)
+    simplex = Simplex.from_vertices_2d([(-0.8, -0.8), (0.9, -0.5), (0.0, 0.9)])
+    store = index.store
+    store.clear_cache()
+    store.reset_stats()
+    vector = sorted(index.query_simplex(simplex))
+    vector_ios = store.stats.snapshot()
+    store.clear_cache()
+    store.reset_stats()
+    with scalar_kernels():
+        scalar = sorted(index.query_simplex(simplex))
+    scalar_ios = store.stats.snapshot()
+    assert vector == scalar
+    assert vector_ios.reads == scalar_ios.reads
+    assert vector_ios.cache_hits == scalar_ios.cache_hits
+    expected = sorted(tuple(p) for p in points if simplex.contains(p))
+    assert vector == expected
+
+
+def test_conjunction_fallback_filter_parity():
+    rng = np.random.default_rng(19)
+    points = rng.uniform(-1.0, 1.0, size=(256, 2))
+    index = FullScanIndex(points, block_size=16)
+    conjunction = ConstraintConjunction.of(
+        LinearConstraint(coeffs=(0.4,), offset=0.2),
+        LinearConstraint(coeffs=(-0.7,), offset=0.5))
+    vector = sorted(query_conjunction(index, conjunction))
+    with scalar_kernels():
+        scalar = sorted(query_conjunction(index, conjunction))
+    assert vector == scalar
+    expected = sorted(tuple(p) for p in points
+                      if conjunction.satisfied_by(tuple(p)))
+    assert vector == expected
+
+
+def test_vector_results_are_json_serializable():
+    rng = np.random.default_rng(3)
+    points = rng.uniform(-1.0, 1.0, size=(64, 2))
+    index = FullScanIndex(points, block_size=8)
+    answer = index.query(LinearConstraint(coeffs=(0.2,), offset=0.3))
+    assert answer
+    for record in answer:
+        assert type(record) is tuple
+        assert all(type(value) is float for value in record)
+    json.dumps(answer)
+
+
+def test_scalar_kernels_toggle_restores_state():
+    assert vectorized_enabled()
+    with scalar_kernels():
+        assert not vectorized_enabled()
+        with scalar_kernels():
+            assert not vectorized_enabled()
+        assert not vectorized_enabled()
+    assert vectorized_enabled()
+    previous = set_vectorized(False)
+    assert previous is True
+    assert not vectorized_enabled()
+    set_vectorized(True)
+    assert vectorized_enabled()
+
+
+def test_kernels_fall_back_on_non_point_blocks():
+    store = BlockStore(block_size=4, cache_blocks=0)
+    # First block columnar; second block mixes int tuples and ragged
+    # widths, so it must take the scalar fallback (per block).
+    array = DiskArray(store, [(0.1, 0.2), (0.3, -0.4), (0.5, 0.6),
+                              (0.7, -0.8)])
+    array.extend([(1, -2), (0.0, 0.0), (0.25, -0.5, 9.0), (-1, -1)])
+    constraint = LinearConstraint(coeffs=(0.0,), offset=0.0)
+    with scalar_kernels():
+        expected = [r for r in array.scan() if constraint.below(r)]
+    got = kernels.filter_constraint(array, constraint)
+    assert got == expected
+    # Fallback records keep their exact original form (ints stay ints).
+    assert (1, -2) in got and (-1, -1) in got
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# FullScanIndex dimension handling (satellite)
+# ----------------------------------------------------------------------
+def test_full_scan_empty_requires_dimension():
+    with pytest.raises(ValueError, match="dimension"):
+        FullScanIndex([])
+
+
+def test_full_scan_empty_with_dimension():
+    index = FullScanIndex([], dimension=4)
+    assert index.dimension == 4
+    assert index.size == 0
+    assert index.query(constraint_for(4, 2)) == []
+
+
+def test_full_scan_dimension_mismatch_rejected():
+    with pytest.raises(ValueError, match="dimension"):
+        FullScanIndex([(1.0, 2.0)], dimension=3)
+
+
+def test_full_scan_dimension_consistent_accepted():
+    index = FullScanIndex([(1.0, 2.0, 3.0)], dimension=3)
+    assert index.dimension == 3
