@@ -58,6 +58,19 @@ Three serving/storage-layer experiments ride along:
   where every post-mutation read concentrates on one copy; answers stay
   exact over the live set and the per-dataset write counters/latency
   percentiles are recorded.
+* **tracing overhead** — the K=4 full-scan fan-out workload served
+  three ways through one engine: bare (no trace opened — the
+  pre-tracing request path), with a no-op trace opened per request
+  against a disabled tracer (exactly as the serving layer does), and
+  fully traced.  Answers and every I/O counter must be identical in
+  all modes, the disabled path must hand back the no-op singletons,
+  and two gates apply at the full configuration: disabled/baseline
+  wall clock <= 1.05, and the enabled span tree within 1.05x of the
+  disabled path *or* within a fixed 150us/request budget (tree
+  construction is a fixed cost, so a pure ratio would punish the
+  sub-millisecond cold-scan denominator); an ``EXPLAIN ANALYZE`` run
+  checks that the per-shard span I/Os sum *exactly* to the
+  ``EngineStats`` delta the request produced.
 
 Run standalone to (re)record the repo-root ``BENCH_engine.json``::
 
@@ -156,6 +169,28 @@ VEC_SELECTIVITY = 0.02
 VEC_FANOUT_QUERIES = 10
 VEC_MIN_SPEEDUP = 10.0
 
+#: Tracing-overhead experiment: the K=4 full-scan fan-out workload with
+#: a trace opened per request, tracing disabled vs enabled, best-of-N.
+TRACE_QUERIES = 24
+TRACE_REPEATS = 7
+TRACE_MAX_OVERHEAD = 1.05
+#: Building the span tree is a *fixed* per-request cost (span and
+#: attribute construction does not scale with blocks read), so on a
+#: sub-millisecond cold scan a pure ratio gate would flake on noise a
+#: served request never sees — the enabled gate therefore passes on
+#: either the ratio or this absolute per-request budget.  At 150us the
+#: tree is <5% of any request above 3ms wall — every served-path
+#: request in the HTTP phase is — and regressions that put Python span
+#: assembly back inside the fan-out workers (+200us class) still trip.
+TRACE_ENABLED_MAX_COST_US = 150.0
+#: The smoke configuration (CI bench-smoke) still asserts the
+#: tracing-disabled gate, but loosened: 4 queries x 2 repeats on a
+#: shared runner cannot resolve 5%, yet a disabled path that started
+#: allocating real spans (2x class) must fail fast.  The enabled gate
+#: is full-configuration-only — smoke repeats are too few for the
+#: fixed-cost subtraction to be meaningful.
+SMOKE_TRACE_MAX_OVERHEAD = 2.0
+
 #: HTTP-serving experiment: the embedded async path vs the same engine
 #: behind the network front-end, plus SSE time-to-first-estimate.
 HTTP_POINTS = 4096
@@ -184,6 +219,8 @@ SMOKE_WRITE_QUERIES = 6
 SMOKE_VEC_POINTS = 1024
 SMOKE_VEC_NUM_QUERIES = 3
 SMOKE_VEC_FANOUT_QUERIES = 4
+SMOKE_TRACE_QUERIES = 4
+SMOKE_TRACE_REPEATS = 2
 SMOKE_HTTP_POINTS = 1024
 SMOKE_HTTP_QUERIES_PER_CLIENT = 3
 SMOKE_HTTP_MUTATIONS = 4
@@ -850,6 +887,179 @@ def run_vectorized(smoke=False):
     }
 
 
+def run_tracing(smoke=False):
+    """Request tracing priced: baseline vs disabled wrapper vs enabled.
+
+    The K=4 full-scan fan-out workload is served cold through *one*
+    engine in three modes, toggled between rounds — same stores, same
+    buffer pools, same calibration state, so the only difference
+    between the modes is the span machinery itself (two separately
+    built engines differ by several percent from allocation-layout
+    luck alone, which would drown the effect being measured):
+
+    * ``baseline`` — ``engine.query`` bare, tracer disabled and no
+      trace opened: the pre-tracing (PR 7) request path;
+    * ``off`` — every request opens a trace through the disabled
+      tracer and activates its root span, exactly what the serving
+      layer does per admitted request — the no-op singleton path every
+      caller now pays when tracing is off;
+    * ``on`` — the same wrapper with the tracer enabled, building the
+      full span tree.
+
+    Answers must match record-for-record across all three modes and
+    every I/O counter must be identical (tracing observes the data
+    path, it never steers it); each query's wall clock is its minimum
+    over ``repeats`` alternating rounds (per-query minima shed
+    host-scheduler spikes).  Two gates apply at the full configuration
+    only (smoke sizes are too small to time meaningfully):
+    off/baseline <= ``TRACE_MAX_OVERHEAD`` — the ISSUE's acceptance
+    criterion, instrumentation must be free when disabled — and the
+    enabled span tree within the same ratio of the disabled path *or*
+    within the fixed ``TRACE_ENABLED_MAX_COST_US`` per-request budget
+    (see that constant for why a pure ratio would flake here).
+
+    An ``EXPLAIN ANALYZE`` parity check rides along: the per-shard span
+    I/Os must sum *exactly* to both the report's ``actual_ios`` and the
+    ``EngineStats`` delta the request produced — the ISSUE's
+    reconciliation criterion.
+    """
+    from repro.engine.tracing import activate
+
+    num_points = SMOKE_VEC_POINTS if smoke else VEC_POINTS
+    num_queries = SMOKE_TRACE_QUERIES if smoke else TRACE_QUERIES
+    repeats = SMOKE_TRACE_REPEATS if smoke else TRACE_REPEATS
+    points = uniform_points(num_points, seed=SEED + 30)
+    queries = halfspace_queries_with_selectivity(
+        points, num_queries, VEC_SELECTIVITY, seed=SEED + 31)
+
+    # full_scan only, like the vectorized fan-out phase: a fixed plan
+    # keeps all modes on the identical data path in every round.
+    on_engine = QueryEngine(block_size=BLOCK_SIZE, seed=SEED + 33,
+                            tracing=True)
+    on_engine.register_sharded_dataset(
+        "traced", points, num_shards=NUM_SHARDS, sharding="range",
+        kinds=["full_scan"])
+
+    def serve_round(mode, sink=None):
+        wrapped = mode != "baseline"
+        on_engine.tracer.enabled = mode == "on"
+        durations = []
+        for constraint in queries:
+            started = time.perf_counter()
+            if wrapped:
+                trace = on_engine.tracer.start_trace("bench.request",
+                                                     dataset="traced")
+                try:
+                    with activate(trace.root):
+                        answer = on_engine.query("traced", constraint,
+                                                 clear_cache=True)
+                finally:
+                    trace.finish()
+            else:
+                answer = on_engine.query("traced", constraint,
+                                         clear_cache=True)
+            durations.append(time.perf_counter() - started)
+            if sink is not None:
+                sink.append(answer)
+        return durations
+
+    modes = ("baseline", "off", "on")
+    answers, ios = {}, {}
+    for mode in modes:  # warm-up + parity capture, untimed
+        collected = []
+        serve_round(mode, collected)
+        answers[mode] = [{tuple(p) for p in a.points} for a in collected]
+        ios[mode] = [a.total_ios for a in collected]
+    # Timed rounds alternate modes so load drift on the host lands on
+    # all sides evenly, and each query's cost is its best over the
+    # rounds — per-query minima shed scheduler spikes that a whole-round
+    # best-of-N still absorbs (a spike lands on one query, not all 24).
+    best = {mode: [float("inf")] * len(queries) for mode in modes}
+    for __ in range(repeats):
+        for mode in modes:
+            best[mode] = [min(old, new) for old, new
+                          in zip(best[mode], serve_round(mode))]
+    base_answers, off_answers, on_answers = (answers[m] for m in modes)
+    base_ios, off_ios, on_ios = (ios[m] for m in modes)
+    base_wall, off_wall, on_wall = (sum(best[m]) for m in modes)
+
+    # The disabled path must be the no-op singleton, not a cheap trace:
+    # no id is minted and the root span refuses children.
+    on_engine.tracer.enabled = False
+    probe = on_engine.tracer.start_trace("bench.request")
+    noop = (probe.trace_id == "" and not probe.root.enabled
+            and probe.root.child("nested") is probe.root)
+    on_engine.tracer.enabled = True
+
+    assert base_answers == off_answers == on_answers, (
+        "tracing changed a query answer — spans must observe the data "
+        "path, never steer it")
+    assert base_ios == off_ios == on_ios, (
+        "tracing moved an I/O counter: %r vs %r vs %r"
+        % (base_ios, off_ios, on_ios))
+
+    # One more traced request, kept, to report the span-tree size.
+    trace = on_engine.tracer.start_trace("bench.request", dataset="traced")
+    try:
+        with activate(trace.root):
+            on_engine.query("traced", queries[0], clear_cache=True)
+    finally:
+        trace.finish()
+
+    def count_spans(span):
+        return 1 + sum(count_spans(child) for child in span.children)
+
+    spans_per_query = count_spans(trace.root) - 1  # minus the bench root
+
+    report = on_engine.explain("traced", queries[0], analyze=True)
+    per_shard_ios = sum(entry["ios"] for entry in report["per_shard"])
+    explain = {
+        "trace_id": report["trace_id"],
+        "shards": len(report["per_shard"]),
+        "per_shard_ios": per_shard_ios,
+        "actual_ios": report["actual_ios"],
+        "stats_delta_ios": report["stats_delta"]["total_ios"],
+        "parity": (per_shard_ios == report["actual_ios"]
+                   == report["stats_delta"]["total_ios"]),
+    }
+    on_engine.close()
+
+    return {
+        "workload": {
+            "num_points": num_points,
+            "num_queries": num_queries,
+            "repeats": repeats,
+            "num_shards": NUM_SHARDS,
+            "block_size": BLOCK_SIZE,
+            "selectivity": VEC_SELECTIVITY,
+        },
+        #: Smoke still gates the disabled path (loosely — CI noise),
+        #: but only the full configuration gates the enabled path.
+        "overhead_gate": SMOKE_TRACE_MAX_OVERHEAD if smoke
+                         else TRACE_MAX_OVERHEAD,
+        "enabled_gate": None if smoke else TRACE_MAX_OVERHEAD,
+        "baseline": {"wall_seconds": base_wall,
+                     "total_ios": sum(base_ios)},
+        "tracing_off": {"wall_seconds": off_wall,
+                        "total_ios": sum(off_ios),
+                        "noop_singleton": noop},
+        "tracing_on": {"wall_seconds": on_wall,
+                       "total_ios": sum(on_ios),
+                       "spans_per_query": spans_per_query},
+        #: The acceptance gate: instrumentation when disabled vs the
+        #: pre-tracing request path.
+        "disabled_overhead_ratio": off_wall / max(base_wall, 1e-9),
+        #: The cost of actually building the span tree, as a ratio and
+        #: as the fixed per-request cost the ratio is made of.
+        "enabled_overhead_ratio": on_wall / max(off_wall, 1e-9),
+        "enabled_cost_us_per_query":
+            (on_wall - off_wall) / num_queries * 1e6,
+        "io_identical": base_ios == off_ios == on_ios,
+        "answers_identical": base_answers == off_answers == on_answers,
+        "explain": explain,
+    }
+
+
 def run_http_serving(smoke=False):
     """The network front-end vs the embedded async path, same workload.
 
@@ -1090,6 +1300,7 @@ def run_experiment(smoke=False):
         "rebalance": run_rebalance(smoke=smoke),
         "write_fanout": run_write_fanout(smoke=smoke),
         "vectorized": run_vectorized(smoke=smoke),
+        "tracing": run_tracing(smoke=smoke),
         "http_serving": run_http_serving(smoke=smoke),
     }
 
@@ -1240,6 +1451,31 @@ def storage_tables(results):
         ["kernel", "scalar ms", "vectorized ms", "speedup",
          "I/O parity / answer parity"], vec_rows,
         title="VECTORIZED — numpy batch kernels vs scalar record loops")
+    tracing = results["tracing"]
+    trace_rows = [
+        ["baseline (no trace opened)",
+         "%.1f" % (tracing["baseline"]["wall_seconds"] * 1e3),
+         str(tracing["baseline"]["total_ios"]), "-"],
+        ["tracing off (no-op singletons)",
+         "%.1f" % (tracing["tracing_off"]["wall_seconds"] * 1e3),
+         str(tracing["tracing_off"]["total_ios"]), "0"],
+        ["tracing on",
+         "%.1f" % (tracing["tracing_on"]["wall_seconds"] * 1e3),
+         str(tracing["tracing_on"]["total_ios"]),
+         str(tracing["tracing_on"]["spans_per_query"])],
+    ]
+    trace_table = format_table(
+        ["mode",
+         "wall ms (query-min of %d)" % tracing["workload"]["repeats"],
+         "total I/Os", "spans/query"], trace_rows,
+        title="TRACING — %d cold fan-out queries over K=%d (disabled "
+        "%.3fx of baseline, enabled %.3fx of disabled, explain "
+        "per-shard I/O parity: %s)"
+        % (tracing["workload"]["num_queries"],
+           tracing["workload"]["num_shards"],
+           tracing["disabled_overhead_ratio"],
+           tracing["enabled_overhead_ratio"],
+           tracing["explain"]["parity"]))
     http = results["http_serving"]
     http_rows = []
     for tenant in sorted(http["http"]):
@@ -1266,7 +1502,7 @@ def storage_tables(results):
            http["stats_endpoint"]["valid_json"]))
     return "\n\n".join([backend_table, shard_table, serving_table,
                         stats_table, rebalance_table, fanout_table,
-                        vec_table, http_table])
+                        vec_table, trace_table, http_table])
 
 
 def check_acceptance(results):
@@ -1382,6 +1618,43 @@ def check_acceptance(results):
             "the vectorized full-scan kernel must be at least %.0fx "
             "faster than the scalar record loops at the full "
             "configuration, measured %.1fx" % (gate, speedup))
+
+    tracing = results["tracing"]
+    assert tracing["io_identical"], (
+        "enabling tracing must not move a single I/O counter — spans "
+        "observe the data path, they never steer it")
+    assert tracing["answers_identical"], (
+        "enabling tracing must not change any query answer")
+    assert tracing["tracing_off"]["noop_singleton"], (
+        "a tracing-disabled engine must hand back the no-op trace/span "
+        "singletons (no id minted, no children recorded)")
+    explain = tracing["explain"]
+    assert explain["parity"], (
+        "EXPLAIN ANALYZE per-shard span I/Os (%d over %d shards) must "
+        "equal both the report's actual I/Os (%d) and the EngineStats "
+        "delta (%d) exactly"
+        % (explain["per_shard_ios"], explain["shards"],
+           explain["actual_ios"], explain["stats_delta_ios"]))
+    gate = tracing["overhead_gate"]
+    disabled = tracing["disabled_overhead_ratio"]
+    assert disabled <= gate, (
+        "the tracing-disabled request path (no-op singletons) must "
+        "stay within %.0f%% wall-clock overhead of the pre-tracing "
+        "baseline on the full-scan fan-out workload, measured %.3fx"
+        % ((gate - 1.0) * 100, disabled))
+    enabled_gate = tracing["enabled_gate"]
+    if enabled_gate is not None:
+        enabled = tracing["enabled_overhead_ratio"]
+        cost_us = tracing["enabled_cost_us_per_query"]
+        assert (enabled <= enabled_gate
+                or cost_us <= TRACE_ENABLED_MAX_COST_US), (
+            "enabled request tracing must stay within %.0f%% wall-clock "
+            "overhead of the disabled path, or within the %.0fus fixed "
+            "per-request span-tree budget, on the full-scan fan-out "
+            "workload at the full configuration — measured %.3fx and "
+            "%.1fus/request"
+            % ((enabled_gate - 1.0) * 100, TRACE_ENABLED_MAX_COST_US,
+               enabled, cost_us))
 
     http = results["http_serving"]
     for tenant in ("alpha", "beta"):

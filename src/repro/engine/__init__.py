@@ -36,7 +36,13 @@ query.  This package is that layer:
 * :class:`~repro.engine.calibration.CalibrationStore` — JSON persistence
   of the planner's learned constants, with staleness age-out;
 * :class:`~repro.engine.metrics.EngineStats` — latency percentiles, I/O
-  totals, cache hit rates and the plan distribution;
+  totals, cache hit rates and the plan distribution, backed by a
+  labelled :class:`~repro.engine.obs.MetricsRegistry` (Prometheus text
+  on ``GET /metrics``);
+* :mod:`~repro.engine.tracing` — request-scoped span trees across
+  planner, admission, executor fan-out and block I/O, with a bounded
+  finished-trace registry and a slow/degraded-query log
+  (:class:`~repro.engine.tracing.Tracer`; no-op singletons when off);
 * :class:`~repro.engine.engine.QueryEngine` — the facade wiring them up.
 """
 
@@ -59,6 +65,15 @@ from repro.engine.executor import (
     constraint_key,
 )
 from repro.engine.metrics import EngineStats, ServedQueryRecord
+from repro.engine.obs import MetricsRegistry, render_prometheus
+from repro.engine.tracing import (
+    NULL_SPAN,
+    Span,
+    Trace,
+    Tracer,
+    current_span,
+    current_trace_id,
+)
 from repro.engine.serving import (
     AdmissionController,
     AsyncExecutor,
@@ -116,7 +131,9 @@ __all__ = [
     "INDEX_KINDS",
     "IndexKind",
     "LeastLoadedReplicaPicker",
+    "MetricsRegistry",
     "MutationResult",
+    "NULL_SPAN",
     "Plan",
     "Planner",
     "PriorityRequestQueue",
@@ -133,13 +150,19 @@ __all__ = [
     "ShardRouter",
     "ShardedDataset",
     "ShardedPlan",
+    "Span",
     "TenantBudget",
     "TokenBucket",
+    "Trace",
+    "Tracer",
     "UniformSampleModel",
     "WorkloadResult",
     "WritePath",
     "constraint_key",
+    "current_span",
+    "current_trace_id",
     "default_suite",
     "make_model",
     "make_router",
+    "render_prometheus",
 ]

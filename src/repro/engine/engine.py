@@ -48,7 +48,7 @@ from repro.engine.executor import (
     WorkloadResult,
 )
 from repro.engine.metrics import EngineStats
-from repro.engine.planner import AnyPlan, Planner
+from repro.engine.planner import Planner
 from repro.engine.sharding import RebalanceManager, RebalanceReport
 from repro.engine.serving import (
     AdmissionController,
@@ -57,6 +57,7 @@ from repro.engine.serving import (
     ServingRequest,
     TenantBudget,
 )
+from repro.engine.tracing import Tracer, activate
 from repro.engine.writes import MutationResult
 from repro.geometry.primitives import LinearConstraint
 
@@ -99,6 +100,16 @@ class QueryEngine:
         times the fair share, after at least ``rebalance_min_mutations``
         mutations) and re-splits them before serving.
         :meth:`rebalance` triggers the same re-split manually.
+    tracing / trace_capacity:
+        Request tracing: every served request builds a span tree across
+        planner, admission, executor fan-out and block I/O (fetch it by
+        id via :attr:`tracer`, or ``GET /trace/<id>`` over HTTP).
+        ``tracing=False`` swaps in no-op singletons — instrumented code
+        paths then allocate nothing.  ``trace_capacity`` bounds the
+        finished-trace registry (oldest evicted).
+    slow_query_threshold_s / slow_query_capacity:
+        Finished traces slower than the threshold (or degraded) also land
+        in a bounded slow-query ring (``GET /debug/slow``).
     """
 
     def __init__(self, block_size: int = 64, cache_blocks: int = 4,
@@ -114,7 +125,11 @@ class QueryEngine:
                  stats_params: Optional[Dict[str, object]] = None,
                  auto_rebalance: bool = False,
                  rebalance_threshold: float = 2.0,
-                 rebalance_min_mutations: int = 64):
+                 rebalance_min_mutations: int = 64,
+                 tracing: bool = True,
+                 trace_capacity: int = 256,
+                 slow_query_threshold_s: float = 0.25,
+                 slow_query_capacity: int = 64):
         self.catalog = Catalog(block_size=block_size,
                                cache_blocks=cache_blocks,
                                sample_size=sample_size, seed=seed,
@@ -123,11 +138,14 @@ class QueryEngine:
                                stats_params=stats_params)
         self.planner = Planner(self.catalog, ewma_alpha=ewma_alpha)
         self.stats = EngineStats()
+        self.tracer = Tracer(enabled=tracing, max_traces=trace_capacity,
+                             slow_threshold_s=slow_query_threshold_s,
+                             slow_capacity=slow_query_capacity)
         self.executor = BatchExecutor(
             self.catalog, self.planner, stats=self.stats,
             result_cache_entries=result_cache_entries,
             warm_cache_blocks=warm_cache_blocks,
-            fanout_workers=fanout_workers)
+            fanout_workers=fanout_workers, tracer=self.tracer)
         self._auto_rebalance = auto_rebalance
         self.rebalancer = RebalanceManager(
             self.catalog, stats=self.stats,
@@ -534,9 +552,71 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
-    def explain(self, dataset: str, constraint: LinearConstraint) -> AnyPlan:
-        """The plan the engine would choose, without executing it."""
-        return self.planner.plan(dataset, constraint)
+    def explain(self, dataset: str, constraint: LinearConstraint,
+                analyze: bool = False, clear_cache: bool = True):
+        """The plan the engine would choose — optionally executed.
+
+        With ``analyze=False`` (the default) this is pure planning: the
+        chosen plan (:data:`~repro.engine.planner.AnyPlan`) is returned
+        without touching a store.  With ``analyze=True`` the query
+        *executes* under a dedicated trace — even when engine-wide
+        tracing is off — and a report dict comes back:
+
+        * ``estimated_ios`` vs ``actual_ios`` (and store cache hits);
+        * ``stages`` — per-stage wall-clock (planning, execution);
+        * ``per_shard`` — on sharded datasets, each shard's span
+          attributes: its replica, index, estimate, observed I/Os and
+          the calibration constant that priced it, so estimation error
+          is attributable to a specific shard;
+        * ``stats_delta`` — the :class:`EngineStats` delta this run
+          produced (the summed per-shard I/Os reconcile with it);
+        * ``trace`` — the full span tree, and ``trace_id`` to refetch it.
+
+        ``clear_cache=True`` (the default) empties the buffer pool and
+        bypasses the result cache so the actuals are the query's cold
+        cost.
+        """
+        if not analyze:
+            return self.planner.plan(dataset, constraint)
+        # A private always-on tracer keeps analyze working when the
+        # engine was built with tracing=False (nothing lands in the
+        # shared registry in that case — the report carries the tree).
+        tracer = self.tracer if self.tracer.enabled else Tracer(max_traces=4)
+        marker = self.stats.snapshot()
+        trace = tracer.start_trace("explain", dataset=dataset)
+        try:
+            with activate(trace.root):
+                answer = self.executor.execute(dataset, constraint,
+                                               clear_cache=clear_cache)
+        finally:
+            trace.finish()
+        delta = self.stats.snapshot_delta(marker)
+        stages = [{"name": node.name,
+                   "duration_ms": round(node.duration_s * 1e3, 3)}
+                  for node in trace.root.children]
+        per_shard = []
+        for node in trace.spans("executor.shard"):
+            entry = dict(node.attributes)
+            entry["duration_ms"] = round(node.duration_s * 1e3, 3)
+            per_shard.append(entry)
+        return {
+            "dataset": dataset,
+            "analyze": True,
+            "trace_id": trace.trace_id,
+            "index": answer.index_name,
+            "estimated_ios": answer.estimated_ios,
+            "actual_ios": answer.ios.total,
+            "cache_hits": answer.ios.cache_hits,
+            "latency_s": answer.latency_s,
+            "reported": answer.count,
+            "from_result_cache": answer.from_result_cache,
+            "shards_queried": answer.shards_queried,
+            "shards_pruned": answer.shards_pruned,
+            "stages": stages,
+            "per_shard": per_shard,
+            "stats_delta": delta,
+            "trace": trace.to_dict(),
+        }
 
     def summary(self) -> Dict[str, object]:
         """Aggregated serving metrics (see :meth:`EngineStats.summary`)."""

@@ -36,11 +36,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import repro.engine.tracing as tracing
 from repro.core.conjunction import ConstraintConjunction, query_conjunction
 from repro.core.interface import Point
+from repro.core.kernels import vectorized_enabled
 from repro.engine.catalog import Catalog
-from repro.engine.metrics import EngineStats, ServedQueryRecord
+from repro.engine.metrics import EngineStats, ServedQueryRecord, q_error
 from repro.engine.planner import AnyPlan, Plan, Planner, ShardedPlan
+from repro.engine.tracing import Tracer
 from repro.engine.writes import MutationResult, WritePath
 from repro.geometry.primitives import LinearConstraint
 from repro.io.cache import LRUCache
@@ -168,10 +171,14 @@ class ExecutionCore:
                  stats: Optional[EngineStats] = None,
                  result_cache_entries: int = 256,
                  fanout_workers: int = 8,
-                 replica_picker: Optional[object] = None):
+                 replica_picker: Optional[object] = None,
+                 tracer: Optional[Tracer] = None):
         self.catalog = catalog
         self.planner = planner
         self.stats = stats if stats is not None else EngineStats()
+        #: Request-trace lifecycle: the serving layers open traces here
+        #: and the core's spans land in whatever trace is active.
+        self.tracer = tracer if tracer is not None else Tracer()
         self._results: LRUCache[Tuple[str, ConstraintKey], Tuple[str, List[Point]]]
         self._results = LRUCache(result_cache_entries)
         self._results_lock = threading.Lock()
@@ -344,10 +351,27 @@ class ExecutionCore:
         shards_by_id = {shard.shard_id: shard for shard in sharded.shards}
         generation = self.result_generation(dataset_name)
         started = time.perf_counter()
+        # The pool workers below do not inherit this thread's contextvars
+        # (only asyncio.to_thread copies the context), so the fan-out
+        # span is captured here and each shard hangs its child on it
+        # explicitly — Span.child is thread-safe under the trace's lock.
+        fanout_span = tracing.current_span().child(
+            "executor.fanout", dataset=dataset_name,
+            shards=len(plan.shard_plans))
 
-        def run_shard(item: Tuple[int, Plan]) -> Tuple[Plan, List[Point], IOStats]:
+        traced = fanout_span.enabled
+
+        def run_shard(item: Tuple[int, Plan]):
             shard_id, shard_plan = item
             shard = shards_by_id[shard_id]
+            # Tracing inside the worker is two clock reads and nothing
+            # else: building the span node and its attribute dict here
+            # would run Python bytecode under the GIL in every worker,
+            # stretching the fan-out's critical path (the bench's <5%
+            # overhead gate catches it) — so the tree is assembled on
+            # the calling thread after the pool joins, from values the
+            # worker returns anyway.
+            shard_started = time.perf_counter() if traced else 0.0
             replica_id = self.replica_picker.acquire(
                 dataset_name, shard, shard_plan.estimated_ios)
             try:
@@ -373,7 +397,9 @@ class ExecutionCore:
                     shard_plan.estimated_ios)
             self.stats.record_replica_load(dataset_name, shard_id,
                                            replica_id, ios.total)
-            return shard_plan, points, ios
+            shard_ended = time.perf_counter() if traced else 0.0
+            return (shard_id, shard_plan, points, ios, replica_id,
+                    shard_started, shard_ended)
 
         pool = self._shared_pool()
         if pool is not None and len(plan.shard_plans) > 1:
@@ -381,10 +407,37 @@ class ExecutionCore:
         else:
             outcomes = [run_shard(item) for item in plan.shard_plans]
 
+        if traced:
+            for (shard_id, shard_plan, shard_points, shard_ios,
+                 replica_id, shard_started, shard_ended) in outcomes:
+                store = shards_by_id[shard_id].replicas[replica_id].store
+                span = fanout_span.child(
+                    "executor.shard",
+                    shard_id=shard_id,
+                    replica_id=replica_id,
+                    index=shard_plan.index_name,
+                    # "ios" is what EngineStats charges the request for
+                    # this shard (reads+writes); cold-equivalent cost
+                    # (+cache_hits) is what calibration sees.
+                    ios=shard_ios.total,
+                    observed_cold_ios=shard_ios.total
+                    + shard_ios.cache_hits,
+                    model_ios=round(shard_plan.chosen.model_ios, 2),
+                    calibration=round(shard_plan.chosen.calibration, 4),
+                    estimated_ios=round(shard_plan.estimated_ios, 2),
+                    expected_output=round(shard_plan.expected_output, 2),
+                    reported=len(shard_points),
+                    q_error=round(q_error(shard_plan.expected_output,
+                                          len(shard_points)), 3),
+                    vectorized=vectorized_enabled(),
+                    **store.span_attributes(shard_ios))
+                span.started_s = shard_started
+                span.ended_s = shard_ended
+
         points: List[Point] = []
         ios = IOStats()
         observations = []
-        for shard_plan, shard_points, shard_ios in outcomes:
+        for __, shard_plan, shard_points, shard_ios, *___ in outcomes:
             points.extend(shard_points)
             ios.merge(shard_ios)
             # Per-shard calibration feedback, keyed by the parent dataset
@@ -405,6 +458,14 @@ class ExecutionCore:
                                            len(shard_points))
         self.planner.observe_many(dataset_name, observations)
         latency = time.perf_counter() - started
+        if fanout_span.enabled:
+            fanout_span.set_many({
+                "ios": ios.total,
+                "cache_hits": ios.cache_hits,
+                "reported": len(points),
+                "shards_pruned": plan.shards_pruned,
+            })
+        fanout_span.finish()
         answer = ExecutedQuery(dataset=dataset_name,
                                index_name=plan.index_name,
                                points=points, ios=ios, latency_s=latency,
@@ -425,26 +486,37 @@ class ExecutionCore:
         index = dataset.indexes[plan.index_name]
         store = dataset.store
         generation = self.result_generation(dataset_name)
-        started = time.perf_counter()
-        # Serialize whole queries on the store: concurrent async requests
-        # against one unsharded dataset would otherwise race the buffer
-        # pool and absorb each other's I/O counts.
-        with store.lock:
-            if clear_cache:
-                store.clear_cache()
-            before = store.stats.snapshot()
-            points = index.query(constraint)
-            ios = store.stats.delta(before)
-        latency = time.perf_counter() - started
-        return self.finish(dataset_name, plan, points, ios, latency,
-                           cache_key, tenant=tenant, generation=generation)
+        with tracing.span("executor.execute") as span:
+            started = time.perf_counter()
+            # Serialize whole queries on the store: concurrent async
+            # requests against one unsharded dataset would otherwise race
+            # the buffer pool and absorb each other's I/O counts.
+            with store.lock:
+                if clear_cache:
+                    store.clear_cache()
+                before = store.stats.snapshot()
+                points = index.query(constraint)
+                ios = store.stats.delta(before)
+            latency = time.perf_counter() - started
+            if span.enabled:
+                span.set_many(store.span_attributes(ios))
+                span.set_many({
+                    "dataset": dataset_name,
+                    "index": plan.index_name,
+                    "ios": ios.total,
+                    "vectorized": vectorized_enabled(),
+                })
+            return self.finish(dataset_name, plan, points, ios, latency,
+                               cache_key, tenant=tenant,
+                               generation=generation, span=span)
 
     def finish(self, dataset_name: str, plan: Plan, points: List[Point],
                ios: IOStats, latency: float,
                cache_key: Tuple[str, ConstraintKey],
                tenant: str = "",
                generation: Optional[int] = None,
-               estimation: bool = True) -> ExecutedQuery:
+               estimation: bool = True,
+               span: object = tracing.NULL_SPAN) -> ExecutedQuery:
         """Feed back calibration, record metrics, cache and return.
 
         ``generation`` must be the dataset's :meth:`result_generation`
@@ -453,7 +525,9 @@ class ExecutionCore:
         Passing None (unknown provenance) skips caching outright.
         ``estimation=False`` keeps the plan's expected output out of the
         q-error metrics (conjunction plans, whose estimate is a
-        deliberate single-conjunct upper bound).
+        deliberate single-conjunct upper bound).  ``span`` is the open
+        execute span (if any): the calibration feedback pair becomes its
+        attributes so misestimates are attributable per request.
         """
         # Calibration models the *cold* cost of a structure (what the plan
         # estimates predict), so count buffer-pool hits as the reads they
@@ -466,6 +540,18 @@ class ExecutionCore:
         if estimation:
             self.stats.note_estimation(dataset_name, plan.expected_output,
                                        len(points))
+        if getattr(span, "enabled", False):
+            span.set_many({
+                "model_ios": round(plan.chosen.model_ios, 2),
+                "calibration": round(plan.chosen.calibration, 4),
+                "estimated_ios": round(plan.estimated_ios, 2),
+                "observed_cold_ios": ios.total + ios.cache_hits,
+                "expected_output": round(plan.expected_output, 2),
+                "reported": len(points),
+                "q_error": round(q_error(plan.expected_output,
+                                         len(points)), 3)
+                if estimation else None,
+            })
         answer = ExecutedQuery(dataset=dataset_name,
                                index_name=plan.index_name,
                                points=points, ios=ios, latency_s=latency,
@@ -486,6 +572,7 @@ class ExecutionCore:
         if hit is None:
             return None
         index_name, points = hit
+        tracing.current_span().set("result_cache_hit", True)
         answer = ExecutedQuery(dataset=key[0], index_name=index_name,
                                points=list(points), ios=IOStats(),
                                latency_s=0.0, estimated_ios=0.0,
@@ -552,11 +639,12 @@ class BatchExecutor:
                  result_cache_entries: int = 256,
                  warm_cache_blocks: int = 64,
                  fanout_workers: int = 8,
-                 core: Optional[ExecutionCore] = None):
+                 core: Optional[ExecutionCore] = None,
+                 tracer: Optional[Tracer] = None):
         self.core = core if core is not None else ExecutionCore(
             catalog, planner, stats=stats,
             result_cache_entries=result_cache_entries,
-            fanout_workers=fanout_workers)
+            fanout_workers=fanout_workers, tracer=tracer)
         # Always derive from the core: planning against one catalog while
         # executing through another would silently serve wrong datasets.
         self._catalog = self.core.catalog
@@ -621,16 +709,24 @@ class BatchExecutor:
         index = dataset.indexes[plan.index_name]
         store = dataset.store
         generation = self.core.result_generation(dataset_name)
-        started = time.perf_counter()
-        with store.lock:
-            if clear_cache:
-                store.clear_cache()
-            before = store.stats.snapshot()
-            points = query_conjunction(index, conjunction)
-            ios = store.stats.delta(before)
-        latency = time.perf_counter() - started
-        return self.core.finish(dataset_name, plan, points, ios, latency,
-                                key, generation=generation, estimation=False)
+        with tracing.span("executor.execute", conjunction=True) as span:
+            started = time.perf_counter()
+            with store.lock:
+                if clear_cache:
+                    store.clear_cache()
+                before = store.stats.snapshot()
+                points = query_conjunction(index, conjunction)
+                ios = store.stats.delta(before)
+            latency = time.perf_counter() - started
+            if span.enabled:
+                span.set_many(store.span_attributes(ios))
+                span.set_many({"dataset": dataset_name,
+                               "index": plan.index_name,
+                               "ios": ios.total,
+                               "vectorized": vectorized_enabled()})
+            return self.core.finish(dataset_name, plan, points, ios,
+                                    latency, key, generation=generation,
+                                    estimation=False, span=span)
 
     # ------------------------------------------------------------------
     # batches and workloads

@@ -53,6 +53,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.engine.obs.registry import MetricsRegistry
 from repro.experiments.harness import format_table
 
 
@@ -164,12 +165,80 @@ class EngineStats:
     http_latencies: Dict[str, List[float]] = field(default_factory=dict)
     #: Per-endpoint HTTP status-code counts (codes stringified for JSON).
     http_statuses: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: The labeled metric families every ``note_*`` call mirrors into —
+    #: scraped as Prometheus text on ``GET /metrics`` and embedded as
+    #: JSON in ``summary()["metrics"]``.
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry,
+                                      repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        reg = self.registry
+        self._m_queries = reg.counter(
+            "engine_queries_total", "Served queries", ("dataset", "index"))
+        self._m_ios = reg.counter(
+            "engine_ios_total", "Block transfers charged to served queries",
+            ("dataset",))
+        self._m_reported = reg.counter(
+            "engine_records_reported_total",
+            "Records reported by served queries", ("dataset",))
+        self._m_store_hits = reg.counter(
+            "engine_store_cache_hits_total",
+            "Buffer-pool hits attributed to served queries", ("dataset",))
+        self._m_result_hits = reg.counter(
+            "engine_result_cache_hits_total",
+            "Queries answered from the result cache", ("dataset",))
+        self._m_degraded = reg.counter(
+            "engine_degraded_answers_total",
+            "Degraded (sample-only) answers served", ("dataset",))
+        self._m_latency = reg.histogram(
+            "engine_query_latency_seconds", "Served-query latency",
+            ("dataset",))
+        self._m_qerror = reg.histogram(
+            "engine_estimation_qerror",
+            "Expected-output q-error per executed plan", ("dataset",),
+            buckets=(1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 50.0))
+        self._m_writes = reg.counter(
+            "engine_writes_total", "Engine-level mutations",
+            ("dataset", "op"))
+        self._m_write_ios = reg.counter(
+            "engine_write_ios_total",
+            "Block transfers charged to mutations", ("dataset",))
+        self._m_write_latency = reg.histogram(
+            "engine_write_latency_seconds", "Mutation latency", ("dataset",))
+        self._m_http = reg.counter(
+            "engine_http_requests_total", "Handled HTTP requests",
+            ("endpoint", "status"))
+        self._m_http_latency = reg.histogram(
+            "engine_http_latency_seconds", "HTTP handling latency",
+            ("endpoint",))
+        self._m_admission = reg.counter(
+            "engine_admission_decisions_total",
+            "Admission-control outcomes", ("decision",))
+        self._m_queue_depth = reg.gauge(
+            "engine_queue_depth_max",
+            "Deepest the async request queue has run")
+        self._m_rebalances = reg.counter(
+            "engine_rebalances_total", "Shard re-split events", ("dataset",))
+        self._m_replica_ios = reg.counter(
+            "engine_replica_ios_total", "I/Os attributed per shard replica",
+            ("dataset", "shard", "replica"))
 
     def record(self, record: ServedQueryRecord) -> None:
         """Append one served-query record (thread-safe)."""
         with self._lock:
             self.records.append(record)
+        self._m_queries.inc(dataset=record.dataset, index=record.index_name)
+        self._m_ios.inc(record.ios, dataset=record.dataset)
+        self._m_reported.inc(record.reported, dataset=record.dataset)
+        self._m_latency.observe(record.latency_s, dataset=record.dataset)
+        if record.store_cache_hits:
+            self._m_store_hits.inc(record.store_cache_hits,
+                                   dataset=record.dataset)
+        if record.result_cache_hit:
+            self._m_result_hits.inc(dataset=record.dataset)
+        if record.degraded:
+            self._m_degraded.inc(dataset=record.dataset)
 
     def note_estimation(self, dataset: str, expected: float,
                         actual: float) -> None:
@@ -183,6 +252,7 @@ class EngineStats:
         error = q_error(expected, actual)
         with self._lock:
             self.estimation_errors.setdefault(dataset, []).append(error)
+        self._m_qerror.observe(error, dataset=dataset)
 
     def note_write(self, dataset: str, op: str, applied: bool, ios: int,
                    latency_s: float, replicas: int) -> None:
@@ -206,6 +276,13 @@ class EngineStats:
             counters["replica_writes"] += replicas
             counters["total_ios"] += ios
             self.write_latencies.setdefault(dataset, []).append(latency_s)
+        if op == "insert":
+            op_label = "insert"
+        else:
+            op_label = "delete" if applied else "noop_delete"
+        self._m_writes.inc(dataset=dataset, op=op_label)
+        self._m_write_ios.inc(ios, dataset=dataset)
+        self._m_write_latency.observe(latency_s, dataset=dataset)
 
     def note_http(self, endpoint: str, status: int,
                   latency_s: float) -> None:
@@ -215,22 +292,26 @@ class EngineStats:
         buckets unroutable or malformed requests under ``"*"`` so a
         scanner probing random paths cannot grow the table unboundedly.
         """
+        code = str(int(status))
         with self._lock:
             self.http_latencies.setdefault(endpoint, []).append(latency_s)
             counts = self.http_statuses.setdefault(endpoint, {})
-            code = str(int(status))
             counts[code] = counts.get(code, 0) + 1
+        self._m_http.inc(endpoint=endpoint, status=code)
+        self._m_http_latency.observe(latency_s, endpoint=endpoint)
 
     def note_rebalance(self, event: Dict[str, object]) -> None:
         """Record one shard re-split event (thread-safe)."""
         with self._lock:
             self.rebalance_events.append(dict(event))
+        self._m_rebalances.inc(dataset=str(event.get("dataset")))
 
     def note_admission(self, decision: str) -> None:
         """Count one admission-control outcome (thread-safe)."""
         with self._lock:
             self.admission_decisions[decision] = \
                 self.admission_decisions.get(decision, 0) + 1
+        self._m_admission.inc(decision=decision)
 
     def note_queue_depth(self, depth: int) -> None:
         """Sample the serving queue's depth (called by the async scheduler).
@@ -242,6 +323,7 @@ class EngineStats:
         with self._lock:
             if depth > self._max_queue_depth:
                 self._max_queue_depth = depth
+        self._m_queue_depth.max(depth)
 
     def record_replica_load(self, dataset: str, shard_id: int,
                             replica_id: int, ios: int) -> None:
@@ -249,6 +331,8 @@ class EngineStats:
         key = (dataset, shard_id, replica_id)
         with self._lock:
             self.replica_load[key] = self.replica_load.get(key, 0) + ios
+        self._m_replica_ios.inc(ios, dataset=dataset, shard=shard_id,
+                                replica=replica_id)
 
     def reset(self) -> None:
         """Drop every record (e.g. between benchmark phases)."""
@@ -263,6 +347,55 @@ class EngineStats:
             self.write_latencies.clear()
             self.http_latencies.clear()
             self.http_statuses.clear()
+        self.registry.reset()
+
+    # ------------------------------------------------------------------
+    # windows
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """An opaque window marker for :meth:`snapshot_delta` (thread-safe).
+
+        Cheap by design — it remembers *positions*, not copies — so
+        benchmarks and tests can bracket a phase with
+        ``marker = stats.snapshot(); ...; stats.snapshot_delta(marker)``
+        instead of re-creating engines to get a clean counter window.
+        """
+        with self._lock:
+            return {"num_records": len(self.records)}
+
+    def snapshot_delta(self, marker: Dict[str, int]) -> Dict[str, object]:
+        """Aggregates over the queries served since ``marker``.
+
+        Returns the windowed counterparts of the headline ``summary()``
+        numbers (query count, I/O and cache totals, latency percentiles,
+        plan distribution), strictly JSON-serializable.  ``reset()``
+        between the marker and the delta yields an empty window rather
+        than an error.
+        """
+        start = int(marker.get("num_records", 0))
+        with self._lock:
+            window = list(self.records[start:])
+        latencies = sorted(record.latency_s for record in window)
+        return jsonable({
+            "num_queries": len(window),
+            "total_ios": sum(record.ios for record in window),
+            "total_reported": sum(record.reported for record in window),
+            "store_cache_hits": sum(record.store_cache_hits
+                                    for record in window),
+            "result_cache_hits": sum(1 for record in window
+                                     if record.result_cache_hit),
+            "shards_queried": sum(record.shards_queried
+                                  for record in window),
+            "shards_pruned": sum(record.shards_pruned for record in window),
+            "degraded": sum(1 for record in window if record.degraded),
+            "latency_s": {
+                "p50": percentile(latencies, 0.5),
+                "p95": percentile(latencies, 0.95),
+                "p99": percentile(latencies, 0.99),
+            },
+            "plan_distribution": dict(Counter(record.index_name
+                                              for record in window)),
+        })
 
     # ------------------------------------------------------------------
     # aggregates
@@ -506,6 +639,7 @@ class EngineStats:
             "replica_load": self.replica_load_summary(),
             "tenants": self.tenant_summary(),
             "http": self.http_summary(),
+            "metrics": self.registry.to_json(),
         })
 
     def to_table(self, title: Optional[str] = None) -> str:

@@ -1,0 +1,30 @@
+"""Observability primitives: metrics registry, exposition, slow-query log.
+
+This package is deliberately free of engine imports so the tracing and
+metrics layers can be pulled into any module (planner, store, server)
+without creating cycles:
+
+* :mod:`repro.engine.obs.registry` — :class:`MetricsRegistry`:
+  counters / gauges / histograms with labels, sharded per thread and
+  merged on scrape.
+* :mod:`repro.engine.obs.prometheus` — the hand-rolled Prometheus text
+  exposition (``GET /metrics``), stdlib only.
+* :mod:`repro.engine.obs.slowlog` — bounded retention for finished
+  traces: :class:`TraceRegistry` (fetch by id) and
+  :class:`SlowQueryLog` (slow/degraded ring buffer).
+"""
+
+from repro.engine.obs.prometheus import render_prometheus
+from repro.engine.obs.registry import (Counter, Gauge, Histogram,
+                                       MetricsRegistry)
+from repro.engine.obs.slowlog import SlowQueryLog, TraceRegistry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "TraceRegistry",
+    "render_prometheus",
+]

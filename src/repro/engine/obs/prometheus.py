@@ -1,0 +1,101 @@
+"""Prometheus text exposition (version 0.0.4), hand-rolled on stdlib.
+
+One function: render a :class:`~repro.engine.obs.registry.MetricsRegistry`
+scrape as the plain-text format Prometheus scrapes — ``# HELP`` /
+``# TYPE`` headers per family, one ``name{labels} value`` sample per
+line, histograms expanded to cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``.  Label values are escaped per the spec
+(backslash, double-quote, newline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+__all__ = ["render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str],
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = list(zip(names, values)) + list(extra)
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join('%s="%s"' % (name, _escape_label(value))
+                             for name, value in pairs)
+
+
+def render_prometheus(registry) -> str:
+    """The registry's merged state in Prometheus text format."""
+    view = registry.collect()
+    metrics: Dict[str, Any] = view["metrics"]
+    by_family: Dict[str, list] = {name: [] for name in metrics}
+    for key in view["counters"]:
+        by_family.setdefault(key[0], []).append(("counter", key))
+    for key in view["gauges"]:
+        by_family.setdefault(key[0], []).append(("gauge", key))
+    for key in view["histograms"]:
+        by_family.setdefault(key[0], []).append(("histogram", key))
+
+    lines = []
+    for name in sorted(by_family):
+        metric = metrics.get(name)
+        samples = sorted(by_family[name], key=lambda item: item[1])
+        if metric is not None:
+            if metric.help:
+                lines.append("# HELP %s %s"
+                             % (name, _escape_help(metric.help)))
+            lines.append("# TYPE %s %s" % (name, metric.kind))
+        label_names = metric.label_names if metric is not None else ()
+        for kind, key in samples:
+            values = key[1]
+            if kind == "counter":
+                lines.append("%s%s %s" % (
+                    name, _labels_text(label_names, values),
+                    _format_value(view["counters"][key])))
+            elif kind == "gauge":
+                lines.append("%s%s %s" % (
+                    name, _labels_text(label_names, values),
+                    _format_value(view["gauges"][key])))
+            else:
+                merged = view["histograms"][key]
+                running = 0
+                for bound, count in zip(merged["bounds"],
+                                        merged["buckets"]):
+                    running += count
+                    lines.append("%s_bucket%s %d" % (
+                        name,
+                        _labels_text(label_names, values,
+                                     (("le", _format_value(float(bound))),)),
+                        running))
+                lines.append("%s_bucket%s %d" % (
+                    name,
+                    _labels_text(label_names, values, (("le", "+Inf"),)),
+                    merged["count"]))
+                lines.append("%s_sum%s %s" % (
+                    name, _labels_text(label_names, values),
+                    _format_value(merged["sum"])))
+                lines.append("%s_count%s %d" % (
+                    name, _labels_text(label_names, values),
+                    merged["count"]))
+    return "\n".join(lines) + "\n"

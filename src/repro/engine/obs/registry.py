@@ -1,0 +1,278 @@
+"""The metrics registry: labeled counters, gauges and histograms.
+
+Hot-path writes must not fight over one lock: every thread gets its own
+shard (a plain dict living in a ``threading.local``), and a counter
+increment or histogram observation is a GIL-atomic read-modify-write of
+that shard — no lock taken.  The registry lock is acquired only when a
+thread inserts a *new* (metric, labels) key into its shard (a dict
+resize, which must not race a concurrent scrape iterating the dict) and
+during :meth:`MetricsRegistry.collect`, which merges every shard into
+one view.  Gauges are last-write-wins and rare, so they live in a single
+locked dict.
+
+A scrape may observe a shard value mid-window (a counter bumped after
+one shard merged and before the next) — that is the usual Prometheus
+contract: counters are monotonic per thread, so consecutive scrapes
+never go backwards.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+#: Latency-oriented default buckets (seconds), +Inf implied.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+_Key = Tuple[str, Tuple[str, ...]]
+
+
+def _label_values(label_names: Sequence[str],
+                  labels: Dict[str, Any]) -> Tuple[str, ...]:
+    if len(labels) != len(label_names):
+        raise ValueError("metric expects labels %r, got %r"
+                         % (tuple(label_names), tuple(labels)))
+    try:
+        return tuple(str(labels[name]) for name in label_names)
+    except KeyError as exc:
+        raise ValueError("metric expects labels %r, got %r"
+                         % (tuple(label_names), tuple(labels))) from exc
+
+
+class _Metric:
+    """Shared plumbing: name, help text, ordered label names."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help_text: str,
+                 label_names: Sequence[str]) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+
+    def _key(self, labels: Dict[str, Any]) -> _Key:
+        return (self.name, _label_values(self.label_names, labels))
+
+
+class Counter(_Metric):
+    """A monotonically increasing value, sharded per thread."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up, got %r" % amount)
+        shard = self._registry._shard()["counters"]
+        key = self._key(labels)
+        current = shard.get(key)
+        if current is None:
+            # First touch of this key by this thread: the insert can
+            # resize the dict, which must not race a merging scrape.
+            with self._registry._lock:
+                shard[key] = amount
+        else:
+            shard[key] = current + amount
+
+    def value(self, **labels: Any) -> float:
+        """The merged value across every thread (scrape-priced)."""
+        key = self._key(labels)
+        return self._registry.collect()["counters"].get(key, 0.0)
+
+
+class Gauge(_Metric):
+    """A last-write-wins value; writes are rare, so it is simply locked."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._registry._lock:
+            self._registry._gauges[key] = float(value)
+
+    def max(self, value: float, **labels: Any) -> None:
+        """Raise the gauge to ``value`` if it is higher (depth watermarks)."""
+        key = self._key(labels)
+        with self._registry._lock:
+            current = self._registry._gauges.get(key)
+            if current is None or value > current:
+                self._registry._gauges[key] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._registry._lock:
+            return self._registry._gauges.get(key, 0.0)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram, sharded per thread like counters.
+
+    Per-thread state is a list ``[count_b0, ..., count_binf, sum, n]``
+    mutated in place (item assignment never resizes, so scrapes may read
+    it concurrently).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help_text: str,
+                 label_names: Sequence[str],
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        super().__init__(registry, name, help_text, label_names)
+        bounds = tuple(sorted(buckets if buckets is not None
+                              else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        shard = self._registry._shard()["histograms"]
+        key = self._key(labels)
+        state = shard.get(key)
+        if state is None:
+            state = [0] * (len(self.buckets) + 1) + [0.0, 0]
+            with self._registry._lock:
+                shard[key] = state
+                self._registry._histogram_buckets[self.name] = self.buckets
+        index = bisect_left(self.buckets, value)
+        state[index] += 1
+        state[-2] += value
+        state[-1] += 1
+
+
+class MetricsRegistry:
+    """The engine's metric families, and the scrape that merges them."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+        self._gauges: Dict[_Key, float] = {}
+        self._histogram_buckets: Dict[str, Tuple[float, ...]] = {}
+        self._local = threading.local()
+        self._shards: List[Dict[str, dict]] = []
+
+    # -- family registration (idempotent by name) ----------------------
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._family(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._family(Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ValueError("metric %r already registered as %s"
+                                     % (name, existing.kind))
+                return existing
+            metric = Histogram(self, name, help_text, labels, buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def _family(self, cls, name: str, help_text: str,
+                labels: Sequence[str]):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError("metric %r already registered as %s"
+                                     % (name, existing.kind))
+                return existing
+            metric = cls(self, name, help_text, labels)
+            self._metrics[name] = metric
+            return metric
+
+    # -- per-thread shards ---------------------------------------------
+    def _shard(self) -> Dict[str, dict]:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = {"counters": {}, "histograms": {}}
+            self._local.shard = shard
+            with self._lock:
+                self._shards.append(shard)
+        return shard
+
+    # -- scrape --------------------------------------------------------
+    def collect(self) -> Dict[str, Any]:
+        """Merge every thread's shard into one consistent-enough view."""
+        with self._lock:
+            shards = list(self._shards)
+            gauges = dict(self._gauges)
+            metrics = dict(self._metrics)
+            bucket_bounds = dict(self._histogram_buckets)
+            counters: Dict[_Key, float] = {}
+            histograms: Dict[_Key, Dict[str, Any]] = {}
+            for shard in shards:
+                for key, value in shard["counters"].items():
+                    counters[key] = counters.get(key, 0.0) + value
+                for key, state in shard["histograms"].items():
+                    merged = histograms.get(key)
+                    if merged is None:
+                        bounds = bucket_bounds[key[0]]
+                        merged = histograms[key] = {
+                            "bounds": bounds,
+                            "buckets": [0] * (len(bounds) + 1),
+                            "sum": 0.0,
+                            "count": 0,
+                        }
+                    for index in range(len(merged["buckets"])):
+                        merged["buckets"][index] += state[index]
+                    merged["sum"] += state[-2]
+                    merged["count"] += state[-1]
+        return {"metrics": metrics, "counters": counters,
+                "gauges": gauges, "histograms": histograms}
+
+    def to_json(self) -> Dict[str, Any]:
+        """The merged metrics as a strictly JSON-serializable dict."""
+        view = self.collect()
+        metrics = view["metrics"]
+
+        def label_string(key: _Key) -> str:
+            metric = metrics.get(key[0])
+            names = metric.label_names if metric is not None else ()
+            if not names:
+                return key[0]
+            inner = ",".join('%s="%s"' % (name, value)
+                             for name, value in zip(names, key[1]))
+            return "%s{%s}" % (key[0], inner)
+
+        counters = {label_string(key): value
+                    for key, value in sorted(view["counters"].items())}
+        gauges = {label_string(key): value
+                  for key, value in sorted(view["gauges"].items())}
+        histograms = {}
+        for key, merged in sorted(view["histograms"].items()):
+            cumulative, running = [], 0
+            for bound, count in zip(merged["bounds"], merged["buckets"]):
+                running += count
+                cumulative.append({"le": bound, "count": running})
+            cumulative.append({"le": "+Inf", "count": merged["count"]})
+            histograms[label_string(key)] = {
+                "count": merged["count"],
+                "sum": merged["sum"],
+                "buckets": cumulative,
+            }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def reset(self) -> None:
+        """Zero every shard and gauge (families stay registered)."""
+        with self._lock:
+            for shard in self._shards:
+                shard["counters"].clear()
+                shard["histograms"].clear()
+            self._gauges.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return "MetricsRegistry(%d families, %d shards)" % (
+                len(self._metrics), len(self._shards))

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+import repro.engine.tracing as tracing
 from repro.core.conjunction import ConstraintConjunction
 from repro.engine.catalog import Catalog, Dataset
 from repro.engine.sharding import Shard, ShardedDataset
@@ -240,12 +241,18 @@ class Planner:
         Plain datasets yield a :class:`Plan`; sharded datasets yield a
         :class:`ShardedPlan` covering exactly the relevant shards.
         """
-        if self._catalog.is_sharded(dataset_name):
-            sharded = self._catalog.sharded(dataset_name)
-            return self._plan_sharded(
-                sharded, constraint, sharded.relevant_shards(constraint))
-        return self._plan_dataset(self._catalog.dataset(dataset_name),
-                                  dataset_name, constraint)
+        with tracing.span("planner.plan") as span:
+            if self._catalog.is_sharded(dataset_name):
+                sharded = self._catalog.sharded(dataset_name)
+                plan = self._plan_sharded(
+                    sharded, constraint, sharded.relevant_shards(constraint))
+            else:
+                plan = self._plan_dataset(
+                    self._catalog.dataset(dataset_name), dataset_name,
+                    constraint)
+            if span.enabled:
+                self._annotate_plan_span(span, dataset_name, plan)
+            return plan
 
     def _plan_sharded(self, sharded: ShardedDataset,
                       constraint: LinearConstraint,
@@ -282,17 +289,45 @@ class Planner:
         dataset every conjunct participates in pruning (any one conjunct
         missing a shard's box excludes the shard).
         """
-        if self._catalog.is_sharded(dataset_name):
-            sharded = self._catalog.sharded(dataset_name)
-            best = min(conjunction.constraints,
-                       key=lambda c: sharded.estimate_output(c))
-            return self._plan_sharded(
-                sharded, best,
-                sharded.relevant_shards_conjunction(conjunction))
-        dataset = self._catalog.dataset(dataset_name)
-        best = min(conjunction.constraints,
-                   key=lambda constraint: dataset.estimate_output(constraint))
-        return self.plan(dataset_name, best)
+        with tracing.span("planner.plan_conjunction",
+                          conjuncts=len(conjunction.constraints)) as span:
+            if self._catalog.is_sharded(dataset_name):
+                sharded = self._catalog.sharded(dataset_name)
+                best = min(conjunction.constraints,
+                           key=lambda c: sharded.estimate_output(c))
+                plan = self._plan_sharded(
+                    sharded, best,
+                    sharded.relevant_shards_conjunction(conjunction))
+            else:
+                dataset = self._catalog.dataset(dataset_name)
+                best = min(
+                    conjunction.constraints,
+                    key=lambda constraint:
+                    dataset.estimate_output(constraint))
+                plan = self.plan(dataset_name, best)
+            if span.enabled:
+                self._annotate_plan_span(span, dataset_name, plan)
+            return plan
+
+    def _annotate_plan_span(self, span, dataset_name: str,
+                            plan: AnyPlan) -> None:
+        """Attach the chosen plan's estimates to an open planner span."""
+        span.set_many({
+            "dataset": dataset_name,
+            "index": plan.index_name,
+            "expected_output": round(float(plan.expected_output), 2),
+            "estimated_ios": round(float(plan.estimated_ios), 2),
+        })
+        if isinstance(plan, ShardedPlan):
+            span.set_many({
+                "shards_queried": len(plan.shard_plans),
+                "shards_pruned":
+                    plan.num_shards - len(plan.shard_plans),
+                "generation": plan.generation,
+            })
+        else:
+            span.set("calibration",
+                     round(plan.chosen.calibration, 4))
 
     # ------------------------------------------------------------------
     # calibration

@@ -12,6 +12,10 @@ executor:
   serves the query — the degraded-then-refined contract over the wire;
 * ``POST /insert`` / ``POST /delete`` — routed write-fanout mutations;
 * ``GET /stats`` — :meth:`EngineStats.summary` as JSON;
+* ``GET /metrics`` — the Prometheus text exposition of the engine's
+  metric registry;
+* ``GET /trace/<id>`` — one finished request trace (span tree) by id;
+* ``GET /debug/slow`` — the latest slow/degraded request traces;
 * ``GET /healthz`` — unauthenticated liveness probe.
 
 Every handler runs *on the event loop* and awaits the executor; the
@@ -19,6 +23,12 @@ engine's blocking work happens in the executor's worker threads, so one
 slow query never stalls other connections.  Each request is recorded in
 :meth:`EngineStats.note_http` under its route (label ``*`` for requests
 that never matched a route), which is what ``GET /stats`` reports back.
+
+Each request also opens a request trace (when the engine's tracing is
+on): the serving executor's spans — admission decisions, planner,
+per-shard fan-out, block I/O — nest under it, the response carries the
+id in an ``X-Trace-Id`` header and a ``trace_id`` body field (every SSE
+event too), and ``GET /trace/<id>`` fetches the finished tree.
 """
 
 from __future__ import annotations
@@ -26,6 +36,9 @@ from __future__ import annotations
 import time
 from typing import Awaitable, Callable, Dict, Optional, Tuple
 
+import repro.engine.tracing as tracing
+from repro.engine.obs.prometheus import (CONTENT_TYPE as _PROMETHEUS_TYPE,
+                                         render_prometheus)
 from repro.engine.serving.executor import AsyncExecutor, ServedRequest
 from repro.engine.serving.queue import ServingRequest
 from repro.engine.server.auth import ApiKeyAuthenticator
@@ -62,8 +75,45 @@ class EngineApp:
             ("POST", "/insert"): self._handle_insert,
             ("POST", "/delete"): self._handle_delete,
             ("GET", "/stats"): self._handle_stats,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/debug/slow"): self._handle_slow,
             ("GET", "/healthz"): self._handle_healthz,
         }
+
+    def endpoint_label(self, path: Optional[str]) -> str:
+        """The metrics label for a request path (``*`` off any route).
+
+        Parameterized routes collapse onto one label (``/trace/<id>``),
+        so per-endpoint counters stay bounded no matter how many distinct
+        ids clients fetch.
+        """
+        if path is None:
+            return "*"
+        if any(known == path for __, known in self._routes):
+            return path
+        if path.startswith("/trace/") and len(path) > len("/trace/"):
+            return "/trace/<id>"
+        return "*"
+
+    def _route_for(self, request: HTTPRequest):
+        """The handler for a request, or the structured refusal."""
+        if request.path.startswith("/trace/") \
+                and len(request.path) > len("/trace/"):
+            if request.method != "GET":
+                raise HTTPError(405, "method_not_allowed",
+                                "/trace/<id> does not accept %s"
+                                % request.method)
+            return self._handle_trace
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            if self.endpoint_label(request.path) != "*":
+                raise HTTPError(405, "method_not_allowed",
+                                "%s does not accept %s"
+                                % (request.path, request.method))
+            raise HTTPError(404, "unknown_route",
+                            "no route for %s %s"
+                            % (request.method, request.path))
+        return handler
 
     async def handle(self, request: HTTPRequest, writer) -> bool:
         """Serve one parsed request; returns whether to keep the connection.
@@ -72,36 +122,44 @@ class EngineApp:
         on the declared status; anything else is a 500 that also closes
         the connection (handler state is unknown after an unexpected
         exception).  Either way the endpoint's latency and status-class
-        counters are recorded.
+        counters are recorded, and — with tracing on — the request runs
+        under a trace whose id rides back in ``X-Trace-Id`` and the JSON
+        body.
         """
-        endpoint = request.path if any(path == request.path
-                                       for __, path in self._routes) else "*"
+        endpoint = self.endpoint_label(request.path)
         started = self._clock()
         status = 500
         keep_alive = False
+        trace = self._engine.tracer.start_trace(
+            "http.request", endpoint=endpoint, method=request.method)
+        trace_headers = (("X-Trace-Id", trace.trace_id),) \
+            if trace.trace_id else ()
         try:
-            handler = self._routes.get((request.method, request.path))
-            if handler is None:
-                if endpoint != "*":
-                    raise HTTPError(405, "method_not_allowed",
-                                    "%s does not accept %s"
-                                    % (request.path, request.method))
-                raise HTTPError(404, "unknown_route",
-                                "no route for %s %s"
-                                % (request.method, request.path))
-            status, payload, keep_alive = await handler(request, writer)
+            handler = self._route_for(request)
+            with tracing.activate(trace.root):
+                status, payload, keep_alive = await handler(request, writer)
             if payload is not None:
+                if trace.trace_id:
+                    payload.setdefault("trace_id", trace.trace_id)
+                    outcome = payload.get("outcome")
+                    if isinstance(outcome, str):
+                        trace.root.set("outcome", outcome)
                 writer.write(render_response(status, json_body(payload),
-                                             keep_alive=keep_alive))
+                                             keep_alive=keep_alive,
+                                             extra_headers=trace_headers))
                 await writer.drain()
         except HTTPError as exc:
             status = exc.status
             keep_alive = request.keep_alive
-            extra = ()
+            extra = list(trace_headers)
             if exc.retry_after_s is not None:
-                extra = (("Retry-After", "%d"
-                          % max(1, int(exc.retry_after_s + 0.999))),)
-            writer.write(render_response(status, json_body(exc.payload()),
+                extra.append(("Retry-After", "%d"
+                              % max(1, int(exc.retry_after_s + 0.999))))
+            payload = exc.payload()
+            if trace.trace_id:
+                payload["trace_id"] = trace.trace_id
+                trace.root.set("error", exc.code)
+            writer.write(render_response(status, json_body(payload),
                                          keep_alive=keep_alive,
                                          extra_headers=extra))
             await writer.drain()
@@ -110,10 +168,18 @@ class EngineApp:
             keep_alive = False
             error = HTTPError(500, "internal_error",
                               "%s: %s" % (type(exc).__name__, exc))
-            writer.write(render_response(500, json_body(error.payload()),
-                                         keep_alive=False))
+            payload = error.payload()
+            if trace.trace_id:
+                payload["trace_id"] = trace.trace_id
+                trace.root.set("error", "internal_error")
+            writer.write(render_response(500, json_body(payload),
+                                         keep_alive=False,
+                                         extra_headers=trace_headers))
             await writer.drain()
         finally:
+            if trace.trace_id:
+                trace.root.set("status", status)
+            trace.finish()
             self._engine.stats.note_http(endpoint, status,
                                          self._clock() - started)
         return keep_alive
@@ -247,18 +313,29 @@ class EngineApp:
         self._validate_query(serving)
         # Everything that can 4xx happened above — from here the response
         # is a committed 200 event stream, so failures become events.
+        trace_id = tracing.current_trace_id()
+
+        def stamped(payload: dict) -> dict:
+            if trace_id:
+                payload.setdefault("trace_id", trace_id)
+            return payload
+
         writer.write(sse_preamble())
         await writer.drain()
         estimate = self._executor.estimate(serving)
-        writer.write(sse_event("estimate", self._estimate_payload(estimate)))
+        writer.write(sse_event("estimate",
+                               stamped(self._estimate_payload(estimate))))
         await writer.drain()
         served = await self._executor.submit(serving)
         if served.outcome in ("served", "degraded"):
-            writer.write(sse_event("result", self._served_payload(served)))
+            writer.write(sse_event("result",
+                                   stamped(self._served_payload(served))))
         elif served.outcome == "expired":
-            writer.write(sse_event("expired", self._served_payload(served)))
+            writer.write(sse_event("expired",
+                                   stamped(self._served_payload(served))))
         else:
-            writer.write(sse_event("error", self._served_payload(served)))
+            writer.write(sse_event("error",
+                                   stamped(self._served_payload(served))))
         await writer.drain()
         # SSE responses are close-framed; the handler wrote everything.
         return 200, None, False
@@ -266,6 +343,43 @@ class EngineApp:
     async def _handle_stats(self, request: HTTPRequest, writer) -> _Handled:
         self._auth.authenticate(request)  # authenticated, but never rated
         return 200, self._engine.summary(), request.keep_alive
+
+    async def _handle_metrics(self, request: HTTPRequest, writer) -> _Handled:
+        """The metric registry in Prometheus text exposition format."""
+        self._auth.authenticate(request)  # authenticated, never rated
+        body = render_prometheus(self._engine.stats.registry) \
+            .encode("utf-8")
+        writer.write(render_response(200, body,
+                                     content_type=_PROMETHEUS_TYPE,
+                                     keep_alive=request.keep_alive))
+        await writer.drain()
+        return 200, None, request.keep_alive
+
+    async def _handle_trace(self, request: HTTPRequest, writer) -> _Handled:
+        """One finished trace by id (the span tree, JSON)."""
+        self._auth.authenticate(request)
+        trace_id = request.path[len("/trace/"):]
+        payload = self._engine.tracer.get(trace_id)
+        if payload is None:
+            raise HTTPError(404, "trace_not_found",
+                            "no finished trace %r (traces are evicted "
+                            "oldest-first; is tracing enabled?)"
+                            % trace_id[:64])
+        return 200, dict(payload), request.keep_alive
+
+    async def _handle_slow(self, request: HTTPRequest, writer) -> _Handled:
+        """The newest slow/degraded request traces (``?n=`` to bound)."""
+        self._auth.authenticate(request)
+        raw = request.query.get("n", "20")
+        try:
+            n = max(1, min(int(raw), 100))
+        except ValueError:
+            raise HTTPError(400, "bad_count",
+                            "'n' must be an integer, got %r" % raw[:20])
+        return (200,
+                {"threshold_s": self._engine.tracer.slow_threshold_s,
+                 "slow": self._engine.tracer.slow(n)},
+                request.keep_alive)
 
     async def _handle_healthz(self, request: HTTPRequest,
                               writer) -> _Handled:

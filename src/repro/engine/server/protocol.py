@@ -27,7 +27,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.engine.serving.queue import ServingRequest
@@ -43,11 +43,16 @@ STREAM_LIMIT = MAX_HEADER_BYTES + MAX_BODY_BYTES
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 401: "Unauthorized", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
+    405: "Method Not Allowed", 411: "Length Required",
+    413: "Payload Too Large",
     429: "Too Many Requests", 431: "Request Header Fields Too Large",
     500: "Internal Server Error", 501: "Not Implemented",
     503: "Service Unavailable", 504: "Gateway Timeout",
 }
+
+#: Methods whose requests carry a body on this API (everything else may
+#: legitimately omit Content-Length).
+_BODY_METHODS = ("POST", "PUT", "PATCH")
 
 
 class HTTPError(Exception):
@@ -55,7 +60,9 @@ class HTTPError(Exception):
 
     ``code`` is the stable machine-readable discriminator clients switch
     on; ``message`` is for humans.  ``retry_after_s`` (rate limiting)
-    becomes a ``Retry-After`` header.
+    becomes a ``Retry-After`` header.  ``method``/``path`` are filled in
+    by the parser once the request line is known, so even a refused
+    request can be attributed to its endpoint in the metrics.
     """
 
     def __init__(self, status: int, code: str, message: str,
@@ -65,6 +72,8 @@ class HTTPError(Exception):
         self.code = code
         self.message = message
         self.retry_after_s = retry_after_s
+        self.method: Optional[str] = None
+        self.path: Optional[str] = None
 
     def payload(self) -> Dict[str, object]:
         """The JSON error body every non-2xx response carries."""
@@ -130,46 +139,130 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HTTPRequest]:
         raise HTTPError(400, "bad_request_line",
                         "malformed HTTP request line: %r" % lines[0][:80])
     method, target = parts[0].upper(), parts[1]
-    headers: Dict[str, str] = {}
-    for line in lines[1:]:
-        if not line:
-            continue
-        if ":" not in line:
-            raise HTTPError(400, "bad_header",
-                            "malformed header line: %r" % line[:80])
-        key, __, value = line.partition(":")
-        headers[key.strip().lower()] = value.strip()
-    split = urlsplit(target)
+    try:
+        split = urlsplit(target)
+    except ValueError:
+        raise HTTPError(400, "bad_target",
+                        "malformed request target: %r" % target[:80])
     path = unquote(split.path) or "/"
     query = dict(parse_qsl(split.query, keep_blank_values=True))
-    body = b""
-    length_header = headers.get("content-length")
-    if length_header is not None:
-        try:
-            length = int(length_header)
-        except ValueError:
-            raise HTTPError(400, "bad_content_length",
-                            "Content-Length is not an integer: %r"
-                            % length_header[:40])
-        if length < 0:
-            raise HTTPError(400, "bad_content_length",
-                            "Content-Length must be >= 0")
-        if length > MAX_BODY_BYTES:
-            raise HTTPError(413, "body_too_large",
-                            "request body exceeds %d bytes" % MAX_BODY_BYTES)
-        if length:
-            try:
-                body = await reader.readexactly(length)
-            except asyncio.IncompleteReadError:
-                raise HTTPError(400, "truncated_body",
-                                "connection closed before Content-Length "
-                                "bytes arrived")
-    elif headers.get("transfer-encoding"):
-        raise HTTPError(501, "chunked_unsupported",
-                        "chunked request bodies are not supported; send "
-                        "Content-Length")
+    # From here the endpoint is known: annotate any refusal with it so
+    # the connection handler can attribute the error to a real route.
+    try:
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            if ":" not in line:
+                raise HTTPError(400, "bad_header",
+                                "malformed header line: %r" % line[:80])
+            key, __, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        body = await _read_body(reader, method, headers)
+    except HTTPError as exc:
+        exc.method = exc.method or method
+        exc.path = exc.path or path
+        raise
     return HTTPRequest(method=method, path=path, query=query,
                        headers=headers, body=body)
+
+
+async def _read_body(reader: asyncio.StreamReader, method: str,
+                     headers: Dict[str, str]) -> bytes:
+    """The request body: Content-Length framed, chunked, or absent.
+
+    Chunked transfer encoding is decoded transparently (same
+    :data:`MAX_BODY_BYTES` cap as plain bodies).  A body-carrying method
+    with neither framing header gets the proper ``411 Length Required``,
+    and a request claiming *both* framings is refused — that ambiguity
+    is the classic request-smuggling vector.
+    """
+    length_header = headers.get("content-length")
+    encoding = headers.get("transfer-encoding")
+    if encoding is not None:
+        codings = [part.strip().lower() for part in encoding.split(",")
+                   if part.strip()]
+        if codings != ["chunked"]:
+            raise HTTPError(501, "unsupported_transfer_encoding",
+                            "the only supported Transfer-Encoding is "
+                            "'chunked', got %r" % encoding[:40])
+        if length_header is not None:
+            raise HTTPError(400, "ambiguous_length",
+                            "a request must not carry both Content-Length "
+                            "and Transfer-Encoding: chunked")
+        return await _read_chunked(reader)
+    if length_header is None:
+        if method in _BODY_METHODS:
+            raise HTTPError(411, "length_required",
+                            "%s requests must carry Content-Length (or a "
+                            "chunked body)" % method)
+        return b""
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise HTTPError(400, "bad_content_length",
+                        "Content-Length is not an integer: %r"
+                        % length_header[:40])
+    if length < 0:
+        raise HTTPError(400, "bad_content_length",
+                        "Content-Length must be >= 0")
+    if length > MAX_BODY_BYTES:
+        raise HTTPError(413, "body_too_large",
+                        "request body exceeds %d bytes" % MAX_BODY_BYTES)
+    if not length:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise HTTPError(400, "truncated_body",
+                        "connection closed before Content-Length "
+                        "bytes arrived")
+
+
+async def _read_chunked(reader: asyncio.StreamReader) -> bytes:
+    """Decode one chunked-transfer-encoded body off the stream.
+
+    Chunk extensions are ignored; trailers are consumed and discarded.
+    The decoded body obeys the same :data:`MAX_BODY_BYTES` cap as a
+    Content-Length one (checked incrementally, so an attacker cannot
+    buffer past it by declaring many small chunks).
+    """
+    chunks: List[bytes] = []
+    total = 0
+    try:
+        while True:
+            size_line = await reader.readuntil(b"\r\n")
+            size_text = size_line[:-2].split(b";", 1)[0].strip()
+            try:
+                size = int(size_text, 16)
+            except ValueError:
+                raise HTTPError(400, "bad_chunk_size",
+                                "malformed chunk size: %r"
+                                % size_text[:40].decode("latin-1"))
+            if size < 0:
+                raise HTTPError(400, "bad_chunk_size",
+                                "chunk size must be >= 0")
+            if size == 0:
+                # Trailer section: header lines until the blank terminator.
+                while True:
+                    trailer = await reader.readuntil(b"\r\n")
+                    if trailer == b"\r\n":
+                        return b"".join(chunks)
+            total += size
+            if total > MAX_BODY_BYTES:
+                raise HTTPError(413, "body_too_large",
+                                "request body exceeds %d bytes"
+                                % MAX_BODY_BYTES)
+            data = await reader.readexactly(size + 2)
+            if data[-2:] != b"\r\n":
+                raise HTTPError(400, "bad_chunk",
+                                "chunk data not terminated by CRLF")
+            chunks.append(data[:-2])
+    except asyncio.IncompleteReadError:
+        raise HTTPError(400, "truncated_chunk",
+                        "connection closed mid-chunked-body")
+    except asyncio.LimitOverrunError:
+        raise HTTPError(400, "bad_chunk_size", "chunk size line too long")
 
 
 def render_response(status: int, body: bytes,

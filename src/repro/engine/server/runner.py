@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import Iterable, Optional, Set, Tuple
 
 from repro.engine.server.auth import ApiKey, ApiKeyAuthenticator
@@ -186,6 +187,7 @@ class EngineServer:
         stop_waiter: Optional[asyncio.Task] = None
         try:
             while not self._stop_event.is_set():
+                read_started = time.monotonic()
                 read = asyncio.ensure_future(read_request(reader))
                 stop_waiter = asyncio.ensure_future(self._stop_event.wait())
                 try:
@@ -205,12 +207,24 @@ class EngineServer:
                 try:
                     request = read.result()
                 except HTTPError as exc:
-                    # Malformed wire input: answer it, count it, close.
+                    # Malformed wire input: count it, answer it, close.
+                    # The parser annotates the error with method/path
+                    # once the request line parsed, so a refused body
+                    # (413, 411, bad chunk) still lands under its real
+                    # endpoint; the elapsed time is measured from the
+                    # read start (it includes keep-alive idle wait,
+                    # which is the connection's honest wall time).
+                    # Stats first: a client must never read the error
+                    # response before the refusal is visible in /stats.
+                    endpoint = self.app.endpoint_label(
+                        getattr(exc, "path", None))
+                    self._engine.stats.note_http(
+                        endpoint, exc.status,
+                        time.monotonic() - read_started)
                     writer.write(render_response(
                         exc.status, json_body(exc.payload()),
                         keep_alive=False))
                     await writer.drain()
-                    self._engine.stats.note_http("*", exc.status, 0.0)
                     break
                 if request is None:  # peer closed cleanly
                     break

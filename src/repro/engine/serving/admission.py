@@ -241,3 +241,18 @@ class AdmissionController:
         """Per-tenant token balances (for dashboards and tests)."""
         return {tenant: bucket.tokens
                 for tenant, bucket in sorted(self._buckets.items())}
+
+    def describe(self, tenant: str) -> Dict[str, object]:
+        """One tenant's budget state, shaped for span attributes.
+
+        Unbudgeted tenants report only that fact; budgeted ones carry
+        the policy and the current token balance so a trace shows *why*
+        a request was parked or degraded, not just that it was.
+        """
+        budget = self._budgets.get(tenant)
+        if budget is None:
+            return {"budgeted": False}
+        bucket = self._buckets[tenant]
+        return {"budgeted": True, "policy": budget.policy,
+                "tokens": round(bucket.tokens, 2),
+                "ios_per_s": budget.ios_per_s}

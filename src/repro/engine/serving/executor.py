@@ -52,6 +52,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import repro.engine.tracing as tracing
 from repro.engine.executor import ExecutedQuery, ExecutionCore, constraint_key
 from repro.engine.metrics import percentile
 from repro.engine.serving.admission import (
@@ -246,8 +247,11 @@ class AsyncExecutor:
         queue = PriorityRequestQueue()
         submitted = self._clock()
         for seq, request in enumerate(requests):
-            queue.push(QueuedRequest(request=request, seq=seq,
-                                     enqueued_at=submitted))
+            item = QueuedRequest(request=request, seq=seq,
+                                 enqueued_at=submitted)
+            item.span, item.trace, item.owns_trace = \
+                self._open_request_span(request)
+            queue.push(item)
         outcomes: List[Optional[ServedRequest]] = [None] * len(requests)
         state = _RunState()
         in_flight = state.in_flight
@@ -348,8 +352,11 @@ class AsyncExecutor:
         self._live_seq += 1
         future = asyncio.get_running_loop().create_future()
         self._live_futures[seq] = future
-        self._live_queue.push(QueuedRequest(request=request, seq=seq,
-                                            enqueued_at=self._clock()))
+        item = QueuedRequest(request=request, seq=seq,
+                             enqueued_at=self._clock())
+        item.span, item.trace, item.owns_trace = \
+            self._open_request_span(request)
+        self._live_queue.push(item)
         self._wakeup.set()
         try:
             return await future
@@ -443,6 +450,78 @@ class AsyncExecutor:
             future.set_result(outcome)
 
     # ------------------------------------------------------------------
+    # tracing seams
+    # ------------------------------------------------------------------
+    def _open_request_span(self, request: ServingRequest):
+        """The request's span: a child of the caller's trace, or a new one.
+
+        The HTTP front-end opens a trace per connection-level request and
+        activates its root before awaiting :meth:`submit`, so when a trace
+        is already current the request span nests under it (the HTTP layer
+        finishes that trace).  Wave mode has no surrounding trace: each
+        request gets its own, which the scheduler finishes at completion.
+        Returns ``(span, trace, owns_trace)``; everything degrades to the
+        null singletons when tracing is off.
+        """
+        parent = tracing.current_span()
+        if parent.enabled:
+            span = parent.child("serving.request", tenant=request.tenant,
+                                dataset=request.dataset, op=request.op,
+                                priority=request.priority)
+            return span, parent.trace, False
+        trace = self._core.tracer.start_trace(
+            "serving.request", tenant=request.tenant,
+            dataset=request.dataset, op=request.op,
+            priority=request.priority)
+        return trace.root, trace, True
+
+    def _run_traced(self, span, fn, *args):
+        """Run ``fn`` on a worker thread under the request's span.
+
+        ``loop.run_in_executor`` does not copy contextvars into the
+        worker, so the span is handed across the thread seam explicitly —
+        the executor/store spans opened inside ``fn`` then nest under the
+        right request.
+        """
+        with tracing.activate(span):
+            return fn(*args)
+
+    def _finish_span(self, item: QueuedRequest, outcome: str,
+                     **attrs) -> None:
+        """Stamp the request span with its outcome and close owned traces.
+
+        The ``outcome`` attribute lands on the span (the trace *root* for
+        scheduler-owned traces), which is what the tracer's slow-query
+        log keys degraded-request retention off.
+        """
+        span = item.span
+        if span is not None and getattr(span, "enabled", False):
+            span.set("outcome", outcome)
+            if item.deferrals:
+                span.set("deferrals", item.deferrals)
+            if attrs:
+                span.set_many(attrs)
+            span.finish()
+        if item.owns_trace and item.trace is not None:
+            item.trace.finish()
+
+    def _note_decision(self, span, item: QueuedRequest, decision: str,
+                       **attrs) -> None:
+        """Record one admission attempt as a child of the request span.
+
+        Every pop through the scheduler leaves one ``admission`` span
+        carrying the verdict *and* the tenant's budget state at decision
+        time, so a trace explains why a request was parked, shed or
+        degraded instead of just showing the wait.
+        """
+        if not getattr(span, "enabled", False):
+            return
+        child = span.child("admission", decision=decision,
+                           attempt=item.deferrals, **attrs)
+        child.set("budget", self._admission.describe(item.request.tenant))
+        child.finish()
+
+    # ------------------------------------------------------------------
     # scheduler steps (all on the event loop)
     # ------------------------------------------------------------------
     def _admit_one(self, loop, queue: PriorityRequestQueue,
@@ -456,8 +535,10 @@ class AsyncExecutor:
         parked back into the queue.
         """
         request = item.request
+        span = item.span if item.span is not None else tracing.NULL_SPAN
         if now > item.deadline_at:
             self._core.stats.note_admission("expired")
+            self._note_decision(span, item, "expired")
             return self._finished(item, "expired", None, now)
         if request.is_mutation:
             return self._admit_mutation(loop, queue, state, item, now)
@@ -466,11 +547,13 @@ class AsyncExecutor:
         cached = self._core.result_cache_get(cache_key,
                                              tenant=request.tenant)
         if cached is not None:
+            self._note_decision(span, item, "cache_hit")
             return self._finished(item, "served", cached, now)
         if cache_key in state.keys:
             # An identical constraint is already executing: follow it and
             # share its answer instead of paying the I/O (and the budget
             # charge) again.
+            self._note_decision(span, item, "follow")
             state.followers.setdefault(cache_key, []).append(item)
             return None
 
@@ -481,15 +564,19 @@ class AsyncExecutor:
         # fails this one request, never the whole wave.
         if item.plan is None:
             try:
-                item.plan = self._core.planner.plan(request.dataset,
-                                                    request.constraint)
+                with tracing.activate(span):
+                    item.plan = self._core.planner.plan(request.dataset,
+                                                        request.constraint)
             except Exception as exc:
+                self._note_decision(span, item, "failed")
                 return self._failed(item, exc, now)
         plan = item.plan
         decision = self._admission.decide(request.tenant, plan.estimated_ios,
                                           now)
         if decision.action == "admit":
             self._core.stats.note_admission("admit")
+            self._note_decision(span, item, "admit",
+                                estimated_ios=round(plan.estimated_ios, 2))
             # The bucket was just debited *this* plan's estimate; settle
             # must use the same figure or every deferral-admit cycle
             # leaks the difference.
@@ -503,15 +590,17 @@ class AsyncExecutor:
                 # here must refund the bucket debit and fail only this
                 # request.
                 try:
-                    plan = self._core.planner.plan(request.dataset,
-                                                   request.constraint)
+                    with tracing.activate(span):
+                        plan = self._core.planner.plan(request.dataset,
+                                                       request.constraint)
                 except Exception as exc:
                     self._admission.settle(request.tenant,
                                            item.admitted_estimate, 0.0)
                     return self._failed(item, exc, now)
             future = loop.run_in_executor(
-                None, self._core.dispatch, request.dataset,
-                request.constraint, plan, cache_key, False, request.tenant)
+                None, self._run_traced, span, self._core.dispatch,
+                request.dataset, request.constraint, plan, cache_key, False,
+                request.tenant)
             state.in_flight[future] = item
             state.keys.add(cache_key)
             return None
@@ -523,17 +612,27 @@ class AsyncExecutor:
                 # admission outcome per attempt — this is an expiry, not
                 # a deferral).
                 self._core.stats.note_admission("expired")
+                self._note_decision(span, item, "expired",
+                                    estimated_ios=round(plan.estimated_ios,
+                                                        2))
                 return self._finished(item, "expired", None, now)
             self._core.stats.note_admission("queue")
+            self._note_decision(span, item, "queue",
+                                estimated_ios=round(plan.estimated_ios, 2),
+                                retry_after_s=round(decision.retry_after_s,
+                                                    4))
             item.not_before = not_before
             item.deferrals += 1
             queue.push(item)
             return None
         self._core.stats.note_admission(decision.action)
+        self._note_decision(span, item, decision.action,
+                            estimated_ios=round(plan.estimated_ios, 2))
         if decision.action == "reject":
             return self._finished(item, "rejected", None, now)
-        return self._finished(item, "degraded",
-                              self._degraded_answer(request), now)
+        with tracing.activate(span):
+            answer = self._degraded_answer(request)
+        return self._finished(item, "degraded", answer, now)
 
     def _admit_mutation(self, loop, queue: PriorityRequestQueue,
                         state: _RunState, item: QueuedRequest,
@@ -546,28 +645,38 @@ class AsyncExecutor:
         fan-out estimate and settled against the observed I/Os.
         """
         request = item.request
+        span = item.span if item.span is not None else tracing.NULL_SPAN
         try:
             estimate = self._core.writes.estimate_ios(request.dataset,
                                                       request.point)
         except Exception as exc:
+            self._note_decision(span, item, "failed")
             return self._failed(item, exc, now)
         decision = self._admission.decide(request.tenant, estimate, now,
                                           write=True)
         if decision.action == "admit":
             self._core.stats.note_admission("admit")
+            self._note_decision(span, item, "admit",
+                                estimated_ios=round(estimate, 2))
             item.dispatched_at = now
             item.admitted_estimate = estimate
             future = loop.run_in_executor(
-                None, self._core.run_write, request.dataset, request.op,
-                request.point)
+                None, self._run_traced, span, self._core.run_write,
+                request.dataset, request.op, request.point)
             state.in_flight[future] = item
             return None
         if decision.action == "queue":
             not_before = now + max(decision.retry_after_s, _MIN_RETRY_S)
             if not_before > item.deadline_at:
                 self._core.stats.note_admission("expired")
+                self._note_decision(span, item, "expired",
+                                    estimated_ios=round(estimate, 2))
                 return self._finished(item, "expired", None, now)
             self._core.stats.note_admission("queue")
+            self._note_decision(span, item, "queue",
+                                estimated_ios=round(estimate, 2),
+                                retry_after_s=round(decision.retry_after_s,
+                                                    4))
             item.not_before = not_before
             item.deferrals += 1
             queue.push(item)
@@ -575,6 +684,8 @@ class AsyncExecutor:
         # "reject" (the degrade policy maps to it for writes: there is
         # no approximate version of an insert).
         self._core.stats.note_admission("reject")
+        self._note_decision(span, item, "reject",
+                            estimated_ios=round(estimate, 2))
         return self._finished(item, "rejected", None, now)
 
     def _complete_mutation(self, item: QueuedRequest,
@@ -596,6 +707,8 @@ class AsyncExecutor:
             return [(item.seq, self._failed(item, exc, now))]
         self._admission.settle(item.request.tenant, item.admitted_estimate,
                                float(result.ios))
+        self._finish_span(item, "served", ios=result.ios,
+                          applied=result.applied)
         outcome = ServedRequest(
             request=item.request, outcome="served", answer=None,
             turnaround_s=now - item.enqueued_at,
@@ -630,6 +743,8 @@ class AsyncExecutor:
         observed = answer.ios.total + answer.ios.cache_hits
         self._admission.settle(item.request.tenant, item.admitted_estimate,
                                observed)
+        self._finish_span(item, "served", ios=answer.ios.total,
+                          reported=answer.count)
         results = [(item.seq, ServedRequest(
             request=item.request, outcome="served", answer=answer,
             turnaround_s=now - item.enqueued_at,
@@ -648,6 +763,7 @@ class AsyncExecutor:
             shared = self._core.as_cache_hit(answer)
             shared.tenant = follower.request.tenant
             self._core.record(shared)
+            self._finish_span(follower, "served", follower=True)
             results.append((follower.seq, ServedRequest(
                 request=follower.request, outcome="served", answer=shared,
                 turnaround_s=now - follower.enqueued_at,
@@ -659,6 +775,7 @@ class AsyncExecutor:
                   answer: Optional[ExecutedQuery],
                   now: float) -> ServedRequest:
         waited = now - item.enqueued_at
+        self._finish_span(item, outcome)
         return ServedRequest(request=item.request, outcome=outcome,
                              answer=answer, turnaround_s=waited,
                              queue_wait_s=waited, deferrals=item.deferrals)
@@ -666,8 +783,11 @@ class AsyncExecutor:
     def _failed(self, item: QueuedRequest, exc: Exception,
                 now: float) -> ServedRequest:
         """One request's planning/execution error, isolated to it."""
+        message = "%s: %s" % (type(exc).__name__, exc)
+        if item.span is not None and getattr(item.span, "enabled", False):
+            item.span.set("error", message)
         outcome = self._finished(item, "failed", None, now)
-        outcome.error = "%s: %s" % (type(exc).__name__, exc)
+        outcome.error = message
         return outcome
 
     def _degraded_answer(self, request: ServingRequest,
@@ -685,12 +805,19 @@ class AsyncExecutor:
         the subset into a qualified count instead of mistaking it for
         the whole truth.
         """
-        entry = self._core.catalog.entry(request.dataset)
-        hits = sample_hits(entry.sample, entry.dimension, request.constraint)
-        sample_size = int(len(entry.sample))
-        population = max(int(entry.live_size), sample_size)
-        estimate, interval = scaled_count_estimate(len(hits), sample_size,
-                                                   population)
+        with tracing.span("serving.degraded_sample",
+                          dataset=request.dataset) as sample_span:
+            entry = self._core.catalog.entry(request.dataset)
+            hits = sample_hits(entry.sample, entry.dimension,
+                               request.constraint)
+            sample_size = int(len(entry.sample))
+            population = max(int(entry.live_size), sample_size)
+            estimate, interval = scaled_count_estimate(len(hits), sample_size,
+                                                       population)
+            if sample_span.enabled:
+                sample_span.set_many({
+                    "sample_size": sample_size, "hits": int(len(hits)),
+                    "estimated_count": estimate})
         answer = ExecutedQuery(
             dataset=request.dataset, index_name="degraded_sample",
             points=[tuple(row) for row in hits.tolist()], ios=IOStats(),

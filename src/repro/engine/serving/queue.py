@@ -103,6 +103,14 @@ class QueuedRequest:
     admitted_estimate: float = 0.0
     #: The plan made at first admission attempt (reused across deferrals).
     plan: Optional[object] = None
+    #: The request's span (a child of the HTTP trace, or the root of a
+    #: trace the scheduler opened itself).
+    span: Optional[object] = None
+    #: The trace the span belongs to, when the scheduler must finish it.
+    trace: Optional[object] = None
+    #: True when the scheduler opened the trace (wave mode) and must
+    #: finish it at completion; False when the HTTP layer owns it.
+    owns_trace: bool = False
 
     @property
     def deadline_at(self) -> float:

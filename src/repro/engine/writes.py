@@ -53,6 +53,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import repro.engine.tracing as tracing
 from repro.engine.catalog import Catalog, Dataset
 from repro.engine.metrics import EngineStats
 from repro.engine.sharding import Shard
@@ -162,10 +163,22 @@ class WritePath:
     # ------------------------------------------------------------------
     def _mutate(self, dataset_name: str, point, op: str) -> MutationResult:
         started = time.perf_counter()
-        if self._catalog.is_sharded(dataset_name):
-            result = self._mutate_sharded(dataset_name, point, op, started)
-        else:
-            result = self._mutate_plain(dataset_name, point, op, started)
+        with tracing.span("write.mutate", dataset=dataset_name,
+                          op=op) as span:
+            if self._catalog.is_sharded(dataset_name):
+                result = self._mutate_sharded(dataset_name, point, op,
+                                              started)
+            else:
+                result = self._mutate_plain(dataset_name, point, op,
+                                            started)
+            if span.enabled:
+                span.set_many({
+                    "applied": result.applied,
+                    "shard_id": result.shard_id,
+                    "replicas": result.replicas,
+                    "ios": result.ios,
+                    "generation": result.generation,
+                })
         if self._stats is not None:
             self._stats.note_write(result.dataset, result.op,
                                    applied=result.applied, ios=result.ios,
@@ -251,6 +264,9 @@ class WritePath:
         mutated_flags = [replica.mutated for replica in shard.replicas]
         applied: List[Tuple[Dataset, object, bool]] = []
         total_ios = 0
+        fanout_span = tracing.current_span().child(
+            "write.fanout", shard_id=shard.shard_id,
+            replicas=len(order))
         try:
             for child in order:
                 index = Catalog.mutable_index_of(child)
@@ -260,8 +276,20 @@ class WritePath:
                     delta = child.store.stats.delta(before)
                 total_ios += delta.total + delta.cache_hits
                 applied.append((child, index, outcome))
+                fanout_span.child(
+                    "write.replica", replica=child.name,
+                    ios=delta.total + delta.cache_hits,
+                    applied=outcome).finish()
         except Exception as exc:
+            rollback_span = fanout_span.child(
+                "write.rollback", replicas_applied=len(applied),
+                cause="%s: %s" % (type(exc).__name__, exc))
+            ios_before_rollback = total_ios
             total_ios += self._rollback(applied, op, record, exc)
+            rollback_span.set("ios", total_ios - ios_before_rollback)
+            rollback_span.finish()
+            fanout_span.set("error", "aborted")
+            fanout_span.finish()
             # The apply (and its inverse) flagged secondaries mutated;
             # the data is back to the pre-write state, so the flags are
             # restored too (inverse ops run after this would re-set them).
@@ -279,6 +307,8 @@ class WritePath:
             raise
         # Replicas are identical, so the outcomes agree; report the
         # primary's (it ran last).
+        fanout_span.set("ios", total_ios)
+        fanout_span.finish()
         return applied[-1][2], total_ios
 
     def _rollback(self, applied, op: str, record: Tuple[float, ...],

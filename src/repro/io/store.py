@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 from repro.io.backend import StorageBackend, make_backend
 from repro.io.block import (Block, BlockId, BlockPayload, as_point_matrix,
@@ -317,6 +318,35 @@ class BlockStore:
             "hits": self._cache.hits,
             "misses": self._cache.misses,
             "hit_rate": self._cache.hit_rate,
+        }
+
+    def byte_counters(self) -> Tuple[int, int]:
+        """Cumulative (bytes_read, bytes_written) at the physical medium.
+
+        Backends that move real bytes (file, mmap) count them; the
+        in-memory backend moves references, so both stay 0 there.
+        Callers wanting a per-query figure snapshot this before and
+        after, like :attr:`stats`.
+        """
+        return (getattr(self._backend, "bytes_read", 0),
+                getattr(self._backend, "bytes_written", 0))
+
+    def span_attributes(self, delta: IOStats) -> Dict[str, object]:
+        """One query's store-level trace-span attributes.
+
+        ``delta`` is the :class:`IOStats` window the caller measured
+        around its query (``stats.delta(before)``); the store adds the
+        static context — block size, backend, pool capacity — so a trace
+        span can say not just *how many* transfers happened but against
+        what configuration.
+        """
+        return {
+            "blocks_read": delta.reads,
+            "blocks_written": delta.writes,
+            "cache_hits": delta.cache_hits,
+            "block_size": self.block_size,
+            "backend": self._backend.name,
+            "pool_blocks": self._cache.capacity,
         }
 
     def blocks_for(self, num_records: int) -> int:
