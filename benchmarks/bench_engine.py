@@ -169,6 +169,15 @@ VEC_SELECTIVITY = 0.02
 VEC_FANOUT_QUERIES = 10
 VEC_MIN_SPEEDUP = 10.0
 
+#: Process-workers experiment: the K=4 CPU-bound fan-out served by the
+#: GIL-bound thread pool vs one worker process per shard replica.  The
+#: scalar kernels make the scan compute-bound on purpose: that is the
+#: regime the process layer exists for.
+PROC_POINTS = 16384
+PROC_NUM_QUERIES = 6
+PROC_SELECTIVITY = 0.5
+PROC_MIN_SPEEDUP = 1.5
+
 #: Tracing-overhead experiment: the K=4 full-scan fan-out workload with
 #: a trace opened per request, tracing disabled vs enabled, best-of-N.
 TRACE_QUERIES = 24
@@ -219,6 +228,8 @@ SMOKE_WRITE_QUERIES = 6
 SMOKE_VEC_POINTS = 1024
 SMOKE_VEC_NUM_QUERIES = 3
 SMOKE_VEC_FANOUT_QUERIES = 4
+SMOKE_PROC_POINTS = 1024
+SMOKE_PROC_NUM_QUERIES = 3
 SMOKE_TRACE_QUERIES = 4
 SMOKE_TRACE_REPEATS = 2
 SMOKE_HTTP_POINTS = 1024
@@ -887,6 +898,91 @@ def run_vectorized(smoke=False):
     }
 
 
+def run_process_workers(smoke=False):
+    """One GIL-bound thread pool vs one worker process per replica.
+
+    The K=4 range-sharded full-scan workload is served twice under
+    ``scalar_kernels()`` — the per-record python loops make every shard
+    scan compute-bound, which is exactly the regime the process layer
+    targets (the numpy kernels release the GIL anyway, so a vectorized
+    comparison would measure nothing).  Both engines are *registered*
+    inside the scalar context too, so forked workers inherit the scalar
+    toggle and serve the same code path as the in-process baseline.
+
+    Parity is the acceptance bar: the two modes must return identical
+    (sorted) answers, charge identical per-query I/O totals, and land
+    identical per-replica I/O attribution in ``EngineStats`` — the RPC
+    boundary must be invisible to every counter.  The >= 1.5x
+    wall-clock gate applies only at the full configuration on hosts
+    with at least two CPUs; one core cannot parallelize anything and
+    the smoke sizes are too small to time.
+    """
+    num_points = SMOKE_PROC_POINTS if smoke else PROC_POINTS
+    num_queries = SMOKE_PROC_NUM_QUERIES if smoke else PROC_NUM_QUERIES
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    points = uniform_points(num_points, seed=SEED + 40)
+    queries = halfspace_queries_with_selectivity(
+        points, num_queries, PROC_SELECTIVITY, seed=SEED + 41)
+
+    def serve_mode(workers):
+        engine = QueryEngine(block_size=BLOCK_SIZE, seed=SEED + 40,
+                             workers=workers, fanout_workers=NUM_SHARDS)
+        try:
+            engine.register_sharded_dataset(
+                "proc", points, num_shards=NUM_SHARDS, sharding="range",
+                kinds=["full_scan"])
+            answers, ios = [], []
+            started = time.perf_counter()
+            for constraint in queries:
+                answer = engine.query("proc", constraint, clear_cache=True)
+                answers.append(sorted(tuple(point)
+                                      for point in answer.points))
+                ios.append(answer.total_ios)
+            wall = time.perf_counter() - started
+            loads = engine.stats.replica_load_summary()
+        finally:
+            engine.close()
+        return answers, ios, loads, wall
+
+    with scalar_kernels():
+        in_answers, in_ios, in_loads, in_wall = serve_mode("inprocess")
+        proc_answers, proc_ios, proc_loads, proc_wall = \
+            serve_mode("process")
+
+    assert proc_answers == in_answers, (
+        "process workers must answer exactly like the in-process "
+        "fan-out")
+    assert proc_ios == in_ios, (
+        "moving a replica behind the RPC boundary must not move a "
+        "single per-query I/O total: %r vs %r" % (proc_ios, in_ios))
+    assert proc_loads == in_loads, (
+        "per-replica I/O attribution must survive the process "
+        "boundary: %r vs %r" % (proc_loads, in_loads))
+    for constraint, answer in zip(queries, proc_answers):
+        assert answer == sorted(tuple(p) for p in points
+                                if constraint.below(p))
+
+    return {
+        "workload": {
+            "num_points": num_points,
+            "num_queries": num_queries,
+            "selectivity": PROC_SELECTIVITY,
+            "num_shards": NUM_SHARDS,
+        },
+        "cpus": cpus,
+        #: The >= 1.5x gate needs the full configuration AND real cores.
+        "speedup_gate": None if smoke or cpus < 2 else PROC_MIN_SPEEDUP,
+        "inprocess": {"wall_seconds": in_wall, "total_ios": sum(in_ios)},
+        "process": {"wall_seconds": proc_wall,
+                    "total_ios": sum(proc_ios)},
+        "io_identical": proc_ios == in_ios,
+        "replica_loads_identical": proc_loads == in_loads,
+        "answers_identical": proc_answers == in_answers,
+        "speedup": in_wall / max(proc_wall, 1e-9),
+    }
+
+
 def run_tracing(smoke=False):
     """Request tracing priced: baseline vs disabled wrapper vs enabled.
 
@@ -1300,6 +1396,7 @@ def run_experiment(smoke=False):
         "rebalance": run_rebalance(smoke=smoke),
         "write_fanout": run_write_fanout(smoke=smoke),
         "vectorized": run_vectorized(smoke=smoke),
+        "process_workers": run_process_workers(smoke=smoke),
         "tracing": run_tracing(smoke=smoke),
         "http_serving": run_http_serving(smoke=smoke),
     }
@@ -1451,6 +1548,22 @@ def storage_tables(results):
         ["kernel", "scalar ms", "vectorized ms", "speedup",
          "I/O parity / answer parity"], vec_rows,
         title="VECTORIZED — numpy batch kernels vs scalar record loops")
+    proc = results["process_workers"]
+    proc_rows = [
+        ["inprocess (threaded)",
+         "%.1f" % (proc["inprocess"]["wall_seconds"] * 1e3),
+         str(proc["inprocess"]["total_ios"])],
+        ["process workers",
+         "%.1f" % (proc["process"]["wall_seconds"] * 1e3),
+         str(proc["process"]["total_ios"])],
+    ]
+    proc_table = format_table(
+        ["mode", "wall ms", "total I/Os"], proc_rows,
+        title="PROCESS WORKERS — %d CPU-bound scalar queries over K=%d "
+        "on %d cpu(s): %.2fx, I/O / replica / answer parity %s/%s/%s"
+        % (proc["workload"]["num_queries"], proc["workload"]["num_shards"],
+           proc["cpus"], proc["speedup"], proc["io_identical"],
+           proc["replica_loads_identical"], proc["answers_identical"]))
     tracing = results["tracing"]
     trace_rows = [
         ["baseline (no trace opened)",
@@ -1502,7 +1615,7 @@ def storage_tables(results):
            http["stats_endpoint"]["valid_json"]))
     return "\n\n".join([backend_table, shard_table, serving_table,
                         stats_table, rebalance_table, fanout_table,
-                        vec_table, trace_table, http_table])
+                        vec_table, proc_table, trace_table, http_table])
 
 
 def check_acceptance(results):
@@ -1618,6 +1731,23 @@ def check_acceptance(results):
             "the vectorized full-scan kernel must be at least %.0fx "
             "faster than the scalar record loops at the full "
             "configuration, measured %.1fx" % (gate, speedup))
+
+    proc = results["process_workers"]
+    assert proc["answers_identical"], (
+        "process-worker serving must answer exactly like the in-process "
+        "fan-out")
+    assert proc["io_identical"], (
+        "the RPC boundary must not move a single per-query I/O total")
+    assert proc["replica_loads_identical"], (
+        "per-replica I/O attribution must survive the process boundary")
+    gate = proc["speedup_gate"]
+    if gate is not None:
+        assert proc["speedup"] >= gate, (
+            "on a >= 2-cpu host at the full configuration, process "
+            "workers must serve the CPU-bound K=%d fan-out at least "
+            "%.1fx faster than the GIL-bound thread pool, measured "
+            "%.2fx" % (proc["workload"]["num_shards"], gate,
+                       proc["speedup"]))
 
     tracing = results["tracing"]
     assert tracing["io_identical"], (

@@ -229,6 +229,16 @@ class Catalog:
         self._datasets: Dict[str, Dataset] = {}
         self._sharded: Dict[str, ShardedDataset] = {}
 
+    @property
+    def seed(self) -> Optional[int]:
+        """The catalog's sampling/build seed (workers replicate with it)."""
+        return self._seed
+
+    @property
+    def sample_size(self) -> int:
+        """The per-dataset selectivity-sample size."""
+        return self._sample_size
+
     # ------------------------------------------------------------------
     # datasets
     # ------------------------------------------------------------------
@@ -334,6 +344,39 @@ class Catalog:
         dataset = self._make_dataset(name, array, block_size, cache_blocks,
                                      backend, stats_model, stats_params)
         self._datasets[name] = dataset
+        return dataset
+
+    def adopt_replica(self, name: str, points: Sequence[Sequence[float]],
+                      suite_builds: Sequence[Dict[str, object]],
+                      dimension: Optional[int] = None,
+                      materialized: bool = False) -> Dataset:
+        """Rebuild one shard replica in *this* catalog, bit-for-bit.
+
+        A shard-worker process calls this on its fresh mini-catalog to
+        reconstruct the replica it serves: the build-time point chunk
+        plus a replay of the parent's recorded ``suite_builds``.  Because
+        the catalog seeds samples and randomized index builds from its
+        own seed (which the worker copies from the parent), the stores
+        and structures come out identical to the parent's replica — the
+        foundation of process-mode I/O parity.
+
+        ``materialized`` marks a lazily-materialized (zero-build-point)
+        shard, replaying :meth:`materialize_shard`'s dimension defaulting
+        for dynamic builds; ``dimension`` is then required to shape the
+        empty array.
+        """
+        self._check_name_free(name)
+        array = np.asarray(points, dtype=float)
+        if array.size == 0:
+            array = array.reshape(0, int(dimension))
+        dataset = self._make_dataset(name, array, None, None, None)
+        self._datasets[name] = dataset
+        for build in suite_builds:
+            params = dict(build["params"])
+            if materialized and build["kind"] == "dynamic":
+                params.setdefault("dimension", array.shape[1])
+            self._build_index_on(dataset, build["kind"],
+                                 build["index_name"], **params)
         return dataset
 
     @staticmethod
@@ -581,8 +624,11 @@ class Catalog:
         bound, and pruning must not skip the shard once its first insert
         lands.  Histogram selectivity models need at least one build
         point, so a materialized shard starts from the uniform sample
-        model regardless of the configured kind; the next re-split
-        rebuilds it with the registered model over real points.
+        model regardless of the configured kind; the shard is marked
+        ``stats_provisional`` so the engine's point hooks can promote it
+        onto the configured model once it holds enough live points
+        (:meth:`upgrade_shard_stats`) — a re-split also rebuilds it with
+        the registered model over real points.
         """
         sharded = self.sharded(name)
         shard = sharded.shards[shard_id]
@@ -615,7 +661,42 @@ class Catalog:
         shard.lows = None
         shard.highs = None
         shard.box_stale = True
+        shard.stats_provisional = True
         return shard
+
+    def upgrade_shard_stats(self, name: str, shard_id: int,
+                            min_points: int) -> bool:
+        """Promote a provisional shard onto the configured stats model.
+
+        A lazily materialized shard starts on the uniform model (it had
+        no build points to fit a histogram over).  Once its live point
+        count reaches ``min_points``, this re-fits the dataset's
+        *registered* model — kind and params — over the shard's current
+        live points and a fresh sample, and rebinds it on every replica
+        (replicas share one model object, so one rebind serves all).
+        Returns True when the upgrade happened; False while the shard is
+        still too small, no longer provisional, or empty of live points.
+
+        The caller must hold the dataset's ``write_lock`` (the engine's
+        point hook fires inside the write path, which does).
+        """
+        sharded = self.sharded(name)
+        shard = sharded.shards[shard_id]
+        if not shard.stats_provisional or shard.is_empty:
+            return False
+        primary = shard.planning_dataset()
+        live = self.live_points_of(primary)
+        if len(live) < max(1, int(min_points)):
+            return False
+        params = sharded.register_params
+        sample = self._sample_of(live)
+        stats = self._make_stats(live, sample, params.get("stats_model"),
+                                 params.get("stats_params"))
+        for replica in shard.replicas:
+            replica.sample = sample
+            replica.stats = stats
+        shard.stats_provisional = False
+        return True
 
     def dataset(self, name: str) -> Dataset:
         """Look up a plain registered dataset (KeyError with known names)."""

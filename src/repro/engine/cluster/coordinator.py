@@ -1,0 +1,526 @@
+"""The coordinator: worker placement, heartbeats, and replica failover.
+
+One :class:`Coordinator` sits between the executor's shard fan-out and a
+fleet of :mod:`~repro.engine.cluster.worker` processes — one process per
+non-empty shard replica of every covered sharded dataset.  It owns:
+
+* **placement** — :meth:`start_dataset` forks a worker per replica, each
+  rebuilding its replica deterministically from a
+  :func:`~repro.engine.cluster.worker.build_spec`;
+* **the write fan-out log** — the engine's write path reports every
+  sharded mutation (still under the dataset's write barrier) to
+  :meth:`note_write`, which appends it to the :class:`WriteLog` and
+  broadcasts it to the shard's live workers;
+* **heartbeats and failover** — a monitor thread pings every worker; a
+  dead worker's queries route to the shard's surviving replicas (the
+  executor's ultimate fallback is its own in-process state, which the
+  parent keeps current regardless of mode), and the worker is restarted
+  and caught up by replaying the shard's log (workers apply ``seq``
+  idempotently, so replay and live broadcast overlap safely);
+* **cache propagation** — warm-serving windows resize worker buffer
+  pools alongside the parent's so I/O accounting matches in both modes.
+
+Safety valve: a *direct* index mutation (user code bypassing the
+engine's write path) never reaches the log, so the coordinator marks
+that dataset **bypassed** — its queries run in-process from then on —
+rather than serving answers from silently diverged workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.conjunction import ConstraintConjunction
+from repro.engine.catalog import Catalog
+from repro.engine.cluster import protocol, worker
+from repro.engine.cluster.client import (
+    WorkerClient,
+    WorkerError,
+    WorkerUnavailable,
+)
+from repro.engine.cluster.writelog import WriteLog
+from repro.engine.sharding import Shard
+from repro.geometry.primitives import LinearConstraint
+from repro.io.store import IOStats
+
+
+def _fork_context():
+    """Fork when the platform has it (cheap, inherits built state for
+    nothing — the worker rebuilds anyway); default context elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class WorkerHandle:
+    """One live-or-dead worker process and its RPC client."""
+
+    def __init__(self, dataset: str, shard_id: int, replica_id: int,
+                 replica_name: str, process, client: WorkerClient,
+                 port: int, pid: int):
+        self.dataset = dataset
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.replica_name = replica_name
+        self.process = process
+        self.client = client
+        self.port = port
+        self.pid = pid
+        self.alive = True
+        self.restarts = 0
+        self.served = 0
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        return (self.dataset, self.shard_id, self.replica_id)
+
+    def describe(self) -> Dict[str, object]:
+        return {"replica": self.replica_name, "pid": self.pid,
+                "port": self.port,
+                "state": "live" if self.alive else "dead",
+                "restarts": self.restarts, "served": self.served}
+
+
+class Coordinator:
+    """Placement, heartbeats and failover for process-mode shard workers.
+
+    Parameters
+    ----------
+    catalog:
+        The engine's catalog (source of replica specs and suite builds).
+    heartbeat_interval_s:
+        Monitor-thread ping period; 0 disables the background monitor
+        (tests then drive :meth:`check_workers` deterministically).
+    spawn_timeout_s:
+        How long to wait for a forked worker's port handshake before
+        declaring the spawn failed.
+    auto_restart:
+        Whether the monitor restarts dead workers itself (failover to
+        surviving replicas happens either way).
+    """
+
+    def __init__(self, catalog: Catalog, heartbeat_interval_s: float = 1.0,
+                 spawn_timeout_s: float = 60.0, auto_restart: bool = True):
+        self._catalog = catalog
+        self.log = WriteLog()
+        self._mp = _fork_context()
+        self._spawn_timeout_s = spawn_timeout_s
+        self._heartbeat_interval_s = heartbeat_interval_s
+        self._auto_restart = auto_restart
+        # Guards the tables below; also serializes write broadcast and
+        # restart catch-up, so a restarted worker can never observe
+        # sequence numbers out of order (its idempotence check would
+        # silently drop the write that arrived late).
+        self._lock = threading.RLock()
+        self._workers: Dict[Tuple[str, int, int], WorkerHandle] = {}
+        self._covered: set = set()
+        self._bypassed: set = set()
+        self._stopped = False
+        self._monitor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def start_dataset(self, name: str) -> int:
+        """Spawn one worker per non-empty shard replica; returns how many."""
+        sharded = self._catalog.sharded(name)
+        spawned = 0
+        for shard in sharded.nonempty_shards():
+            for replica_id in range(shard.num_replicas):
+                self._spawn(name, shard, replica_id)
+                spawned += 1
+        with self._lock:
+            self._covered.add(name)
+        self._ensure_monitor()
+        return spawned
+
+    def stop_dataset(self, name: str) -> None:
+        """Shut down and forget every worker of one dataset."""
+        with self._lock:
+            handles = [handle for handle in self._workers.values()
+                       if handle.dataset == name]
+            for handle in handles:
+                del self._workers[handle.key]
+            self._covered.discard(name)
+        for handle in handles:
+            self._shutdown_handle(handle)
+
+    def _spawn(self, dataset_name: str, shard: Shard,
+               replica_id: int) -> WorkerHandle:
+        """Fork one worker for a replica and wait for its port handshake.
+
+        The spec snapshots the shard's write log; anything appended while
+        the child is rebuilding is caught up under the coordinator lock
+        right after registration (idempotent re-send of the full log, in
+        order), closing the spawn-window gap without holding the lock
+        across the fork.
+        """
+        sharded = self._catalog.sharded(dataset_name)
+        replica = shard.replicas[replica_id]
+        spec = worker.build_spec(
+            dataset_name, shard.shard_id, replica_id, replica.name,
+            replica.points, sharded.dimension,
+            replica.store.block_size, replica.store.cache_blocks,
+            self._catalog.sample_size, self._catalog.seed,
+            sharded.suite_builds,
+            self.log.entries(dataset_name, shard.shard_id))
+        parent_end, child_end = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=worker.worker_main, args=(spec, child_end),
+            name="repro-worker-%s" % replica.name, daemon=True)
+        process.start()
+        child_end.close()
+        if not parent_end.poll(self._spawn_timeout_s):
+            process.terminate()
+            parent_end.close()
+            raise RuntimeError(
+                "worker for replica %r did not report a port within %.1fs"
+                % (replica.name, self._spawn_timeout_s))
+        hello = parent_end.recv()
+        parent_end.close()
+        client = WorkerClient(("127.0.0.1", int(hello["port"])))
+        handle = WorkerHandle(dataset_name, shard.shard_id, replica_id,
+                              replica.name, process, client,
+                              int(hello["port"]), int(hello["pid"]))
+        with self._lock:
+            previous = self._workers.get(handle.key)
+            self._workers[handle.key] = handle
+            if previous is not None:
+                handle.restarts = previous.restarts + 1
+            # Catch-up replay under the lock: writes that landed during
+            # the rebuild are re-sent in order (the worker skips the ones
+            # its spec already carried), and no new broadcast can
+            # interleave until the replay finishes.
+            for seq, op, point in self.log.entries(dataset_name,
+                                                   shard.shard_id):
+                try:
+                    handle.client.call({"op": op, "point": list(point),
+                                        "seq": seq})
+                except WorkerUnavailable:
+                    handle.alive = False
+                    break
+        if previous is not None:
+            previous.client.close()
+        return handle
+
+    def restart_worker(self, dataset_name: str, shard_id: int,
+                       replica_id: int) -> Optional[WorkerHandle]:
+        """Respawn one (dead) worker and catch it up from the write log."""
+        with self._lock:
+            if self._stopped or dataset_name in self._bypassed:
+                return None
+        sharded = self._catalog.sharded(dataset_name)
+        shard = sharded.shards[shard_id]
+        if shard.is_empty or replica_id >= shard.num_replicas:
+            return None
+        return self._spawn(dataset_name, shard, replica_id)
+
+    # ------------------------------------------------------------------
+    # the query transport
+    # ------------------------------------------------------------------
+    def run_query(self, dataset_name: str, shard: Shard, replica_id: int,
+                  index_name: str,
+                  constraint: Optional[LinearConstraint] = None,
+                  conjunction: Optional[ConstraintConjunction] = None,
+                  clear_cache: bool = False,
+                  trace_id: Optional[str] = None,
+                  parent: Optional[str] = None
+                  ) -> Optional[Tuple[List[tuple], IOStats, int,
+                                      Optional[Dict[str, object]]]]:
+        """Serve one per-shard query on a worker, failing over replicas.
+
+        Returns ``(points, ios, served_replica_id, span_payload)`` from
+        the first worker that answers — preferring the replica the
+        picker acquired — or ``None`` when no worker can serve it
+        (uncovered dataset, bypassed dataset, or every replica's worker
+        dead), telling the executor to run the shard in-process.  A
+        failed attempt charges no I/Os: only the serving worker's
+        counters are returned, so failover never loses or double-counts
+        a block transfer.
+        """
+        with self._lock:
+            if (self._stopped or dataset_name not in self._covered
+                    or dataset_name in self._bypassed):
+                return None
+            order = [replica_id] + [r for r in range(shard.num_replicas)
+                                    if r != replica_id]
+            candidates = [self._workers.get((dataset_name, shard.shard_id,
+                                             r)) for r in order]
+        request: Dict[str, object] = {"op": "query", "index": index_name}
+        if conjunction is not None:
+            request["conjunction"] = protocol.conjunction_to_wire(
+                conjunction)
+        else:
+            request["constraint"] = protocol.constraint_to_wire(constraint)
+        if clear_cache:
+            request["clear_cache"] = True
+        trace = protocol.trace_header(trace_id, parent)
+        if trace is not None:
+            request["trace"] = trace
+        for handle in candidates:
+            if handle is None or not handle.alive:
+                continue
+            try:
+                response = handle.client.call(request)
+            except WorkerUnavailable:
+                self.mark_dead(handle)
+                continue
+            handle.served += 1
+            return (protocol.points_from_wire(response["points"]),
+                    protocol.iostats_from_wire(response["ios"]),
+                    handle.replica_id, response.get("span"))
+        return None
+
+    # ------------------------------------------------------------------
+    # the write fan-out
+    # ------------------------------------------------------------------
+    def note_write(self, dataset_name: str, shard_id: int, op: str,
+                   record: Tuple[float, ...], applied: bool) -> None:
+        """Log one committed sharded mutation and broadcast it to workers.
+
+        Wired as the write path's post-commit listener, so it runs under
+        the dataset's write barrier: log order is apply order.  The
+        parent already applied the mutation to its own replicas (the
+        unchanged fan-out), so worker write I/Os are *not* re-charged —
+        the broadcast only keeps the worker copies current.  A worker
+        that cannot be reached is marked dead; the log replays the write
+        into its restart.
+        """
+        del applied  # logged either way: a no-op delete replays as one
+        with self._lock:
+            if (self._stopped or shard_id < 0
+                    or dataset_name not in self._covered
+                    or dataset_name in self._bypassed):
+                return
+            seq = self.log.append(dataset_name, shard_id, op, record)
+            payload = {"op": op, "point": [float(c) for c in record],
+                       "seq": seq}
+            for handle in list(self._workers.values()):
+                if (handle.dataset != dataset_name
+                        or handle.shard_id != shard_id
+                        or not handle.alive):
+                    continue
+                try:
+                    handle.client.call(payload)
+                except WorkerUnavailable:
+                    self.mark_dead(handle)
+
+    def on_materialize(self, dataset_name: str, shard_id: int) -> None:
+        """Write-path listener: a lazily materialized shard grew replicas.
+
+        Fires (under the write barrier) before the triggering insert
+        fans out, so the new shard's workers exist before its first
+        logged write is broadcast.
+        """
+        with self._lock:
+            if (self._stopped or dataset_name not in self._covered
+                    or dataset_name in self._bypassed):
+                return
+        shard = self._catalog.sharded(dataset_name).shards[shard_id]
+        for replica_id in range(shard.num_replicas):
+            self._spawn(dataset_name, shard, replica_id)
+
+    def on_rebalance(self, dataset_name: str) -> None:
+        """Rebalance listener: rebuild the dataset's fleet on the new layout.
+
+        The re-split's rebuilt shards absorbed every logged mutation into
+        their build arrays, so the dataset's log is cleared and its
+        workers restart from the new generation's specs.
+        """
+        with self._lock:
+            if self._stopped or dataset_name not in self._covered:
+                return
+        self.stop_dataset(dataset_name)
+        self.log.clear_dataset(dataset_name)
+        self.start_dataset(dataset_name)
+
+    def note_index_mutation(self, dataset_name: str, shard: Shard) -> None:
+        """Index-mutation listener: detect writes that bypassed the engine.
+
+        Mutations through the engine's write path happen inside the
+        shard's fan-out (the listener fires on the fanning thread); a
+        mutation from any *other* thread context went directly to the
+        index, never reached the write log, and has silently diverged
+        the workers — so the dataset drops to in-process serving for
+        good, which is always correct (the parent's state is current).
+        """
+        if shard._fanout_owner == threading.get_ident():
+            return
+        with self._lock:
+            if dataset_name in self._covered:
+                self._bypassed.add(dataset_name)
+
+    def bypassed(self, dataset_name: str) -> bool:
+        """True when the dataset fell back to in-process serving."""
+        with self._lock:
+            return dataset_name in self._bypassed
+
+    # ------------------------------------------------------------------
+    # cache propagation (warm-serving windows)
+    # ------------------------------------------------------------------
+    def resize_caches(self, names, warm_cache_blocks: int) -> List[Tuple]:
+        """Mirror a warm-serving resize onto every covered worker.
+
+        Returns restore tokens for :meth:`restore_caches`; tokens name
+        the worker by key (not by handle), so a worker restarted inside
+        the window — whose spec inherited the warmed parent size — is
+        still restored to its pre-warm pool.
+        """
+        tokens: List[Tuple] = []
+        with self._lock:
+            handles = [handle for handle in self._workers.values()
+                       if handle.dataset in set(names) and handle.alive
+                       and handle.dataset not in self._bypassed]
+        for handle in handles:
+            try:
+                response = handle.client.call(
+                    {"op": "warm", "cache_blocks": int(warm_cache_blocks),
+                     "at_least": True})
+            except WorkerUnavailable:
+                self.mark_dead(handle)
+                continue
+            tokens.append((handle.key, int(response["previous"])))
+        return tokens
+
+    def restore_caches(self, tokens: List[Tuple]) -> None:
+        """Undo :meth:`resize_caches` on whichever workers still serve."""
+        for key, previous in tokens:
+            with self._lock:
+                handle = self._workers.get(key)
+            if handle is None or not handle.alive:
+                continue
+            try:
+                handle.client.call({"op": "warm", "cache_blocks": previous,
+                                    "at_least": False})
+            except WorkerUnavailable:
+                self.mark_dead(handle)
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def mark_dead(self, handle: WorkerHandle) -> None:
+        """Record a worker as dead (its queries fail over immediately)."""
+        with self._lock:
+            handle.alive = False
+        handle.client.close()
+
+    def check_workers(self, restart: Optional[bool] = None) -> List[Tuple]:
+        """Ping every worker; mark the unreachable dead; optionally respawn.
+
+        Returns the keys of workers found (or already marked) dead this
+        round, after any restarts.  ``restart`` defaults to the
+        coordinator's ``auto_restart`` setting; tests call this directly
+        for deterministic failover coverage.
+        """
+        if restart is None:
+            restart = self._auto_restart
+        with self._lock:
+            if self._stopped:
+                return []
+            handles = list(self._workers.values())
+        dead: List[Tuple] = []
+        for handle in handles:
+            if handle.alive and handle.process.is_alive():
+                try:
+                    handle.client.ping()
+                    continue
+                except (WorkerUnavailable, WorkerError):
+                    pass
+            if handle.alive:
+                self.mark_dead(handle)
+            dead.append(handle.key)
+        if restart:
+            for dataset_name, shard_id, replica_id in dead:
+                try:
+                    self.restart_worker(dataset_name, shard_id, replica_id)
+                except RuntimeError:
+                    pass  # still down; next round tries again
+        return dead
+
+    def _ensure_monitor(self) -> None:
+        if self._heartbeat_interval_s <= 0:
+            return
+        with self._lock:
+            if self._stopped or self._monitor is not None:
+                return
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="repro-cluster-monitor",
+                daemon=True)
+            self._monitor.start()
+
+    def _monitor_loop(self) -> None:
+        while True:
+            time.sleep(self._heartbeat_interval_s)
+            with self._lock:
+                if self._stopped:
+                    return
+            try:
+                self.check_workers()
+            except Exception:  # the monitor must outlive any one round
+                pass
+
+    # ------------------------------------------------------------------
+    # introspection and shutdown
+    # ------------------------------------------------------------------
+    def worker(self, dataset_name: str, shard_id: int,
+               replica_id: int) -> Optional[WorkerHandle]:
+        """The current handle for one replica's worker (tests kill these)."""
+        with self._lock:
+            return self._workers.get((dataset_name, shard_id, replica_id))
+
+    def worker_stats(self, dataset_name: str, shard_id: int,
+                     replica_id: int) -> Optional[Dict[str, object]]:
+        """One worker's cumulative counters (the ``stats`` RPC), or None."""
+        handle = self.worker(dataset_name, shard_id, replica_id)
+        if handle is None or not handle.alive:
+            return None
+        try:
+            return handle.client.call({"op": "stats"})
+        except WorkerUnavailable:
+            self.mark_dead(handle)
+            return None
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe topology snapshot (engine summary / HTTP stats)."""
+        with self._lock:
+            workers: Dict[str, List[Dict[str, object]]] = {}
+            for handle in self._workers.values():
+                workers.setdefault(handle.dataset, []).append(
+                    handle.describe())
+            for listing in workers.values():
+                listing.sort(key=lambda entry: entry["replica"])
+            return {
+                "mode": "process",
+                "datasets": sorted(self._covered),
+                "bypassed": sorted(self._bypassed),
+                "workers": workers,
+                "write_log": self.log.sizes(),
+            }
+
+    def _shutdown_handle(self, handle: WorkerHandle) -> None:
+        if handle.alive:
+            try:
+                handle.client.call({"op": "shutdown"}, timeout_s=2.0)
+            except (WorkerUnavailable, WorkerError):
+                pass
+        handle.client.close()
+        handle.process.join(timeout=2.0)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=2.0)
+
+    def stop(self) -> None:
+        """Shut every worker down and stop the monitor (idempotent)."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            handles = list(self._workers.values())
+            self._workers.clear()
+            self._covered.clear()
+        for handle in handles:
+            self._shutdown_handle(handle)

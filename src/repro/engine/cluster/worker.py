@@ -1,0 +1,292 @@
+"""The shard-worker process: one replica served over the RPC protocol.
+
+:func:`worker_main` is the process entrypoint the coordinator forks.  It
+rebuilds its replica *deterministically* from the spec — a fresh
+mini-:class:`~repro.engine.catalog.Catalog` with the parent's effective
+block size, buffer-pool size, sample size and seed, the replica's
+build-time points, and a replay of the sharded dataset's recorded
+``suite_builds`` (index builds are seeded through the catalog, so the
+structures come out identical) — then replays the write fan-out log it
+was handed.  Because the store layout and index structure match the
+parent's replica bit for bit, the per-query I/O counters a worker
+reports are exactly what the in-process fan-out would have measured:
+that determinism, not state shipping, is what makes process mode
+answer- and I/O-count-identical to in-process mode.
+
+Workers always build on the ``"memory"`` backend regardless of the
+parent's: block accounting is backend-independent (the backend-parity
+benchmark pins that), and two processes appending to one block file
+would corrupt it.
+
+The serve loop accepts connections on an ephemeral localhost port
+(reported back through the spawn pipe) and handles each connection on
+its own thread; per-request work serializes on the replica's store lock
+exactly as the in-process executor does, so concurrent queries, writes
+and heartbeats interleave with the same semantics in both modes.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.conjunction import query_conjunction
+from repro.core.kernels import vectorized_enabled
+from repro.engine.catalog import Catalog
+from repro.engine.cluster import protocol
+
+
+def build_spec(dataset: str, shard_id: int, replica_id: int,
+               replica_name: str, points: np.ndarray, dimension: int,
+               block_size: int, cache_blocks: int, sample_size: int,
+               seed: Optional[int],
+               suite_builds: List[Dict[str, object]],
+               log: List[Tuple[int, str, Tuple[float, ...]]]
+               ) -> Dict[str, object]:
+    """The picklable replica description a worker process is spawned with.
+
+    ``points`` is the replica's *build-time* array (the parent keeps it
+    immutable on the child dataset); every mutation since build rides in
+    ``log``.  An empty array marks a lazily-materialized shard, whose
+    builds replay :meth:`Catalog.materialize_shard`'s dimension
+    defaulting.
+    """
+    return {
+        "dataset": dataset, "shard_id": shard_id, "replica_id": replica_id,
+        "replica_name": replica_name, "points": np.asarray(points),
+        "dimension": int(dimension), "block_size": int(block_size),
+        "cache_blocks": int(cache_blocks), "sample_size": int(sample_size),
+        "seed": seed,
+        "suite_builds": [dict(build) for build in suite_builds],
+        "materialized": len(points) == 0,
+        "log": list(log),
+    }
+
+
+class ShardWorker:
+    """One shard replica rebuilt in this process and served over RPC."""
+
+    def __init__(self, spec: Dict[str, object]):
+        self.spec = spec
+        self._catalog = Catalog(
+            block_size=spec["block_size"],
+            cache_blocks=spec["cache_blocks"],
+            sample_size=spec["sample_size"],
+            seed=spec["seed"], backend="memory", stats_model="uniform")
+        self.dataset = self._catalog.adopt_replica(
+            spec["replica_name"], spec["points"], spec["suite_builds"],
+            dimension=spec["dimension"],
+            materialized=spec["materialized"])
+        self._started_s = time.perf_counter()
+        self._stop = threading.Event()
+        self._lock = threading.Lock()     # counters below
+        self._served = 0
+        self._writes_applied = 0
+        self._last_seq = 0
+        #: Cumulative (index_name, model_ios, observed_cold_ios) feedback
+        #: summaries, drained by the ``stats`` op.
+        self._observations: Dict[str, Dict[str, float]] = {}
+        for seq, op, point in spec["log"]:
+            self._apply_write(op, tuple(point), int(seq))
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def handle(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Dispatch one RPC request to its handler."""
+        op = request.get("op")
+        if op == "ping":
+            return self._op_ping()
+        if op == "query":
+            return self._op_query(request)
+        if op in ("insert", "delete"):
+            return self._op_write(op, request)
+        if op == "warm":
+            return self._op_warm(request)
+        if op == "stats":
+            return self._op_stats()
+        if op == "shutdown":
+            self._stop.set()
+            return {"ok": True, "stopping": True}
+        return {"ok": False, "error": "unknown op %r" % (op,)}
+
+    def _op_ping(self) -> Dict[str, object]:
+        with self._lock:
+            return {"ok": True, "pid": os.getpid(),
+                    "uptime_s": time.perf_counter() - self._started_s,
+                    "served": self._served, "writes": self._writes_applied,
+                    "last_seq": self._last_seq}
+
+    def _op_query(self, request: Dict[str, object]) -> Dict[str, object]:
+        index_name = request["index"]
+        index = self.dataset.indexes.get(index_name)
+        if index is None:
+            return {"ok": False, "error": "unknown index %r on replica %r"
+                                          % (index_name, self.dataset.name)}
+        if "conjunction" in request:
+            conjunction = protocol.conjunction_from_wire(
+                request["conjunction"])
+            constraint = None
+        else:
+            constraint = protocol.constraint_from_wire(request["constraint"])
+            conjunction = None
+        store = self.dataset.store
+        started = time.perf_counter()
+        # Same discipline as the in-process executor: whole queries
+        # serialize on the store, so the buffer pool sees the same
+        # operation sequence in both modes and I/O parity holds.
+        with store.lock:
+            if request.get("clear_cache"):
+                store.clear_cache()
+            before = store.stats.snapshot()
+            if conjunction is not None:
+                points = query_conjunction(index, conjunction)
+            else:
+                points = index.query(constraint)
+            ios = store.stats.delta(before)
+        elapsed = time.perf_counter() - started
+        trace = request.get("trace") or {}
+        with self._lock:
+            self._served += 1
+            summary = self._observations.setdefault(
+                index_name, {"queries": 0, "cold_ios": 0})
+            summary["queries"] += 1
+            summary["cold_ios"] += ios.total + ios.cache_hits
+        response = {
+            "ok": True,
+            "points": protocol.points_to_wire(points),
+            "ios": protocol.iostats_to_wire(ios),
+        }
+        if trace.get("trace_id"):
+            # The span subtree the parent grafts under its executor.shard
+            # node: worker-side wall time plus enough attributes to tell
+            # which process answered.  Clocks are per-process, so the
+            # parent anchors the subtree at its own span's start.
+            response["span"] = {
+                "name": "worker.query",
+                "duration_s": elapsed,
+                "attributes": {
+                    "trace_id": trace["trace_id"],
+                    "parent": trace.get("parent", ""),
+                    "pid": os.getpid(),
+                    "replica": self.dataset.name,
+                    "ios": ios.total,
+                    "cache_hits": ios.cache_hits,
+                    "vectorized": vectorized_enabled(),
+                },
+            }
+        return response
+
+    def _op_write(self, op: str, request: Dict[str, object]
+                  ) -> Dict[str, object]:
+        seq = int(request["seq"])
+        record = tuple(float(c) for c in request["point"])
+        applied, ios, duplicate = self._apply_write(op, record, seq)
+        return {"ok": True, "applied": applied, "ios": ios,
+                "duplicate": duplicate, "seq": seq}
+
+    def _apply_write(self, op: str, record: Tuple[float, ...],
+                     seq: int) -> Tuple[bool, int, bool]:
+        """Apply one logged/broadcast mutation, idempotently by ``seq``.
+
+        Replay and live broadcast may overlap around a restart; the
+        high-water mark makes the overlap harmless (at-least-once
+        delivery, exactly-once application).
+        """
+        with self._lock:
+            if seq <= self._last_seq:
+                return False, 0, True
+            self._last_seq = seq
+        index = Catalog.mutable_index_of(self.dataset)
+        store = self.dataset.store
+        with store.lock:
+            before = store.stats.snapshot()
+            if op == "insert":
+                index.insert(record)
+                applied = True
+            else:
+                applied = bool(index.delete(record))
+            delta = store.stats.delta(before)
+        with self._lock:
+            self._writes_applied += 1
+        return applied, delta.total + delta.cache_hits, False
+
+    def _op_warm(self, request: Dict[str, object]) -> Dict[str, object]:
+        store = self.dataset.store
+        target = int(request["cache_blocks"])
+        if request.get("at_least"):
+            target = max(store.cache_blocks, target)
+        previous = store.resize_cache(target)
+        return {"ok": True, "previous": previous,
+                "cache_blocks": store.cache_blocks}
+
+    def _op_stats(self) -> Dict[str, object]:
+        totals = self.dataset.store.stats.snapshot()
+        with self._lock:
+            return {"ok": True, "pid": os.getpid(),
+                    "replica": self.dataset.name,
+                    "served": self._served,
+                    "writes": self._writes_applied,
+                    "last_seq": self._last_seq,
+                    "ios": protocol.iostats_to_wire(totals),
+                    "observations": {name: dict(summary)
+                                     for name, summary
+                                     in self._observations.items()}}
+
+    # ------------------------------------------------------------------
+    # serve loop
+    # ------------------------------------------------------------------
+    def serve(self, pipe) -> None:
+        """Bind an ephemeral port, report it, accept until shut down."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(16)
+        listener.settimeout(0.2)
+        pipe.send({"port": listener.getsockname()[1], "pid": os.getpid()})
+        pipe.close()
+        try:
+            while not self._stop.is_set():
+                try:
+                    connection, __ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(connection,),
+                    name="worker-conn", daemon=True)
+                thread.start()
+        finally:
+            listener.close()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            while not self._stop.is_set():
+                try:
+                    request = protocol.recv_message(connection)
+                except (ConnectionError, OSError, protocol.ProtocolError):
+                    break
+                try:
+                    response = self.handle(request)
+                except Exception as exc:  # per-request isolation
+                    response = {"ok": False,
+                                "error": "%s: %s" % (type(exc).__name__,
+                                                     exc)}
+                try:
+                    protocol.send_message(connection, response)
+                except (ConnectionError, OSError):
+                    break
+        finally:
+            connection.close()
+
+
+def worker_main(spec: Dict[str, object], pipe) -> None:
+    """Process entrypoint: build the replica, then serve until shut down."""
+    ShardWorker(spec).serve(pipe)

@@ -34,6 +34,7 @@ sink.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import asyncio
@@ -110,6 +111,22 @@ class QueryEngine:
     slow_query_threshold_s / slow_query_capacity:
         Finished traces slower than the threshold (or degraded) also land
         in a bounded slow-query ring (``GET /debug/slow``).
+    workers:
+        Shard-query transport: ``"inprocess"`` (default) fans out on the
+        executor's thread pool inside this process; ``"process"`` spawns
+        one worker *process* per shard replica behind a
+        :class:`~repro.engine.cluster.coordinator.Coordinator` (RPC over
+        local sockets, heartbeats, replica failover, write-log replay)
+        so a CPU-bound K-way fan-out uses K cores instead of one GIL.
+        ``None`` reads the ``REPRO_WORKERS`` environment variable (same
+        values).  Answers and I/O accounting are identical in both
+        modes; see the README's "Process layer" section for tradeoffs.
+    stats_upgrade_min_points:
+        A lazily materialized shard starts on the provisional uniform
+        stats model; once it holds this many live points the engine
+        re-fits the dataset's configured model over them
+        (:meth:`~repro.engine.catalog.Catalog.upgrade_shard_stats`).
+        ``<= 0`` disables the upgrade.
     """
 
     def __init__(self, block_size: int = 64, cache_blocks: int = 4,
@@ -129,7 +146,9 @@ class QueryEngine:
                  tracing: bool = True,
                  trace_capacity: int = 256,
                  slow_query_threshold_s: float = 0.25,
-                 slow_query_capacity: int = 64):
+                 slow_query_capacity: int = 64,
+                 workers: Optional[str] = None,
+                 stats_upgrade_min_points: int = 64):
         self.catalog = Catalog(block_size=block_size,
                                cache_blocks=cache_blocks,
                                sample_size=sample_size, seed=seed,
@@ -165,6 +184,30 @@ class QueryEngine:
         self.executor.core.writes.add_materialize_listener(
             lambda name, shard_id: self._watch_indexes(name,
                                                        only_shard=shard_id))
+        self._stats_upgrade_min_points = stats_upgrade_min_points
+        mode = workers if workers is not None \
+            else os.environ.get("REPRO_WORKERS", "inprocess")
+        if mode not in ("inprocess", "process"):
+            raise ValueError("workers must be 'inprocess' or 'process', "
+                             "got %r" % (mode,))
+        self.workers = mode
+        self.cluster = None
+        if mode == "process":
+            # Deferred import: the cluster package imports engine pieces.
+            from repro.engine.cluster import Coordinator
+            self.cluster = Coordinator(self.catalog)
+            self.executor.core.attach_cluster(self.cluster)
+            # Every committed sharded write lands in the coordinator's
+            # fan-out log (and is broadcast to live workers); lazy
+            # materialization spawns the new shard's workers before its
+            # first write broadcasts; a re-split rebuilds the fleet on
+            # the new layout.
+            self.executor.core.writes.add_write_listener(
+                self.cluster.note_write)
+            self.executor.core.writes.add_materialize_listener(
+                self.cluster.on_materialize)
+            self.rebalancer.add_listener(
+                lambda name, report: self.cluster.on_rebalance(name))
         self._serving_executor: Optional[AsyncExecutor] = None
         self.calibration_store: Optional[CalibrationStore] = None
         if calibration_path is not None:
@@ -220,6 +263,8 @@ class QueryEngine:
             block_size=block_size, **catalog_kwargs)
         records = self.catalog.build_suite(name, kinds=kinds)
         self._watch_indexes(name)
+        if self.cluster is not None:
+            self.cluster.start_dataset(name)
         return records
 
     def _watch_indexes(self, name: str,
@@ -260,11 +305,21 @@ class QueryEngine:
         else:
             targets = [(self.catalog.dataset(name), None, True)]
         for dataset, shard, primary in targets:
-            point_hook = self._make_point_hook(name, dataset, sharded)
+            point_hook = self._make_point_hook(name, dataset, sharded,
+                                               shard)
             for index in dataset.indexes.values():
                 subscribe = getattr(index, "add_mutation_listener", None)
                 if not callable(subscribe):
                     continue
+                if self.cluster is not None and shard is not None:
+                    # A mutation that did not come through the engine's
+                    # write fan-out never reached the cluster's write
+                    # log: the coordinator drops the dataset back to
+                    # in-process serving rather than answer from
+                    # silently diverged workers.
+                    subscribe(lambda shard=shard:
+                              self.cluster.note_index_mutation(name,
+                                                               shard))
                 if shard is not None:
                     # Veto direct writes to one replica of a replicated
                     # shard *before* they land (the engine's fan-out
@@ -286,7 +341,7 @@ class QueryEngine:
                 if callable(observe):
                     observe(point_hook)
 
-    def _make_point_hook(self, name, dataset, sharded):
+    def _make_point_hook(self, name, dataset, sharded, shard=None):
         """The per-point mutation callback keeping statistics current."""
         def hook(op: str, point) -> None:
             for model in (dataset.stats,
@@ -298,6 +353,16 @@ class QueryEngine:
                 else:
                     model.observe_delete(point)
             self.rebalancer.note_mutation(name)
+            if (op == "insert" and shard is not None
+                    and shard.stats_provisional
+                    and self._stats_upgrade_min_points > 0):
+                # Satellite of lazy materialization: once the shard holds
+                # enough live points, promote it off the provisional
+                # uniform model onto the dataset's configured one.  The
+                # hook fires inside the write path, which holds the
+                # dataset's write barrier.
+                self.catalog.upgrade_shard_stats(
+                    name, shard.shard_id, self._stats_upgrade_min_points)
         return hook
 
     # ------------------------------------------------------------------
@@ -545,7 +610,9 @@ class QueryEngine:
         self.calibration_store.save(self.planner.export_calibration())
 
     def close(self) -> None:
-        """Shut down the fan-out pool and close every store's backend."""
+        """Shut down workers, the fan-out pool, and every store backend."""
+        if self.cluster is not None:
+            self.cluster.stop()
         self.executor.shutdown()
         self.catalog.close()
 
@@ -619,5 +686,13 @@ class QueryEngine:
         }
 
     def summary(self) -> Dict[str, object]:
-        """Aggregated serving metrics (see :meth:`EngineStats.summary`)."""
-        return self.stats.summary()
+        """Aggregated serving metrics (see :meth:`EngineStats.summary`).
+
+        In process-worker mode a ``"cluster"`` entry is merged in: the
+        coordinator's topology snapshot (worker pids/ports/states,
+        restart counts, write-log sizes, bypassed datasets).
+        """
+        summary = self.stats.summary()
+        if self.cluster is not None:
+            summary["cluster"] = self.cluster.describe()
+        return summary

@@ -203,6 +203,15 @@ class ExecutionCore:
         #: must flush answers cached off a mid-fanout secondary.
         self.writes = WritePath(catalog, stats=self.stats,
                                 invalidate=self.invalidate_dataset)
+        #: Optional process transport (see :mod:`repro.engine.cluster`):
+        #: when attached, sharded fan-out offers each per-shard query to
+        #: the shard's worker process first and falls back to the local
+        #: in-process path whenever no worker can serve it.
+        self.cluster = None
+
+    def attach_cluster(self, coordinator) -> None:
+        """Route sharded fan-out through a process-worker coordinator."""
+        self.cluster = coordinator
 
     def run_write(self, dataset_name: str, op: str,
                   point) -> MutationResult:
@@ -251,6 +260,7 @@ class ExecutionCore:
         request must not abort a whole serving run.
         """
         previous: List[Tuple[BlockStore, int]] = []
+        cluster_tokens: List[Tuple] = []
         try:
             for name in names:
                 try:
@@ -260,8 +270,16 @@ class ExecutionCore:
                 for store in stores:
                     previous.append((store, store.resize_cache(
                         max(store.cache_blocks, warm_cache_blocks))))
+            if self.cluster is not None:
+                # Worker buffer pools mirror the parent's for the same
+                # window, so warm-batch I/O accounting matches across
+                # modes.
+                cluster_tokens = self.cluster.resize_caches(
+                    list(names), warm_cache_blocks)
             yield
         finally:
+            if self.cluster is not None and cluster_tokens:
+                self.cluster.restore_caches(cluster_tokens)
             for store, size in previous:
                 store.resize_cache(size)
 
@@ -374,32 +392,55 @@ class ExecutionCore:
             shard_started = time.perf_counter() if traced else 0.0
             replica_id = self.replica_picker.acquire(
                 dataset_name, shard, shard_plan.estimated_ios)
+            served_replica = replica_id
+            worker_meta = None
             try:
-                dataset = shard.replicas[replica_id]
-                index = dataset.indexes[shard_plan.index_name]
-                store = dataset.store
-                # One store = one disk = one request at a time: the lock
-                # keeps concurrent async requests that landed on the same
-                # replica from racing the buffer pool and smearing each
-                # other's I/O attribution.
-                with store.lock:
-                    if clear_cache:
-                        store.clear_cache()
-                    before = store.stats.snapshot()
-                    if conjunction is not None:
-                        points = query_conjunction(index, conjunction)
-                    else:
-                        points = index.query(constraint)
-                    ios = store.stats.delta(before)
+                remote = None
+                if self.cluster is not None:
+                    # Process transport: offer the query to the shard's
+                    # worker fleet (preferring the picked replica,
+                    # failing over to its siblings).  A worker answer
+                    # carries the same points and I/O counters the local
+                    # path would have measured — the worker rebuilt the
+                    # replica deterministically — so everything below
+                    # the transport is mode-agnostic.  None means no
+                    # worker could serve it; the parent's own state is
+                    # always current, so the local path is the ultimate
+                    # failover target.
+                    remote = self.cluster.run_query(
+                        dataset_name, shard, replica_id,
+                        shard_plan.index_name, constraint=constraint,
+                        conjunction=conjunction, clear_cache=clear_cache,
+                        trace_id=fanout_span.trace_id if traced else None,
+                        parent=fanout_span.name if traced else None)
+                if remote is not None:
+                    points, ios, served_replica, worker_meta = remote
+                else:
+                    dataset = shard.replicas[replica_id]
+                    index = dataset.indexes[shard_plan.index_name]
+                    store = dataset.store
+                    # One store = one disk = one request at a time: the
+                    # lock keeps concurrent async requests that landed on
+                    # the same replica from racing the buffer pool and
+                    # smearing each other's I/O attribution.
+                    with store.lock:
+                        if clear_cache:
+                            store.clear_cache()
+                        before = store.stats.snapshot()
+                        if conjunction is not None:
+                            points = query_conjunction(index, conjunction)
+                        else:
+                            points = index.query(constraint)
+                        ios = store.stats.delta(before)
             finally:
                 self.replica_picker.release(
                     dataset_name, shard_id, replica_id,
                     shard_plan.estimated_ios)
             self.stats.record_replica_load(dataset_name, shard_id,
-                                           replica_id, ios.total)
+                                           served_replica, ios.total)
             shard_ended = time.perf_counter() if traced else 0.0
-            return (shard_id, shard_plan, points, ios, replica_id,
-                    shard_started, shard_ended)
+            return (shard_id, shard_plan, points, ios, served_replica,
+                    shard_started, shard_ended, worker_meta)
 
         pool = self._shared_pool()
         if pool is not None and len(plan.shard_plans) > 1:
@@ -409,7 +450,8 @@ class ExecutionCore:
 
         if traced:
             for (shard_id, shard_plan, shard_points, shard_ios,
-                 replica_id, shard_started, shard_ended) in outcomes:
+                 replica_id, shard_started, shard_ended,
+                 worker_meta) in outcomes:
                 store = shards_by_id[shard_id].replicas[replica_id].store
                 span = fanout_span.child(
                     "executor.shard",
@@ -433,11 +475,25 @@ class ExecutionCore:
                     **store.span_attributes(shard_ios))
                 span.started_s = shard_started
                 span.ended_s = shard_ended
+                if worker_meta is not None:
+                    # Graft the worker's span subtree under this shard
+                    # span.  Worker clocks are per-process (perf_counter
+                    # has no cross-process epoch), so the child anchors
+                    # at the parent span's start and keeps only the
+                    # worker-measured duration — explain(analyze=True)
+                    # still reconciles: child ⊆ parent holds because the
+                    # RPC round trip envelopes the worker's work.
+                    child = span.child(worker_meta.get("name",
+                                                       "worker.query"),
+                                       **worker_meta.get("attributes", {}))
+                    child.started_s = shard_started
+                    child.ended_s = shard_started + float(
+                        worker_meta.get("duration_s", 0.0))
 
         points: List[Point] = []
         ios = IOStats()
         observations = []
-        for __, shard_plan, shard_points, shard_ios, *___ in outcomes:
+        for shard_id, shard_plan, shard_points, shard_ios, *___ in outcomes:
             points.extend(shard_points)
             ios.merge(shard_ios)
             # Per-shard calibration feedback, keyed by the parent dataset
@@ -456,6 +512,14 @@ class ExecutionCore:
                 self.stats.note_estimation(dataset_name,
                                            shard_plan.expected_output,
                                            len(shard_points))
+                # The same pair feeds the shard's own selectivity model
+                # (adaptive histograms re-aim their direction set from
+                # it; the base model ignores it).
+                model = shards_by_id[shard_id].planning_dataset().stats
+                if model is not None:
+                    model.note_estimation_feedback(
+                        constraint, shard_plan.expected_output,
+                        len(shard_points))
         self.planner.observe_many(dataset_name, observations)
         latency = time.perf_counter() - started
         if fanout_span.enabled:
@@ -508,7 +572,8 @@ class ExecutionCore:
                 })
             return self.finish(dataset_name, plan, points, ios, latency,
                                cache_key, tenant=tenant,
-                               generation=generation, span=span)
+                               generation=generation, span=span,
+                               constraint=constraint, model=dataset.stats)
 
     def finish(self, dataset_name: str, plan: Plan, points: List[Point],
                ios: IOStats, latency: float,
@@ -516,7 +581,9 @@ class ExecutionCore:
                tenant: str = "",
                generation: Optional[int] = None,
                estimation: bool = True,
-               span: object = tracing.NULL_SPAN) -> ExecutedQuery:
+               span: object = tracing.NULL_SPAN,
+               constraint: Optional[LinearConstraint] = None,
+               model: Optional[object] = None) -> ExecutedQuery:
         """Feed back calibration, record metrics, cache and return.
 
         ``generation`` must be the dataset's :meth:`result_generation`
@@ -540,6 +607,13 @@ class ExecutionCore:
         if estimation:
             self.stats.note_estimation(dataset_name, plan.expected_output,
                                        len(points))
+            if model is not None and constraint is not None:
+                # Adaptive selectivity models fold the same q-error pair
+                # back into their direction set (the base model's hook
+                # is a no-op).
+                model.note_estimation_feedback(constraint,
+                                               plan.expected_output,
+                                               len(points))
         if getattr(span, "enabled", False):
             span.set_many({
                 "model_ios": round(plan.chosen.model_ios, 2),

@@ -249,6 +249,11 @@ class Shard:
     lows: Optional[Tuple[float, ...]] = None
     highs: Optional[Tuple[float, ...]] = None
     box_stale: bool = False
+    #: True while a lazily materialized shard is still running on the
+    #: provisional uniform stats model; cleared when
+    #: :meth:`~repro.engine.catalog.Catalog.upgrade_shard_stats` promotes
+    #: it onto the dataset's configured model.
+    stats_provisional: bool = False
     #: Serializes write fan-outs on this shard (one logical mutation at
     #: a time touches the replica set).
     _write_lock: threading.Lock = field(default_factory=threading.Lock,

@@ -33,6 +33,8 @@ current.
 from __future__ import annotations
 
 import abc
+import math
+from collections import deque
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -144,6 +146,17 @@ class SelectivityModel(abc.ABC):
         self._size = max(0, self._size - 1)
         self._observed_deletes += 1
 
+    def note_estimation_feedback(self, constraint: LinearConstraint,
+                                 expected: float, actual: int) -> None:
+        """Post-execution q-error feedback for one served constraint.
+
+        The executor reports every (estimated, observed) output pair
+        back through this hook.  The base models ignore it; adaptive
+        models (:class:`HistogramModel` with ``adapt_after`` set) fold
+        it into their structure — e.g. re-aiming histogram directions at
+        the workload actually being served.
+        """
+
     @property
     def observed_inserts(self) -> int:
         """Inserts this model has observed (one per *logical* mutation).
@@ -233,6 +246,15 @@ class HistogramModel(SelectivityModel):
     sample:
         The dataset's uniform sample, used for the fallback and kept
         reservoir-fresh under inserts like :class:`UniformSampleModel`.
+    adapt_after / adapt_qerror:
+        Workload adaptation knobs.  With ``adapt_after > 0``, q-error
+        feedback from the executor accumulates per direction; once a
+        direction has priced ``adapt_after`` queries with a geometric-
+        mean q-error of at least ``adapt_qerror``, it is dropped and a
+        replacement — the most recent query direction the set failed to
+        cover, or a re-fit of the same direction — is fitted from the
+        sample reservoir.  ``adapt_after=0`` (default) disables
+        adaptation entirely.
     """
 
     name = "histogram"
@@ -243,7 +265,9 @@ class HistogramModel(SelectivityModel):
                  num_buckets: int = 64,
                  min_cosine: float = DEFAULT_MIN_COSINE,
                  sample: Optional[np.ndarray] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 adapt_after: int = 0,
+                 adapt_qerror: float = 4.0):
         points = np.asarray(points, dtype=float)
         if points.ndim != 2 or points.shape[0] == 0:
             raise ValueError("points must have shape (N >= 1, d), got %r"
@@ -262,12 +286,22 @@ class HistogramModel(SelectivityModel):
                              "dimension %d" % (self._directions.shape[1],
                                                self._dimension))
         self._min_cosine = float(min_cosine)
+        self._num_buckets = int(num_buckets)
         # One matmul projects the whole dataset onto every canonical
         # direction at once; column k feeds direction k's histogram.
         projections = points @ self._directions.T
         self._histograms = [EquiDepthHistogram(projections[:, column],
                                                num_buckets=num_buckets)
                             for column in range(self._directions.shape[0])]
+        # Workload adaptation state: per-direction feedback counts and
+        # accumulated log q-error, plus the most recent query directions
+        # the canonical set failed to cover (replacement candidates).
+        self._adapt_after = int(adapt_after)
+        self._adapt_qerror = float(adapt_qerror)
+        self._dir_observations = np.zeros(len(self._directions), dtype=int)
+        self._dir_log_qerror = np.zeros(len(self._directions), dtype=float)
+        self._missed_directions = deque(maxlen=16)
+        self._adaptations = 0
         self._sample = None if sample is None \
             else np.asarray(sample, dtype=float)
         if (self._sample is None or len(self._sample) == 0) \
@@ -322,6 +356,87 @@ class HistogramModel(SelectivityModel):
         if self._sample is not None:
             _reservoir_evict(self._sample, self._rng, row)
 
+    # ------------------------------------------------------------------
+    # workload adaptation (q-error feedback)
+    # ------------------------------------------------------------------
+    def note_estimation_feedback(self, constraint: LinearConstraint,
+                                 expected: float, actual: int) -> None:
+        """Accumulate one query's q-error against the direction that
+        priced it; adapt the direction set when one goes persistently
+        bad (see the ``adapt_after`` / ``adapt_qerror`` knobs)."""
+        if self._adapt_after <= 0:
+            return
+        if constraint.dimension != self._dimension:
+            return
+        error = max((float(expected) + 1.0) / (actual + 1.0),
+                    (actual + 1.0) / (float(expected) + 1.0))
+        unit, __ = constraint_direction(constraint)
+        cosines = self._directions @ unit
+        best = int(np.argmax(cosines))
+        if cosines[best] < self._min_cosine:
+            # The set failed to cover this query at all: remember its
+            # direction as a replacement candidate rather than blaming
+            # the (unused) nearest histogram.
+            self._missed_directions.append(np.asarray(unit, dtype=float))
+            return
+        self._dir_observations[best] += 1
+        self._dir_log_qerror[best] += math.log(error)
+        self._maybe_adapt()
+
+    def _maybe_adapt(self) -> None:
+        """Drop the worst direction and re-fit a replacement in place.
+
+        Eligible directions have at least ``adapt_after`` feedback
+        pairs; the worst one's *geometric-mean* q-error must reach
+        ``adapt_qerror``.  The replacement histogram is fitted from the
+        sample reservoir (the only point set the model still holds), and
+        the swap rebinds copied arrays atomically so concurrent
+        estimators read either the old set or the new one, never a
+        half-updated row."""
+        if self._sample is None or len(self._sample) == 0:
+            return
+        eligible = np.flatnonzero(self._dir_observations
+                                  >= self._adapt_after)
+        if len(eligible) == 0:
+            return
+        means = np.exp(self._dir_log_qerror[eligible]
+                       / self._dir_observations[eligible])
+        worst_at = int(np.argmax(means))
+        if means[worst_at] < self._adapt_qerror:
+            return
+        worst = int(eligible[worst_at])
+        replacement = self._replacement_direction(worst)
+        directions = self._directions.copy()
+        directions[worst] = replacement
+        histograms = list(self._histograms)
+        histograms[worst] = EquiDepthHistogram(
+            self._sample @ replacement, num_buckets=self._num_buckets)
+        self._directions = directions
+        self._histograms = histograms
+        self._dir_observations[worst] = 0
+        self._dir_log_qerror[worst] = 0.0
+        self._adaptations += 1
+
+    def _replacement_direction(self, worst: int) -> np.ndarray:
+        """The direction replacing a dropped one: the newest missed
+        query direction not already covered by a *surviving* direction,
+        else a re-fit of the dropped direction itself (its histogram is
+        rebuilt from the current reservoir, which tracked mutations the
+        original build never saw)."""
+        keep = np.delete(np.arange(len(self._directions)), worst)
+        for position in range(len(self._missed_directions) - 1, -1, -1):
+            candidate = self._missed_directions[position]
+            if len(keep) == 0 or np.max(
+                    self._directions[keep] @ candidate) < self._min_cosine:
+                del self._missed_directions[position]
+                return normalize_direction(candidate)
+        return self._directions[worst]
+
+    @property
+    def adaptations(self) -> int:
+        """How many directions workload feedback has replaced."""
+        return self._adaptations
+
     def drift(self) -> float:
         """Worst per-direction bucket skew relative to build time.
 
@@ -337,6 +452,7 @@ class HistogramModel(SelectivityModel):
         payload["directions"] = self.num_directions
         payload["buckets"] = self._histograms[0].num_buckets
         payload["fallbacks"] = self._fallbacks
+        payload["adaptations"] = self._adaptations
         return payload
 
 

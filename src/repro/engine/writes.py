@@ -114,6 +114,19 @@ class WritePath:
         self._stats = stats
         self._invalidate = invalidate
         self._materialize_listeners: List = []
+        self._write_listeners: List = []
+
+    def add_write_listener(self, listener) -> None:
+        """Subscribe ``listener(dataset, shard_id, op, point, applied)``
+        to every committed engine-level mutation.
+
+        Fired after the replica fan-out applied (sharded writes: still
+        under the dataset's write barrier, so listeners observe
+        mutations in apply order — the cluster coordinator's write log
+        depends on that).  Aborted fan-outs (rolled back) do not fire;
+        ``shard_id`` is -1 for unsharded datasets.
+        """
+        self._write_listeners.append(listener)
 
     def add_materialize_listener(self, listener) -> None:
         """Subscribe ``listener(dataset_name, shard_id)`` to lazy builds.
@@ -195,6 +208,8 @@ class WritePath:
             before = dataset.store.stats.snapshot()
             applied = self._apply(index, op, record)
             delta = dataset.store.stats.delta(before)
+        for listener in self._write_listeners:
+            listener(dataset_name, -1, op, record, applied)
         return MutationResult(
             dataset=dataset_name, op=op, point=record, applied=applied,
             shard_id=-1, replicas=1,
@@ -240,6 +255,8 @@ class WritePath:
             with shard.write_fanout():
                 applied, ios = self._apply_fanout(dataset_name, shard, op,
                                                   record)
+            for listener in self._write_listeners:
+                listener(dataset_name, shard.shard_id, op, record, applied)
         return MutationResult(
             dataset=dataset_name, op=op, point=record, applied=applied,
             shard_id=shard.shard_id, replicas=shard.num_replicas,

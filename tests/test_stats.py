@@ -667,3 +667,149 @@ def test_qerror_helper_is_symmetric_and_clamped():
     assert q_error(50, 5) == 10.0
     assert q_error(5, 50) == 10.0
     assert q_error(0, 8) == 8.0
+
+
+# ----------------------------------------------------------------------
+# workload-adaptive histogram directions (q-error feedback)
+# ----------------------------------------------------------------------
+def test_note_estimation_feedback_is_a_noop_on_base_models():
+    points = uniform_points(256, seed=3)
+    sample = np.asarray(points)[:64]
+    model = make_model("uniform", np.asarray(points), sample, seed=3)
+    constraint = LinearConstraint(coeffs=(0.5,), offset=0.1)
+    before = model.describe()
+    model.note_estimation_feedback(constraint, 10.0, 1000)
+    assert model.describe() == before
+
+
+def test_adaptive_histogram_replaces_persistently_bad_direction():
+    rng = np.random.default_rng(11)
+    points = np.asarray(diagonal_points(2048, seed=11))
+    sample = points[rng.choice(len(points), size=256, replace=False)]
+    # Start from one deliberately useless direction plus an axis, with
+    # adaptation armed.  min_cosine=-1 forces histogram answers so the
+    # bad direction actually prices queries (and accrues q-error).
+    model = HistogramModel(points, directions=[(1.0, 0.0), (0.0, 1.0)],
+                           num_buckets=32, min_cosine=-1.0,
+                           sample=sample, seed=11,
+                           adapt_after=8, adapt_qerror=2.0)
+    assert model.adaptations == 0
+    constraint = rotated_diagonal_query(points, angle=0.0,
+                                        selectivity=0.01)
+    # Feed persistently terrible feedback against whichever direction
+    # prices this constraint.
+    for __ in range(16):
+        expected = model.estimate_output(constraint)
+        model.note_estimation_feedback(constraint, expected,
+                                       actual=max(1000, expected * 50))
+        if model.adaptations:
+            break
+    assert model.adaptations >= 1
+    assert model.describe()["adaptations"] == model.adaptations
+
+
+def test_adaptive_histogram_recruits_missed_query_direction():
+    points = np.asarray(uniform_points(1024, seed=5))
+    sample = points[:256]
+    # One canonical direction: (0, 1), the residual direction of
+    # coeffs=(0.0,) constraints.
+    model = HistogramModel(points, directions=[(0.0, 1.0)],
+                           num_buckets=32, sample=sample, seed=5,
+                           adapt_after=4, adapt_qerror=2.0)
+    # Queries far from the only canonical direction fall back to the
+    # sample and record their direction as a replacement candidate.
+    off_axis = LinearConstraint(coeffs=(5.0,), offset=0.0)
+    covered = LinearConstraint(coeffs=(0.0,), offset=0.0)
+    for __ in range(4):
+        model.note_estimation_feedback(off_axis, 1.0, 500)   # missed
+    directions_before = model._directions.copy()
+    for __ in range(4):
+        model.note_estimation_feedback(covered, 1.0, 800)    # terrible
+    assert model.adaptations == 1
+    # The replacement is the missed query's unit direction, not the old
+    # axis direction.
+    unit, __ = constraint_direction(off_axis)
+    cosines = model._directions @ unit
+    assert np.max(cosines) > 0.999
+    assert not np.allclose(model._directions, directions_before)
+
+
+def test_adapt_knobs_flow_through_engine_stats_params():
+    points = uniform_points(512, seed=9)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=9,
+                         stats_model="histogram",
+                         stats_params={"num_buckets": 16,
+                                       "adapt_after": 4,
+                                       "adapt_qerror": 1.5})
+    engine.register_dataset("d", points, kinds=["dynamic", "full_scan"])
+    model = engine.catalog.dataset("d").stats
+    assert model._adapt_after == 4 and model._adapt_qerror == 1.5
+    # Served queries feed the model through the executor's finish path.
+    for constraint in halfspace_queries_with_selectivity(
+            np.asarray(points), 6, 0.1, seed=9):
+        engine.query("d", constraint, clear_cache=True)
+    assert int(np.sum(model._dir_observations)) + model.fallbacks > 0
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# provisional-shard stats upgrade (lazy materialization satellite)
+# ----------------------------------------------------------------------
+def test_materialized_shard_upgrades_to_configured_model():
+    rng = np.random.default_rng(21)
+    # A tiny hash-sharded build leaves at least one shard empty, so it
+    # lazily materializes on first insert with provisional stats.
+    build = [(float(i), float(i)) for i in range(4)]
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=21,
+                         stats_model="histogram",
+                         stats_params={"num_buckets": 8},
+                         stats_upgrade_min_points=16)
+    engine.register_sharded_dataset("lazy", build, num_shards=4,
+                                    sharding="hash", replicas=2,
+                                    kinds=["dynamic", "full_scan"])
+    sharded = engine.catalog.sharded("lazy")
+    empty = next(s for s in sharded.shards if s.is_empty)
+    probes = [p for p in ((float(a), float(b)) for a, b in
+                          rng.uniform(10.0, 20.0, size=(4096, 2)))
+              if sharded.router.shard_of(p) == empty.shard_id]
+    assert len(probes) >= 18
+    for point in probes[:15]:
+        engine.insert("lazy", point)
+    shard = sharded.shards[empty.shard_id]
+    assert shard.stats_provisional                  # still below the bar
+    assert shard.planning_dataset().stats.name == "uniform"
+    engine.insert("lazy", probes[15])               # the 16th point
+    assert not shard.stats_provisional
+    assert shard.planning_dataset().stats.name == "histogram"
+    # Replicas share the upgraded model object.
+    assert all(replica.stats is shard.planning_dataset().stats
+               for replica in shard.replicas)
+    # Later mutations keep flowing into the upgraded model exactly once.
+    before = shard.planning_dataset().stats.observed_inserts
+    engine.insert("lazy", probes[16])
+    assert shard.planning_dataset().stats.observed_inserts == before + 1
+    engine.close()
+
+
+def test_stats_upgrade_disabled_keeps_provisional_model():
+    rng = np.random.default_rng(22)
+    build = [(float(i), float(i)) for i in range(4)]
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=22,
+                         stats_model="histogram",
+                         stats_params={"num_buckets": 8},
+                         stats_upgrade_min_points=0)
+    engine.register_sharded_dataset("lazy", build, num_shards=4,
+                                    sharding="hash", replicas=1,
+                                    kinds=["dynamic", "full_scan"])
+    sharded = engine.catalog.sharded("lazy")
+    empty = next(s for s in sharded.shards if s.is_empty)
+    probes = [p for p in ((float(a), float(b)) for a, b in
+                          rng.uniform(10.0, 20.0, size=(4096, 2)))
+              if sharded.router.shard_of(p) == empty.shard_id]
+    assert len(probes) >= 40
+    for point in probes[:40]:
+        engine.insert("lazy", point)
+    shard = sharded.shards[empty.shard_id]
+    assert shard.stats_provisional
+    assert shard.planning_dataset().stats.name == "uniform"
+    engine.close()
