@@ -38,7 +38,24 @@ Three serving/storage-layer experiments ride along:
 * **selectivity models** — on the §1.2 diagonal with near-diagonal
   queries across a log-spaced selectivity range, the directional
   histogram model must show strictly lower mean *and* median
-  expected-output q-error than the uniform-sample baseline.
+  expected-output q-error than the uniform-sample baseline; the
+  e-weighted ensemble, after one online-feedback pass over a disjoint
+  warmup workload, must price the scoring queries within the recorded
+  histogram baseline (mean q-error <= 1.33 at the full configuration)
+  while strictly beating the uniform sample.  (Which member ends up
+  heavier is configuration-dependent — e-weights track cumulative
+  log-loss, where the histogram's steady small errors and the uniform
+  sample's rare large ones trade differently at different scales —
+  but the blend must not lose to either story.)
+* **conformal coverage** — degraded answers served under a
+  drained token bucket carry distribution-free conformal count
+  intervals once the dataset's calibration window is warm; over a
+  mixed-selectivity evaluation workload the intervals' empirical
+  coverage must sit within 5 points of the nominal level at the full
+  configuration (>= 200 degraded answers), every interval must be
+  conformal-sourced (no normal fallback after warm-up), and the
+  prequential coverage counters the calibrator itself tracks are
+  recorded alongside.
 * **rebalance** — skewed dynamic inserts into a pruned range shard mark
   its bounding box stale (pruning degrades, I/Os rise); a quantile
   re-split must restore pruning and cut the fan-out cost, with answers
@@ -145,6 +162,37 @@ STATS_SAMPLE_SIZE = 256
 #: sample happens to contain extreme-tail points decides *every*
 #: deep-tail estimate at once, so a single draw is all-or-nothing noise.
 STATS_REPLICATES = 3
+#: Ensemble acceptance gate (full configuration only): after its online
+#: warmup the e-weighted blend must price the scoring queries at least
+#: as well as the recorded histogram baseline (mean q-error 1.33).
+STATS_ENSEMBLE_MAX_MEAN_QERROR = 1.33
+
+#: Conformal-coverage experiment: calibrate the engine's conformal
+#: window with served queries, then measure the empirical coverage of
+#: degraded-answer intervals under a drained token bucket.  The
+#: calibration and evaluation workloads share one mixed selectivity
+#: grid (shuffled), so the exchangeability the conformal guarantee
+#: needs actually holds.
+CONF_POINTS = 4096
+CONF_COVERAGE = 0.9
+CONF_WINDOW = 256
+CONF_MIN_CALIBRATION = 32
+CONF_CAL_QUERIES = 192
+CONF_EVAL_QUERIES = 300
+#: The workload mixes log-spaced selectivity levels.  The grid must be
+#: *fine*: the workload generator targets an exact hit count per level
+#: and estimates land on multiples of ``num_points/sample_size``, so a
+#: coarse grid gives the conformity scores heavy atoms — quantile ties
+#: then push empirical coverage well above nominal (the conformal
+#: guarantee is one-sided).  Twelve levels smooth the score CDF enough
+#: for the two-sided +-5-point gate.
+CONF_SELECTIVITY_RANGE = (0.02, 0.4)
+CONF_SELECTIVITY_LEVELS = 12
+#: |empirical - nominal| bound, the ISSUE's +-5-point gate; the
+#: evaluation must also produce at least this many degraded answers
+#: for the gate to be statistically meaningful (full config only).
+CONF_TOLERANCE = 0.05
+CONF_MIN_DEGRADED = 200
 
 #: Rebalance experiment: K=4 range shards, skewed dynamic inserts.
 REBALANCE_POINTS = 2048
@@ -219,6 +267,13 @@ SMOKE_ASYNC_FAST_QUERIES = 6
 SMOKE_ASYNC_SLOW_QUERIES = 8
 SMOKE_STATS_POINTS = 1024
 SMOKE_STATS_NUM_QUERIES = 12
+SMOKE_CONF_POINTS = 1024
+#: Smoke still warms the conformal window past the (unchanged)
+#: ``CONF_MIN_CALIBRATION`` floor so every degraded answer is
+#: conformal-sourced; only the +-5-point coverage gate is
+#: full-configuration (24 evaluations cannot resolve 5 points).
+SMOKE_CONF_CAL_QUERIES = 36
+SMOKE_CONF_EVAL_QUERIES = 24
 SMOKE_REBALANCE_POINTS = 512
 SMOKE_REBALANCE_INSERTS = 200
 SMOKE_REBALANCE_QUERIES = 4
@@ -505,6 +560,13 @@ def run_selectivity_models(smoke=False):
     diagonal's residual direction — so its equi-depth CDF prices the
     same queries accurately.  Recorded per model: mean / median / p90 /
     max q-error of ``expected_output`` against the true output count.
+
+    The e-weighted ensemble runs both members side by side: one
+    online-feedback pass over a *disjoint* warmup workload (same
+    selectivity grid, independent rotation angles) lets the e-value
+    weights settle on whichever member accumulates less log-loss here,
+    and only then is it scored on the same queries as the standalone
+    models — nobody gets to peek at the scoring answers.
     """
     num_points = SMOKE_STATS_POINTS if smoke else STATS_POINTS
     num_queries = SMOKE_STATS_NUM_QUERIES if smoke else STATS_NUM_QUERIES
@@ -528,9 +590,27 @@ def run_selectivity_models(smoke=False):
 
     histogram = make_model("histogram", points, sample_draw(0),
                            seed=SEED + 12)
+
+    # The ensemble adapts online: a disjoint warmup workload (same
+    # log-spaced selectivity grid, independent rotation angles) feeds
+    # each member's own-estimate q-error through the e-weight update,
+    # then the blend is scored on the untouched scoring queries.
+    ensemble = make_model("ensemble", points, sample_draw(0),
+                          seed=SEED + 12)
+    warmup_rng = np.random.default_rng(SEED + 30)
+    for selectivity in selectivities:
+        angle = float(warmup_rng.normal(scale=2e-4))
+        constraint = rotated_diagonal_query(points, angle=angle,
+                                            selectivity=float(selectivity))
+        actual = sum(constraint.below(point) for point in points)
+        ensemble.note_estimation_feedback(
+            constraint, ensemble.estimate_output(constraint), actual)
+
     errors = {
         "histogram": [q_error(histogram.estimate_output(constraint), actual)
                       for constraint, actual in queries],
+        "ensemble": [q_error(ensemble.estimate_output(constraint), actual)
+                     for constraint, actual in queries],
         "uniform": [],
     }
     # The histogram's statistics are deterministic given the data; the
@@ -552,6 +632,8 @@ def run_selectivity_models(smoke=False):
             "uniform_replicates": STATS_REPLICATES,
         },
         "histogram_model": histogram.describe(),
+        "ensemble_model": ensemble.describe(),
+        "ensemble_gate": None if smoke else STATS_ENSEMBLE_MAX_MEAN_QERROR,
     }
     for name, values in errors.items():
         ordered = sorted(values)
@@ -562,6 +644,109 @@ def run_selectivity_models(smoke=False):
             "max_qerror": float(max(values)),
         }
     return payload
+
+
+def run_conformal_coverage(smoke=False):
+    """Empirical coverage of degraded-answer conformal intervals.
+
+    Two phases through one engine over one mixed-selectivity workload
+    generator (four selectivity levels, shuffled together so
+    calibration and evaluation queries are exchangeable — the only
+    assumption the conformal guarantee needs):
+
+    1. **calibration** — served (non-degraded) queries feed their
+       (estimate, actual) pairs through ``EngineStats.note_estimation``
+       into the engine's conformal window until it is warm;
+    2. **evaluation** — the same tenant re-issues fresh queries under a
+       drained token bucket with ``policy="degrade"``, so every answer
+       is the zero-I/O sample estimate plus its conformal interval.
+
+    The default ``stats_model="uniform"`` makes the calibrated
+    estimator and the degraded estimator the *same* scaled sample
+    count, so the calibration residuals price exactly the estimates the
+    intervals wrap.  Recorded: empirical coverage of the true count
+    over the degraded answers (the ISSUE's +-5-point gate at the full
+    configuration), interval sources (must be all-conformal once warm),
+    mean interval width, and the calibrator's own prequential coverage
+    counters from the calibration phase.
+    """
+    num_points = SMOKE_CONF_POINTS if smoke else CONF_POINTS
+    num_cal = SMOKE_CONF_CAL_QUERIES if smoke else CONF_CAL_QUERIES
+    num_eval = SMOKE_CONF_EVAL_QUERIES if smoke else CONF_EVAL_QUERIES
+    points = uniform_points(num_points, seed=SEED + 31)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=SEED,
+                         conformal_coverage=CONF_COVERAGE,
+                         conformal_window=CONF_WINDOW,
+                         conformal_min_calibration=CONF_MIN_CALIBRATION)
+    engine.register_dataset("conf", points)
+
+    low, high = CONF_SELECTIVITY_RANGE
+    selectivities = [float(s) for s in np.exp(
+        np.linspace(np.log(low), np.log(high), CONF_SELECTIVITY_LEVELS))]
+
+    def workload(count, seed):
+        """``count`` (constraint, true count) pairs, selectivity-mixed."""
+        pool = []
+        per_level = -(-count // len(selectivities))
+        for offset, selectivity in enumerate(selectivities):
+            for constraint in halfspace_queries_with_selectivity(
+                    points, per_level, selectivity, seed=seed + offset):
+                pool.append((constraint,
+                             sum(constraint.below(p) for p in points)))
+        order = np.random.default_rng(seed + 9).permutation(len(pool))
+        return [pool[index] for index in order[:count]]
+
+    for constraint, __ in workload(num_cal, SEED + 32):
+        engine.query("conf", constraint)
+    calibration = engine.stats.conformal.describe()["datasets"]["conf"]
+
+    evaluation = workload(num_eval, SEED + 33)
+    actual_by_constraint = dict(evaluation)
+    requests = [ServingRequest(tenant="probe", dataset="conf",
+                               constraint=constraint)
+                for constraint, __ in evaluation]
+    # A drained bucket that effectively never refills: every request's
+    # estimated cost exceeds the available tokens, so the degrade
+    # policy answers all of them from the sample.
+    budget = TenantBudget(ios_per_s=1e-6, burst=0.5, policy="degrade")
+    result = engine.serve_async(requests, budgets={"probe": budget})
+
+    sources = {}
+    covered = 0
+    widths = []
+    degraded = 0
+    for item in result.requests:
+        if item.outcome != "degraded" or item.answer is None:
+            continue
+        degraded += 1
+        answer = item.answer
+        sources[answer.interval_source] = \
+            sources.get(answer.interval_source, 0) + 1
+        low, high = answer.count_interval
+        actual = actual_by_constraint[item.request.constraint]
+        covered += int(low <= actual <= high)
+        widths.append(high - low)
+    engine.close()
+
+    return {
+        "workload": {
+            "num_points": num_points,
+            "calibration_queries": num_cal,
+            "evaluation_queries": num_eval,
+            "selectivities": selectivities,
+            "nominal_coverage": CONF_COVERAGE,
+            "window": CONF_WINDOW,
+            "min_calibration": CONF_MIN_CALIBRATION,
+        },
+        "calibration": calibration,
+        "degraded_answers": degraded,
+        "interval_sources": sources,
+        "empirical_coverage": covered / degraded if degraded else None,
+        "mean_interval_width": float(np.mean(widths)) if widths else None,
+        "outcomes": result.outcomes(),
+        "coverage_gate": None if smoke else CONF_TOLERANCE,
+        "min_degraded_gate": None if smoke else CONF_MIN_DEGRADED,
+    }
 
 
 def run_rebalance(smoke=False):
@@ -1393,6 +1578,7 @@ def run_experiment(smoke=False):
         "sharding": run_sharding(smoke=smoke),
         "async_serving": run_async_serving(smoke=smoke),
         "selectivity_models": run_selectivity_models(smoke=smoke),
+        "conformal_coverage": run_conformal_coverage(smoke=smoke),
         "rebalance": run_rebalance(smoke=smoke),
         "write_fanout": run_write_fanout(smoke=smoke),
         "vectorized": run_vectorized(smoke=smoke),
@@ -1481,13 +1667,35 @@ def storage_tables(results):
          "%.2f" % stats[name]["median_qerror"],
          "%.2f" % stats[name]["p90_qerror"],
          "%.2f" % stats[name]["max_qerror"]]
-        for name in ("uniform", "histogram")]
+        for name in ("uniform", "histogram", "ensemble")]
+    weights = stats["ensemble_model"]["weights"]
     stats_table = format_table(
         ["model", "mean q", "median q", "p90 q", "max q"], stats_rows,
         title="SELECTIVITY — %d §1.2-diagonal queries, selectivity "
-        "%g..%g" % (stats["workload"]["num_queries"],
-                    stats["workload"]["selectivity_range"][0],
-                    stats["workload"]["selectivity_range"][1]))
+        "%g..%g (ensemble weights u:%.3f h:%.3f after %d feedbacks)"
+        % (stats["workload"]["num_queries"],
+           stats["workload"]["selectivity_range"][0],
+           stats["workload"]["selectivity_range"][1],
+           weights["uniform"], weights["histogram"],
+           stats["ensemble_model"]["feedback"]))
+
+    conformal = results["conformal_coverage"]
+    conformal_rows = [[
+        "%.2f" % conformal["workload"]["nominal_coverage"],
+        "%.3f" % conformal["empirical_coverage"],
+        str(conformal["degraded_answers"]),
+        " ".join("%s:%d" % pair
+                 for pair in sorted(conformal["interval_sources"].items())),
+        "%.1f" % conformal["mean_interval_width"]]]
+    conformal_table = format_table(
+        ["nominal", "empirical", "degraded answers", "interval sources",
+         "mean width"], conformal_rows,
+        title="CONFORMAL — degraded-answer intervals after %d calibration "
+        "queries (window %d pairs, prequential coverage %s)"
+        % (conformal["workload"]["calibration_queries"],
+           conformal["calibration"]["pairs"],
+           "-" if conformal["calibration"]["empirical_coverage"] is None
+           else "%.3f" % conformal["calibration"]["empirical_coverage"]))
 
     rebalance = results["rebalance"]
     rebalance_rows = [
@@ -1614,8 +1822,9 @@ def storage_tables(results):
         % (http["workload"]["num_requests"],
            http["stats_endpoint"]["valid_json"]))
     return "\n\n".join([backend_table, shard_table, serving_table,
-                        stats_table, rebalance_table, fanout_table,
-                        vec_table, proc_table, trace_table, http_table])
+                        stats_table, conformal_table, rebalance_table,
+                        fanout_table, vec_table, proc_table, trace_table,
+                        http_table])
 
 
 def check_acceptance(results):
@@ -1681,6 +1890,44 @@ def check_acceptance(results):
         "sample (median q-error %.2f) on the skewed diagonal workload"
         % (stats["histogram"]["median_qerror"],
            stats["uniform"]["median_qerror"]))
+    assert (stats["ensemble"]["mean_qerror"]
+            < stats["uniform"]["mean_qerror"]), (
+        "the warmed ensemble (mean q-error %.2f) must beat the uniform "
+        "sample (mean q-error %.2f) — its e-weights exist to stop the "
+        "mis-specified member deciding the blend"
+        % (stats["ensemble"]["mean_qerror"],
+           stats["uniform"]["mean_qerror"]))
+    ensemble_gate = stats["ensemble_gate"]
+    if ensemble_gate is not None:
+        assert stats["ensemble"]["mean_qerror"] <= ensemble_gate, (
+            "at the full configuration the warmed ensemble's mean q-error "
+            "(%.3f) must be within the recorded histogram baseline (%.2f)"
+            % (stats["ensemble"]["mean_qerror"], ensemble_gate))
+
+    conformal = results["conformal_coverage"]
+    assert conformal["degraded_answers"] >= 1, (
+        "the drained token bucket must degrade the evaluation requests, "
+        "got outcomes %r" % (conformal["outcomes"],))
+    assert set(conformal["interval_sources"]) == {"conformal"}, (
+        "every degraded answer after the calibration phase must carry a "
+        "conformal interval (no normal fallback), got sources %r"
+        % (conformal["interval_sources"],))
+    min_degraded = conformal["min_degraded_gate"]
+    if min_degraded is not None:
+        assert conformal["degraded_answers"] >= min_degraded, (
+            "the full-configuration coverage gate needs >= %d degraded "
+            "answers to be meaningful, got %d"
+            % (min_degraded, conformal["degraded_answers"]))
+    tolerance = conformal["coverage_gate"]
+    if tolerance is not None:
+        nominal = conformal["workload"]["nominal_coverage"]
+        gap = abs(conformal["empirical_coverage"] - nominal)
+        assert gap <= tolerance, (
+            "degraded-answer conformal intervals must achieve empirical "
+            "coverage within %.0f points of the nominal %.2f, measured "
+            "%.3f (gap %.3f) over %d degraded answers"
+            % (tolerance * 100, nominal, conformal["empirical_coverage"],
+               gap, conformal["degraded_answers"]))
 
     rebalance = results["rebalance"]
     skewed = rebalance["after_skewed_inserts"]

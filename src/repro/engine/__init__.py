@@ -103,6 +103,8 @@ from repro.engine.sharding import (
     make_router,
 )
 from repro.engine.stats import (
+    ConformalCalibrator,
+    EnsembleModel,
     EquiDepthHistogram,
     HistogramModel,
     SelectivityModel,
@@ -121,8 +123,10 @@ __all__ = [
     "CalibrationStore",
     "CandidateEstimate",
     "Catalog",
+    "ConformalCalibrator",
     "Dataset",
     "EngineStats",
+    "EnsembleModel",
     "EquiDepthHistogram",
     "ExecutedQuery",
     "ExecutionCore",

@@ -18,7 +18,9 @@ The catalog also attaches a pluggable *selectivity model* (see
 so sharded planning is priced with shard-local statistics.  The default
 ``"uniform"`` model evaluates constraints on a small in-memory sample
 (O(sample) arithmetic, zero I/Os); ``"histogram"`` maintains equi-depth
-directional histograms that resolve skewed data like the §1.2 diagonal.
+directional histograms that resolve skewed data like the §1.2 diagonal;
+``"ensemble"`` runs both side by side and blends them with online
+e-value-style weights learned from observed per-query q-error.
 Either way the estimate turns the paper's output-sensitive bounds into
 concrete per-query cost predictions.
 """
@@ -207,7 +209,8 @@ class Catalog:
         each); a temporary file per store when omitted.
     stats_model / stats_params:
         Default selectivity model for every dataset (and shard child):
-        ``"uniform"`` (default), ``"histogram"``, or a factory — see
+        ``"uniform"`` (default), ``"histogram"``, ``"ensemble"``, or a
+        factory — see
         :func:`repro.engine.stats.make_model`; ``stats_params`` are
         forwarded to the model constructor.
     """
@@ -238,6 +241,16 @@ class Catalog:
     def sample_size(self) -> int:
         """The per-dataset selectivity-sample size."""
         return self._sample_size
+
+    @property
+    def stats_model(self) -> object:
+        """The catalog-wide default selectivity-model kind (or factory)."""
+        return self._stats_model
+
+    @property
+    def stats_params(self) -> Dict[str, object]:
+        """The catalog-wide default selectivity-model parameters."""
+        return dict(self._stats_params)
 
     # ------------------------------------------------------------------
     # datasets
@@ -369,7 +382,12 @@ class Catalog:
         array = np.asarray(points, dtype=float)
         if array.size == 0:
             array = array.reshape(0, int(dimension))
-        dataset = self._make_dataset(name, array, None, None, None)
+        # A zero-point (materialized) replica mirrors materialize_shard's
+        # provisional uniform model: histogram/ensemble models need at
+        # least one build point.
+        dataset = self._make_dataset(
+            name, array, None, None, None,
+            "uniform" if len(array) == 0 else None)
         self._datasets[name] = dataset
         for build in suite_builds:
             params = dict(build["params"])

@@ -73,16 +73,27 @@ class WorkerHandle:
         self.alive = True
         self.restarts = 0
         self.served = 0
+        #: Highest write-log ``seq`` the coordinator has delivered to
+        #: this worker (spec snapshot, catch-up replay and live
+        #: broadcast all advance it) — the worker's replay position as
+        #: the coordinator knows it, without an RPC round-trip.
+        self.last_seq = 0
 
     @property
     def key(self) -> Tuple[str, int, int]:
         return (self.dataset, self.shard_id, self.replica_id)
 
+    @property
+    def address(self) -> str:
+        """The worker's listen address (always loopback)."""
+        return "127.0.0.1:%d" % self.port
+
     def describe(self) -> Dict[str, object]:
         return {"replica": self.replica_name, "pid": self.pid,
-                "port": self.port,
+                "port": self.port, "address": self.address,
                 "state": "live" if self.alive else "dead",
-                "restarts": self.restarts, "served": self.served}
+                "restarts": self.restarts, "served": self.served,
+                "last_seq": self.last_seq}
 
 
 class Coordinator:
@@ -101,11 +112,18 @@ class Coordinator:
     auto_restart:
         Whether the monitor restarts dead workers itself (failover to
         surviving replicas happens either way).
+    conformal:
+        The parent engine's conformal-calibrator configuration
+        (:meth:`~repro.engine.stats.ConformalCalibrator.config`),
+        forwarded in every worker spec so worker processes replicate
+        the parent's estimation stack exactly.
     """
 
     def __init__(self, catalog: Catalog, heartbeat_interval_s: float = 1.0,
-                 spawn_timeout_s: float = 60.0, auto_restart: bool = True):
+                 spawn_timeout_s: float = 60.0, auto_restart: bool = True,
+                 conformal: Optional[Dict[str, object]] = None):
         self._catalog = catalog
+        self._conformal = dict(conformal or {})
         self.log = WriteLog()
         self._mp = _fork_context()
         self._spawn_timeout_s = spawn_timeout_s
@@ -149,6 +167,24 @@ class Coordinator:
         for handle in handles:
             self._shutdown_handle(handle)
 
+    def _effective_stats(self, sharded) -> Tuple[object, Dict[str, object]]:
+        """The dataset's effective selectivity-model configuration.
+
+        Mirrors :meth:`Catalog._make_stats` resolution: a register-time
+        override wins (and does *not* inherit catalog-wide params, which
+        belong to the catalog's model kind); otherwise the catalog
+        defaults apply.  Workers rebuild their replica models from this,
+        so an ensemble-configured dataset comes out identical in process
+        mode.
+        """
+        params = sharded.register_params
+        if params.get("stats_model") is None:
+            stats_params = params.get("stats_params")
+            return (self._catalog.stats_model,
+                    dict(stats_params) if stats_params is not None
+                    else self._catalog.stats_params)
+        return params["stats_model"], dict(params.get("stats_params") or {})
+
     def _spawn(self, dataset_name: str, shard: Shard,
                replica_id: int) -> WorkerHandle:
         """Fork one worker for a replica and wait for its port handshake.
@@ -161,13 +197,16 @@ class Coordinator:
         """
         sharded = self._catalog.sharded(dataset_name)
         replica = shard.replicas[replica_id]
+        stats_model, stats_params = self._effective_stats(sharded)
+        log_entries = self.log.entries(dataset_name, shard.shard_id)
         spec = worker.build_spec(
             dataset_name, shard.shard_id, replica_id, replica.name,
             replica.points, sharded.dimension,
             replica.store.block_size, replica.store.cache_blocks,
             self._catalog.sample_size, self._catalog.seed,
-            sharded.suite_builds,
-            self.log.entries(dataset_name, shard.shard_id))
+            sharded.suite_builds, log_entries,
+            stats_model=stats_model, stats_params=stats_params,
+            conformal=self._conformal)
         parent_end, child_end = self._mp.Pipe(duplex=False)
         process = self._mp.Process(
             target=worker.worker_main, args=(spec, child_end),
@@ -186,6 +225,9 @@ class Coordinator:
         handle = WorkerHandle(dataset_name, shard.shard_id, replica_id,
                               replica.name, process, client,
                               int(hello["port"]), int(hello["pid"]))
+        if log_entries:
+            # The spec's log snapshot was already applied during rebuild.
+            handle.last_seq = max(seq for seq, __, __ in log_entries)
         with self._lock:
             previous = self._workers.get(handle.key)
             self._workers[handle.key] = handle
@@ -200,6 +242,7 @@ class Coordinator:
                 try:
                     handle.client.call({"op": op, "point": list(point),
                                         "seq": seq})
+                    handle.last_seq = max(handle.last_seq, seq)
                 except WorkerUnavailable:
                     handle.alive = False
                     break
@@ -306,6 +349,7 @@ class Coordinator:
                     continue
                 try:
                     handle.client.call(payload)
+                    handle.last_seq = seq
                 except WorkerUnavailable:
                     self.mark_dead(handle)
 

@@ -25,6 +25,13 @@ The RPC operations (``op`` field of every request):
 ``stats``       cumulative I/O counters and calibration observations
 ``shutdown``    stop the serve loop and exit the process
 ========== ==========================================================
+
+The replica *spec* — including the dataset's selectivity-model kind and
+parameters and the parent's conformal-calibrator config — does not
+travel over this protocol: it rides the fork/pickle boundary at spawn
+time (:func:`repro.engine.cluster.worker.build_spec`); the ``stats``
+response echoes the resulting model name and conformal config back for
+introspection.
 """
 
 from __future__ import annotations

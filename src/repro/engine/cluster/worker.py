@@ -3,7 +3,10 @@
 :func:`worker_main` is the process entrypoint the coordinator forks.  It
 rebuilds its replica *deterministically* from the spec — a fresh
 mini-:class:`~repro.engine.catalog.Catalog` with the parent's effective
-block size, buffer-pool size, sample size and seed, the replica's
+block size, buffer-pool size, sample size, seed and selectivity-model
+configuration (stats model kind/params plus the parent's conformal
+calibrator config, so an ensemble-configured dataset rebuilds identical
+models), the replica's
 build-time points, and a replay of the sharded dataset's recorded
 ``suite_builds`` (index builds are seeded through the catalog, so the
 structures come out identical) — then replays the write fan-out log it
@@ -46,7 +49,10 @@ def build_spec(dataset: str, shard_id: int, replica_id: int,
                block_size: int, cache_blocks: int, sample_size: int,
                seed: Optional[int],
                suite_builds: List[Dict[str, object]],
-               log: List[Tuple[int, str, Tuple[float, ...]]]
+               log: List[Tuple[int, str, Tuple[float, ...]]],
+               stats_model: object = "uniform",
+               stats_params: Optional[Dict[str, object]] = None,
+               conformal: Optional[Dict[str, object]] = None
                ) -> Dict[str, object]:
     """The picklable replica description a worker process is spawned with.
 
@@ -54,7 +60,15 @@ def build_spec(dataset: str, shard_id: int, replica_id: int,
     immutable on the child dataset); every mutation since build rides in
     ``log``.  An empty array marks a lazily-materialized shard, whose
     builds replay :meth:`Catalog.materialize_shard`'s dimension
-    defaulting.
+    defaulting.  ``stats_model`` / ``stats_params`` are the dataset's
+    *effective* selectivity-model configuration (register-time override
+    or catalog default), so the worker's mini-catalog rebuilds the
+    identical model — uniform, histogram or ensemble — over the replica;
+    ``conformal`` is the parent calibrator's
+    :meth:`~repro.engine.stats.ConformalCalibrator.config` snapshot,
+    carried so the worker's configuration is a faithful replica of the
+    parent's estimation stack (the spec travels by pickle through the
+    fork, not over the socket protocol).
     """
     return {
         "dataset": dataset, "shard_id": shard_id, "replica_id": replica_id,
@@ -65,6 +79,9 @@ def build_spec(dataset: str, shard_id: int, replica_id: int,
         "suite_builds": [dict(build) for build in suite_builds],
         "materialized": len(points) == 0,
         "log": list(log),
+        "stats_model": stats_model,
+        "stats_params": dict(stats_params or {}),
+        "conformal": dict(conformal or {}),
     }
 
 
@@ -73,11 +90,17 @@ class ShardWorker:
 
     def __init__(self, spec: Dict[str, object]):
         self.spec = spec
+        # Older specs (pre-stats-config) default to the provisional
+        # uniform model; current coordinators always fill these in.
         self._catalog = Catalog(
             block_size=spec["block_size"],
             cache_blocks=spec["cache_blocks"],
             sample_size=spec["sample_size"],
-            seed=spec["seed"], backend="memory", stats_model="uniform")
+            seed=spec["seed"], backend="memory",
+            stats_model=spec.get("stats_model", "uniform"),
+            stats_params=spec.get("stats_params"))
+        self.conformal_config: Dict[str, object] = dict(
+            spec.get("conformal") or {})
         self.dataset = self._catalog.adopt_replica(
             spec["replica_name"], spec["points"], spec["suite_builds"],
             dimension=spec["dimension"],
@@ -234,6 +257,9 @@ class ShardWorker:
                     "writes": self._writes_applied,
                     "last_seq": self._last_seq,
                     "ios": protocol.iostats_to_wire(totals),
+                    "stats_model": getattr(self.dataset.stats, "name",
+                                           None),
+                    "conformal": dict(self.conformal_config),
                     "observations": {name: dict(summary)
                                      for name, summary
                                      in self._observations.items()}}

@@ -50,6 +50,12 @@ from repro.engine.executor import (
 )
 from repro.engine.metrics import EngineStats
 from repro.engine.planner import Planner
+from repro.engine.stats import (
+    DEFAULT_COVERAGE,
+    DEFAULT_MIN_CALIBRATION,
+    DEFAULT_WINDOW,
+    ConformalCalibrator,
+)
 from repro.engine.sharding import RebalanceManager, RebalanceReport
 from repro.engine.serving import (
     AdmissionController,
@@ -91,9 +97,17 @@ class QueryEngine:
         :meth:`save_calibration` persists it back.
     stats_model / stats_params:
         Selectivity model built for every dataset and shard child:
-        ``"uniform"`` (default, sample scan) or ``"histogram"``
-        (directional equi-depth histograms for skewed data); see
-        :mod:`repro.engine.stats`.
+        ``"uniform"`` (default, sample scan), ``"histogram"``
+        (directional equi-depth histograms for skewed data) or
+        ``"ensemble"`` (uniform + histogram side by side, blended by
+        online e-value-style weights); see :mod:`repro.engine.stats`.
+    conformal_coverage / conformal_window / conformal_min_calibration:
+        Conformal calibration of estimation error: the executor's
+        observed (estimate, actual) pairs feed a bounded per-dataset
+        calibration window, and plans / degraded answers carry
+        distribution-free intervals at the nominal
+        ``conformal_coverage`` once ``conformal_min_calibration`` pairs
+        are in (see :class:`repro.engine.stats.ConformalCalibrator`).
     auto_rebalance / rebalance_threshold / rebalance_min_mutations:
         When ``auto_rebalance`` is set, every serving entry point first
         checks the touched range-sharded datasets for skew (largest
@@ -148,15 +162,22 @@ class QueryEngine:
                  slow_query_threshold_s: float = 0.25,
                  slow_query_capacity: int = 64,
                  workers: Optional[str] = None,
-                 stats_upgrade_min_points: int = 64):
+                 stats_upgrade_min_points: int = 64,
+                 conformal_coverage: float = DEFAULT_COVERAGE,
+                 conformal_window: int = DEFAULT_WINDOW,
+                 conformal_min_calibration: int = DEFAULT_MIN_CALIBRATION):
         self.catalog = Catalog(block_size=block_size,
                                cache_blocks=cache_blocks,
                                sample_size=sample_size, seed=seed,
                                backend=backend, data_dir=data_dir,
                                stats_model=stats_model,
                                stats_params=stats_params)
-        self.planner = Planner(self.catalog, ewma_alpha=ewma_alpha)
-        self.stats = EngineStats()
+        self.stats = EngineStats(conformal=ConformalCalibrator(
+            coverage=conformal_coverage, window=conformal_window,
+            min_calibration=conformal_min_calibration))
+        self.stats.set_model_provider(self._live_models)
+        self.planner = Planner(self.catalog, ewma_alpha=ewma_alpha,
+                               conformal=self.stats.conformal)
         self.tracer = Tracer(enabled=tracing, max_traces=trace_capacity,
                              slow_threshold_s=slow_query_threshold_s,
                              slow_capacity=slow_query_capacity)
@@ -195,7 +216,8 @@ class QueryEngine:
         if mode == "process":
             # Deferred import: the cluster package imports engine pieces.
             from repro.engine.cluster import Coordinator
-            self.cluster = Coordinator(self.catalog)
+            self.cluster = Coordinator(
+                self.catalog, conformal=self.stats.conformal.config())
             self.executor.core.attach_cluster(self.cluster)
             # Every committed sharded write lands in the coordinator's
             # fan-out log (and is broadcast to live workers); lazy
@@ -340,6 +362,27 @@ class QueryEngine:
                 observe = getattr(index, "add_point_listener", None)
                 if callable(observe):
                     observe(point_hook)
+
+    def _live_models(self) -> Dict[str, object]:
+        """Live selectivity models by dataset name (the metrics provider).
+
+        Evaluated at summary/scrape time rather than captured once:
+        shard-child models are rebuilt on stats upgrades and re-splits,
+        so stored references would go stale.  Sharded datasets report
+        the dataset-level model plus each non-empty shard's planning
+        model under the shard child's name (e.g. ``logs#2``).
+        """
+        models: Dict[str, object] = {}
+        for name in self.catalog.datasets():
+            if self.catalog.is_sharded(name):
+                sharded = self.catalog.sharded(name)
+                models[name] = sharded.stats
+                for shard in sharded.nonempty_shards():
+                    child = shard.planning_dataset()
+                    models[child.name] = child.stats
+            else:
+                models[name] = self.catalog.dataset(name).stats
+        return models
 
     def _make_point_hook(self, name, dataset, sharded, shard=None):
         """The per-point mutation callback keeping statistics current."""

@@ -90,10 +90,15 @@ class ExecutedQuery:
     #: For degraded answers: ``count / sample_rate`` rounded — the scaled
     #: estimate of how many points the *full* dataset would report.
     estimated_count: Optional[int] = None
-    #: For degraded answers: a ~95% confidence interval on the full
-    #: count (see :func:`repro.engine.serving.admission.
+    #: For degraded answers: an interval on the full count — conformal
+    #: (:class:`repro.engine.stats.conformal.ConformalCalibrator`) once
+    #: the dataset's calibration window is warm, else the normal
+    #: approximation (:func:`repro.engine.serving.admission.
     #: scaled_count_estimate`).
     count_interval: Optional[Tuple[int, int]] = None
+    #: Which machinery produced ``count_interval``: ``"conformal"`` or
+    #: ``"normal_fallback"`` (None for exact answers).
+    interval_source: Optional[str] = None
 
     @property
     def count(self) -> int:
@@ -679,6 +684,8 @@ class ExecutionCore:
             degraded=answer.degraded,
             sample_rate=answer.sample_rate,
             estimated_count=answer.estimated_count,
+            count_interval=answer.count_interval,
+            interval_source=answer.interval_source,
         ))
 
 

@@ -39,7 +39,15 @@ The statistics subsystem adds two more:
   selectivity model is misestimating;
 * **rebalance events** — every shard re-split the
   :class:`~repro.engine.sharding.RebalanceManager` performed, with
-  before/after shard sizes and the skew that triggered it.
+  before/after shard sizes and the skew that triggered it;
+* **conformal calibration** — every (expected, actual) pair also feeds a
+  per-dataset :class:`~repro.engine.stats.conformal.ConformalCalibrator`
+  (the distribution-free intervals degraded answers serve), whose window
+  sizes and prequential coverage counters ride in ``summary()`` and as
+  gauges;
+* **model state** — live ensemble weights, per-member q-error, histogram
+  adaptation counts and per-direction q-error, pulled from the engine's
+  registered model provider into ``summary()["stats"]`` and gauges.
 
 The recorder is thread-safe: the batch executor's concurrent path records
 from worker threads.
@@ -51,9 +59,10 @@ import math
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.obs.registry import MetricsRegistry
+from repro.engine.stats.conformal import ConformalCalibrator
 from repro.experiments.harness import format_table
 
 
@@ -114,6 +123,12 @@ class ServedQueryRecord:
     sample_rate: float = 1.0
     #: For degraded answers: the scaled full-dataset count estimate.
     estimated_count: Optional[int] = None
+    #: For degraded answers: the count interval around the estimate.
+    count_interval: Optional[Tuple[int, int]] = None
+    #: How the interval was produced: "conformal" once the dataset's
+    #: calibration set is warm, "normal_fallback" during cold start,
+    #: None for exact answers.
+    interval_source: Optional[str] = None
 
 
 def q_error(expected: float, actual: float) -> float:
@@ -170,6 +185,16 @@ class EngineStats:
     #: JSON in ``summary()["metrics"]``.
     registry: MetricsRegistry = field(default_factory=MetricsRegistry,
                                       repr=False)
+    #: Per-dataset conformal calibration over the same (expected, actual)
+    #: pairs :meth:`note_estimation` records — the distribution-free
+    #: intervals degraded answers serve once the window is warm.
+    conformal: ConformalCalibrator = field(
+        default_factory=ConformalCalibrator, repr=False)
+    #: Optional callable returning the live ``{name: SelectivityModel}``
+    #: map (the engine registers one); feeds ``summary()["stats"]`` and
+    #: the per-model gauges.
+    model_provider: Optional[Callable[[], Dict[str, object]]] = field(
+        default=None, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def __post_init__(self) -> None:
@@ -223,6 +248,39 @@ class EngineStats:
         self._m_replica_ios = reg.counter(
             "engine_replica_ios_total", "I/Os attributed per shard replica",
             ("dataset", "shard", "replica"))
+        # Model-state gauges: last-write-wins snapshots refreshed by
+        # refresh_model_metrics() (every summary() / /metrics scrape).
+        self._m_adaptations = reg.gauge(
+            "engine_histogram_adaptations",
+            "Histogram directions replaced by workload feedback",
+            ("dataset",))
+        self._m_direction_qerror = reg.gauge(
+            "engine_histogram_direction_qerror",
+            "Geometric-mean q-error per histogram direction",
+            ("dataset", "direction"))
+        self._m_ensemble_weight = reg.gauge(
+            "engine_ensemble_weight",
+            "Normalised e-value weight per ensemble member",
+            ("dataset", "member"))
+        self._m_member_qerror = reg.gauge(
+            "engine_ensemble_member_qerror",
+            "Geometric-mean own-estimate q-error per ensemble member",
+            ("dataset", "member"))
+        self._m_conformal_pairs = reg.gauge(
+            "engine_conformal_calibration_pairs",
+            "Calibration pairs held per dataset", ("dataset",))
+        self._m_conformal_intervals = reg.gauge(
+            "engine_conformal_intervals_total",
+            "Conformal intervals scored against actual counts",
+            ("dataset",))
+        self._m_conformal_covered = reg.gauge(
+            "engine_conformal_covered_total",
+            "Conformal intervals that covered the actual count",
+            ("dataset",))
+        self._m_conformal_coverage = reg.gauge(
+            "engine_conformal_empirical_coverage",
+            "Prequential empirical coverage per dataset (vs nominal)",
+            ("dataset",))
 
     def record(self, record: ServedQueryRecord) -> None:
         """Append one served-query record (thread-safe)."""
@@ -247,12 +305,15 @@ class EngineStats:
         Fed by the executor alongside calibration feedback, so every
         executed (shard) plan contributes exactly one sample — the signal
         operators watch to see when a dataset's selectivity model is
-        misestimating.
+        misestimating.  Each pair also feeds the dataset's conformal
+        calibration window, which is where degraded answers get their
+        distribution-free intervals once it is warm.
         """
         error = q_error(expected, actual)
         with self._lock:
             self.estimation_errors.setdefault(dataset, []).append(error)
         self._m_qerror.observe(error, dataset=dataset)
+        self.conformal.observe(dataset, expected, actual)
 
     def note_write(self, dataset: str, op: str, applied: bool, ios: int,
                    latency_s: float, replicas: int) -> None:
@@ -347,6 +408,7 @@ class EngineStats:
             self.write_latencies.clear()
             self.http_latencies.clear()
             self.http_statuses.clear()
+        self.conformal.reset()
         self.registry.reset()
 
     # ------------------------------------------------------------------
@@ -606,6 +668,93 @@ class EngineStats:
         return self.total_ios / self.num_queries if self.num_queries else 0.0
 
     # ------------------------------------------------------------------
+    # model state (ensemble weights, histogram adaptation, conformal)
+    # ------------------------------------------------------------------
+    def set_model_provider(
+            self, provider: Optional[Callable[[], Dict[str, object]]]
+    ) -> None:
+        """Register the live ``{name: SelectivityModel}`` source.
+
+        The engine registers a provider that walks its catalog (datasets
+        and shard children) at call time, so :meth:`model_summary` and
+        the gauges always reflect the *current* models — shard stats get
+        rebuilt on upgrade/re-split, so holding model references here
+        would go stale.
+        """
+        self.model_provider = provider
+
+    def model_summary(self) -> Dict[str, Dict[str, object]]:
+        """Live per-model state: weights, adaptation, per-direction q-error.
+
+        One entry per model the provider reports (top-level datasets plus
+        ``name/shard<id>`` children), carrying the model's ``describe()``
+        payload; histogram models additionally surface their
+        per-direction geometric-mean q-error, and ensemble members'
+        histogram state is lifted alongside the weights.  Refreshes the
+        corresponding Prometheus gauges as a side effect, so
+        ``summary()`` and ``/metrics`` report the same snapshot.
+        """
+        if self.model_provider is None:
+            return {}
+        out: Dict[str, Dict[str, object]] = {}
+        for name, model in sorted(self.model_provider().items()):
+            if model is None:
+                continue
+            payload: Dict[str, object] = dict(model.describe())
+            self._collect_histogram_state(name, model, payload)
+            weights = getattr(model, "weights", None)
+            if isinstance(weights, dict):
+                for member, weight in weights.items():
+                    self._m_ensemble_weight.set(weight, dataset=name,
+                                                member=member)
+                for member, error in model.member_qerror().items():
+                    if error is not None:
+                        self._m_member_qerror.set(error, dataset=name,
+                                                  member=member)
+                members = getattr(model, "members", ())
+                member_names = getattr(model, "MEMBER_NAMES", ())
+                for member_name, member in zip(member_names, members):
+                    self._collect_histogram_state(
+                        "%s/%s" % (name, member_name), member,
+                        payload.setdefault("members", {})
+                        .setdefault(member_name, {}))
+            out[name] = payload
+        return out
+
+    def _collect_histogram_state(self, label: str, model: object,
+                                 payload: Dict[str, object]) -> None:
+        """Fold one histogram-capable model's adaptation state in."""
+        direction_qerror = getattr(model, "direction_qerror", None)
+        if not callable(direction_qerror):
+            return
+        per_direction = direction_qerror()
+        payload["adaptations"] = getattr(model, "adaptations", 0)
+        payload["direction_qerror"] = per_direction
+        self._m_adaptations.set(payload["adaptations"], dataset=label)
+        for entry in per_direction:
+            if entry["qerror"] is not None:
+                self._m_direction_qerror.set(
+                    entry["qerror"], dataset=label,
+                    direction=entry["direction"])
+
+    def refresh_model_metrics(self) -> Dict[str, Dict[str, object]]:
+        """Update the model/conformal gauges from live state.
+
+        Called before every ``/metrics`` scrape (and by ``summary()``),
+        since gauges are last-write-wins snapshots rather than hot-path
+        counters.  Returns the model summary it refreshed from.
+        """
+        models = self.model_summary()
+        for name, state in self.conformal.describe()["datasets"].items():
+            self._m_conformal_pairs.set(state["pairs"], dataset=name)
+            self._m_conformal_intervals.set(state["intervals"], dataset=name)
+            self._m_conformal_covered.set(state["covered"], dataset=name)
+            if state["empirical_coverage"] is not None:
+                self._m_conformal_coverage.set(state["empirical_coverage"],
+                                               dataset=name)
+        return models
+
+    # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, object]:
@@ -617,6 +766,7 @@ class EngineStats:
         verbatim and ``json.dumps(summary, allow_nan=False)`` must not
         raise.
         """
+        models = self.refresh_model_metrics()
         return jsonable({
             "num_queries": self.num_queries,
             "total_ios": self.total_ios,
@@ -632,6 +782,8 @@ class EngineStats:
             "latency_s": self.latency_percentiles(),
             "plan_distribution": self.plan_distribution(),
             "estimation_qerror": self.estimation_summary(),
+            "stats": models,
+            "conformal": self.conformal.describe(),
             "writes": self.write_summary(),
             "rebalances": self.rebalance_summary(),
             "admission": self.admission_summary(),

@@ -43,6 +43,7 @@ import repro.engine.tracing as tracing
 from repro.core.conjunction import ConstraintConjunction
 from repro.engine.catalog import Catalog, Dataset
 from repro.engine.sharding import Shard, ShardedDataset
+from repro.engine.stats.conformal import ConformalCalibrator
 from repro.geometry.primitives import LinearConstraint
 
 #: One calibration feedback sample: (index_name, model_ios, observed_ios).
@@ -76,6 +77,10 @@ class Plan:
     index_name: str
     expected_output: int
     estimates: Tuple[CandidateEstimate, ...]
+    #: Conformal interval around ``expected_output`` (None while the
+    #: dataset's calibration window is cold — estimates are then points
+    #: with no certified uncertainty).
+    output_interval: Optional[Tuple[int, int]] = None
 
     @property
     def estimated_ios(self) -> float:
@@ -94,8 +99,10 @@ class Plan:
     def explain(self) -> str:
         """One line per candidate, winner first (for logs and examples)."""
         ordered = sorted(self.estimates, key=lambda est: est.cost)
-        lines = ["plan for dataset %r (expected T=%d):"
-                 % (self.dataset, self.expected_output)]
+        band = "" if self.output_interval is None \
+            else " in [%d, %d]" % self.output_interval
+        lines = ["plan for dataset %r (expected T=%d%s):"
+                 % (self.dataset, self.expected_output, band)]
         for rank, estimate in enumerate(ordered):
             marker = "->" if rank == 0 else "  "
             lines.append("  %s %-16s %8.1f predicted I/Os"
@@ -121,6 +128,9 @@ class ShardedPlan:
     #: The sharded dataset's re-split generation this plan was made
     #: against; the executor re-plans when a rebalance has bumped it.
     generation: int = 0
+    #: Element-wise sum of the relevant shards' conformal intervals
+    #: (None until every relevant shard's dataset window is warm).
+    output_interval: Optional[Tuple[int, int]] = None
 
     @property
     def estimated_ios(self) -> float:
@@ -149,9 +159,12 @@ class ShardedPlan:
 
     def explain(self) -> str:
         """Fan-out summary plus each relevant shard's plan."""
-        lines = ["sharded plan for dataset %r (expected T=%d): "
+        band = "" if self.output_interval is None \
+            else " in [%d, %d]" % self.output_interval
+        lines = ["sharded plan for dataset %r (expected T=%d%s): "
                  "%d/%d shards relevant, %d pruned, %.1f predicted I/Os"
-                 % (self.dataset, self.expected_output, self.shards_queried,
+                 % (self.dataset, self.expected_output, band,
+                    self.shards_queried,
                     self.num_shards, self.shards_pruned, self.estimated_ios)]
         for shard_id, plan in self.shard_plans:
             lines.append("  shard %d -> %s (%.1f predicted I/Os)"
@@ -182,14 +195,21 @@ class Planner:
     ewma_alpha:
         Weight of the newest observed/predicted ratio in the calibration
         factor (0 disables learning, 1 trusts only the last query).
+    conformal:
+        Optional :class:`ConformalCalibrator` (the engine passes its
+        stats') — when set, every plan carries a conformal
+        ``output_interval`` around ``expected_output`` once the
+        dataset's calibration window is warm.
     """
 
-    def __init__(self, catalog: Catalog, ewma_alpha: float = 0.25):
+    def __init__(self, catalog: Catalog, ewma_alpha: float = 0.25,
+                 conformal: Optional[ConformalCalibrator] = None):
         if not 0.0 <= ewma_alpha <= 1.0:
             raise ValueError("ewma_alpha must lie in [0, 1], got %r"
                              % ewma_alpha)
         self._catalog = catalog
         self._alpha = ewma_alpha
+        self._conformal = conformal
         self._calibrations: Dict[Tuple[str, str], _Calibration] = {}
         self._lock = threading.Lock()
 
@@ -230,9 +250,16 @@ class Planner:
             for name, index in sorted(
                 self._routable_indexes(dataset).items()))
         winner = min(estimates, key=lambda est: (est.cost, est.index_name))
+        # Conformal residuals are calibrated per *dataset* (shard children
+        # feed their parent's window through note_estimation), so shard
+        # plans are banded by the parent's key.
+        interval = None if self._conformal is None else \
+            self._conformal.interval(calibration_name, expected_output,
+                                     population=dataset.live_size)
         return Plan(dataset=dataset.name,
                     index_name=winner.index_name,
-                    expected_output=expected_output, estimates=estimates)
+                    expected_output=expected_output, estimates=estimates,
+                    output_interval=interval)
 
     def plan(self, dataset_name: str,
              constraint: LinearConstraint) -> AnyPlan:
@@ -269,13 +296,21 @@ class Planner:
         # estimates (each shard child owns its own selectivity model) —
         # on skewed data the per-shard models see their shard's
         # distribution, where the single global estimate would not.
+        # Its interval is the element-wise sum of the shard intervals
+        # (every relevant shard banded, or no band at all).
+        intervals = [plan.output_interval for __, plan in shard_plans]
+        interval = None
+        if intervals and all(pair is not None for pair in intervals):
+            interval = (sum(low for low, __ in intervals),
+                        sum(high for __, high in intervals))
         return ShardedPlan(dataset=sharded.name,
                            expected_output=sum(
                                plan.expected_output
                                for __, plan in shard_plans),
                            shard_plans=shard_plans,
                            num_shards=sharded.num_shards,
-                           generation=sharded.generation)
+                           generation=sharded.generation,
+                           output_interval=interval)
 
     def plan_conjunction(self, dataset_name: str,
                          conjunction: ConstraintConjunction) -> AnyPlan:
@@ -318,6 +353,8 @@ class Planner:
             "expected_output": round(float(plan.expected_output), 2),
             "estimated_ios": round(float(plan.estimated_ios), 2),
         })
+        if plan.output_interval is not None:
+            span.set("output_interval", list(plan.output_interval))
         if isinstance(plan, ShardedPlan):
             span.set_many({
                 "shards_queried": len(plan.shard_plans),

@@ -7,9 +7,11 @@ executor:
   scheduler finishes it (budget-degraded answers come back with their
   sample rate and count interval, same as the embedded API);
 * ``GET /query/stream`` — Server-Sent Events: an ``estimate`` event
-  (zero-I/O degraded answer with a ~95% count interval) flushes
-  immediately, then the exact ``result`` follows when the scheduler
-  serves the query — the degraded-then-refined contract over the wire;
+  (zero-I/O degraded answer with a count interval — conformal once the
+  dataset's calibration is warm, normal-approximation fallback before,
+  labelled by ``interval_source``) flushes immediately, then the exact
+  ``result`` follows when the scheduler serves the query — the
+  degraded-then-refined contract over the wire;
 * ``POST /insert`` / ``POST /delete`` — routed write-fanout mutations;
 * ``GET /stats`` — :meth:`EngineStats.summary` as JSON;
 * ``GET /metrics`` — the Prometheus text exposition of the engine's
@@ -255,6 +257,7 @@ class EngineApp:
                 interval = answer.count_interval
                 payload["answer"]["count_interval"] = \
                     list(interval) if interval is not None else None
+                payload["answer"]["interval_source"] = answer.interval_source
         if served.mutation is not None:
             mutation = served.mutation
             payload["mutation"] = {
@@ -274,6 +277,7 @@ class EngineApp:
             "count_estimate": estimate.estimated_count,
             "count_interval": list(interval) if interval is not None
             else None,
+            "interval_source": estimate.interval_source,
             "sample_rate": estimate.sample_rate,
             "sample_count": estimate.count,
         }
@@ -347,6 +351,9 @@ class EngineApp:
     async def _handle_metrics(self, request: HTTPRequest, writer) -> _Handled:
         """The metric registry in Prometheus text exposition format."""
         self._auth.authenticate(request)  # authenticated, never rated
+        # Model/conformal gauges are pull-refreshed snapshots, not
+        # hot-path counters: bring them current before rendering.
+        self._engine.stats.refresh_model_metrics()
         body = render_prometheus(self._engine.stats.registry) \
             .encode("utf-8")
         writer.write(render_response(200, body,

@@ -18,8 +18,13 @@ When a request exceeds the budget, the tenant's configured policy decides:
 * ``"reject"`` — drop the request immediately (load shedding).
 * ``"degrade"`` — serve a zero-I/O *approximate* answer from the
   dataset's in-memory sample, marked ``degraded`` so the caller knows,
-  carrying the sample rate plus a scaled full-count estimate with a
-  confidence interval (:func:`scaled_count_estimate`).
+  carrying the sample rate plus a scaled full-count estimate with an
+  interval.  The interval is conformal (distribution-free, calibrated
+  from the executor's observed (estimate, actual) pairs — see
+  :mod:`repro.engine.stats.conformal`) once the dataset's calibration
+  window is warm; :func:`scaled_count_estimate`'s normal approximation
+  is the explicit cold-start fallback, and every degraded answer labels
+  which one it carries (``interval_source``).
 
 Tenants without a configured budget are always admitted.
 """
@@ -37,6 +42,11 @@ POLICIES = ("queue", "reject", "degrade")
 def scaled_count_estimate(hits: int, sample_size: int, population: int,
                           z: float = 1.96) -> Tuple[int, Tuple[int, int]]:
     """Scale a sample hit count to the population, with a ~95% interval.
+
+    This is the *cold-start fallback* interval: degraded answers prefer
+    the dataset's conformal calibration
+    (:class:`repro.engine.stats.conformal.ConformalCalibrator`) and use
+    this normal approximation only until its window has filled.
 
     A degraded answer reports the ``hits`` sample points satisfying the
     constraint out of a uniform ``sample_size``-point sample of a

@@ -801,9 +801,15 @@ class AsyncExecutor:
         and kept out of the result cache so it can never masquerade as an
         exact answer.  The answer carries its ``sample_rate`` (what
         fraction of the dataset was scanned) plus a scaled full-count
-        estimate with a ~95% confidence interval, so callers can turn
-        the subset into a qualified count instead of mistaking it for
-        the whole truth.
+        estimate with an interval, so callers can turn the subset into a
+        qualified count instead of mistaking it for the whole truth.
+
+        The interval is conformal once the dataset's calibration window
+        is warm — distribution-free quantile-of-residuals bands from the
+        executor's observed (estimate, actual) pairs — and the normal
+        approximation (:func:`scaled_count_estimate`) only before then;
+        ``interval_source`` says which (``"conformal"`` /
+        ``"normal_fallback"``) on every degraded answer.
         """
         with tracing.span("serving.degraded_sample",
                           dataset=request.dataset) as sample_span:
@@ -814,17 +820,31 @@ class AsyncExecutor:
             population = max(int(entry.live_size), sample_size)
             estimate, interval = scaled_count_estimate(len(hits), sample_size,
                                                        population)
+            source = "normal_fallback"
+            conformal = self._core.stats.conformal.interval(
+                request.dataset, estimate, population=population)
+            if conformal is not None:
+                # The sample hits are real stored points, so the true
+                # count can never sit below them — the conformal band is
+                # clipped to the same invariant the fallback obeys.
+                low = max(conformal[0], int(len(hits)))
+                high = max(conformal[1], low)
+                estimate = min(max(estimate, low), high)
+                interval = (low, high)
+                source = "conformal"
             if sample_span.enabled:
                 sample_span.set_many({
                     "sample_size": sample_size, "hits": int(len(hits)),
-                    "estimated_count": estimate})
+                    "estimated_count": estimate,
+                    "interval_source": source})
         answer = ExecutedQuery(
             dataset=request.dataset, index_name="degraded_sample",
             points=[tuple(row) for row in hits.tolist()], ios=IOStats(),
             latency_s=0.0, estimated_ios=0.0, tenant=request.tenant,
             degraded=True,
             sample_rate=(sample_size / population if population else 1.0),
-            estimated_count=estimate, count_interval=interval)
+            estimated_count=estimate, count_interval=interval,
+            interval_source=source)
         if record:
             self._core.record(answer)
         return answer

@@ -12,6 +12,13 @@ hinges on the expected output size T.  This package owns that estimate:
   histograms of projections onto canonical directions, answered by
   nearest direction with a sample fallback — resolves the deep tail on
   skewed data like the §1.2 diagonal;
+* :class:`~repro.engine.stats.models.EnsembleModel` — both of the above
+  side by side, aggregated with e-value-style weights updated online
+  from per-query q-error, so the live workload picks the better member;
+* :class:`~repro.engine.stats.conformal.ConformalCalibrator` —
+  distribution-free count intervals calibrated per dataset from the
+  executor's (estimate, actual) feedback pairs, replacing the ad-hoc
+  normal approximation on degraded answers;
 * :class:`~repro.engine.stats.histograms.EquiDepthHistogram` and the
   direction helpers the histogram model composes.
 
@@ -29,8 +36,16 @@ from repro.engine.stats.histograms import (
     normalize_direction,
     principal_directions,
 )
+from repro.engine.stats.conformal import (
+    DEFAULT_COVERAGE,
+    DEFAULT_MIN_CALIBRATION,
+    DEFAULT_WINDOW,
+    ConformalCalibrator,
+    scaled_residual,
+)
 from repro.engine.stats.models import (
     DEFAULT_MIN_COSINE,
+    EnsembleModel,
     HistogramModel,
     MODEL_KINDS,
     SelectivityModel,
@@ -39,7 +54,12 @@ from repro.engine.stats.models import (
 )
 
 __all__ = [
+    "ConformalCalibrator",
+    "DEFAULT_COVERAGE",
+    "DEFAULT_MIN_CALIBRATION",
     "DEFAULT_MIN_COSINE",
+    "DEFAULT_WINDOW",
+    "EnsembleModel",
     "EquiDepthHistogram",
     "HistogramModel",
     "MODEL_KINDS",
@@ -50,4 +70,5 @@ __all__ = [
     "make_model",
     "normalize_direction",
     "principal_directions",
+    "scaled_residual",
 ]

@@ -6,7 +6,7 @@ index.  :class:`SelectivityModel` is the seam that estimate comes
 through; the catalog builds one model per dataset *and one per shard
 child*, so sharded planning is priced with shard-local statistics.
 
-Two models ship:
+Three models ship:
 
 * :class:`UniformSampleModel` — the engine's original estimator,
   relocated: evaluate the constraint on a uniform in-memory sample.
@@ -22,6 +22,12 @@ Two models ship:
   (almost) one residual direction.  When no canonical direction is close
   enough to the query's, the model falls back to the sample estimate, so
   it is never much worse than the uniform baseline.
+* :class:`EnsembleModel` — both of the above side by side, aggregated
+  with e-value-style weights updated online from each member's own
+  per-query q-error (PAPERS.md's aggregation-of-conformal-predictors
+  line).  On workloads where one member is mis-specified the other's
+  weight takes over within tens of queries, so the ensemble tracks the
+  better member without anyone choosing it up front.
 
 Both models accept ``observe_insert`` / ``observe_delete`` feedback from
 the engine's dynamic-index mutation hooks, so estimates track mutated
@@ -49,7 +55,7 @@ from repro.engine.stats.histograms import (
 from repro.geometry.primitives import LinearConstraint
 
 #: The model kinds :func:`make_model` accepts by name.
-MODEL_KINDS = ("uniform", "histogram")
+MODEL_KINDS = ("uniform", "histogram", "ensemble")
 
 #: Cosine similarity below which HistogramModel distrusts its nearest
 #: canonical direction and falls back to the sample estimate (~5.7°).
@@ -437,6 +443,27 @@ class HistogramModel(SelectivityModel):
         """How many directions workload feedback has replaced."""
         return self._adaptations
 
+    def direction_qerror(self) -> list:
+        """Per-direction feedback counts and geometric-mean q-error.
+
+        One entry per canonical direction (index order), with the number
+        of queries that direction has priced since its last replacement
+        and the geometric mean of their q-errors (``None`` before any
+        feedback).  This is the internal signal :meth:`_maybe_adapt`
+        acts on, surfaced for ``EngineStats.summary()["stats"]`` and the
+        ``/metrics`` gauges.
+        """
+        out = []
+        for position in range(len(self._directions)):
+            count = int(self._dir_observations[position])
+            out.append({
+                "direction": position,
+                "observations": count,
+                "qerror": None if count == 0 else float(
+                    math.exp(self._dir_log_qerror[position] / count)),
+            })
+        return out
+
     def drift(self) -> float:
         """Worst per-direction bucket skew relative to build time.
 
@@ -456,15 +483,187 @@ class HistogramModel(SelectivityModel):
         return payload
 
 
+class EnsembleModel(SelectivityModel):
+    """Uniform-sample and histogram models aggregated by e-weights.
+
+    Runs a :class:`UniformSampleModel` and a :class:`HistogramModel`
+    over the same points and (shared) sample, answering with the
+    weight-averaged selectivity.  Weights are updated online in the
+    e-value style: after every served query each member is scored by its
+    *own* estimate's q-error against the actual count, and its weight is
+    multiplied by ``qerror ** -learning_rate`` (a per-query e-factor —
+    small for members that keep mispricing, ~1 for members that track
+    the workload).  Products of those factors are exactly what the
+    weights hold, kept in log space and renormalised so they never
+    over/underflow.
+
+    The point of the construction: nobody has to choose between the
+    members up front.  On smooth data the uniform sample is unbiased and
+    cheap; on the paper's adversarial diagonal the histogram resolves
+    the deep tail the sample can't — the ensemble starts at an even
+    split and converges onto whichever member the live workload proves
+    out, while the loser's weight decays geometrically.
+
+    Parameters
+    ----------
+    points / sample / dimension / seed:
+        As for the member models; both members share the one ``sample``
+        array (the same reference the degraded-answer path scans).
+    learning_rate:
+        Exponent on each per-query e-factor.  1.0 bets the full
+        observed q-error each query (fast convergence, twitchy under
+        noise); the 0.5 default halves the log-loss per step — a
+        mis-specified member still loses ~30% of its weight every
+        doubling of q-error.
+    uniform_params / histogram_params:
+        Extra constructor kwargs forwarded to the respective member
+        (e.g. ``histogram_params={"adapt_after": 32}``).
+    """
+
+    name = "ensemble"
+
+    #: Member order is part of the model's contract: weights, q-error
+    #: summaries, and worker rebuilds all index members by this tuple.
+    MEMBER_NAMES = ("uniform", "histogram")
+
+    def __init__(self, points: np.ndarray,
+                 sample: Optional[np.ndarray] = None,
+                 dimension: Optional[int] = None,
+                 seed: Optional[int] = None,
+                 learning_rate: float = 0.5,
+                 uniform_params: Optional[Dict[str, object]] = None,
+                 histogram_params: Optional[Dict[str, object]] = None):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must have shape (N >= 1, d), got %r"
+                             % (points.shape,))
+        super().__init__(dimension if dimension is not None
+                         else points.shape[1], len(points))
+        if learning_rate <= 0.0:
+            raise ValueError("learning_rate must be > 0, got %r"
+                             % learning_rate)
+        self._learning_rate = float(learning_rate)
+        uniform_params = dict(uniform_params or {})
+        histogram_params = dict(histogram_params or {})
+        sample = np.zeros((0, self._dimension)) if sample is None \
+            else np.asarray(sample, dtype=float)
+        self._members = (
+            UniformSampleModel(sample, dimension=self._dimension,
+                               size=len(points), seed=seed,
+                               **uniform_params),
+            HistogramModel(points, dimension=self._dimension, sample=sample,
+                           seed=seed, **histogram_params),
+        )
+        self._log_weights = np.zeros(len(self._members))
+        self._member_observations = np.zeros(len(self._members), dtype=int)
+        self._member_log_qerror = np.zeros(len(self._members))
+        self._feedback = 0
+
+    @property
+    def members(self) -> Sequence[SelectivityModel]:
+        """The member models, in :attr:`MEMBER_NAMES` order."""
+        return self._members
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """Current normalised member weights by member name."""
+        raw = np.exp(self._log_weights - np.max(self._log_weights))
+        normalised = raw / raw.sum()
+        return {name: float(weight)
+                for name, weight in zip(self.MEMBER_NAMES, normalised)}
+
+    @property
+    def feedback_count(self) -> int:
+        """How many served queries have updated the weights."""
+        return self._feedback
+
+    def member_qerror(self) -> Dict[str, Optional[float]]:
+        """Each member's geometric-mean q-error over its own estimates."""
+        summary: Dict[str, Optional[float]] = {}
+        for position, name in enumerate(self.MEMBER_NAMES):
+            count = int(self._member_observations[position])
+            summary[name] = None if count == 0 else float(
+                math.exp(self._member_log_qerror[position] / count))
+        return summary
+
+    def estimate_selectivity(self, constraint: LinearConstraint) -> float:
+        self._check_dimension(constraint)
+        raw = np.exp(self._log_weights - np.max(self._log_weights))
+        estimates = np.array([member.estimate_selectivity(constraint)
+                              for member in self._members])
+        return float(np.dot(raw / raw.sum(), estimates))
+
+    # ------------------------------------------------------------------
+    # mutation feedback — forwarded so member sizes/structures track.
+    # Both members share one sample array and seed-identical RNGs, so
+    # their reservoir updates land on the same rows; the shared sample
+    # stays a valid uniform reservoir either way.
+    # ------------------------------------------------------------------
+    def observe_insert(self, point: Sequence[float]) -> None:
+        super().observe_insert(point)
+        for member in self._members:
+            member.observe_insert(point)
+
+    def observe_delete(self, point: Sequence[float]) -> None:
+        super().observe_delete(point)
+        for member in self._members:
+            member.observe_delete(point)
+
+    # ------------------------------------------------------------------
+    # q-error feedback — the e-weight update
+    # ------------------------------------------------------------------
+    def note_estimation_feedback(self, constraint: LinearConstraint,
+                                 expected: float, actual: int) -> None:
+        """Score every member on its own estimate and reweight.
+
+        ``expected`` (the ensemble's aggregate estimate, already scored
+        by the engine's q-error stats) is deliberately unused: each
+        member is judged by what *it* would have answered, which is the
+        signal that separates them.  Members receive their own-estimate
+        feedback too, so an adaptive histogram member re-aims its
+        directions exactly as it would standalone.
+        """
+        if constraint.dimension != self._dimension:
+            return
+        for position, member in enumerate(self._members):
+            member_expected = member.estimate_output(constraint)
+            error = math.log(
+                max((member_expected + 1.0) / (actual + 1.0),
+                    (actual + 1.0) / (member_expected + 1.0)))
+            self._member_observations[position] += 1
+            self._member_log_qerror[position] += error
+            self._log_weights[position] -= self._learning_rate * error
+            member.note_estimation_feedback(
+                constraint, member_expected, actual)
+        # Renormalise in log space; only weight *ratios* matter.
+        self._log_weights -= np.max(self._log_weights)
+        self._feedback += 1
+
+    def drift(self) -> float:
+        """Worst member drift (either member can trip a rebalance)."""
+        return max(member.drift() for member in self._members)
+
+    def describe(self) -> Dict[str, object]:
+        payload = super().describe()
+        payload["weights"] = self.weights
+        payload["member_qerror"] = self.member_qerror()
+        payload["feedback"] = self._feedback
+        payload["members"] = {name: member.describe()
+                              for name, member
+                              in zip(self.MEMBER_NAMES, self._members)}
+        return payload
+
+
 def make_model(spec: object, points: np.ndarray, sample: np.ndarray,
                seed: Optional[int] = None, **params) -> SelectivityModel:
     """Build a selectivity model from a spec.
 
-    ``spec`` is a kind name (``"uniform"`` / ``"histogram"``), a callable
-    ``f(points, sample, seed, **params) -> SelectivityModel`` for custom
-    models, or ``None`` (the uniform default).  ``params`` are forwarded
-    to the model constructor (e.g. ``num_buckets`` / ``directions`` /
-    ``min_cosine`` for histograms).
+    ``spec`` is a kind name (``"uniform"`` / ``"histogram"`` /
+    ``"ensemble"``), a callable ``f(points, sample, seed, **params) ->
+    SelectivityModel`` for custom models, or ``None`` (the uniform
+    default).  ``params`` are forwarded to the model constructor (e.g.
+    ``num_buckets`` / ``directions`` / ``min_cosine`` for histograms,
+    ``learning_rate`` / ``histogram_params`` for the ensemble).
     """
     points = np.asarray(points, dtype=float)
     if spec is None:
@@ -476,5 +675,7 @@ def make_model(spec: object, points: np.ndarray, sample: np.ndarray,
                                   size=len(points), seed=seed, **params)
     if spec == "histogram":
         return HistogramModel(points, sample=sample, seed=seed, **params)
+    if spec == "ensemble":
+        return EnsembleModel(points, sample=sample, seed=seed, **params)
     raise ValueError("unknown selectivity model %r (expected one of %s, or "
                      "a callable)" % (spec, ", ".join(MODEL_KINDS)))

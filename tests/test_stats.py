@@ -18,6 +18,7 @@ from conftest import brute_force_halfspace
 
 from repro import LinearConstraint, QueryEngine
 from repro.engine import (
+    ConformalCalibrator,
     EquiDepthHistogram,
     HistogramModel,
     ServingRequest,
@@ -813,3 +814,272 @@ def test_stats_upgrade_disabled_keeps_provisional_model():
     assert shard.stats_provisional
     assert shard.planning_dataset().stats.name == "uniform"
     engine.close()
+
+# ----------------------------------------------------------------------
+# conformal calibration (distribution-free error bars)
+# ----------------------------------------------------------------------
+def test_conformal_cold_start_returns_no_interval():
+    calibrator = ConformalCalibrator(coverage=0.95, min_calibration=32)
+    assert calibrator.interval("d", 100) is None
+    for i in range(31):
+        calibrator.observe("d", 100 + i, 100)
+    assert not calibrator.ready("d")
+    assert calibrator.interval("d", 100) is None
+    calibrator.observe("d", 100, 100)
+    assert calibrator.ready("d")
+    low, high = calibrator.interval("d", 100)
+    assert low <= 100 <= high
+
+
+def test_conformal_interval_monotone_in_nominal_coverage():
+    rng = np.random.default_rng(40)
+    calibrator = ConformalCalibrator(coverage=0.5, min_calibration=16)
+    for __ in range(200):
+        actual = int(rng.integers(50, 500))
+        estimate = actual + int(rng.normal(scale=30))
+        calibrator.observe("d", estimate, actual)
+    widths = []
+    for coverage in (0.5, 0.7, 0.85, 0.95):
+        low, high = calibrator.interval("d", 200, coverage=coverage)
+        assert low <= 200 <= high
+        widths.append(high - low)
+    # Higher nominal coverage can never narrow the interval: the
+    # conformity quantile is monotone in its rank.
+    assert widths == sorted(widths)
+    quantiles = [calibrator.quantile("d", coverage=c)
+                 for c in (0.5, 0.7, 0.85, 0.95)]
+    assert quantiles == sorted(quantiles)
+
+
+def test_conformal_interval_respects_population_and_floor():
+    calibrator = ConformalCalibrator(coverage=0.9, min_calibration=8)
+    for __ in range(20):
+        calibrator.observe("d", 10, 40)  # large scaled residuals
+    low, high = calibrator.interval("d", 5, population=50)
+    assert low >= 0 and high <= 50
+    assert low <= 5 <= high
+
+
+def test_conformal_empirical_coverage_is_prequential():
+    """Each pair is scored against the interval built *before* it lands."""
+    rng = np.random.default_rng(41)
+    calibrator = ConformalCalibrator(coverage=0.9, window=512,
+                                     min_calibration=32)
+    for __ in range(600):
+        actual = int(rng.integers(100, 1000))
+        estimate = max(0, actual + int(rng.normal(scale=0.05 * actual)))
+        calibrator.observe("d", estimate, actual)
+    description = calibrator.describe()["datasets"]["d"]
+    assert description["intervals"] > 400
+    assert abs(description["empirical_coverage"] - 0.9) < 0.05
+
+
+def test_plans_carry_conformal_output_interval_once_warm():
+    points = uniform_points(1024, seed=42)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=42,
+                         conformal_min_calibration=8)
+    engine.register_dataset("d", points)
+    constraints = halfspace_queries_with_selectivity(
+        np.asarray(points), 30, 0.15, seed=43)
+    cold = engine.explain("d", constraints[0])
+    assert cold.output_interval is None          # nothing calibrated yet
+    for constraint in constraints[:25]:
+        engine.query("d", constraint, clear_cache=True)
+    warm = engine.explain("d", constraints[-1])
+    low, high = warm.output_interval
+    assert low <= warm.expected_output <= high
+    assert "in [" in warm.explain()
+    engine.close()
+
+
+def test_sharded_plan_interval_sums_shard_bands():
+    points = uniform_points(2048, seed=44)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=44,
+                         conformal_min_calibration=8)
+    engine.register_sharded_dataset("sh", points, num_shards=2,
+                                    sharding="range")
+    constraints = halfspace_queries_with_selectivity(
+        np.asarray(points), 30, 0.2, seed=45)
+    for constraint in constraints[:25]:
+        engine.query("sh", constraint, clear_cache=True)
+    plan = engine.explain("sh", constraints[-1])
+    assert isinstance(plan, ShardedPlan)
+    if plan.output_interval is not None:
+        lows = sum(p.output_interval[0] for __, p in plan.shard_plans
+                   if p.output_interval)
+        highs = sum(p.output_interval[1] for __, p in plan.shard_plans
+                    if p.output_interval)
+        assert plan.output_interval == (lows, highs)
+    engine.close()
+
+
+def test_degraded_answer_prefers_conformal_with_normal_fallback():
+    points = uniform_points(2000, seed=46)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=46, sample_size=400,
+                         conformal_min_calibration=8)
+    engine.register_dataset("d", points)
+    constraints = halfspace_queries_with_selectivity(
+        np.asarray(points), 30, 0.25, seed=47)
+
+    def degrade_wave(wave):
+        # The first (uncached) request drains the bucket; the rest of
+        # the wave exceeds it and degrades.
+        plan = engine.explain("d", wave[0])
+        budget = TenantBudget(ios_per_s=0.001,
+                              burst=plan.estimated_ios + 1.0,
+                              policy="degrade")
+        result = engine.serve_async(
+            [ServingRequest(tenant="probe", dataset="d", constraint=c)
+             for c in wave],
+            budgets={"probe": budget}, max_concurrency=1)
+        return [item.answer for item in result.requests
+                if item.outcome == "degraded"]
+
+    # Cold start: no calibration pairs yet, so the interval is the
+    # normal approximation and says so.
+    cold = degrade_wave(constraints[25:28])
+    assert cold and all(a.interval_source == "normal_fallback"
+                        for a in cold)
+    for constraint in constraints[:25]:
+        engine.query("d", constraint, clear_cache=True)
+    warm = degrade_wave(halfspace_queries_with_selectivity(
+        np.asarray(points), 3, 0.2, seed=48))
+    assert warm and all(a.interval_source == "conformal" for a in warm)
+    for answer in warm:
+        low, high = answer.count_interval
+        assert low <= answer.estimated_count <= high
+        assert low >= answer.count            # hits are real points
+    # The served records label the interval source too.
+    sources = {record.interval_source
+               for record in engine.stats.records if record.degraded}
+    assert sources == {"normal_fallback", "conformal"}
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# the e-weighted ensemble model
+# ----------------------------------------------------------------------
+def test_ensemble_estimates_are_weighted_blend_of_members():
+    points = np.asarray(uniform_points(1024, seed=50))
+    sample = points[:256].copy()
+    model = make_model("ensemble", points, sample, seed=50)
+    assert model.name == "ensemble"
+    assert set(model.weights) == {"uniform", "histogram"}
+    assert sum(model.weights.values()) == pytest.approx(1.0)
+    constraint = LinearConstraint(coeffs=(0.3,), offset=0.1)
+    members = {m.name: m.estimate_selectivity(constraint)
+               for m in model.members}
+    blended = sum(model.weights[name] * value
+                  for name, value in members.items())
+    assert model.estimate_selectivity(constraint) == pytest.approx(blended)
+
+
+def test_ensemble_downweights_misspecified_member():
+    """On the §1.2 diagonal the uniform sample's estimates are far worse
+    than the histogram's; e-value-style updates must shift the weight."""
+    points = np.asarray(diagonal_points(4096, noise=5e-3, seed=51))
+    rng = np.random.default_rng(52)
+    sample = points[rng.choice(len(points), 256, replace=False)]
+    model = make_model("ensemble", points, sample.copy(), seed=51)
+    selectivities = np.exp(np.linspace(np.log(0.002), np.log(0.2), 30))
+    for selectivity in selectivities:
+        constraint = rotated_diagonal_query(
+            points, angle=float(rng.normal(scale=2e-4)),
+            selectivity=float(selectivity))
+        actual = sum(constraint.below(p) for p in points)
+        model.note_estimation_feedback(
+            constraint, model.estimate_output(constraint), actual)
+    weights = model.weights
+    assert weights["histogram"] > 0.75
+    assert weights["histogram"] > weights["uniform"]
+    qerror = model.member_qerror()
+    assert qerror["histogram"] < qerror["uniform"]
+    description = model.describe()
+    assert description["feedback"] == len(selectivities)
+    assert set(description["members"]) == {"uniform", "histogram"}
+
+
+def test_ensemble_forwards_mutations_to_both_members():
+    points = np.asarray(uniform_points(512, seed=53))
+    model = make_model("ensemble", points, points[:128].copy(), seed=53)
+    before = model.size
+    model.observe_insert((0.5, 0.5))
+    assert model.size == before + 1
+    assert all(m.size == before + 1 for m in model.members)
+    model.observe_delete((0.5, 0.5))
+    assert model.size == before
+
+
+def test_ensemble_flows_through_engine_and_summary_stats():
+    points = uniform_points(800, seed=54)
+    engine = QueryEngine(block_size=BLOCK_SIZE, seed=54,
+                         stats_model="ensemble")
+    engine.register_dataset("d", points, kinds=["dynamic", "full_scan"])
+    assert engine.catalog.dataset("d").stats.name == "ensemble"
+    for constraint in halfspace_queries_with_selectivity(
+            np.asarray(points), 8, 0.1, seed=55):
+        engine.query("d", constraint, clear_cache=True)
+    stats = engine.summary()["stats"]["d"]
+    assert stats["model"] == "ensemble"
+    assert set(stats["weights"]) == {"uniform", "histogram"}
+    assert stats["feedback"] == 8
+    # The histogram member's adaptation counter and per-direction
+    # q-error surface under the member entry.
+    member = stats["members"]["histogram"]
+    assert member["adaptations"] >= 0
+    assert isinstance(member["direction_qerror"], list)
+    engine.close()
+
+
+def test_process_workers_parity_with_ensemble_stats():
+    """REPRO_WORKERS=process must stay bit-parity for an
+    ensemble-configured dataset: identical answers and I/O counters."""
+    points = uniform_points(1536, seed=56)
+    constraints = halfspace_queries_with_selectivity(
+        np.asarray(points), 6, 0.1, seed=57)
+
+    def run(mode):
+        engine = QueryEngine(block_size=BLOCK_SIZE, seed=56,
+                             stats_model="ensemble", workers=mode)
+        engine.register_sharded_dataset(
+            "sh", points, num_shards=2, sharding="range", replicas=2,
+            kinds=["dynamic", "full_scan"])
+        observed = []
+        for constraint in constraints:
+            answer = engine.query("sh", constraint, clear_cache=True)
+            observed.append((sorted(map(tuple, answer.points)),
+                             answer.ios.total, answer.ios.cache_hits))
+        engine.insert("sh", (0.01, 0.02))
+        answer = engine.query("sh", constraints[0], clear_cache=True)
+        observed.append((sorted(map(tuple, answer.points)),
+                         answer.ios.total))
+        description = engine.cluster.describe() if engine.cluster else None
+        engine.close()
+        return observed, description
+
+    inprocess, __ = run("inprocess")
+    process, description = run("process")
+    assert inprocess == process
+    # The worker specs carried the ensemble + conformal config, and the
+    # topology snapshot reports each worker's address, restart count and
+    # write-log high-water mark.
+    for listing in description["workers"].values():
+        for entry in listing:
+            assert entry["address"].startswith("127.0.0.1:")
+            assert entry["restarts"] == 0
+            assert entry["last_seq"] >= 0
+
+
+def test_worker_spec_carries_stats_and_conformal_config():
+    from repro.engine.cluster.worker import ShardWorker, build_spec
+    points = np.asarray(uniform_points(256, seed=58))
+    spec = build_spec(
+        "sh", 0, 0, "sh#0", points, 2, BLOCK_SIZE, 4, 128, 58,
+        [{"kind": "full_scan", "index_name": "full_scan", "params": {}}],
+        [], stats_model="ensemble", stats_params={},
+        conformal={"coverage": 0.9, "window": 128, "min_calibration": 16})
+    worker = ShardWorker(spec)
+    assert worker.dataset.stats.name == "ensemble"
+    stats = worker.handle({"op": "stats"})
+    assert stats["stats_model"] == "ensemble"
+    assert stats["conformal"]["coverage"] == 0.9
